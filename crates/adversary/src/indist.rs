@@ -1,0 +1,137 @@
+//! Indistinguishability (Definition 12), checked observation by
+//! observation.
+//!
+//! Two executions are indistinguishable *with respect to process `i`
+//! through round `r`* when `i` has the same sequence of outgoing messages,
+//! incoming message multisets, collision advice and contention advice in
+//! both. For deterministic automata with equal initial states, equality of
+//! these observation streams implies equality of the state sequences, so
+//! this check is exactly the Definition 12 relation.
+
+use std::fmt;
+use wan_sim::{ExecutionTrace, ProcessId, Round};
+
+/// The first point at which two observation streams diverge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndistMismatch {
+    /// The round at which the views differ.
+    pub round: Round,
+    /// Which observation component differs.
+    pub component: &'static str,
+}
+
+impl fmt::Display for IndistMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "views diverge at {} in {}", self.round, self.component)
+    }
+}
+
+/// Checks that process `i1` of `t1` and process `i2` of `t2` have identical
+/// observations through the first `through` rounds. Both traces must have
+/// been recorded with full detail (receive multisets).
+///
+/// # Errors
+///
+/// Returns the earliest mismatch.
+///
+/// # Panics
+///
+/// Panics if either trace is shorter than `through` rounds or lacks full
+/// detail.
+pub fn observations_equal<M: Ord + Clone + Eq + fmt::Debug>(
+    t1: &ExecutionTrace<M>,
+    i1: ProcessId,
+    t2: &ExecutionTrace<M>,
+    i2: ProcessId,
+    through: usize,
+) -> Result<(), IndistMismatch> {
+    assert!(
+        t1.len() >= through && t2.len() >= through,
+        "traces shorter than {through} rounds"
+    );
+    let o1 = t1.observations_of(i1);
+    let o2 = t2.observations_of(i2);
+    for (a, b) in o1.iter().zip(o2.iter()).take(through) {
+        debug_assert_eq!(a.round, b.round);
+        let component = if a.sent != b.sent {
+            Some("outgoing message")
+        } else if a.received != b.received {
+            assert!(
+                a.received.is_some() && b.received.is_some(),
+                "indistinguishability requires full trace detail"
+            );
+            Some("receive multiset")
+        } else if a.cd != b.cd {
+            Some("collision advice")
+        } else if a.cm != b.cm {
+            Some("contention advice")
+        } else {
+            None
+        };
+        if let Some(component) = component {
+            return Err(IndistMismatch {
+                round: a.round,
+                component,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a whole group: process `base + j` of `t_composed` against process
+/// `j` of `t_solo`, for `j` in `0..group_len`, through `through` rounds.
+///
+/// # Errors
+///
+/// Returns the offending process and the earliest mismatch.
+pub fn group_observations_equal<M: Ord + Clone + Eq + fmt::Debug>(
+    t_composed: &ExecutionTrace<M>,
+    base: usize,
+    group_len: usize,
+    t_solo: &ExecutionTrace<M>,
+    through: usize,
+) -> Result<(), (ProcessId, IndistMismatch)> {
+    for j in 0..group_len {
+        observations_equal(
+            t_composed,
+            ProcessId(base + j),
+            t_solo,
+            ProcessId(j),
+            through,
+        )
+        .map_err(|m| (ProcessId(base + j), m))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::AlphaExecution;
+    use ccwan_core::alg2;
+    use ccwan_core::{Value, ValueDomain};
+
+    #[test]
+    fn identical_runs_are_indistinguishable() {
+        let domain = ValueDomain::new(8);
+        let mk = || alg2::processes(domain, &[Value(3), Value(3)]);
+        let a = AlphaExecution::run(mk(), 10);
+        let b = AlphaExecution::run(mk(), 10);
+        for i in 0..2 {
+            observations_equal(&a.trace, ProcessId(i), &b.trace, ProcessId(i), 10)
+                .expect("identical deterministic runs must match");
+        }
+    }
+
+    #[test]
+    fn different_values_eventually_distinguish() {
+        let domain = ValueDomain::new(8);
+        let a = AlphaExecution::run(alg2::processes(domain, &[Value(0), Value(0)]), 10);
+        let b = AlphaExecution::run(alg2::processes(domain, &[Value(7), Value(7)]), 10);
+        let res = observations_equal(&a.trace, ProcessId(0), &b.trace, ProcessId(0), 10);
+        assert!(res.is_err(), "v0 vs v7 alphas must diverge within 10 rounds");
+        let m = res.unwrap_err();
+        assert!(m.round >= Round(1));
+        assert!(!m.to_string().is_empty());
+    }
+}

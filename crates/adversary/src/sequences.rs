@@ -1,0 +1,174 @@
+//! Broadcast-count sequences and the pigeonhole pair-finders of Lemmas 21
+//! and 22.
+//!
+//! Lemma 21: an anonymous algorithm over value set `V` has at most `3^k`
+//! distinct `{0,1,2+}` broadcast-count prefixes of length `k`; for
+//! `k = ⌈lg |V|⌉/2 − 1` that is fewer than `|V|`, so two values share a
+//! prefix. Lemma 22 runs the same argument over (index block, value) pairs
+//! for non-anonymous algorithms. These finders don't merely assert
+//! existence — they *return* the colliding pair, which
+//! [`crate::compose`] then splices into the Lemma 23 execution.
+
+use ccwan_core::{Value, ValueDomain};
+use std::collections::HashMap;
+use wan_sim::BroadcastCount;
+
+/// The theoretical pigeonhole depth of Lemma 21: the largest `k` with
+/// `3^k < |V|`, i.e. `⌊log₃(|V| − 1)⌋`-ish; the paper states it as
+/// `lg |V| / 2 − 1` (using `3 < 4 = 2²`). We return the paper's bound,
+/// floored at zero.
+pub fn lemma21_depth(domain: ValueDomain) -> usize {
+    let lg = f64::from(domain.bits());
+    ((lg / 2.0) - 1.0).max(0.0).floor() as usize
+}
+
+/// The theoretical pigeonhole depth of Theorem 7 / Lemma 22:
+/// `lg(|V|·|I| / (n·|V| + |I|)) / 2`, floored at zero.
+pub fn lemma22_depth(v_size: u64, i_size: u64, n: u64) -> usize {
+    let v = v_size as f64;
+    let i = i_size as f64;
+    let n = n as f64;
+    let inner = (v * i) / (n * v + i);
+    if inner <= 1.0 {
+        return 0;
+    }
+    ((inner.log2()) / 2.0).max(0.0).floor() as usize
+}
+
+/// Finds two distinct keys whose sequences share a prefix of length `k`
+/// (exact match of the first `k` entries). Returns the first collision
+/// found, in the enumeration order of `candidates`.
+pub fn find_pair_with_shared_prefix<K, F>(
+    candidates: impl IntoIterator<Item = K>,
+    k: usize,
+    mut seq_of: F,
+) -> Option<(K, K)>
+where
+    K: Clone,
+    F: FnMut(&K) -> Vec<BroadcastCount>,
+{
+    let mut buckets: HashMap<Vec<BroadcastCount>, K> = HashMap::new();
+    for key in candidates {
+        let mut seq = seq_of(&key);
+        seq.truncate(k);
+        if let Some(prev) = buckets.get(&seq) {
+            return Some((prev.clone(), key));
+        }
+        buckets.insert(seq, key);
+    }
+    None
+}
+
+/// Finds the pair of keys with the *longest* shared sequence prefix,
+/// scanning all candidates (sorting sequences lexicographically and
+/// comparing neighbours). Returns `(key_a, key_b, shared_prefix_len)`.
+///
+/// This is the constructive strengthening of the pigeonhole lemmas: rather
+/// than stopping at the guaranteed depth, it reports how deep the best
+/// indistinguishable pair actually goes for the algorithm at hand.
+pub fn longest_shared_prefix_pair<K, F>(
+    candidates: impl IntoIterator<Item = K>,
+    depth: usize,
+    mut seq_of: F,
+) -> Option<(K, K, usize)>
+where
+    K: Clone,
+    F: FnMut(&K) -> Vec<BroadcastCount>,
+{
+    let mut entries: Vec<(Vec<BroadcastCount>, K)> = candidates
+        .into_iter()
+        .map(|k| {
+            let mut s = seq_of(&k);
+            s.truncate(depth);
+            (s, k)
+        })
+        .collect();
+    if entries.len() < 2 {
+        return None;
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut best: Option<(K, K, usize)> = None;
+    for w in entries.windows(2) {
+        let shared = w[0]
+            .0
+            .iter()
+            .zip(w[1].0.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        if best.as_ref().is_none_or(|(_, _, b)| shared > *b) {
+            best = Some((w[0].1.clone(), w[1].1.clone(), shared));
+        }
+    }
+    best
+}
+
+/// Enumerates a value domain as candidate keys (helper for Lemma 21 style
+/// searches over all of `V`; for big domains, sample instead).
+pub fn all_values(domain: ValueDomain) -> Vec<Value> {
+    domain.values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::AlphaExecution;
+    use ccwan_core::alg2;
+
+    #[test]
+    fn lemma_depths() {
+        assert_eq!(lemma21_depth(ValueDomain::new(16)), 1); // lg=4 -> 1
+        assert_eq!(lemma21_depth(ValueDomain::new(256)), 3); // lg=8 -> 3
+        assert_eq!(lemma21_depth(ValueDomain::new(2)), 0);
+        // Theorem 7 depth grows with |V| and |I|.
+        assert!(lemma22_depth(1 << 16, 1 << 16, 4) > 3);
+        assert_eq!(lemma22_depth(2, 2, 4), 0);
+    }
+
+    fn alpha_seq(n: usize, domain: ValueDomain, v: Value, k: usize) -> Vec<BroadcastCount> {
+        let values = vec![v; n];
+        AlphaExecution::run(alg2::processes(domain, &values), k as u64).broadcast_seq(k)
+    }
+
+    #[test]
+    fn pigeonhole_finds_pair_at_lemma_depth() {
+        // Lemma 21 guarantees a pair for Algorithm 2 over V[64] at depth 2.
+        let domain = ValueDomain::new(64);
+        let k = lemma21_depth(domain);
+        let pair = find_pair_with_shared_prefix(all_values(domain), k, |&v| {
+            alpha_seq(3, domain, v, k)
+        });
+        assert!(pair.is_some(), "pigeonhole pair must exist at depth {k}");
+        let (a, b) = pair.unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn longest_pair_is_at_least_lemma_depth() {
+        let domain = ValueDomain::new(32);
+        let k_guarantee = lemma21_depth(domain);
+        let depth = 4 * (domain.bits() as usize + 2);
+        let (a, b, shared) =
+            longest_shared_prefix_pair(all_values(domain), depth, |&v| {
+                alpha_seq(3, domain, v, depth)
+            })
+            .unwrap();
+        assert_ne!(a, b);
+        assert!(
+            shared >= k_guarantee,
+            "best pair shares {shared} < guaranteed {k_guarantee}"
+        );
+        // For Algorithm 2, values sharing their high-order bits share the
+        // whole prefix up to the first differing propose round: the best
+        // pair must share at least prepare + one bit round.
+        assert!(shared >= 2, "Algorithm 2 pairs share at least 2 rounds");
+    }
+
+    #[test]
+    fn no_pair_among_singletons() {
+        let domain = ValueDomain::new(1);
+        let pair = find_pair_with_shared_prefix(all_values(domain), 1, |&v| {
+            alpha_seq(2, domain, v, 1)
+        });
+        assert!(pair.is_none());
+    }
+}

@@ -1,0 +1,10 @@
+//! Bench target for E1 — regenerates Figure 1 (the collision detector class
+//! table) with measured solvability and round complexity.
+
+use wan_bench::{experiments, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    println!("{}", experiments::lattice::e1_figure1_lattice(scale));
+}

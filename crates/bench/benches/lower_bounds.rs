@@ -1,0 +1,14 @@
+//! Bench target for E6–E10 — regenerates the Section 8 impossibility and
+//! lower-bound results as executable constructions.
+
+use wan_bench::{experiments, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    println!("{}", experiments::lower_bounds::e6_impossibility(scale));
+    println!("{}", experiments::lower_bounds::e7_anon_half_ac(scale));
+    println!("{}", experiments::lower_bounds::e8_nonanon_half_ac(scale));
+    println!("{}", experiments::lower_bounds::e9_ev_accuracy_nocf(scale));
+    println!("{}", experiments::lower_bounds::e10_accuracy_nocf(scale));
+}

@@ -1,0 +1,37 @@
+//! Runs the experiment suite and prints every table.
+//!
+//! ```text
+//! run_experiments [--quick] [--only eN]
+//! ```
+
+use wan_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+
+    println!("# ccwan experiment suite ({scale:?})");
+    for table in experiments::all(scale) {
+        if let Some(filter) = &only {
+            let id = table
+                .title
+                .split([' ', ':'])
+                .next()
+                .unwrap_or("")
+                .to_lowercase();
+            if &id != filter {
+                continue;
+            }
+        }
+        println!("{table}");
+    }
+}

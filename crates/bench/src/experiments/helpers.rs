@@ -1,0 +1,137 @@
+//! Shared environment builders and measurement plumbing.
+
+use ccwan_core::{ConsensusAutomaton, ConsensusRun, Cst};
+use wan_cd::{CdClass, CheckedDetector, ClassDetector, FreedomPolicy};
+use wan_cm::{FairWakeUp, PreStabilization};
+use wan_sim::crash::NoCrashes;
+use wan_sim::loss::{Ecf, RandomLoss};
+use wan_sim::{Components, CrashAdversary, Round};
+
+/// Stabilization schedule for an adversarial-but-admissible ECF
+/// environment.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvPlan {
+    /// Collision-freedom round `r_cf`.
+    pub r_cf: u64,
+    /// Detector accuracy round `r_acc`.
+    pub r_acc: u64,
+    /// Wake-up stabilization round `r_wake`.
+    pub r_wake: u64,
+    /// Pre-CST loss probability.
+    pub loss: f64,
+    /// Detector freedom-slack false-positive probability before `r_acc`.
+    pub noise: f64,
+}
+
+impl EnvPlan {
+    /// A chaotic prefix of `prefix` rounds before all three services
+    /// stabilize.
+    pub fn chaos(prefix: u64) -> Self {
+        EnvPlan {
+            r_cf: prefix,
+            r_acc: prefix,
+            r_wake: prefix,
+            loss: 0.6,
+            noise: 0.3,
+        }
+    }
+
+    /// Immediate stabilization (CST = 1).
+    pub fn immediate() -> Self {
+        EnvPlan {
+            r_cf: 1,
+            r_acc: 1,
+            r_wake: 1,
+            loss: 0.0,
+            noise: 0.0,
+        }
+    }
+
+    /// Builds the component bundle for a detector of `class`, certified
+    /// strict against it.
+    pub fn components(&self, class: CdClass, seed: u64) -> Components {
+        self.components_with_crash(class, seed, Box::new(NoCrashes))
+    }
+
+    /// As [`EnvPlan::components`] with an explicit crash adversary.
+    pub fn components_with_crash(
+        &self,
+        class: CdClass,
+        seed: u64,
+        crash: Box<dyn CrashAdversary>,
+    ) -> Components {
+        let policy = if self.noise > 0.0 {
+            FreedomPolicy::Random { p: self.noise }
+        } else {
+            FreedomPolicy::Quiet
+        };
+        Components {
+            detector: Box::new(
+                CheckedDetector::new(
+                    ClassDetector::new(class, policy, seed ^ 0xCD).accurate_from(Round(self.r_acc)),
+                    class,
+                )
+                .strict(),
+            ),
+            manager: Box::new(FairWakeUp::new(
+                Round(self.r_wake),
+                PreStabilization::Random { p: 0.4 },
+                seed ^ 0xC3,
+            )),
+            loss: Box::new(Ecf::new(
+                RandomLoss::new(self.loss, seed ^ 0x10),
+                Round(self.r_cf),
+            )),
+            crash,
+        }
+    }
+}
+
+/// The result of one measured consensus run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunMeasurement {
+    /// Rounds past CST at the *last* decision (`None` if undecided).
+    pub rounds_past_cst: Option<u64>,
+    /// Whether every correct process decided within the cap.
+    pub terminated: bool,
+    /// Whether any safety property was violated.
+    pub safe: bool,
+}
+
+/// Runs one consensus instance to completion (cap `cap`) and measures
+/// rounds past the declared CST.
+pub fn measure<A: ConsensusAutomaton>(
+    procs: Vec<A>,
+    components: Components,
+    cap: u64,
+) -> RunMeasurement {
+    let cst = Cst::from_components(&components)
+        .value()
+        .expect("declared CST required; use measure_with_wake for backoff");
+    let mut run = ConsensusRun::new(procs, components).with_counts_only();
+    let outcome = run.run_to_completion(Round(cap));
+    RunMeasurement {
+        rounds_past_cst: outcome.last_decision().map(|d| d.since(cst)),
+        terminated: outcome.terminated,
+        safe: outcome.is_safe(),
+    }
+}
+
+/// The worst (max) measurement across seeds; panics on any safety
+/// violation or non-termination so experiment tables can't silently hide
+/// broken runs.
+pub fn worst_rounds_past_cst<A, F>(mut build: F, seeds: u64, cap: u64) -> u64
+where
+    A: ConsensusAutomaton,
+    F: FnMut(u64) -> (Vec<A>, Components),
+{
+    let mut worst = 0;
+    for seed in 0..seeds {
+        let (procs, components) = build(seed);
+        let m = measure(procs, components, cap);
+        assert!(m.safe, "safety violation at seed {seed}");
+        assert!(m.terminated, "non-termination at seed {seed} (cap {cap})");
+        worst = worst.max(m.rounds_past_cst.unwrap_or(0));
+    }
+    worst
+}

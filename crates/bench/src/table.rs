@@ -1,0 +1,104 @@
+//! Plain-text/markdown table rendering (no external dependencies).
+
+use std::fmt;
+
+/// A renderable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title, e.g. `"E3: Algorithm 2 rounds past CST vs |V|"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each row must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// An empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        writeln!(f, "\n## {}\n", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", cell, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for width in &w {
+            write!(f, "{:-<width$}|", "", width = width + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "> {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "long header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["wide cell".into(), "x".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| wide cell | x           |"));
+        assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

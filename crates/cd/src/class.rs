@@ -1,0 +1,451 @@
+//! The completeness/accuracy property lattice of Section 5 (Figure 1).
+
+use std::fmt;
+use wan_sim::Round;
+
+/// A completeness property (Properties 4–7): the condition under which a
+/// detector *guarantees* to report a collision to a process.
+///
+/// Ordered by strength: `Complete > Majority > Half > Zero > Never` — a
+/// detector satisfying a stronger property satisfies every weaker one (see
+/// [`Completeness::implies`]). The one-message gap between `Majority` and
+/// `Half` (a process that received *exactly half* of the round's messages)
+/// is precisely what separates the constant-round Algorithm 1 from the
+/// Ω(log |V|) lower bound of Theorem 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Completeness {
+    /// Property 4: report whenever the process lost *any* message
+    /// (`T(i) < c`).
+    Complete,
+    /// Property 5: report whenever the process failed to receive a *strict
+    /// majority* of the round's messages (`2·T(i) ≤ c`, `c > 0`).
+    Majority,
+    /// Property 6: report whenever the process received *less than half* of
+    /// the round's messages (`2·T(i) < c`, `c > 0`).
+    Half,
+    /// Property 7: report whenever the process lost *all* messages
+    /// (`T(i) = 0`, `c > 0`) — realizable with plain carrier sensing.
+    Zero,
+    /// No completeness guarantee at all. (Not a paper class on its own; used
+    /// to express unconstrained detectors.)
+    Never,
+}
+
+impl Completeness {
+    /// Whether a detector with this property **must** return `±` to a process
+    /// that received `received` of the round's `sent` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received > sent` (receive sets are sub-multisets of the
+    /// broadcast multiset; such a pair is not a valid transmission entry).
+    pub fn must_report(self, sent: usize, received: usize) -> bool {
+        assert!(
+            received <= sent,
+            "invalid transmission entry: received {received} > sent {sent}"
+        );
+        match self {
+            Completeness::Complete => received < sent,
+            Completeness::Majority => sent > 0 && 2 * received <= sent,
+            Completeness::Half => sent > 0 && 2 * received < sent,
+            Completeness::Zero => sent > 0 && received == 0,
+            Completeness::Never => false,
+        }
+    }
+
+    /// Strength ordering: `self.implies(other)` iff every detector satisfying
+    /// `self` also satisfies `other` (e.g. `Complete` implies `Zero`).
+    pub fn implies(self, other: Completeness) -> bool {
+        self.strength() >= other.strength()
+    }
+
+    fn strength(self) -> u8 {
+        match self {
+            Completeness::Complete => 4,
+            Completeness::Majority => 3,
+            Completeness::Half => 2,
+            Completeness::Zero => 1,
+            Completeness::Never => 0,
+        }
+    }
+
+    /// All completeness properties, strongest first.
+    pub const ALL: [Completeness; 5] = [
+        Completeness::Complete,
+        Completeness::Majority,
+        Completeness::Half,
+        Completeness::Zero,
+        Completeness::Never,
+    ];
+}
+
+impl fmt::Display for Completeness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Completeness::Complete => write!(f, "Complete"),
+            Completeness::Majority => write!(f, "maj-Complete"),
+            Completeness::Half => write!(f, "half-Complete"),
+            Completeness::Zero => write!(f, "0-Complete"),
+            Completeness::Never => write!(f, "no-Complete"),
+        }
+    }
+}
+
+/// An accuracy property (Properties 8–9): the condition under which a
+/// detector *guarantees not* to report a collision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Accuracy {
+    /// Property 8: never report `±` to a process that received every message
+    /// of the round (`T(i) = c`).
+    Accurate,
+    /// Property 9 (the paper's ⋄): accurate from some round `r_acc` on;
+    /// before that, false positives are allowed.
+    Eventual,
+    /// No accuracy guarantee — false positives forever. Together with
+    /// [`Completeness::Complete`] this is the paper's `NoACC` class.
+    Never,
+}
+
+impl Accuracy {
+    /// Whether a detector with this property **must** return `null` to a
+    /// process that received all messages (`received == sent`), in `round`,
+    /// given the detector's accuracy horizon `r_acc` (ignored unless
+    /// `Eventual`).
+    pub fn must_stay_silent(self, round: Round, r_acc: Round, sent: usize, received: usize) -> bool {
+        debug_assert!(received <= sent);
+        if received != sent {
+            return false;
+        }
+        match self {
+            Accuracy::Accurate => true,
+            Accuracy::Eventual => round >= r_acc,
+            Accuracy::Never => false,
+        }
+    }
+
+    /// Strength ordering, as for [`Completeness::implies`].
+    pub fn implies(self, other: Accuracy) -> bool {
+        self.strength() >= other.strength()
+    }
+
+    fn strength(self) -> u8 {
+        match self {
+            Accuracy::Accurate => 2,
+            Accuracy::Eventual => 1,
+            Accuracy::Never => 0,
+        }
+    }
+
+    /// All accuracy properties, strongest first.
+    pub const ALL: [Accuracy; 3] = [Accuracy::Accurate, Accuracy::Eventual, Accuracy::Never];
+}
+
+impl fmt::Display for Accuracy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Accuracy::Accurate => write!(f, "Accurate"),
+            Accuracy::Eventual => write!(f, "⋄Accurate"),
+            Accuracy::Never => write!(f, "no-Accuracy"),
+        }
+    }
+}
+
+/// A collision detector class: a completeness property paired with an
+/// accuracy property. The eight classes of Figure 1 are provided as
+/// constants, plus [`CdClass::NO_ACC`].
+///
+/// # Examples
+///
+/// ```
+/// use wan_cd::CdClass;
+///
+/// // Figure 1 containments: AC ⊆ maj-⋄AC ⊆ 0-⋄AC.
+/// assert!(CdClass::MAJ_EV_AC.contains(CdClass::AC));
+/// assert!(CdClass::ZERO_EV_AC.contains(CdClass::MAJ_EV_AC));
+/// // Lemma 1: NoCD (always ±, i.e. complete, never accurate) ⊆ NoACC.
+/// assert!(CdClass::NO_ACC.contains(CdClass::new(
+///     wan_cd::Completeness::Complete,
+///     wan_cd::Accuracy::Never,
+/// )));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CdClass {
+    /// The completeness property every member satisfies.
+    pub completeness: Completeness,
+    /// The accuracy property every member satisfies.
+    pub accuracy: Accuracy,
+}
+
+impl CdClass {
+    /// `AC`: complete and accurate (the "perfect" detector class).
+    pub const AC: CdClass = CdClass::new(Completeness::Complete, Accuracy::Accurate);
+    /// `maj-AC`: majority complete and accurate.
+    pub const MAJ_AC: CdClass = CdClass::new(Completeness::Majority, Accuracy::Accurate);
+    /// `half-AC`: half complete and accurate.
+    pub const HALF_AC: CdClass = CdClass::new(Completeness::Half, Accuracy::Accurate);
+    /// `0-AC`: zero complete and accurate.
+    pub const ZERO_AC: CdClass = CdClass::new(Completeness::Zero, Accuracy::Accurate);
+    /// `⋄AC` (the paper's `OAC`): complete and eventually accurate.
+    pub const EV_AC: CdClass = CdClass::new(Completeness::Complete, Accuracy::Eventual);
+    /// `maj-⋄AC`: majority complete and eventually accurate — the weakest
+    /// class for which Algorithm 1 solves consensus in constant rounds.
+    pub const MAJ_EV_AC: CdClass = CdClass::new(Completeness::Majority, Accuracy::Eventual);
+    /// `half-⋄AC`: half complete and eventually accurate.
+    pub const HALF_EV_AC: CdClass = CdClass::new(Completeness::Half, Accuracy::Eventual);
+    /// `0-⋄AC`: zero complete and eventually accurate — the weakest class in
+    /// Figure 1, for which Algorithm 2 solves consensus in Θ(log |V|).
+    pub const ZERO_EV_AC: CdClass = CdClass::new(Completeness::Zero, Accuracy::Eventual);
+    /// `NoACC`: complete but with no accuracy guarantee (Section 5.3).
+    /// Consensus is impossible with this class (Theorem 5).
+    pub const NO_ACC: CdClass = CdClass::new(Completeness::Complete, Accuracy::Never);
+
+    /// The eight classes of Figure 1, row-major (accurate row first).
+    pub const FIGURE_1: [CdClass; 8] = [
+        CdClass::AC,
+        CdClass::MAJ_AC,
+        CdClass::HALF_AC,
+        CdClass::ZERO_AC,
+        CdClass::EV_AC,
+        CdClass::MAJ_EV_AC,
+        CdClass::HALF_EV_AC,
+        CdClass::ZERO_EV_AC,
+    ];
+
+    /// Creates a class from its two properties.
+    pub const fn new(completeness: Completeness, accuracy: Accuracy) -> Self {
+        CdClass {
+            completeness,
+            accuracy,
+        }
+    }
+
+    /// Class containment, viewing a class as the *set of detectors*
+    /// satisfying its properties: `self.contains(other)` iff every detector
+    /// in `other` is in `self` — that is, iff `other`'s properties imply
+    /// `self`'s.
+    pub fn contains(self, other: CdClass) -> bool {
+        other.completeness.implies(self.completeness) && other.accuracy.implies(self.accuracy)
+    }
+
+    /// Whether advice `collision = true/false` is **admissible** for a
+    /// member of this class, for a process that received `received` of
+    /// `sent` messages in `round` (with accuracy horizon `r_acc`).
+    ///
+    /// The set of advice traces admissible under this predicate is exactly
+    /// the maximal detector `MAXCD(class)` of Definition 15.
+    pub fn admits(
+        self,
+        round: Round,
+        r_acc: Round,
+        sent: usize,
+        received: usize,
+        collision: bool,
+    ) -> bool {
+        if self.completeness.must_report(sent, received) && !collision {
+            return false;
+        }
+        if self
+            .accuracy
+            .must_stay_silent(round, r_acc, sent, received)
+            && collision
+        {
+            return false;
+        }
+        true
+    }
+}
+
+impl fmt::Display for CdClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (*self, self.accuracy) {
+            (c, _) if c == CdClass::AC => write!(f, "AC"),
+            (c, _) if c == CdClass::MAJ_AC => write!(f, "maj-AC"),
+            (c, _) if c == CdClass::HALF_AC => write!(f, "half-AC"),
+            (c, _) if c == CdClass::ZERO_AC => write!(f, "0-AC"),
+            (c, _) if c == CdClass::EV_AC => write!(f, "⋄AC"),
+            (c, _) if c == CdClass::MAJ_EV_AC => write!(f, "maj-⋄AC"),
+            (c, _) if c == CdClass::HALF_EV_AC => write!(f, "half-⋄AC"),
+            (c, _) if c == CdClass::ZERO_EV_AC => write!(f, "0-⋄AC"),
+            (c, _) if c == CdClass::NO_ACC => write!(f, "NoACC"),
+            _ => write!(f, "({}, {})", self.completeness, self.accuracy),
+        }
+    }
+}
+
+/// The Noise Lemma (Lemma 2) as a predicate over one process's round
+/// observation: with a zero-complete detector, if one or more processes
+/// broadcast, every process either receives something or detects a
+/// collision.
+pub fn noise_lemma_holds(sent: usize, received: usize, collision: bool) -> bool {
+    sent == 0 || received > 0 || collision
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn completeness_thresholds() {
+        use Completeness::*;
+        // c = 4 messages sent.
+        assert!(Complete.must_report(4, 3));
+        assert!(!Complete.must_report(4, 4));
+        // Majority: must report at exactly half (2 of 4)...
+        assert!(Majority.must_report(4, 2));
+        assert!(!Majority.must_report(4, 3));
+        // ...Half only strictly below half: the one-message gap.
+        assert!(!Half.must_report(4, 2));
+        assert!(Half.must_report(4, 1));
+        // Zero: only at total loss.
+        assert!(Zero.must_report(4, 0));
+        assert!(!Zero.must_report(4, 1));
+        // Silence is never a collision obligation.
+        for c in Completeness::ALL {
+            assert!(!c.must_report(0, 0));
+        }
+    }
+
+    #[test]
+    fn odd_count_majority_vs_half() {
+        // c = 5: strict majority = 3.
+        assert!(Completeness::Majority.must_report(5, 2));
+        assert!(!Completeness::Majority.must_report(5, 3));
+        assert!(Completeness::Half.must_report(5, 2));
+        assert!(!Completeness::Half.must_report(5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid transmission entry")]
+    fn received_more_than_sent_rejected() {
+        let _ = Completeness::Zero.must_report(1, 2);
+    }
+
+    #[test]
+    fn accuracy_obligations() {
+        use Accuracy::*;
+        let r5 = Round(5);
+        assert!(Accurate.must_stay_silent(Round(1), r5, 3, 3));
+        assert!(!Accurate.must_stay_silent(Round(1), r5, 3, 2));
+        assert!(!Eventual.must_stay_silent(Round(4), r5, 3, 3));
+        assert!(Eventual.must_stay_silent(Round(5), r5, 3, 3));
+        assert!(!Never.must_stay_silent(Round(99), r5, 3, 3));
+        // Receiving all of zero messages counts as receiving all.
+        assert!(Accurate.must_stay_silent(Round(1), r5, 0, 0));
+    }
+
+    #[test]
+    fn strength_chains() {
+        assert!(Completeness::Complete.implies(Completeness::Majority));
+        assert!(Completeness::Majority.implies(Completeness::Half));
+        assert!(Completeness::Half.implies(Completeness::Zero));
+        assert!(Completeness::Zero.implies(Completeness::Never));
+        assert!(!Completeness::Zero.implies(Completeness::Half));
+        assert!(Accuracy::Accurate.implies(Accuracy::Eventual));
+        assert!(Accuracy::Eventual.implies(Accuracy::Never));
+        assert!(!Accuracy::Eventual.implies(Accuracy::Accurate));
+    }
+
+    #[test]
+    fn figure_1_containment_grid() {
+        // Within a row (same accuracy), weaker completeness contains
+        // stronger.
+        assert!(CdClass::ZERO_AC.contains(CdClass::HALF_AC));
+        assert!(CdClass::HALF_AC.contains(CdClass::MAJ_AC));
+        assert!(CdClass::MAJ_AC.contains(CdClass::AC));
+        // Down a column, eventual accuracy contains accuracy.
+        for (acc, ev) in [
+            (CdClass::AC, CdClass::EV_AC),
+            (CdClass::MAJ_AC, CdClass::MAJ_EV_AC),
+            (CdClass::HALF_AC, CdClass::HALF_EV_AC),
+            (CdClass::ZERO_AC, CdClass::ZERO_EV_AC),
+        ] {
+            assert!(ev.contains(acc));
+            assert!(!acc.contains(ev));
+        }
+        // 0-⋄AC is the top of Figure 1: it contains all eight classes.
+        for c in CdClass::FIGURE_1 {
+            assert!(CdClass::ZERO_EV_AC.contains(c));
+        }
+        // AC is the bottom: everything contains it.
+        for c in CdClass::FIGURE_1 {
+            assert!(c.contains(CdClass::AC));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CdClass::AC.to_string(), "AC");
+        assert_eq!(CdClass::MAJ_EV_AC.to_string(), "maj-⋄AC");
+        assert_eq!(CdClass::ZERO_EV_AC.to_string(), "0-⋄AC");
+        assert_eq!(CdClass::NO_ACC.to_string(), "NoACC");
+        assert_eq!(
+            CdClass::new(Completeness::Never, Accuracy::Never).to_string(),
+            "(no-Complete, no-Accuracy)"
+        );
+    }
+
+    fn arb_entry() -> impl Strategy<Value = (usize, usize)> {
+        (0usize..10).prop_flat_map(|c| (Just(c), 0..=c))
+    }
+
+    proptest! {
+        /// Containment is monotone on admissibility: advice admissible for a
+        /// contained (stronger) class is admissible for the containing
+        /// (weaker) class.
+        #[test]
+        fn admissibility_monotone(
+            (sent, received) in arb_entry(),
+            round in 1u64..20,
+            r_acc in 1u64..20,
+            collision in any::<bool>(),
+        ) {
+            let round = Round(round);
+            let r_acc = Round(r_acc);
+            for weak in CdClass::FIGURE_1 {
+                for strong in CdClass::FIGURE_1 {
+                    if weak.contains(strong)
+                        && strong.admits(round, r_acc, sent, received, collision)
+                    {
+                        prop_assert!(
+                            weak.admits(round, r_acc, sent, received, collision),
+                            "{strong} admits but containing {weak} does not"
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Lemma 2 (Noise Lemma): any advice admissible for a zero-complete
+        /// class satisfies the noise guarantee.
+        #[test]
+        fn noise_lemma_for_zero_complete(
+            (sent, received) in arb_entry(),
+            round in 1u64..20,
+            collision in any::<bool>(),
+        ) {
+            for class in CdClass::FIGURE_1 {
+                prop_assume!(class.completeness.implies(Completeness::Zero));
+                if class.admits(Round(round), Round(1), sent, received, collision) {
+                    prop_assert!(noise_lemma_holds(sent, received, collision));
+                }
+            }
+        }
+
+        /// A class always admits at least one advice value (the maximal
+        /// detector is total): obligations never contradict each other.
+        #[test]
+        fn obligations_consistent(
+            (sent, received) in arb_entry(),
+            round in 1u64..20,
+            r_acc in 1u64..20,
+        ) {
+            for class in CdClass::FIGURE_1 {
+                let some_admissible =
+                    class.admits(Round(round), Round(r_acc), sent, received, true)
+                    || class.admits(Round(round), Round(r_acc), sent, received, false);
+                prop_assert!(some_admissible);
+            }
+        }
+    }
+}

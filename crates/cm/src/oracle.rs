@@ -1,0 +1,148 @@
+//! A wake-up service that never stabilizes on a dead or halted process.
+
+use crate::schedule::PreStabilization;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wan_sim::{CmAdvice, CmView, ContentionManager, Round};
+
+/// A *fair* wake-up service: before `r_wake`, [`PreStabilization`] chaos;
+/// from `r_wake` on, the unique active process is the lowest-indexed process
+/// that is alive **and still contending** (falling back to the lowest alive
+/// index, then to index 0, if none contend).
+///
+/// Rationale (DESIGN.md, "Known subtleties"): the formal wake-up service of
+/// Property 2 is oblivious and may stabilize on a process that has already
+/// decided-and-halted, in which case no one ever broadcasts again and the
+/// termination bounds of Theorems 1 and 2 do not hold. A real contention
+/// manager is built from carrier sensing and backoff among processes that
+/// are *trying to send*, so it cannot elect a silent process; `FairWakeUp`
+/// models exactly that, and is what the upper-bound experiments use.
+#[derive(Debug, Clone)]
+pub struct FairWakeUp {
+    r_wake: Round,
+    pre: PreStabilization,
+    rng: StdRng,
+}
+
+impl FairWakeUp {
+    /// A fair wake-up service stabilizing at `r_wake`.
+    pub fn new(r_wake: Round, pre: PreStabilization, seed: u64) -> Self {
+        FairWakeUp {
+            r_wake,
+            pre,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Stabilized from round 1 (no chaos prefix): `CST = max(r_cf, r_acc)`.
+    pub fn immediate() -> Self {
+        FairWakeUp::new(Round::FIRST, PreStabilization::AllPassive, 0)
+    }
+}
+
+impl ContentionManager for FairWakeUp {
+    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
+        if round < self.r_wake {
+            return match self.pre {
+                PreStabilization::AllActive => vec![CmAdvice::Active; view.n],
+                PreStabilization::AllPassive => vec![CmAdvice::Passive; view.n],
+                PreStabilization::Random { p } => {
+                    use rand::Rng;
+                    (0..view.n)
+                        .map(|_| {
+                            if self.rng.random_bool(p) {
+                                CmAdvice::Active
+                            } else {
+                                CmAdvice::Passive
+                            }
+                        })
+                        .collect()
+                }
+            };
+        }
+        let target = view
+            .contending
+            .iter()
+            .position(|&c| c)
+            .or_else(|| view.alive.iter().position(|&a| a))
+            .unwrap_or(0);
+        let mut advice = vec![CmAdvice::Passive; view.n];
+        advice[target] = CmAdvice::Active;
+        advice
+    }
+
+    fn stabilized_from(&self) -> Option<Round> {
+        Some(self.r_wake)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actives(advice: &[CmAdvice]) -> Vec<usize> {
+        advice
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.is_active().then_some(i))
+            .collect()
+    }
+
+    #[test]
+    fn picks_lowest_contending() {
+        let mut cm = FairWakeUp::immediate();
+        let alive = [true, true, true];
+        let contending = [false, true, true];
+        let advice = cm.advise(
+            Round(1),
+            &CmView {
+                n: 3,
+                alive: &alive,
+                contending: &contending,
+            },
+        );
+        assert_eq!(actives(&advice), vec![1]);
+    }
+
+    #[test]
+    fn falls_back_to_alive_then_zero() {
+        let mut cm = FairWakeUp::immediate();
+        let alive = [false, true];
+        let contending = [false, false];
+        let advice = cm.advise(
+            Round(1),
+            &CmView {
+                n: 2,
+                alive: &alive,
+                contending: &contending,
+            },
+        );
+        assert_eq!(actives(&advice), vec![1]);
+        let none_alive = [false, false];
+        let advice = cm.advise(
+            Round(2),
+            &CmView {
+                n: 2,
+                alive: &none_alive,
+                contending: &none_alive,
+            },
+        );
+        assert_eq!(actives(&advice), vec![0]);
+    }
+
+    #[test]
+    fn chaos_before_stabilization() {
+        let mut cm = FairWakeUp::new(Round(5), PreStabilization::AllActive, 0);
+        let alive = [true; 4];
+        let advice = cm.advise(
+            Round(4),
+            &CmView {
+                n: 4,
+                alive: &alive,
+                contending: &alive,
+            },
+        );
+        assert_eq!(actives(&advice).len(), 4);
+        assert_eq!(cm.stabilized_from(), Some(Round(5)));
+    }
+}

@@ -1,0 +1,292 @@
+//! Formal (oblivious) contention managers with declared stabilization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wan_sim::{CmAdvice, CmView, ContentionManager, ProcessId, Round};
+
+/// What a formal manager does *before* its stabilization round. The service
+/// properties say nothing about this prefix, so adversarial analyses get to
+/// pick the worst case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PreStabilization {
+    /// Everyone active: maximum contention.
+    AllActive,
+    /// Everyone passive: pure silence (the Theorem 8 construction keeps the
+    /// second group passive for the whole prefix).
+    AllPassive,
+    /// Each process active independently with probability `p` per round.
+    Random {
+        /// Per-process activation probability.
+        p: f64,
+    },
+}
+
+impl PreStabilization {
+    fn advice(self, n: usize, rng: &mut StdRng) -> Vec<CmAdvice> {
+        match self {
+            PreStabilization::AllActive => vec![CmAdvice::Active; n],
+            PreStabilization::AllPassive => vec![CmAdvice::Passive; n],
+            PreStabilization::Random { p } => (0..n)
+                .map(|_| {
+                    if rng.random_bool(p) {
+                        CmAdvice::Active
+                    } else {
+                        CmAdvice::Passive
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+fn solo(n: usize, active: usize) -> Vec<CmAdvice> {
+    let mut advice = vec![CmAdvice::Passive; n];
+    advice[active] = CmAdvice::Active;
+    advice
+}
+
+/// A wake-up service (Property 2) with declared stabilization round
+/// `r_wake`: before it, [`PreStabilization`] chaos; from it on, exactly one
+/// process is active per round.
+///
+/// With [`WakeUpService::rotating`], the active slot cycles through the
+/// process indices after stabilization — still a valid wake-up service
+/// (exactly one active per round) but *not* a leader election service,
+/// exercising the gap between Properties 2 and 3.
+#[derive(Debug, Clone)]
+pub struct WakeUpService {
+    r_wake: Round,
+    designated: ProcessId,
+    rotate: bool,
+    pre: PreStabilization,
+    rng: StdRng,
+}
+
+impl WakeUpService {
+    /// A wake-up service stabilizing at `r_wake` on `designated`.
+    pub fn new(r_wake: Round, designated: ProcessId, pre: PreStabilization, seed: u64) -> Self {
+        WakeUpService {
+            r_wake,
+            designated,
+            rotate: false,
+            pre,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Rotate the post-stabilization active slot round-robin starting from
+    /// the designated process.
+    #[must_use]
+    pub fn rotating(mut self) -> Self {
+        self.rotate = true;
+        self
+    }
+}
+
+impl ContentionManager for WakeUpService {
+    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
+        if round < self.r_wake {
+            self.pre.advice(view.n, &mut self.rng)
+        } else if self.rotate {
+            let offset = round.since(self.r_wake) as usize;
+            solo(view.n, (self.designated.index() + offset) % view.n)
+        } else {
+            solo(view.n, self.designated.index() % view.n)
+        }
+    }
+
+    fn stabilized_from(&self) -> Option<Round> {
+        Some(self.r_wake)
+    }
+}
+
+/// A leader election service (Property 3): from `r_lead` on, the *same*
+/// designated process is the unique active one. Lower bounds use this
+/// stronger service (e.g. `MAXLS` designating `min(P)` in alpha executions,
+/// Definition 24).
+#[derive(Debug, Clone)]
+pub struct LeaderElectionService {
+    inner: WakeUpService,
+}
+
+impl LeaderElectionService {
+    /// A leader election service stabilizing at `r_lead` on `leader`.
+    pub fn new(r_lead: Round, leader: ProcessId, pre: PreStabilization, seed: u64) -> Self {
+        LeaderElectionService {
+            inner: WakeUpService::new(r_lead, leader, pre, seed),
+        }
+    }
+
+    /// The `MAXLS`-style behaviour used by alpha executions (Definition 24):
+    /// the minimum process index is the sole active process from round 1.
+    pub fn min_leader_from_start() -> Self {
+        LeaderElectionService::new(Round::FIRST, ProcessId(0), PreStabilization::AllPassive, 0)
+    }
+
+    /// The elected leader.
+    pub fn leader(&self) -> ProcessId {
+        self.inner.designated
+    }
+}
+
+impl ContentionManager for LeaderElectionService {
+    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
+        self.inner.advise(round, view)
+    }
+
+    fn stabilized_from(&self) -> Option<Round> {
+        self.inner.stabilized_from()
+    }
+}
+
+/// Replays an explicit advice schedule, then delegates to a fallback
+/// manager. The prefix constructions of Theorems 4 and 8 (two active
+/// processes for `k` rounds, then one) are scripts followed by a
+/// [`LeaderElectionService`].
+pub struct ScriptedCm {
+    script: Vec<Vec<CmAdvice>>,
+    fallback: Box<dyn ContentionManager>,
+    declared_stabilization: Option<Round>,
+}
+
+impl ScriptedCm {
+    /// Replays `script[r]` for trace index `r`, then behaves like
+    /// `fallback`.
+    pub fn new(script: Vec<Vec<CmAdvice>>, fallback: Box<dyn ContentionManager>) -> Self {
+        ScriptedCm {
+            script,
+            fallback,
+            declared_stabilization: None,
+        }
+    }
+
+    /// Declares the stabilization round reported by
+    /// [`ContentionManager::stabilized_from`]. The caller is responsible for
+    /// the declaration being truthful; certify with
+    /// [`crate::verify_wakeup`].
+    #[must_use]
+    pub fn declaring_stabilization(mut self, r_wake: Round) -> Self {
+        self.declared_stabilization = Some(r_wake);
+        self
+    }
+}
+
+impl std::fmt::Debug for ScriptedCm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedCm")
+            .field("script_len", &self.script.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ContentionManager for ScriptedCm {
+    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
+        match self.script.get(round.trace_index()) {
+            Some(advice) => {
+                assert_eq!(advice.len(), view.n, "scripted CM arity mismatch at {round}");
+                advice.clone()
+            }
+            None => self.fallback.advise(round, view),
+        }
+    }
+
+    fn stabilized_from(&self) -> Option<Round> {
+        self.declared_stabilization
+            .or_else(|| self.fallback.stabilized_from())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(n: usize, alive: &'a [bool], contending: &'a [bool]) -> CmView<'a> {
+        CmView {
+            n,
+            alive,
+            contending,
+        }
+    }
+
+    fn actives(advice: &[CmAdvice]) -> Vec<usize> {
+        advice
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.is_active().then_some(i))
+            .collect()
+    }
+
+    #[test]
+    fn wakeup_stabilizes_on_designated() {
+        let alive = [true; 4];
+        let mut ws = WakeUpService::new(
+            Round(3),
+            ProcessId(2),
+            PreStabilization::AllActive,
+            0,
+        );
+        let v = view(4, &alive, &alive);
+        assert_eq!(actives(&ws.advise(Round(1), &v)).len(), 4);
+        assert_eq!(actives(&ws.advise(Round(3), &v)), vec![2]);
+        assert_eq!(actives(&ws.advise(Round(9), &v)), vec![2]);
+        assert_eq!(ws.stabilized_from(), Some(Round(3)));
+    }
+
+    #[test]
+    fn rotating_wakeup_is_not_a_leader_election() {
+        let alive = [true; 3];
+        let mut ws = WakeUpService::new(Round(1), ProcessId(0), PreStabilization::AllPassive, 0)
+            .rotating();
+        let v = view(3, &alive, &alive);
+        assert_eq!(actives(&ws.advise(Round(1), &v)), vec![0]);
+        assert_eq!(actives(&ws.advise(Round(2), &v)), vec![1]);
+        assert_eq!(actives(&ws.advise(Round(3), &v)), vec![2]);
+        assert_eq!(actives(&ws.advise(Round(4), &v)), vec![0]);
+    }
+
+    #[test]
+    fn leader_election_is_constant_after_stabilization() {
+        let alive = [true; 3];
+        let mut ls = LeaderElectionService::new(
+            Round(2),
+            ProcessId(1),
+            PreStabilization::Random { p: 0.5 },
+            7,
+        );
+        let v = view(3, &alive, &alive);
+        let _ = ls.advise(Round(1), &v);
+        for r in 2..10u64 {
+            assert_eq!(actives(&ls.advise(Round(r), &v)), vec![1]);
+        }
+        assert_eq!(ls.leader(), ProcessId(1));
+    }
+
+    #[test]
+    fn min_leader_from_start_matches_alpha_definition() {
+        let alive = [true; 2];
+        let mut ls = LeaderElectionService::min_leader_from_start();
+        let v = view(2, &alive, &alive);
+        assert_eq!(actives(&ls.advise(Round(1), &v)), vec![0]);
+        assert_eq!(ls.stabilized_from(), Some(Round::FIRST));
+    }
+
+    #[test]
+    fn scripted_prefix_then_fallback() {
+        let script = vec![vec![CmAdvice::Active, CmAdvice::Active]];
+        let mut cm = ScriptedCm::new(
+            script,
+            Box::new(LeaderElectionService::new(
+                Round::FIRST,
+                ProcessId(0),
+                PreStabilization::AllPassive,
+                0,
+            )),
+        )
+        .declaring_stabilization(Round(2));
+        let alive = [true; 2];
+        let v = view(2, &alive, &alive);
+        assert_eq!(actives(&cm.advise(Round(1), &v)).len(), 2);
+        assert_eq!(actives(&cm.advise(Round(2), &v)), vec![0]);
+        assert_eq!(cm.stabilized_from(), Some(Round(2)));
+    }
+}

@@ -1,0 +1,183 @@
+//! The balanced binary search tree over a value domain that Algorithm 3
+//! (Section 7.4) walks: nodes are half-open value ranges, with the midpoint
+//! as the node's value.
+
+use crate::value::{Value, ValueDomain};
+use std::fmt;
+
+/// A node of the implicit balanced BST over `[0, |V|)`: the half-open range
+/// `[lo, hi)` with node value `⌊(lo + hi − 1)/2⌋`-ish midpoint, left child
+/// `[lo, mid)` and right child `[mid+1, hi)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct BstNode {
+    lo: u64,
+    hi: u64,
+}
+
+impl BstNode {
+    /// The root of the tree over the whole domain.
+    pub fn root(domain: ValueDomain) -> Self {
+        BstNode {
+            lo: 0,
+            hi: domain.size(),
+        }
+    }
+
+    /// The value at this node (`val[curr]` in the pseudocode).
+    pub fn value(&self) -> Value {
+        Value(self.lo + (self.hi - self.lo) / 2)
+    }
+
+    /// The left child, if its range is non-empty.
+    pub fn left(&self) -> Option<BstNode> {
+        let mid = self.value().0;
+        (self.lo < mid).then_some(BstNode {
+            lo: self.lo,
+            hi: mid,
+        })
+    }
+
+    /// The right child, if its range is non-empty.
+    pub fn right(&self) -> Option<BstNode> {
+        let mid = self.value().0;
+        (mid + 1 < self.hi).then_some(BstNode {
+            lo: mid + 1,
+            hi: self.hi,
+        })
+    }
+
+    /// Whether `v` lies in this node's subtree (`estimate ∈ subtree(curr)`).
+    pub fn contains(&self, v: Value) -> bool {
+        (self.lo..self.hi).contains(&v.0)
+    }
+
+    /// Whether `v` lies in the left child's subtree
+    /// (`estimate ∈ left[curr]`).
+    pub fn in_left(&self, v: Value) -> bool {
+        self.left().is_some_and(|l| l.contains(v))
+    }
+
+    /// Whether `v` lies in the right child's subtree
+    /// (`estimate ∈ right[curr]`).
+    pub fn in_right(&self, v: Value) -> bool {
+        self.right().is_some_and(|r| r.contains(v))
+    }
+
+    /// Whether this node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.left().is_none() && self.right().is_none()
+    }
+
+    /// The number of values in this subtree.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// `true` iff the range is empty (never constructed by this API).
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// The depth of the deepest node under the root of a domain of `size`
+    /// values: `⌈lg(size+1)⌉`-ish; the walk bound of Theorem 3 uses
+    /// `lg |V|` asymptotically.
+    pub fn height(domain: ValueDomain) -> u32 {
+        64 - domain.size().leading_zeros()
+    }
+}
+
+impl fmt::Display for BstNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})@{}", self.lo, self.hi, self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_tree_shape() {
+        // V = {0..7}: root value 3 (since mid of [0,7) ... size 7).
+        let d = ValueDomain::new(7);
+        let root = BstNode::root(d);
+        assert_eq!(root.value(), Value(3));
+        let l = root.left().unwrap();
+        let r = root.right().unwrap();
+        assert_eq!(l.value(), Value(1));
+        assert_eq!(r.value(), Value(5));
+        assert!(l.left().unwrap().is_leaf());
+        assert_eq!(l.left().unwrap().value(), Value(0));
+        assert_eq!(l.right().unwrap().value(), Value(2));
+    }
+
+    #[test]
+    fn singleton_tree_is_leaf() {
+        let d = ValueDomain::new(1);
+        let root = BstNode::root(d);
+        assert!(root.is_leaf());
+        assert_eq!(root.value(), Value(0));
+        assert_eq!(root.len(), 1);
+        assert!(!root.is_empty());
+    }
+
+    #[test]
+    fn two_element_tree() {
+        let d = ValueDomain::new(2);
+        let root = BstNode::root(d);
+        assert_eq!(root.value(), Value(1));
+        assert_eq!(root.left().unwrap().value(), Value(0));
+        assert!(root.right().is_none());
+    }
+
+    #[test]
+    fn membership_tests() {
+        let d = ValueDomain::new(10);
+        let root = BstNode::root(d);
+        for v in d.values() {
+            assert!(root.contains(v));
+            assert_eq!(
+                root.in_left(v),
+                v < root.value(),
+                "left membership for {v}"
+            );
+            assert_eq!(root.in_right(v), v > root.value());
+        }
+        assert!(!root.contains(Value(10)));
+    }
+
+    proptest! {
+        /// Every value is reachable from the root by following the
+        /// left/right membership tests, within the height bound.
+        #[test]
+        fn every_value_reachable(size in 1u64..2000, raw in 0u64..2000) {
+            let d = ValueDomain::new(size);
+            let v = Value(raw % size);
+            let mut node = BstNode::root(d);
+            let mut steps = 0;
+            while node.value() != v {
+                node = if node.in_left(v) {
+                    node.left().unwrap()
+                } else {
+                    prop_assert!(node.in_right(v));
+                    node.right().unwrap()
+                };
+                steps += 1;
+                prop_assert!(steps <= BstNode::height(d), "walk too deep");
+            }
+        }
+
+        /// Children partition the parent range minus the midpoint.
+        #[test]
+        fn children_partition(size in 1u64..2000) {
+            let d = ValueDomain::new(size);
+            let root = BstNode::root(d);
+            let left_len = root.left().map_or(0, |l| l.len());
+            let right_len = root.right().map_or(0, |r| r.len());
+            prop_assert_eq!(left_len + right_len + 1, root.len());
+            // Balance: the halves differ by at most one.
+            prop_assert!(left_len.abs_diff(right_len) <= 1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The consensus problem of Section 6.
+
+use crate::value::Value;
+use wan_sim::Automaton;
+
+/// A process automaton that participates in consensus: it starts with an
+/// initial value from `V` and may eventually decide a value from `V`.
+///
+/// The three correctness properties (Section 6) are *judged from outside* by
+/// [`crate::checker`]:
+///
+/// 1. **Agreement** — no two processes decide different values;
+/// 2. **Validity** — strong: the decision is some process's initial value;
+///    uniform (weaker, used by the lower bounds): if all initial values are
+///    `v`, only `v` may be decided;
+/// 3. **Termination** — all correct processes eventually decide.
+pub trait ConsensusAutomaton: Automaton {
+    /// The initial value this process was started with.
+    fn initial_value(&self) -> Value;
+
+    /// The decided value, if this process has decided.
+    fn decision(&self) -> Option<Value>;
+
+    /// Whether this process has halted (decided and stopped participating).
+    /// In every Section 7 algorithm this coincides with having decided.
+    fn halted(&self) -> bool {
+        self.decision().is_some()
+    }
+}

@@ -1,0 +1,208 @@
+//! The run harness: wires an algorithm to an environment, runs to
+//! completion, and assembles a judged [`ConsensusOutcome`].
+
+use crate::checker::ConsensusOutcome;
+use crate::consensus::ConsensusAutomaton;
+use crate::cst::Cst;
+use wan_sim::{Components, ExecutionTrace, Round, Simulation, TraceDetail};
+
+/// A consensus run: a [`Simulation`] plus decision-round bookkeeping and the
+/// declared CST of its environment.
+pub struct ConsensusRun<A: ConsensusAutomaton> {
+    sim: Simulation<A>,
+    decision_rounds: Vec<Option<Round>>,
+    cst: Cst,
+}
+
+impl<A: ConsensusAutomaton> ConsensusRun<A> {
+    /// Builds a run over the given processes and environment components.
+    pub fn new(procs: Vec<A>, components: Components) -> Self {
+        let cst = Cst::from_components(&components);
+        let n = procs.len();
+        ConsensusRun {
+            sim: Simulation::new(procs, components),
+            decision_rounds: vec![None; n],
+            cst,
+        }
+    }
+
+    /// Record only receive counts in the trace (cheaper for sweeps).
+    #[must_use]
+    pub fn with_counts_only(mut self) -> Self {
+        self.sim = self.sim.with_detail(TraceDetail::Counts);
+        self
+    }
+
+    /// The declared communication stabilization time of the environment.
+    pub fn cst(&self) -> Cst {
+        self.cst
+    }
+
+    /// The underlying simulation (read-only).
+    pub fn sim(&self) -> &Simulation<A> {
+        &self.sim
+    }
+
+    /// The recorded execution trace.
+    pub fn trace(&self) -> &ExecutionTrace<A::Msg> {
+        self.sim.trace()
+    }
+
+    /// Executes one round, recording any new decisions.
+    pub fn step(&mut self) {
+        self.sim.step();
+        let round = self.sim.current_round();
+        for (i, p) in self.sim.processes().iter().enumerate() {
+            if self.decision_rounds[i].is_none() && p.decision().is_some() {
+                self.decision_rounds[i] = Some(round);
+            }
+        }
+    }
+
+    /// Whether every correct (non-crashed) process has decided.
+    pub fn all_correct_decided(&self) -> bool {
+        self.sim
+            .processes()
+            .iter()
+            .zip(self.sim.alive())
+            .all(|(p, &alive)| !alive || p.decision().is_some())
+    }
+
+    /// Runs until every correct process has decided, or `cap` rounds have
+    /// executed. Returns the judged outcome.
+    pub fn run_to_completion(&mut self, cap: Round) -> ConsensusOutcome {
+        while !self.all_correct_decided() && self.sim.current_round() < cap {
+            self.step();
+        }
+        self.outcome()
+    }
+
+    /// Runs exactly `rounds` further rounds (for adversarial prefix studies
+    /// that must not stop at the first decision).
+    pub fn run_rounds(&mut self, rounds: u64) -> ConsensusOutcome {
+        for _ in 0..rounds {
+            self.step();
+        }
+        self.outcome()
+    }
+
+    /// Assembles the outcome so far.
+    pub fn outcome(&self) -> ConsensusOutcome {
+        ConsensusOutcome {
+            initial_values: self
+                .sim
+                .processes()
+                .iter()
+                .map(|p| p.initial_value())
+                .collect(),
+            decisions: self.sim.processes().iter().map(|p| p.decision()).collect(),
+            decision_rounds: self.decision_rounds.clone(),
+            correct: self.sim.alive().to_vec(),
+            rounds_executed: self.sim.current_round(),
+            terminated: self.all_correct_decided(),
+        }
+    }
+
+    /// Consumes the run and returns the automata and trace.
+    pub fn into_parts(self) -> (Vec<A>, ExecutionTrace<A::Msg>) {
+        self.sim.into_parts()
+    }
+}
+
+/// Convenience: rounds past a stabilization point, the unit in which the
+/// Section 7 bounds are stated (e.g. Theorem 1's `CST + 2`).
+pub fn rounds_past(decision: Round, stabilization: Round) -> u64 {
+    decision.since(stabilization)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use wan_sim::crash::NoCrashes;
+    use wan_sim::loss::NoLoss;
+    use wan_sim::{AllActive, AlwaysNull, Automaton, CmAdvice, RoundInput};
+
+    /// Decides its initial value at the end of round `when`.
+    struct TimedDecider {
+        initial: Value,
+        when: u64,
+        decided: Option<Value>,
+    }
+
+    impl Automaton for TimedDecider {
+        type Msg = u8;
+        fn message(&self, _cm: CmAdvice) -> Option<u8> {
+            None
+        }
+        fn transition(&mut self, input: RoundInput<'_, u8>) {
+            if input.round.0 >= self.when {
+                self.decided = Some(self.initial);
+            }
+        }
+        fn is_contending(&self) -> bool {
+            self.decided.is_none()
+        }
+    }
+
+    impl ConsensusAutomaton for TimedDecider {
+        fn initial_value(&self) -> Value {
+            self.initial
+        }
+        fn decision(&self) -> Option<Value> {
+            self.decided
+        }
+    }
+
+    fn components() -> Components {
+        Components {
+            detector: Box::new(AlwaysNull),
+            manager: Box::new(AllActive),
+            loss: Box::new(NoLoss),
+            crash: Box::new(NoCrashes),
+        }
+    }
+
+    #[test]
+    fn records_decision_rounds() {
+        let procs = vec![
+            TimedDecider {
+                initial: Value(7),
+                when: 2,
+                decided: None,
+            },
+            TimedDecider {
+                initial: Value(7),
+                when: 5,
+                decided: None,
+            },
+        ];
+        let mut run = ConsensusRun::new(procs, components());
+        let outcome = run.run_to_completion(Round(20));
+        assert!(outcome.terminated);
+        assert_eq!(outcome.decision_rounds, vec![Some(Round(2)), Some(Round(5))]);
+        assert_eq!(outcome.agreed_value(), Some(Value(7)));
+        assert_eq!(outcome.rounds_executed, Round(5));
+        assert!(outcome.is_safe());
+    }
+
+    #[test]
+    fn cap_stops_non_terminating_runs() {
+        let procs = vec![TimedDecider {
+            initial: Value(0),
+            when: u64::MAX,
+            decided: None,
+        }];
+        let mut run = ConsensusRun::new(procs, components());
+        let outcome = run.run_to_completion(Round(8));
+        assert!(!outcome.terminated);
+        assert_eq!(outcome.rounds_executed, Round(8));
+        assert_eq!(outcome.first_decision(), None);
+    }
+
+    #[test]
+    fn rounds_past_helper() {
+        assert_eq!(rounds_past(Round(7), Round(5)), 2);
+        assert_eq!(rounds_past(Round(5), Round(7)), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Unique identifiers and the ID space `I` of the non-anonymous setting.
+
+use crate::value::{Value, ValueDomain};
+use std::fmt;
+
+/// A unique process identifier drawn from an [`IdSpace`] — e.g. a MAC
+/// address or a long random string (Section 1.1). This is application-level
+/// identity, distinct from the simulation index `wan_sim::ProcessId`:
+/// anonymous algorithms have neither; non-anonymous algorithms know their
+/// `Uid` but *not* their simulation index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Uid(pub u64);
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "id{}", self.0)
+    }
+}
+
+/// The finite identifier space `I`. Section 7.3's protocol runs Algorithm 2
+/// over `I` (to elect a leader) when `|I| < |V|`, which is why the space
+/// doubles as a [`ValueDomain`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct IdSpace {
+    domain: ValueDomain,
+}
+
+impl IdSpace {
+    /// An ID space of `size` identifiers `{0, …, size−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: u64) -> Self {
+        IdSpace {
+            domain: ValueDomain::new(size),
+        }
+    }
+
+    /// `|I|`.
+    pub fn size(&self) -> u64 {
+        self.domain.size()
+    }
+
+    /// `⌈lg |I|⌉` (minimum 1).
+    pub fn bits(&self) -> u32 {
+        self.domain.bits()
+    }
+
+    /// Whether `id` belongs to the space.
+    pub fn contains(&self, id: Uid) -> bool {
+        self.domain.contains(Value(id.0))
+    }
+
+    /// The identifier space viewed as a value domain (for running
+    /// Algorithm 2 over IDs).
+    pub fn as_domain(&self) -> ValueDomain {
+        self.domain
+    }
+}
+
+impl fmt::Display for IdSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I[{}]", self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_space_basics() {
+        let ids = IdSpace::new(16);
+        assert_eq!(ids.size(), 16);
+        assert_eq!(ids.bits(), 4);
+        assert!(ids.contains(Uid(15)));
+        assert!(!ids.contains(Uid(16)));
+        assert_eq!(ids.as_domain().size(), 16);
+        assert_eq!(ids.to_string(), "I[16]");
+        assert_eq!(Uid(3).to_string(), "id3");
+    }
+
+    #[test]
+    fn uid_ordering_matches_raw() {
+        assert!(Uid(2) < Uid(10));
+    }
+}

@@ -1,0 +1,122 @@
+//! Radio configuration.
+
+use wan_sim::Round;
+
+/// Parameters of the slotted SINR radio. The defaults describe a plausible
+/// dense single-hop sensor cluster: a 50 m disc, path-loss exponent 3,
+/// moderate shadowing and fading, 0 dBm transmitters, 8 packet slots per
+/// round, and a −85 dBm carrier-sense threshold — chosen so a *solo*
+/// broadcast decodes at every node with large margin (the ECF regime)
+/// while concurrent broadcasts produce capture, partial reception and
+/// carrier-sense-visible clutter (the Section 1.1 regime).
+#[derive(Debug, Clone, Copy)]
+pub struct PhyConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// Seed for placement, shadowing, fading, slots and interference.
+    pub seed: u64,
+    /// Deployment disc radius in metres (all nodes mutually in range:
+    /// single-hop, Section 1.3).
+    pub radius_m: f64,
+    /// Log-distance path-loss exponent.
+    pub pathloss_exp: f64,
+    /// Log-normal shadowing standard deviation (dB), static per link.
+    pub shadowing_sigma_db: f64,
+    /// Transmit power (dBm), identical across nodes.
+    pub tx_power_dbm: f64,
+    /// Thermal noise floor (dBm).
+    pub noise_floor_dbm: f64,
+    /// SINR decode threshold (dB); ≥ 0 dB implies at most one capture per
+    /// slot.
+    pub sinr_threshold_db: f64,
+    /// Packet slots per round (rounds are long relative to packets,
+    /// Section 1.2).
+    pub slots_per_round: usize,
+    /// Carrier-sense energy threshold (dBm).
+    pub sense_threshold_dbm: f64,
+    /// Probability of an external interference burst per (round, slot).
+    pub interference_prob: f64,
+    /// Burst power at every receiver (dBm).
+    pub interference_power_dbm: f64,
+    /// Interference ceases from this round on (`None` = never): the
+    /// physical origin of *eventual* accuracy (Property 9).
+    pub interference_until: Option<Round>,
+}
+
+impl Default for PhyConfig {
+    fn default() -> Self {
+        PhyConfig {
+            n: 8,
+            seed: 1,
+            radius_m: 50.0,
+            pathloss_exp: 3.0,
+            shadowing_sigma_db: 3.0,
+            tx_power_dbm: 0.0,
+            noise_floor_dbm: -95.0,
+            sinr_threshold_db: 6.0,
+            slots_per_round: 8,
+            sense_threshold_dbm: -85.0,
+            interference_prob: 0.0,
+            interference_power_dbm: -55.0,
+            interference_until: None,
+        }
+    }
+}
+
+impl PhyConfig {
+    /// A configuration for `n` nodes with the given seed and otherwise
+    /// default radio parameters.
+    pub fn new(n: usize, seed: u64) -> Self {
+        PhyConfig {
+            n,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Adds external interference bursts (false-positive generator) that
+    /// cease at `until` — a concrete `r_acc`.
+    #[must_use]
+    pub fn with_interference(mut self, prob: f64, until: Option<Round>) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.interference_prob = prob;
+        self.interference_until = until;
+        self
+    }
+
+    /// Converts dBm to linear milliwatts.
+    pub fn dbm_to_mw(dbm: f64) -> f64 {
+        10f64.powf(dbm / 10.0)
+    }
+
+    /// Converts a dB ratio to linear.
+    pub fn db_to_linear(db: f64) -> f64 {
+        10f64.powf(db / 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert!((PhyConfig::dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+        assert!((PhyConfig::dbm_to_mw(-30.0) - 1e-3).abs() < 1e-12);
+        assert!((PhyConfig::db_to_linear(10.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder() {
+        let cfg = PhyConfig::new(4, 9).with_interference(0.1, Some(Round(50)));
+        assert_eq!(cfg.n, 4);
+        assert_eq!(cfg.interference_until, Some(Round(50)));
+        assert!((cfg.interference_prob - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_rejected() {
+        let _ = PhyConfig::new(4, 9).with_interference(1.5, None);
+    }
+}

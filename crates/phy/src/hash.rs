@@ -1,0 +1,91 @@
+//! Deterministic hash-derived randomness.
+//!
+//! Radio realizations (fading, slot choices, interference) must be a pure
+//! function of (seed, round, slot, node, …) so that executions replay
+//! exactly and no hidden RNG state couples independent draws. A
+//! splitmix64 finalizer over the packed inputs provides that.
+
+/// The splitmix64 finalizer: a high-quality 64-bit mixer.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a tuple of values into one word.
+pub fn hash_tuple(parts: &[u64]) -> u64 {
+    let mut acc = 0x51_7C_C1_B7_27_22_0A_95u64;
+    for &p in parts {
+        acc = splitmix64(acc ^ p);
+    }
+    acc
+}
+
+/// A uniform draw in `[0, 1)` from hashed inputs (53-bit mantissa).
+pub fn uniform(parts: &[u64]) -> f64 {
+    (hash_tuple(parts) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A uniform draw that is never exactly zero (safe for `ln`).
+pub fn uniform_open(parts: &[u64]) -> f64 {
+    let u = uniform(parts);
+    if u <= 0.0 {
+        f64::MIN_POSITIVE
+    } else {
+        u
+    }
+}
+
+/// An exponential(1) draw — Rayleigh *power* fading.
+pub fn exponential(parts: &[u64]) -> f64 {
+    -uniform_open(parts).ln()
+}
+
+/// A standard normal draw via Box–Muller (used for log-normal shadowing).
+pub fn standard_normal(parts: &[u64]) -> f64 {
+    let mut with_salt = parts.to_vec();
+    with_salt.push(0xA5A5);
+    let u1 = uniform_open(&with_salt);
+    with_salt.pop();
+    with_salt.push(0x5A5A);
+    let u2 = uniform(&with_salt);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_tuple(&[1, 2, 3]), hash_tuple(&[1, 2, 3]));
+        assert_ne!(hash_tuple(&[1, 2, 3]), hash_tuple(&[1, 2, 4]));
+        assert_eq!(uniform(&[9, 9]), uniform(&[9, 9]));
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        for i in 0..1000u64 {
+            let u = uniform(&[42, i]);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_positive_with_unit_mean() {
+        let mean: f64 =
+            (0..20_000u64).map(|i| exponential(&[7, i])).sum::<f64>() / 20_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let n = 20_000u64;
+        let draws: Vec<f64> = (0..n).map(|i| standard_normal(&[3, i])).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+}

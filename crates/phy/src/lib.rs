@@ -1,0 +1,40 @@
+//! # wan-phy: a slotted SINR radio beneath the formal model
+//!
+//! The formal model of `wan-sim` *postulates* that any receiver may lose any
+//! subset of a round's broadcasts, and that practical receiver-side
+//! collision detectors satisfy zero completeness essentially always and
+//! majority completeness most of the time (Newport '05, Sections 1.1–1.3,
+//! citing the empirical studies [30, 38, 70, 73] and the capture effect
+//! [71]). This crate *derives* those behaviours from physics:
+//!
+//! * [`channel`] — nodes placed in a disc (single-hop), log-distance path
+//!   loss with log-normal shadowing and per-round Rayleigh fading, rounds
+//!   divided into slots (rounds are long relative to packets, Section 1.2),
+//!   SINR-threshold decoding with the capture effect, half-duplex
+//!   receivers, and optional external interference bursts;
+//! * [`detector`] — a carrier-sensing collision detector (report `±` iff
+//!   some foreign slot was energy-busy but yielded no decode) and the
+//!   adapter pair that plugs the radio into `wan-sim` as a
+//!   `LossAdversary` + `CollisionDetector`;
+//! * [`stats`] — per-round measurement of which completeness/accuracy
+//!   properties actually held, plus message-loss fractions under offered
+//!   load (experiments E11/E12);
+//! * [`sync`] — a drifting-clock / periodic-resynchronization model backing
+//!   the synchronized-rounds assumption (Section 1.3).
+//!
+//! Everything is deterministic given the configuration seed: randomness is
+//! drawn from a splitmix-based hash of (seed, round, slot, node, …), never
+//! from global state, so a phy-backed simulation replays exactly.
+
+pub mod channel;
+pub mod config;
+pub mod detector;
+pub mod hash;
+pub mod stats;
+pub mod sync;
+
+pub use channel::{PhyRound, RadioChannel};
+pub use config::PhyConfig;
+pub use detector::{phy_components, PhyDetector, PhyLoss};
+pub use stats::{measure_properties, PropertyStats};
+pub use sync::{simulate_sync, SyncConfig, SyncStats};

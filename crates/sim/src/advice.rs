@@ -1,0 +1,82 @@
+//! Per-round advice delivered to processes by the environment services.
+
+use std::fmt;
+
+/// Advice returned by a contention manager (Definition 7): `Active` means
+/// "you may try to broadcast this round", `Passive` means "stay silent".
+/// Processes are under no obligation to follow the advice (Definition 1), and
+/// in this library the algorithms of Section 7 consult it only in the rounds
+/// their pseudocode says to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmAdvice {
+    /// The process may broadcast.
+    Active,
+    /// The process should stay silent to reduce contention.
+    Passive,
+}
+
+impl CmAdvice {
+    /// `true` iff the advice is [`CmAdvice::Active`].
+    pub fn is_active(self) -> bool {
+        self == CmAdvice::Active
+    }
+}
+
+impl fmt::Display for CmAdvice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmAdvice::Active => write!(f, "active"),
+            CmAdvice::Passive => write!(f, "passive"),
+        }
+    }
+}
+
+/// Advice returned by a collision detector (Definition 5): `Collision` (the
+/// paper's `±`) is a rough indication that the receiver lost one or more
+/// messages this round; `Null` a rough indication that it did not. Detectors
+/// carry *no* information about the number, content, or senders of lost
+/// messages.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CdAdvice {
+    /// No collision reported (the paper's `null`).
+    Null,
+    /// A collision was reported (the paper's `±`).
+    Collision,
+}
+
+impl CdAdvice {
+    /// `true` iff the advice is [`CdAdvice::Collision`].
+    pub fn is_collision(self) -> bool {
+        self == CdAdvice::Collision
+    }
+}
+
+impl fmt::Display for CdAdvice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdAdvice::Null => write!(f, "null"),
+            CdAdvice::Collision => write!(f, "±"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(CmAdvice::Active.is_active());
+        assert!(!CmAdvice::Passive.is_active());
+        assert!(CdAdvice::Collision.is_collision());
+        assert!(!CdAdvice::Null.is_collision());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CmAdvice::Active.to_string(), "active");
+        assert_eq!(CmAdvice::Passive.to_string(), "passive");
+        assert_eq!(CdAdvice::Null.to_string(), "null");
+        assert_eq!(CdAdvice::Collision.to_string(), "±");
+    }
+}

@@ -1,0 +1,155 @@
+//! Crash adversaries (Section 3.3): any number of processes may crash, at
+//! any time, permanently.
+
+use crate::ids::{ProcessId, Round};
+use crate::traits::CrashAdversary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// No process ever crashes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCrashes;
+
+impl CrashAdversary for NoCrashes {
+    fn crashes(&mut self, _round: Round, _alive: &[bool]) -> Vec<ProcessId> {
+        Vec::new()
+    }
+}
+
+/// Crashes exactly the scheduled processes at the scheduled rounds — the tool
+/// for building the worst-case failure schedules of the termination analyses
+/// (e.g. the "led everyone into a leaf, then died" schedule of Section 7.4).
+#[derive(Debug, Clone, Default)]
+pub struct ScheduledCrashes {
+    schedule: BTreeMap<Round, Vec<ProcessId>>,
+}
+
+impl ScheduledCrashes {
+    /// An empty schedule (equivalent to [`NoCrashes`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a crash of process `p` at the start of `round`.
+    #[must_use]
+    pub fn crash(mut self, p: ProcessId, round: Round) -> Self {
+        self.schedule.entry(round).or_default().push(p);
+        self
+    }
+
+    /// Builds a schedule from `(process, round)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ProcessId, Round)>) -> Self {
+        pairs
+            .into_iter()
+            .fold(Self::new(), |s, (p, r)| s.crash(p, r))
+    }
+
+    /// The last round at which this schedule crashes anything; after it,
+    /// "failures cease" in the sense of Theorem 3.
+    pub fn last_crash_round(&self) -> Option<Round> {
+        self.schedule.keys().next_back().copied()
+    }
+}
+
+impl CrashAdversary for ScheduledCrashes {
+    fn crashes(&mut self, round: Round, _alive: &[bool]) -> Vec<ProcessId> {
+        self.schedule.get(&round).cloned().unwrap_or_default()
+    }
+}
+
+/// Crashes each still-alive process independently with probability `p` per
+/// round, while respecting a cap on total crashes and an optional horizon
+/// after which failures cease (so Theorem-3-style "after failures cease"
+/// measurements are well-defined). Deterministic given the seed.
+#[derive(Debug, Clone)]
+pub struct RandomCrashes {
+    p: f64,
+    max_crashes: usize,
+    stop_after: Option<Round>,
+    crashed_so_far: usize,
+    rng: StdRng,
+}
+
+impl RandomCrashes {
+    /// Creates a random crash adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn new(p: f64, max_crashes: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+        RandomCrashes {
+            p,
+            max_crashes,
+            stop_after: None,
+            crashed_so_far: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// No crashes happen at or after `round`.
+    #[must_use]
+    pub fn ceasing_at(mut self, round: Round) -> Self {
+        self.stop_after = Some(round);
+        self
+    }
+}
+
+impl CrashAdversary for RandomCrashes {
+    fn crashes(&mut self, round: Round, alive: &[bool]) -> Vec<ProcessId> {
+        if self.stop_after.is_some_and(|stop| round >= stop) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (i, &a) in alive.iter().enumerate() {
+            if a && self.crashed_so_far < self.max_crashes && self.rng.random_bool(self.p) {
+                out.push(ProcessId(i));
+                self.crashed_so_far += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_crashes_fire_once() {
+        let mut adv = ScheduledCrashes::new()
+            .crash(ProcessId(1), Round(3))
+            .crash(ProcessId(0), Round(3))
+            .crash(ProcessId(2), Round(5));
+        assert!(adv.crashes(Round(1), &[true; 3]).is_empty());
+        assert_eq!(
+            adv.crashes(Round(3), &[true; 3]),
+            vec![ProcessId(1), ProcessId(0)]
+        );
+        assert_eq!(adv.crashes(Round(5), &[true; 3]), vec![ProcessId(2)]);
+        assert_eq!(adv.last_crash_round(), Some(Round(5)));
+    }
+
+    #[test]
+    fn from_pairs_matches_builder() {
+        let mut a = ScheduledCrashes::from_pairs([(ProcessId(0), Round(2))]);
+        assert_eq!(a.crashes(Round(2), &[true]), vec![ProcessId(0)]);
+    }
+
+    #[test]
+    fn random_crashes_respect_cap_and_horizon() {
+        let mut adv = RandomCrashes::new(1.0, 2, 9).ceasing_at(Round(4));
+        let alive = vec![true; 5];
+        let first = adv.crashes(Round(1), &alive);
+        assert_eq!(first.len(), 2, "cap of 2 respected even at p=1");
+        assert!(adv.crashes(Round(2), &alive).is_empty(), "cap exhausted");
+        let mut adv2 = RandomCrashes::new(1.0, 10, 9).ceasing_at(Round(4));
+        assert!(adv2.crashes(Round(4), &alive).is_empty(), "horizon respected");
+    }
+
+    #[test]
+    fn no_crashes_is_empty() {
+        assert!(NoCrashes.crashes(Round(1), &[true; 3]).is_empty());
+    }
+}

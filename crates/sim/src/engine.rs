@@ -1,0 +1,397 @@
+//! The round engine: executes a system `(E, A)` per Definition 11.
+
+use crate::automaton::{Automaton, RoundInput};
+use crate::ids::{ProcessId, Round};
+use crate::multiset::Multiset;
+use crate::trace::{ExecutionTrace, RoundRecord, TransmissionEntry};
+use crate::traits::{CmView, CollisionDetector, ContentionManager, CrashAdversary, LossAdversary};
+
+/// How much of the execution to record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceDetail {
+    /// Record everything, including each process's receive multiset.
+    /// Required by indistinguishability checks; the default.
+    #[default]
+    Full,
+    /// Record advice, senders and receive *counts* only — cheaper for long
+    /// experiment sweeps.
+    Counts,
+}
+
+/// The environment components a simulation runs against (an *environment* in
+/// the sense of Definition 9, plus the resolved message-loss and crash
+/// nondeterminism of Definition 11).
+pub struct Components {
+    /// The collision detector (`E.CD`).
+    pub detector: Box<dyn CollisionDetector>,
+    /// The contention manager (`E.CM`).
+    pub manager: Box<dyn ContentionManager>,
+    /// The resolved message-loss behaviour.
+    pub loss: Box<dyn LossAdversary>,
+    /// The resolved crash behaviour.
+    pub crash: Box<dyn CrashAdversary>,
+}
+
+impl std::fmt::Debug for Components {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Components").finish_non_exhaustive()
+    }
+}
+
+/// A running system `(E, A)`: `n` process automata plus the environment
+/// components, executing synchronized rounds and recording a full
+/// [`ExecutionTrace`].
+///
+/// Each call to [`Simulation::step`] executes one round in the order fixed by
+/// Definition 11:
+///
+/// 1. the crash adversary selects processes to fail;
+/// 2. the contention manager produces `W_r`;
+/// 3. live processes produce messages (`M_r = msg_A(C_{r-1}, W_r)`);
+/// 4. the loss adversary resolves deliveries (`N_r`), with self-delivery
+///    forced (constraints 4–5);
+/// 5. the collision detector produces `D_r` from the transmission entry
+///    `(c, T)` (constraint 6);
+/// 6. live processes transition (`C_r = trans_A(C_{r-1}, N_r, D_r, W_r)`).
+pub struct Simulation<A: Automaton> {
+    procs: Vec<A>,
+    alive: Vec<bool>,
+    components: Components,
+    round: Round,
+    trace: ExecutionTrace<A::Msg>,
+    detail: TraceDetail,
+}
+
+impl<A: Automaton> Simulation<A> {
+    /// Creates a simulation over the given automata and environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is empty (environments are defined over non-empty
+    /// index sets, Definition 9).
+    pub fn new(procs: Vec<A>, components: Components) -> Self {
+        assert!(!procs.is_empty(), "a system needs at least one process");
+        let n = procs.len();
+        Simulation {
+            procs,
+            alive: vec![true; n],
+            components,
+            round: Round::ZERO,
+            trace: ExecutionTrace::new(n),
+            detail: TraceDetail::Full,
+        }
+    }
+
+    /// Selects how much trace to record (default: [`TraceDetail::Full`]).
+    #[must_use]
+    pub fn with_detail(mut self, detail: TraceDetail) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The last completed round ([`Round::ZERO`] before any step).
+    pub fn current_round(&self) -> Round {
+        self.round
+    }
+
+    /// The process automata (read-only).
+    pub fn processes(&self) -> &[A] {
+        &self.procs
+    }
+
+    /// Which processes have not crashed. A process that halted voluntarily
+    /// is still *correct* (Definition 13) and remains `true` here.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// The recorded execution trace so far.
+    pub fn trace(&self) -> &ExecutionTrace<A::Msg> {
+        &self.trace
+    }
+
+    /// The environment components (read-only).
+    pub fn components(&self) -> &Components {
+        &self.components
+    }
+
+    /// Executes one round and returns its record.
+    pub fn step(&mut self) -> &RoundRecord<A::Msg> {
+        let n = self.n();
+        let round = self.round.next();
+
+        // 1. Crashes take effect at the start of the round.
+        let mut crashed = self.components.crash.crashes(round, &self.alive);
+        crashed.retain(|p| self.alive[p.index()]);
+        for p in &crashed {
+            self.alive[p.index()] = false;
+        }
+
+        // 2. Contention manager advice.
+        let contending: Vec<bool> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| self.alive[i] && p.is_contending())
+            .collect();
+        let cm = self.components.manager.advise(
+            round,
+            &CmView {
+                n,
+                alive: &self.alive,
+                contending: &contending,
+            },
+        );
+        assert_eq!(cm.len(), n, "contention manager returned wrong arity");
+
+        // 3. Message generation.
+        let sent: Vec<Option<A::Msg>> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if self.alive[i] {
+                    p.message(cm[i])
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let senders: Vec<ProcessId> = sent
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.is_some().then_some(ProcessId(i)))
+            .collect();
+
+        // 4. Loss resolution; self-delivery forced (constraint 5).
+        let mut matrix = self.components.loss.deliver(round, &senders, n);
+        assert_eq!(matrix.n(), n, "loss adversary returned wrong arity");
+        matrix.force_self_delivery();
+
+        let mut received: Vec<Multiset<A::Msg>> = vec![Multiset::new(); n];
+        for &s in &senders {
+            let msg = sent[s.index()].as_ref().expect("sender has a message");
+            for r in 0..n {
+                if matrix.delivered(s, ProcessId(r)) {
+                    received[r].insert(msg.clone());
+                }
+            }
+        }
+        let received_counts: Vec<usize> = received.iter().map(|m| m.total()).collect();
+
+        // 5. Collision detection from the transmission entry (c, T).
+        let tx = TransmissionEntry {
+            sent_count: senders.len(),
+            received: received_counts.clone(),
+        };
+        let cd = self.components.detector.advise(round, &tx);
+        assert_eq!(cd.len(), n, "collision detector returned wrong arity");
+
+        // 6. Transitions for live processes.
+        for (i, p) in self.procs.iter_mut().enumerate() {
+            if self.alive[i] {
+                p.transition(RoundInput {
+                    round,
+                    received: &received[i],
+                    cd: cd[i],
+                    cm: cm[i],
+                });
+            }
+        }
+
+        // Channel feedback for adaptive managers.
+        self.components.manager.observe(round, &tx, &senders);
+
+        let record = RoundRecord {
+            round,
+            cm,
+            sent,
+            cd,
+            received_counts,
+            received: match self.detail {
+                TraceDetail::Full => Some(received),
+                TraceDetail::Counts => None,
+            },
+            crashed,
+            alive: self.alive.clone(),
+        };
+        self.trace.push(record);
+        self.round = round;
+        self.trace
+            .round(round)
+            .expect("the just-pushed round exists")
+    }
+
+    /// Executes `rounds` further rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Steps until `done(self)` holds, up to `cap` total completed rounds.
+    /// Returns `true` if the predicate held (possibly immediately), `false`
+    /// if the cap was reached first.
+    pub fn run_until(&mut self, mut done: impl FnMut(&Self) -> bool, cap: Round) -> bool {
+        loop {
+            if done(self) {
+                return true;
+            }
+            if self.round >= cap {
+                return false;
+            }
+            self.step();
+        }
+    }
+
+    /// Consumes the simulation and returns the automata and trace.
+    pub fn into_parts(self) -> (Vec<A>, ExecutionTrace<A::Msg>) {
+        (self.procs, self.trace)
+    }
+}
+
+impl<A: Automaton + std::fmt::Debug> std::fmt::Debug for Simulation<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.n())
+            .field("round", &self.round)
+            .field("alive", &self.alive)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advice::{CdAdvice, CmAdvice};
+    use crate::crash::{NoCrashes, ScheduledCrashes};
+    use crate::loss::{NoLoss, TotalCollisionLoss};
+    use crate::{AllActive, AlwaysNull};
+
+    /// Broadcasts its id every round; records everything it hears.
+    #[derive(Debug)]
+    struct Chatter {
+        id: usize,
+        heard: Vec<usize>,
+        collisions: usize,
+    }
+
+    impl Automaton for Chatter {
+        type Msg = usize;
+        fn message(&self, cm: CmAdvice) -> Option<usize> {
+            cm.is_active().then_some(self.id)
+        }
+        fn transition(&mut self, input: RoundInput<'_, usize>) {
+            self.heard.extend(input.received.support().copied());
+            if input.cd == CdAdvice::Collision {
+                self.collisions += 1;
+            }
+        }
+    }
+
+    fn chatters(n: usize) -> Vec<Chatter> {
+        (0..n)
+            .map(|id| Chatter {
+                id,
+                heard: Vec::new(),
+                collisions: 0,
+            })
+            .collect()
+    }
+
+    fn components(
+        loss: Box<dyn LossAdversary>,
+        crash: Box<dyn CrashAdversary>,
+    ) -> Components {
+        Components {
+            detector: Box::new(AlwaysNull),
+            manager: Box::new(AllActive),
+            loss,
+            crash,
+        }
+    }
+
+    #[test]
+    fn lossless_round_delivers_everything() {
+        let mut sim = Simulation::new(
+            chatters(3),
+            components(Box::new(NoLoss), Box::new(NoCrashes)),
+        );
+        let rec = sim.step();
+        assert_eq!(rec.transmission_entry().sent_count, 3);
+        assert!(rec.received_counts.iter().all(|&c| c == 3));
+        for p in sim.processes() {
+            assert_eq!(p.heard, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn total_collision_loses_contended_round_but_senders_keep_own() {
+        let mut sim = Simulation::new(
+            chatters(3),
+            components(Box::new(TotalCollisionLoss), Box::new(NoCrashes)),
+        );
+        sim.step();
+        // Constraint 5: each broadcaster still received its own message.
+        for (i, p) in sim.processes().iter().enumerate() {
+            assert_eq!(p.heard, vec![i]);
+        }
+    }
+
+    #[test]
+    fn crashed_process_is_silent_forever() {
+        let crash = ScheduledCrashes::new().crash(ProcessId(0), Round(2));
+        let mut sim = Simulation::new(
+            chatters(2),
+            components(Box::new(NoLoss), Box::new(crash)),
+        );
+        sim.run(3);
+        assert_eq!(sim.alive(), &[false, true]);
+        // Round 1: both broadcast. Rounds 2-3: only p1.
+        let trace = sim.trace();
+        assert_eq!(trace.round(Round(1)).unwrap().senders().len(), 2);
+        assert_eq!(trace.round(Round(2)).unwrap().senders(), vec![ProcessId(1)]);
+        assert_eq!(trace.round(Round(3)).unwrap().senders(), vec![ProcessId(1)]);
+        // p0 heard round 1 only; it never transitions after crashing.
+        assert_eq!(sim.processes()[0].heard, vec![0, 1]);
+    }
+
+    #[test]
+    fn run_until_respects_cap() {
+        let mut sim = Simulation::new(
+            chatters(2),
+            components(Box::new(NoLoss), Box::new(NoCrashes)),
+        );
+        let reached = sim.run_until(|_| false, Round(5));
+        assert!(!reached);
+        assert_eq!(sim.current_round(), Round(5));
+        let reached = sim.run_until(|s| s.current_round() >= Round(3), Round(10));
+        assert!(reached);
+        assert_eq!(sim.current_round(), Round(5), "predicate already true");
+    }
+
+    #[test]
+    fn counts_detail_omits_receive_multisets() {
+        let mut sim = Simulation::new(
+            chatters(2),
+            components(Box::new(NoLoss), Box::new(NoCrashes)),
+        )
+        .with_detail(TraceDetail::Counts);
+        sim.step();
+        assert!(sim.trace().round(Round(1)).unwrap().received.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_system_rejected() {
+        let _ = Simulation::new(
+            Vec::<Chatter>::new(),
+            components(Box::new(NoLoss), Box::new(NoCrashes)),
+        );
+    }
+}

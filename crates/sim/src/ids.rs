@@ -1,0 +1,134 @@
+//! Process indices and round numbers.
+//!
+//! The paper indexes processes by elements of a finite set `I` and counts
+//! rounds from 1. We use dense `usize` indices for processes (the *index set*
+//! of a simulation is always `{0, …, n−1}`; sparse paper-style identifier
+//! spaces are modelled by `ccwan_core::uid::Uid`) and 1-based `u64` round
+//! numbers.
+
+use std::fmt;
+
+/// The index of a process within a simulation (an element of the set `P` of
+/// Definition 9). Indices are dense: a simulation over `n` processes uses
+/// `ProcessId(0)` through `ProcessId(n - 1)`.
+///
+/// A `ProcessId` is *not* an application-level unique identifier: anonymous
+/// algorithms (Definition 3) never read it, and the non-anonymous ID space of
+/// Section 7.3 is a separate type (`Uid` in `ccwan-core`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// A 1-based round number. `Round(0)` denotes "before the execution starts"
+/// and is never the round of a [`crate::RoundRecord`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// The first round of every execution.
+    pub const FIRST: Round = Round(1);
+
+    /// The round before the execution starts.
+    pub const ZERO: Round = Round(0);
+
+    /// The next round.
+    #[must_use]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The previous round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Round::ZERO`].
+    #[must_use]
+    pub fn prev(self) -> Round {
+        assert!(self.0 > 0, "Round::ZERO has no predecessor");
+        Round(self.0 - 1)
+    }
+
+    /// Zero-based index of this round into a trace vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Round::ZERO`].
+    pub fn trace_index(self) -> usize {
+        assert!(self.0 > 0, "Round::ZERO is not recorded in traces");
+        (self.0 - 1) as usize
+    }
+
+    /// The round `delta` rounds after this one.
+    #[must_use]
+    pub fn plus(self, delta: u64) -> Round {
+        Round(self.0 + delta)
+    }
+
+    /// Saturating difference `self - other` in rounds.
+    pub fn since(self, other: Round) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(r: u64) -> Self {
+        Round(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_arithmetic() {
+        assert_eq!(Round::FIRST.next(), Round(2));
+        assert_eq!(Round(5).prev(), Round(4));
+        assert_eq!(Round(5).plus(3), Round(8));
+        assert_eq!(Round(5).since(Round(2)), 3);
+        assert_eq!(Round(2).since(Round(5)), 0);
+        assert_eq!(Round::FIRST.trace_index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no predecessor")]
+    fn round_zero_has_no_predecessor() {
+        let _ = Round::ZERO.prev();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(Round(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn process_id_conversions() {
+        let p: ProcessId = 4usize.into();
+        assert_eq!(p.index(), 4);
+    }
+}

@@ -1,0 +1,417 @@
+//! Message-loss adversaries.
+//!
+//! The model's receive behaviour is almost unconstrained: "any device can
+//! lose any subset of the messages broadcast by other devices during the
+//! round" (Section 1.3). Each type here is one resolved adversary:
+//!
+//! * [`NoLoss`] — every broadcast reaches everyone.
+//! * [`TotalCollisionLoss`] — the classical *total collision model* of
+//!   Section 1.2 (and the intra-group rule of alpha executions,
+//!   Definition 24): a solo broadcast is delivered to all; concurrent
+//!   broadcasts are lost everywhere (except, per constraint 5, at their own
+//!   senders).
+//! * [`PartitionLoss`] — the two-group constructions of Theorems 4 and 8 and
+//!   Lemma 23: cross-group messages are lost; intra-group behaviour is
+//!   configurable.
+//! * [`RandomLoss`] — i.i.d. per-(sender, receiver) loss, the "20–50 %"
+//!   empirical regime.
+//! * [`ScriptedLoss`] — an explicit per-round delivery schedule, for
+//!   hand-built worst cases.
+//! * [`Ecf`] — a wrapper adding the *eventual collision freedom* property
+//!   (Property 1) to any inner adversary from a given round on.
+
+use crate::ids::{ProcessId, Round};
+use crate::traits::{DeliveryMatrix, LossAdversary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Delivers every broadcast to every process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoLoss;
+
+impl LossAdversary for NoLoss {
+    fn deliver(&mut self, _round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+        DeliveryMatrix::full(senders, n)
+    }
+    fn collision_free_from(&self) -> Option<Round> {
+        Some(Round::FIRST)
+    }
+}
+
+/// The total collision model of Section 1.2: if exactly one process
+/// broadcasts, everyone receives its message; if two or more broadcast, all
+/// messages are lost (senders still receive their own — constraint 5 — which
+/// is also precisely the receive rule of alpha executions, Definition 24,
+/// item 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TotalCollisionLoss;
+
+impl LossAdversary for TotalCollisionLoss {
+    fn deliver(&mut self, _round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+        if senders.len() == 1 {
+            DeliveryMatrix::full(senders, n)
+        } else {
+            DeliveryMatrix::none(senders, n)
+        }
+    }
+    fn collision_free_from(&self) -> Option<Round> {
+        Some(Round::FIRST)
+    }
+}
+
+/// Intra-group delivery rule for [`PartitionLoss`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntraGroupRule {
+    /// Within a group, every broadcast reaches every group member
+    /// (Theorem 4/8 constructions: groups "lose all *and only*" the other
+    /// group's messages).
+    Full,
+    /// Within a group, the [`TotalCollisionLoss`] rule applies: a message is
+    /// delivered group-wide iff its sender is the group's only broadcaster
+    /// (the Lemma 23 composition, which must mimic alpha executions inside
+    /// each group).
+    Solo,
+}
+
+/// Splits the index set into groups and loses every cross-group message,
+/// optionally only up to a horizon round.
+///
+/// This is the workhorse of the Section 8 constructions: two groups that
+/// cannot hear each other behave exactly like two independent executions.
+#[derive(Debug, Clone)]
+pub struct PartitionLoss {
+    group_of: Vec<usize>,
+    intra: IntraGroupRule,
+    /// Cross-group loss applies to rounds `< heal_from`; from `heal_from` on
+    /// every broadcast is delivered to everyone. `None` = partitioned
+    /// forever.
+    heal_from: Option<Round>,
+}
+
+impl PartitionLoss {
+    /// Creates a partition adversary. `group_of[i]` is the group of process
+    /// `i`.
+    pub fn new(group_of: Vec<usize>, intra: IntraGroupRule) -> Self {
+        PartitionLoss {
+            group_of,
+            intra,
+            heal_from: None,
+        }
+    }
+
+    /// A two-group partition: processes with index `< split` form group 0,
+    /// the rest group 1.
+    pub fn two_groups(n: usize, split: usize, intra: IntraGroupRule) -> Self {
+        assert!(split <= n, "split {split} exceeds n {n}");
+        Self::new(
+            (0..n).map(|i| usize::from(i >= split)).collect(),
+            intra,
+        )
+    }
+
+    /// Heals the partition from the given round on (used by the Theorem 4
+    /// construction, which stops message loss after round `k`).
+    #[must_use]
+    pub fn healing_from(mut self, round: Round) -> Self {
+        self.heal_from = Some(round);
+        self
+    }
+
+    /// The group of process `i`.
+    pub fn group_of(&self, i: ProcessId) -> usize {
+        self.group_of[i.index()]
+    }
+}
+
+impl LossAdversary for PartitionLoss {
+    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+        assert_eq!(self.group_of.len(), n, "group map does not cover all processes");
+        if self.heal_from.is_some_and(|h| round >= h) {
+            return DeliveryMatrix::full(senders, n);
+        }
+        // Count broadcasters per group for the Solo rule.
+        let mut per_group: BTreeMap<usize, usize> = BTreeMap::new();
+        for s in senders {
+            *per_group.entry(self.group_of(*s)).or_insert(0) += 1;
+        }
+        let mut m = DeliveryMatrix::none(senders, n);
+        for &s in senders {
+            let g = self.group_of(s);
+            let deliver_in_group = match self.intra {
+                IntraGroupRule::Full => true,
+                IntraGroupRule::Solo => per_group[&g] == 1,
+            };
+            if deliver_in_group {
+                for r in 0..n {
+                    if self.group_of[r] == g {
+                        m.set(s, ProcessId(r), true);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    fn collision_free_from(&self) -> Option<Round> {
+        // Only collision-free once healed: before that a solo broadcast is
+        // lost at the other group.
+        self.heal_from
+    }
+}
+
+/// Loses each (sender, receiver) pair independently with probability
+/// `p_loss`. Deterministic given the seed.
+#[derive(Debug, Clone)]
+pub struct RandomLoss {
+    p_loss: f64,
+    rng: StdRng,
+}
+
+impl RandomLoss {
+    /// Creates a random-loss adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_loss` is not within `[0, 1]`.
+    pub fn new(p_loss: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_loss), "p_loss must be in [0,1]");
+        RandomLoss {
+            p_loss,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LossAdversary for RandomLoss {
+    fn deliver(&mut self, _round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+        let mut m = DeliveryMatrix::none(senders, n);
+        for &s in senders {
+            for r in 0..n {
+                if !self.rng.random_bool(self.p_loss) {
+                    m.set(s, ProcessId(r), true);
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Replays an explicit delivery schedule; rounds beyond the script fall back
+/// to full delivery. Used to build hand-crafted worst-case executions in
+/// tests and lower bounds.
+#[derive(Debug, Clone)]
+pub struct ScriptedLoss {
+    /// `script[r]` gives, for trace index `r`, a function from (sender,
+    /// receiver) to delivery, encoded as a closure-free table:
+    /// `(sender, receiver) -> bool`.
+    script: Vec<fn(ProcessId, ProcessId) -> bool>,
+}
+
+impl ScriptedLoss {
+    /// Creates a scripted adversary from per-round delivery predicates.
+    pub fn new(script: Vec<fn(ProcessId, ProcessId) -> bool>) -> Self {
+        ScriptedLoss { script }
+    }
+}
+
+impl LossAdversary for ScriptedLoss {
+    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+        match self.script.get(round.trace_index()) {
+            None => DeliveryMatrix::full(senders, n),
+            Some(pred) => {
+                let mut m = DeliveryMatrix::none(senders, n);
+                for &s in senders {
+                    for r in 0..n {
+                        if pred(s, ProcessId(r)) {
+                            m.set(s, ProcessId(r), true);
+                        }
+                    }
+                }
+                m
+            }
+        }
+    }
+}
+
+/// Adds *eventual collision freedom* (Property 1) to any inner adversary:
+/// from round `r_cf` on, whenever exactly one process broadcasts, its message
+/// is delivered to every process. Multi-broadcaster rounds remain entirely up
+/// to the inner adversary, exactly as the property allows.
+///
+/// # Examples
+///
+/// ```
+/// use wan_sim::loss::{Ecf, RandomLoss};
+/// use wan_sim::{LossAdversary, ProcessId, Round};
+///
+/// let mut adv = Ecf::new(RandomLoss::new(0.9, 7), Round(10));
+/// let senders = [ProcessId(2)];
+/// // Before r_cf the inner adversary may drop the solo broadcast...
+/// let _ = adv.deliver(Round(1), &senders, 4);
+/// // ...from r_cf on it may not.
+/// let m = adv.deliver(Round(10), &senders, 4);
+/// assert!((0..4).all(|r| m.delivered(ProcessId(2), ProcessId(r))));
+/// assert_eq!(adv.collision_free_from(), Some(Round(10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ecf<A> {
+    inner: A,
+    r_cf: Round,
+}
+
+impl<A> Ecf<A> {
+    /// Wraps `inner`, guaranteeing collision freedom from `r_cf` on.
+    pub fn new(inner: A, r_cf: Round) -> Self {
+        assert!(r_cf >= Round::FIRST, "r_cf must be a real round");
+        Ecf { inner, r_cf }
+    }
+
+    /// The wrapped adversary.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: LossAdversary> LossAdversary for Ecf<A> {
+    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+        let mut m = self.inner.deliver(round, senders, n);
+        if round >= self.r_cf && senders.len() == 1 {
+            m.deliver_all_from(senders[0]);
+        }
+        m
+    }
+
+    fn collision_free_from(&self) -> Option<Round> {
+        // The wrapper's guarantee can only improve on the inner one.
+        match self.inner.collision_free_from() {
+            Some(inner) if inner < self.r_cf => Some(inner),
+            _ => Some(self.r_cf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pids(ids: &[usize]) -> Vec<ProcessId> {
+        ids.iter().copied().map(ProcessId).collect()
+    }
+
+    #[test]
+    fn no_loss_delivers_all() {
+        let m = NoLoss.deliver(Round(1), &pids(&[0, 3]), 4);
+        assert!(m.delivered(ProcessId(0), ProcessId(2)));
+        assert!(m.delivered(ProcessId(3), ProcessId(1)));
+    }
+
+    #[test]
+    fn total_collision_rule() {
+        let mut adv = TotalCollisionLoss;
+        let solo = adv.deliver(Round(1), &pids(&[1]), 3);
+        assert!((0..3).all(|r| solo.delivered(ProcessId(1), ProcessId(r))));
+        let clash = adv.deliver(Round(2), &pids(&[0, 1]), 3);
+        assert!((0..3).all(|r| !clash.delivered(ProcessId(0), ProcessId(r))));
+        assert!((0..3).all(|r| !clash.delivered(ProcessId(1), ProcessId(r))));
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_full_intra() {
+        let mut adv = PartitionLoss::two_groups(4, 2, IntraGroupRule::Full);
+        let m = adv.deliver(Round(1), &pids(&[0, 2]), 4);
+        // 0 reaches its group {0,1} only.
+        assert!(m.delivered(ProcessId(0), ProcessId(1)));
+        assert!(!m.delivered(ProcessId(0), ProcessId(2)));
+        // 2 reaches its group {2,3} only.
+        assert!(m.delivered(ProcessId(2), ProcessId(3)));
+        assert!(!m.delivered(ProcessId(2), ProcessId(0)));
+    }
+
+    #[test]
+    fn partition_solo_rule_mimics_alpha() {
+        let mut adv = PartitionLoss::two_groups(4, 2, IntraGroupRule::Solo);
+        // Two broadcasters in group 0: nothing delivered (even intra-group).
+        let m = adv.deliver(Round(1), &pids(&[0, 1, 2]), 4);
+        assert!(!m.delivered(ProcessId(0), ProcessId(1)));
+        assert!(!m.delivered(ProcessId(1), ProcessId(0)));
+        // Solo in group 1: delivered to its whole group only.
+        assert!(m.delivered(ProcessId(2), ProcessId(3)));
+        assert!(!m.delivered(ProcessId(2), ProcessId(1)));
+    }
+
+    #[test]
+    fn partition_heals() {
+        let mut adv =
+            PartitionLoss::two_groups(2, 1, IntraGroupRule::Full).healing_from(Round(5));
+        let before = adv.deliver(Round(4), &pids(&[0]), 2);
+        assert!(!before.delivered(ProcessId(0), ProcessId(1)));
+        let after = adv.deliver(Round(5), &pids(&[0]), 2);
+        assert!(after.delivered(ProcessId(0), ProcessId(1)));
+        assert_eq!(adv.collision_free_from(), Some(Round(5)));
+    }
+
+    #[test]
+    fn random_loss_extremes() {
+        let mut lossless = RandomLoss::new(0.0, 1);
+        let m = lossless.deliver(Round(1), &pids(&[0]), 3);
+        assert!((0..3).all(|r| m.delivered(ProcessId(0), ProcessId(r))));
+        let mut lossy = RandomLoss::new(1.0, 1);
+        let m = lossy.deliver(Round(1), &pids(&[0]), 3);
+        assert!((0..3).all(|r| !m.delivered(ProcessId(0), ProcessId(r))));
+    }
+
+    #[test]
+    fn random_loss_is_deterministic_per_seed() {
+        let mut a = RandomLoss::new(0.5, 42);
+        let mut b = RandomLoss::new(0.5, 42);
+        for r in 1..20u64 {
+            assert_eq!(
+                a.deliver(Round(r), &pids(&[0, 1]), 4),
+                b.deliver(Round(r), &pids(&[0, 1]), 4)
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_loss_follows_script_then_full() {
+        fn drop_all(_: ProcessId, _: ProcessId) -> bool {
+            false
+        }
+        let mut adv = ScriptedLoss::new(vec![drop_all]);
+        let r1 = adv.deliver(Round(1), &pids(&[0]), 2);
+        assert!(!r1.delivered(ProcessId(0), ProcessId(1)));
+        let r2 = adv.deliver(Round(2), &pids(&[0]), 2);
+        assert!(r2.delivered(ProcessId(0), ProcessId(1)));
+    }
+
+    proptest! {
+        /// From r_cf on, a solo broadcast is always delivered to everyone, no
+        /// matter how lossy the inner adversary is (Property 1).
+        #[test]
+        fn ecf_guarantee(seed in 0u64..500, r_cf in 1u64..30, round in 1u64..60,
+                         sender in 0usize..6, n in 1usize..7) {
+            let sender = sender % n;
+            let mut adv = Ecf::new(RandomLoss::new(1.0, seed), Round(r_cf));
+            let senders = [ProcessId(sender)];
+            let m = adv.deliver(Round(round), &senders, n);
+            if round >= r_cf {
+                prop_assert!((0..n).all(|r| m.delivered(ProcessId(sender), ProcessId(r))));
+            }
+        }
+
+        /// ECF does not touch multi-broadcaster rounds.
+        #[test]
+        fn ecf_leaves_contended_rounds_alone(round in 1u64..40, n in 2usize..6) {
+            let mut adv = Ecf::new(RandomLoss::new(1.0, 0), Round(1));
+            let senders = [ProcessId(0), ProcessId(1)];
+            let m = adv.deliver(Round(round), &senders, n);
+            // Inner adversary loses everything; ECF must not add deliveries.
+            for r in 0..n {
+                prop_assert!(!m.delivered(ProcessId(0), ProcessId(r)));
+                prop_assert!(!m.delivered(ProcessId(1), ProcessId(r)));
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Finite multisets over an ordered value type, as used throughout Section 2
+//! of the paper: receive sets are multisets of messages (`Multi(M)`), and the
+//! preliminaries define sub-multiset inclusion, multiset union, `|M|`, and
+//! `SET(M)`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite multiset over `T`, backed by an ordered map from values to
+/// (positive) multiplicities.
+///
+/// This is the `Multi(V)` of Section 2. The receive set `N_r[i]` of every
+/// round is a `Multiset` of messages; constraint 4 of Definition 11 (receive
+/// sets are sub-multisets of the round's broadcasts) is checked with
+/// [`Multiset::is_submultiset_of`].
+///
+/// # Examples
+///
+/// ```
+/// use wan_sim::Multiset;
+///
+/// let m: Multiset<u32> = [3, 1, 3].into_iter().collect();
+/// assert_eq!(m.total(), 3);            // |M|
+/// assert_eq!(m.count(&3), 2);
+/// assert_eq!(m.support().count(), 2);  // SET(M) = {1, 3}
+/// assert_eq!(m.min(), Some(&1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Multiset<T: Ord> {
+    counts: BTreeMap<T, usize>,
+    total: usize,
+}
+
+impl<T: Ord> Multiset<T> {
+    /// The empty multiset.
+    pub fn new() -> Self {
+        Multiset {
+            counts: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Inserts one occurrence of `value`.
+    pub fn insert(&mut self, value: T) {
+        self.insert_n(value, 1);
+    }
+
+    /// Inserts `n` occurrences of `value`. Inserting zero occurrences is a
+    /// no-op.
+    pub fn insert_n(&mut self, value: T, n: usize) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// The multiplicity of `value` in the multiset (zero if absent).
+    pub fn count(&self, value: &T) -> usize {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// The total number of occurrences, the paper's `|M|`.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// `true` iff the multiset contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The number of *distinct* values, `|SET(M)|`.
+    pub fn unique_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over the distinct values in ascending order: the paper's
+    /// `SET(M)`.
+    pub fn support(&self) -> impl Iterator<Item = &T> {
+        self.counts.keys()
+    }
+
+    /// Iterates over `(value, multiplicity)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.counts.iter().map(|(v, &c)| (v, c))
+    }
+
+    /// The minimum value, if the multiset is non-empty. Algorithms 1 and 2
+    /// update their estimate to `min{messages}`.
+    pub fn min(&self) -> Option<&T> {
+        self.counts.keys().next()
+    }
+
+    /// The maximum value, if the multiset is non-empty.
+    pub fn max(&self) -> Option<&T> {
+        self.counts.keys().next_back()
+    }
+
+    /// Sub-multiset inclusion (`M₁ ⊆ M₂` of Section 2): every value of `self`
+    /// appears in `other` with at least the same multiplicity.
+    pub fn is_submultiset_of(&self, other: &Multiset<T>) -> bool {
+        self.counts.iter().all(|(v, &c)| other.count(v) >= c)
+    }
+}
+
+impl<T: Ord + Clone> Multiset<T> {
+    /// Multiset union (`M₁ ∪ M₂` of Section 2): multiplicities add.
+    #[must_use]
+    pub fn union(&self, other: &Multiset<T>) -> Multiset<T> {
+        let mut out = self.clone();
+        for (v, c) in other.iter() {
+            out.insert_n(v.clone(), c);
+        }
+        out
+    }
+
+    /// The set of distinct values as a new multiset with multiplicity one:
+    /// `MS(SET(M))`.
+    #[must_use]
+    pub fn to_set(&self) -> Multiset<T> {
+        self.support().cloned().collect()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut m = Multiset::new();
+        for v in iter {
+            m.insert(v);
+        }
+        m
+    }
+}
+
+impl<T: Ord> Extend<T> for Multiset<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<T: Ord + fmt::Display> fmt::Display for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (v, c) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if c == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{v}×{c}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_multiset() {
+        let m: Multiset<u8> = Multiset::new();
+        assert!(m.is_empty());
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.unique_len(), 0);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+        assert_eq!(m.to_string(), "{}");
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut m = Multiset::new();
+        m.insert(5u32);
+        m.insert(5);
+        m.insert(2);
+        m.insert_n(9, 0);
+        assert_eq!(m.count(&5), 2);
+        assert_eq!(m.count(&2), 1);
+        assert_eq!(m.count(&9), 0);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.unique_len(), 2);
+        assert_eq!(m.min(), Some(&2));
+        assert_eq!(m.max(), Some(&5));
+    }
+
+    #[test]
+    fn set_operation() {
+        let m: Multiset<u8> = [1, 1, 1, 2].into_iter().collect();
+        let s = m.to_set();
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.count(&1), 1);
+        assert_eq!(s.count(&2), 1);
+    }
+
+    #[test]
+    fn submultiset_examples() {
+        let small: Multiset<u8> = [1, 2].into_iter().collect();
+        let big: Multiset<u8> = [1, 1, 2, 3].into_iter().collect();
+        assert!(small.is_submultiset_of(&big));
+        assert!(!big.is_submultiset_of(&small));
+        // multiplicity matters
+        let twice: Multiset<u8> = [2, 2].into_iter().collect();
+        assert!(!twice.is_submultiset_of(&big));
+    }
+
+    #[test]
+    fn display_with_multiplicity() {
+        let m: Multiset<u8> = [7, 7, 4].into_iter().collect();
+        assert_eq!(m.to_string(), "{4, 7×2}");
+    }
+
+    fn arb_multiset() -> impl Strategy<Value = Multiset<u8>> {
+        proptest::collection::vec(0u8..8, 0..24).prop_map(|v| v.into_iter().collect())
+    }
+
+    proptest! {
+        /// |M₁ ∪ M₂| = |M₁| + |M₂| (Section 2's union adds multiplicities).
+        #[test]
+        fn union_cardinality(a in arb_multiset(), b in arb_multiset()) {
+            prop_assert_eq!(a.union(&b).total(), a.total() + b.total());
+        }
+
+        /// Union multiplicities are the sum of the parts.
+        #[test]
+        fn union_counts(a in arb_multiset(), b in arb_multiset(), v in 0u8..8) {
+            prop_assert_eq!(a.union(&b).count(&v), a.count(&v) + b.count(&v));
+        }
+
+        /// Every multiset is a sub-multiset of itself and of any union that
+        /// includes it.
+        #[test]
+        fn submultiset_reflexive_and_union(a in arb_multiset(), b in arb_multiset()) {
+            prop_assert!(a.is_submultiset_of(&a));
+            prop_assert!(a.is_submultiset_of(&a.union(&b)));
+        }
+
+        /// Sub-multiset inclusion is antisymmetric: mutual inclusion implies
+        /// equality.
+        #[test]
+        fn submultiset_antisymmetric(a in arb_multiset(), b in arb_multiset()) {
+            if a.is_submultiset_of(&b) && b.is_submultiset_of(&a) {
+                prop_assert_eq!(a, b);
+            }
+        }
+
+        /// total == sum of multiplicities; unique_len == support size.
+        #[test]
+        fn cardinality_invariants(a in arb_multiset()) {
+            prop_assert_eq!(a.total(), a.iter().map(|(_, c)| c).sum::<usize>());
+            prop_assert_eq!(a.unique_len(), a.support().count());
+            prop_assert_eq!(a.is_empty(), a.total() == 0);
+        }
+
+        /// min/max agree with the support extremes.
+        #[test]
+        fn min_max(a in arb_multiset()) {
+            prop_assert_eq!(a.min(), a.support().min());
+            prop_assert_eq!(a.max(), a.support().max());
+        }
+    }
+}

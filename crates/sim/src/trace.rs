@@ -1,0 +1,319 @@
+//! Execution traces: the recorded history of a simulation, from which the
+//! paper's transmission traces (Definition 4), CD/CM traces (Definitions
+//! 5, 7) and basic broadcast count sequences (Definition 22) are derived.
+
+use crate::advice::{CdAdvice, CmAdvice};
+use crate::ids::{ProcessId, Round};
+use crate::multiset::Multiset;
+use std::fmt;
+
+/// One entry of a transmission trace (Definition 4): the pair `(c, T)` where
+/// `c` is the number of processes that broadcast this round and
+/// `T(i) = |N_r[i]|` is how many messages process `i` received.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransmissionEntry {
+    /// `c`: how many processes broadcast this round.
+    pub sent_count: usize,
+    /// `T`: per-process received-message counts (length `n`).
+    pub received: Vec<usize>,
+}
+
+impl TransmissionEntry {
+    /// Number of process indices.
+    pub fn n(&self) -> usize {
+        self.received.len()
+    }
+
+    /// `T(i)` for process `i`.
+    pub fn received_by(&self, i: ProcessId) -> usize {
+        self.received[i.index()]
+    }
+}
+
+/// The paper's three-way broadcast count of Definition 22: each round of an
+/// execution is classified by whether zero, one, or two-or-more processes
+/// broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BroadcastCount {
+    /// No process broadcast.
+    Zero,
+    /// Exactly one process broadcast.
+    One,
+    /// Two or more processes broadcast.
+    TwoPlus,
+}
+
+impl BroadcastCount {
+    /// Classifies a raw sender count.
+    pub fn of(count: usize) -> BroadcastCount {
+        match count {
+            0 => BroadcastCount::Zero,
+            1 => BroadcastCount::One,
+            _ => BroadcastCount::TwoPlus,
+        }
+    }
+}
+
+impl fmt::Display for BroadcastCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BroadcastCount::Zero => write!(f, "0"),
+            BroadcastCount::One => write!(f, "1"),
+            BroadcastCount::TwoPlus => write!(f, "2+"),
+        }
+    }
+}
+
+/// Everything that happened in one round.
+#[derive(Debug, Clone)]
+pub struct RoundRecord<M: Ord> {
+    /// The (1-based) round number.
+    pub round: Round,
+    /// Contention manager advice per process (the CM-trace entry, Def. 7).
+    pub cm: Vec<CmAdvice>,
+    /// The message each process broadcast, if any (the message assignment
+    /// `M_r`).
+    pub sent: Vec<Option<M>>,
+    /// Collision detector advice per process (the CD-trace entry, Def. 5).
+    pub cd: Vec<CdAdvice>,
+    /// `T(i)`: how many messages each process received.
+    pub received_counts: Vec<usize>,
+    /// Full receive multisets (`N_r`), recorded only when the simulation runs
+    /// with [`crate::TraceDetail::Full`]; used by indistinguishability
+    /// checks.
+    pub received: Option<Vec<Multiset<M>>>,
+    /// Processes that crashed at the start of this round.
+    pub crashed: Vec<ProcessId>,
+    /// Liveness after this round's crashes.
+    pub alive: Vec<bool>,
+}
+
+impl<M: Ord> RoundRecord<M> {
+    /// The transmission-trace entry `(c, T)` for this round.
+    pub fn transmission_entry(&self) -> TransmissionEntry {
+        TransmissionEntry {
+            sent_count: self.sent.iter().filter(|m| m.is_some()).count(),
+            received: self.received_counts.clone(),
+        }
+    }
+
+    /// Which processes broadcast this round, in ascending order.
+    pub fn senders(&self) -> Vec<ProcessId> {
+        self.sent
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.is_some().then_some(ProcessId(i)))
+            .collect()
+    }
+
+    /// The basic broadcast count for this round (Definition 22).
+    pub fn broadcast_count(&self) -> BroadcastCount {
+        BroadcastCount::of(self.senders().len())
+    }
+}
+
+/// The full recorded history of a simulation: one [`RoundRecord`] per
+/// completed round.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace<M: Ord> {
+    n: usize,
+    rounds: Vec<RoundRecord<M>>,
+}
+
+impl<M: Ord> ExecutionTrace<M> {
+    /// An empty trace over `n` process indices.
+    pub fn new(n: usize) -> Self {
+        ExecutionTrace {
+            n,
+            rounds: Vec::new(),
+        }
+    }
+
+    /// Number of process indices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of completed rounds.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// `true` iff no round has completed.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Appends a completed round.
+    pub(crate) fn push(&mut self, record: RoundRecord<M>) {
+        debug_assert_eq!(record.round.trace_index(), self.rounds.len());
+        self.rounds.push(record);
+    }
+
+    /// The record of round `r`, if completed.
+    pub fn round(&self, r: Round) -> Option<&RoundRecord<M>> {
+        self.rounds.get(r.trace_index())
+    }
+
+    /// Iterates over all completed rounds in order.
+    pub fn rounds(&self) -> impl Iterator<Item = &RoundRecord<M>> {
+        self.rounds.iter()
+    }
+
+    /// The transmission trace (Definition 4) restricted to completed rounds.
+    pub fn transmission_trace(&self) -> Vec<TransmissionEntry> {
+        self.rounds.iter().map(|r| r.transmission_entry()).collect()
+    }
+
+    /// The basic broadcast count sequence (Definition 22) over the first
+    /// `k` rounds (or all completed rounds if fewer).
+    pub fn broadcast_count_seq(&self, k: usize) -> Vec<BroadcastCount> {
+        self.rounds
+            .iter()
+            .take(k)
+            .map(|r| r.broadcast_count())
+            .collect()
+    }
+
+    /// The first round from which, in the recorded prefix, every round has at
+    /// most one process advised `Active` — the *observed* wake-up
+    /// stabilization point. `None` if some suffix round has two or more
+    /// active processes (or the trace is empty).
+    pub fn observed_wakeup_round(&self) -> Option<Round> {
+        let mut candidate: Option<Round> = None;
+        for rec in &self.rounds {
+            let actives = rec.cm.iter().filter(|a| a.is_active()).count();
+            if actives == 1 {
+                candidate.get_or_insert(rec.round);
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+
+    /// Per-process observation stream used by indistinguishability checks
+    /// (Definition 12): for each completed round, what process `i` sent and
+    /// received plus the advice it saw. Requires full trace detail for the
+    /// receive multisets.
+    pub fn observations_of(&self, i: ProcessId) -> Vec<Observation<M>>
+    where
+        M: Clone,
+    {
+        self.rounds
+            .iter()
+            .map(|rec| Observation {
+                round: rec.round,
+                sent: rec.sent[i.index()].clone(),
+                received: rec
+                    .received
+                    .as_ref()
+                    .map(|rs| rs[i.index()].clone()),
+                received_count: rec.received_counts[i.index()],
+                cd: rec.cd[i.index()],
+                cm: rec.cm[i.index()],
+            })
+            .collect()
+    }
+}
+
+/// One process's view of one round, per Definition 12: its outgoing message,
+/// incoming message multiset, and the advice it received.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation<M: Ord> {
+    /// The round observed.
+    pub round: Round,
+    /// What this process broadcast.
+    pub sent: Option<M>,
+    /// What it received (when full detail was recorded).
+    pub received: Option<Multiset<M>>,
+    /// `|N_r[i]|` — always available.
+    pub received_count: usize,
+    /// Collision detector advice.
+    pub cd: CdAdvice,
+    /// Contention manager advice.
+    pub cm: CmAdvice,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: u64, sent: Vec<Option<u8>>, active: usize) -> RoundRecord<u8> {
+        let n = sent.len();
+        let mut cm = vec![CmAdvice::Passive; n];
+        for a in cm.iter_mut().take(active) {
+            *a = CmAdvice::Active;
+        }
+        RoundRecord {
+            round: Round(round),
+            cm,
+            cd: vec![CdAdvice::Null; n],
+            received_counts: vec![0; n],
+            received: None,
+            crashed: vec![],
+            alive: vec![true; n],
+            sent,
+        }
+    }
+
+    #[test]
+    fn broadcast_count_classification() {
+        assert_eq!(BroadcastCount::of(0), BroadcastCount::Zero);
+        assert_eq!(BroadcastCount::of(1), BroadcastCount::One);
+        assert_eq!(BroadcastCount::of(2), BroadcastCount::TwoPlus);
+        assert_eq!(BroadcastCount::of(17), BroadcastCount::TwoPlus);
+        assert_eq!(BroadcastCount::TwoPlus.to_string(), "2+");
+    }
+
+    #[test]
+    fn trace_accumulates_and_derives() {
+        let mut t: ExecutionTrace<u8> = ExecutionTrace::new(3);
+        assert!(t.is_empty());
+        t.push(record(1, vec![Some(1), None, None], 1));
+        t.push(record(2, vec![Some(1), Some(2), None], 2));
+        t.push(record(3, vec![None, None, None], 1));
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.broadcast_count_seq(10),
+            vec![
+                BroadcastCount::One,
+                BroadcastCount::TwoPlus,
+                BroadcastCount::Zero
+            ]
+        );
+        assert_eq!(t.round(Round(2)).unwrap().senders(), vec![
+            ProcessId(0),
+            ProcessId(1)
+        ]);
+        let tt = t.transmission_trace();
+        assert_eq!(tt[1].sent_count, 2);
+    }
+
+    #[test]
+    fn observed_wakeup_round_finds_stable_suffix() {
+        let mut t: ExecutionTrace<u8> = ExecutionTrace::new(2);
+        t.push(record(1, vec![None, None], 2));
+        t.push(record(2, vec![None, None], 1));
+        t.push(record(3, vec![None, None], 1));
+        assert_eq!(t.observed_wakeup_round(), Some(Round(2)));
+
+        let mut unstable: ExecutionTrace<u8> = ExecutionTrace::new(2);
+        unstable.push(record(1, vec![None, None], 1));
+        unstable.push(record(2, vec![None, None], 2));
+        assert_eq!(unstable.observed_wakeup_round(), None);
+    }
+
+    #[test]
+    fn observations_extract_per_process_view() {
+        let mut t: ExecutionTrace<u8> = ExecutionTrace::new(2);
+        t.push(record(1, vec![Some(7), None], 1));
+        let obs = t.observations_of(ProcessId(0));
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].sent, Some(7));
+        assert_eq!(obs[0].cm, CmAdvice::Active);
+        let obs1 = t.observations_of(ProcessId(1));
+        assert_eq!(obs1[0].sent, None);
+        assert_eq!(obs1[0].cm, CmAdvice::Passive);
+    }
+}

@@ -1,0 +1,283 @@
+//! Environment component traits: collision detectors (Definition 6),
+//! contention managers (Definition 8), message-loss adversaries (the
+//! unconstrained receive behaviour of Definition 11), and crash adversaries
+//! (Section 3.3).
+
+use crate::advice::{CdAdvice, CmAdvice};
+use crate::ids::{ProcessId, Round};
+use crate::trace::TransmissionEntry;
+use std::collections::BTreeMap;
+
+/// A collision detector (Definition 6): a function from per-round
+/// transmission information to per-process advice.
+///
+/// Per the definition, a detector sees only the transmission-trace entry
+/// `(c, T)` — how many processes broadcast and how many messages each process
+/// received — never sender identities or message contents. Class obligations
+/// (completeness/accuracy, Properties 4–9) are defined and enforced in
+/// `wan-cd`.
+pub trait CollisionDetector {
+    /// Advice for every process index for round `round`, given the round's
+    /// transmission entry. The returned vector must have length
+    /// `tx.received.len()`.
+    fn advise(&mut self, round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice>;
+
+    /// The round `r_acc` from which this detector guarantees accuracy
+    /// (Property 9), if it declares one. Used by the harness to compute the
+    /// communication stabilization time (Definition 20). `None` means the
+    /// detector makes no declared accuracy promise (or it must be measured).
+    fn accuracy_from(&self) -> Option<Round> {
+        None
+    }
+}
+
+impl CollisionDetector for Box<dyn CollisionDetector> {
+    fn advise(&mut self, round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
+        (**self).advise(round, tx)
+    }
+    fn accuracy_from(&self) -> Option<Round> {
+        (**self).accuracy_from()
+    }
+}
+
+/// What a contention manager may look at when producing advice.
+///
+/// The paper's formal contention managers (Definition 8) are *oblivious* —
+/// they are just sets of advice traces — and implementations of that kind
+/// ignore this view entirely. Practical managers (the backoff manager of
+/// `wan-cm`, which the paper says one could imagine "actively monitoring the
+/// channel") use the channel feedback passed to
+/// [`ContentionManager::observe`]; *fair* managers used in upper-bound
+/// experiments additionally use `alive`/`contending` as an oracle so they
+/// never stabilize on a halted process (see DESIGN.md, "Known subtleties").
+#[derive(Debug, Clone, Copy)]
+pub struct CmView<'a> {
+    /// Number of process indices in the system.
+    pub n: usize,
+    /// Which processes have not crashed.
+    pub alive: &'a [bool],
+    /// Which processes are alive *and* still contending
+    /// ([`crate::Automaton::is_contending`]).
+    pub contending: &'a [bool],
+}
+
+/// A contention manager (Definition 8): a source of per-round
+/// `active`/`passive` advice. Wake-up and leader-election service properties
+/// (Properties 2–3) live in `wan-cm`.
+pub trait ContentionManager {
+    /// Advice for every process index for round `round`. Must return a
+    /// vector of length `view.n`.
+    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice>;
+
+    /// Channel feedback after the round completes: the transmission entry
+    /// and which processes broadcast. Formal managers ignore this;
+    /// backoff-style managers use it to adapt (a real MAC learns the winner
+    /// of an uncontended round by decoding its frame).
+    fn observe(&mut self, _round: Round, _tx: &TransmissionEntry, _senders: &[ProcessId]) {}
+
+    /// The round `r_wake` from which the manager guarantees a single active
+    /// process per round (Property 2), if declared. Managers whose
+    /// stabilization is emergent (backoff) return `None` and are measured
+    /// from the trace instead.
+    fn stabilized_from(&self) -> Option<Round> {
+        None
+    }
+}
+
+impl ContentionManager for Box<dyn ContentionManager> {
+    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
+        (**self).advise(round, view)
+    }
+    fn observe(&mut self, round: Round, tx: &TransmissionEntry, senders: &[ProcessId]) {
+        (**self).observe(round, tx, senders)
+    }
+    fn stabilized_from(&self) -> Option<Round> {
+        (**self).stabilized_from()
+    }
+}
+
+/// Which receivers get which broadcasts in one round.
+///
+/// Keyed by *sender*: `matrix.delivered(s, r)` says whether receiver `r`
+/// obtains the message broadcast by `s`. Because every process broadcasts at
+/// most one message per round, a sender-indexed boolean matrix expresses
+/// every receive behaviour the model admits (constraint 4 of Definition 11);
+/// the engine forces the diagonal (constraint 5: broadcasters receive their
+/// own message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryMatrix {
+    n: usize,
+    rows: BTreeMap<ProcessId, Vec<bool>>,
+}
+
+impl DeliveryMatrix {
+    /// A matrix for the given senders with *no* deliveries (the engine will
+    /// still force self-delivery).
+    pub fn none(senders: &[ProcessId], n: usize) -> Self {
+        let rows = senders.iter().map(|&s| (s, vec![false; n])).collect();
+        DeliveryMatrix { n, rows }
+    }
+
+    /// A matrix where every sender's message reaches every process.
+    pub fn full(senders: &[ProcessId], n: usize) -> Self {
+        let rows = senders.iter().map(|&s| (s, vec![true; n])).collect();
+        DeliveryMatrix { n, rows }
+    }
+
+    /// Number of process indices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The senders this matrix covers, in ascending order.
+    pub fn senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.rows.keys().copied()
+    }
+
+    /// Whether receiver `r` gets sender `s`'s message. `false` if `s` is not
+    /// a sender this round.
+    pub fn delivered(&self, s: ProcessId, r: ProcessId) -> bool {
+        self.rows
+            .get(&s)
+            .map(|row| row[r.index()])
+            .unwrap_or(false)
+    }
+
+    /// Sets whether receiver `r` gets sender `s`'s message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a sender in this matrix or `r` is out of range.
+    pub fn set(&mut self, s: ProcessId, r: ProcessId, delivered: bool) {
+        self.rows
+            .get_mut(&s)
+            .expect("set() on a non-sender row")[r.index()] = delivered;
+    }
+
+    /// Delivers sender `s`'s message to every process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a sender in this matrix.
+    pub fn deliver_all_from(&mut self, s: ProcessId) {
+        self.rows
+            .get_mut(&s)
+            .expect("deliver_all_from() on a non-sender row")
+            .fill(true);
+    }
+
+    /// Forces `delivered(s, s) = true` for every sender: constraint 5 of
+    /// Definition 11 (broadcasters always receive their own message). Called
+    /// by the engine on every matrix an adversary returns.
+    pub fn force_self_delivery(&mut self) {
+        for (s, row) in self.rows.iter_mut() {
+            row[s.index()] = true;
+        }
+    }
+
+    /// How many messages receiver `r` obtains under this matrix.
+    pub fn received_count(&self, r: ProcessId) -> usize {
+        self.rows.values().filter(|row| row[r.index()]).count()
+    }
+}
+
+/// A message-loss adversary: decides, every round, which broadcasts reach
+/// which receivers.
+///
+/// The formal model leaves receive behaviour almost entirely unconstrained
+/// ("any process can lose any arbitrary subset of messages sent by other
+/// processes during any round"); an implementation of this trait *is* that
+/// nondeterminism, resolved. Concrete adversaries (no loss, the total
+/// collision model, partitions, random loss, scripts, and the eventual
+/// collision freedom wrapper of Property 1) live in [`crate::loss`].
+pub trait LossAdversary {
+    /// The delivery matrix for round `round`, given which processes
+    /// broadcast. The engine forces self-delivery afterwards, so adversaries
+    /// need not handle constraint 5 themselves.
+    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix;
+
+    /// The round `r_cf` from which the adversary guarantees eventual
+    /// collision freedom (Property 1: solo broadcasts are delivered to
+    /// everyone), if declared. Used for CST computation (Definition 20).
+    fn collision_free_from(&self) -> Option<Round> {
+        None
+    }
+}
+
+impl LossAdversary for Box<dyn LossAdversary> {
+    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+        (**self).deliver(round, senders, n)
+    }
+    fn collision_free_from(&self) -> Option<Round> {
+        (**self).collision_free_from()
+    }
+}
+
+/// A crash adversary (Section 3.3): decides which processes crash each round.
+///
+/// Crashes take effect at the *start* of the round: a process crashed in
+/// round `r` does not broadcast in `r` and never transitions again. (The
+/// formal model crashes at the transition instead — i.e. the dying process's
+/// round-`r` broadcast still happens; composing our start-of-round crashes
+/// with the unconstrained loss adversary recovers that behaviour, see
+/// DESIGN.md "Known subtleties".)
+pub trait CrashAdversary {
+    /// Processes to crash at the start of `round`. Crashing an
+    /// already-crashed process is a no-op.
+    fn crashes(&mut self, round: Round, alive: &[bool]) -> Vec<ProcessId>;
+}
+
+impl CrashAdversary for Box<dyn CrashAdversary> {
+    fn crashes(&mut self, round: Round, alive: &[bool]) -> Vec<ProcessId> {
+        (**self).crashes(round, alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_matrix_basics() {
+        let senders = [ProcessId(0), ProcessId(2)];
+        let mut m = DeliveryMatrix::none(&senders, 4);
+        assert_eq!(m.n(), 4);
+        assert_eq!(m.senders().collect::<Vec<_>>(), senders);
+        assert!(!m.delivered(ProcessId(0), ProcessId(1)));
+        m.set(ProcessId(0), ProcessId(1), true);
+        assert!(m.delivered(ProcessId(0), ProcessId(1)));
+        // Non-senders never deliver.
+        assert!(!m.delivered(ProcessId(1), ProcessId(0)));
+        m.force_self_delivery();
+        assert!(m.delivered(ProcessId(0), ProcessId(0)));
+        assert!(m.delivered(ProcessId(2), ProcessId(2)));
+        assert_eq!(m.received_count(ProcessId(0)), 1, "own message only");
+        assert_eq!(m.received_count(ProcessId(1)), 1, "from sender 0");
+        assert_eq!(m.received_count(ProcessId(3)), 0);
+    }
+
+    #[test]
+    fn full_matrix_delivers_everything() {
+        let senders = [ProcessId(1)];
+        let m = DeliveryMatrix::full(&senders, 3);
+        for r in 0..3 {
+            assert!(m.delivered(ProcessId(1), ProcessId(r)));
+        }
+        assert_eq!(m.received_count(ProcessId(2)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-sender")]
+    fn setting_non_sender_panics() {
+        let mut m = DeliveryMatrix::none(&[ProcessId(0)], 2);
+        m.set(ProcessId(1), ProcessId(0), true);
+    }
+
+    #[test]
+    fn deliver_all_from_fills_row() {
+        let mut m = DeliveryMatrix::none(&[ProcessId(0), ProcessId(1)], 3);
+        m.deliver_all_from(ProcessId(1));
+        assert!(m.delivered(ProcessId(1), ProcessId(2)));
+        assert!(!m.delivered(ProcessId(0), ProcessId(2)));
+    }
+}

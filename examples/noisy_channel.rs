@@ -1,0 +1,64 @@
+//! Consensus where no message is EVER delivered: the Section 7.4 regime.
+//!
+//! The channel loses every broadcast (only senders hear their own
+//! messages), so ordinary communication is impossible — yet with an
+//! always-accurate, zero-complete collision detector, silence vs noise is
+//! one reliable bit per round, and the BST-walk algorithm decides in
+//! `8·lg|V|` rounds. This example also shows the walk itself.
+//!
+//! ```text
+//! cargo run --example noisy_channel
+//! ```
+
+use ccwan::cd::{CdClass, ClassDetector, FreedomPolicy};
+use ccwan::cm::NoCm;
+use ccwan::consensus::{alg4, ConsensusRun, Value, ValueDomain};
+use ccwan::sim::crash::NoCrashes;
+use ccwan::sim::loss::RandomLoss;
+use ccwan::sim::{Components, Round};
+
+fn main() {
+    let domain = ValueDomain::new(64);
+    let proposals: Vec<Value> = [45, 13, 13].into_iter().map(Value).collect();
+    println!(
+        "proposals {proposals:?} over V[{}]; every message will be lost",
+        domain.size()
+    );
+
+    let components = Components {
+        detector: Box::new(ClassDetector::new(
+            CdClass::ZERO_AC,
+            FreedomPolicy::Quiet,
+            1,
+        )),
+        manager: Box::new(NoCm),
+        loss: Box::new(RandomLoss::new(1.0, 1)), // total loss, forever
+        crash: Box::new(NoCrashes),
+    };
+
+    let mut run = ConsensusRun::new(alg4::processes(domain, &proposals), components);
+
+    // Narrate the walk: one BST step per 4-round group.
+    let mut last_node = None;
+    while !run.all_correct_decided() && run.sim().current_round() < Round(800) {
+        run.step();
+        let node = run.sim().processes()[0].current_node();
+        if last_node != Some(node) {
+            println!(
+                "  round {:>3}: walk at {node} (depth {})",
+                run.sim().current_round().0,
+                run.sim().processes()[0].depth()
+            );
+            last_node = Some(node);
+        }
+    }
+
+    let outcome = run.outcome();
+    println!(
+        "decided {} at round {} (bound 8·lg|V| = {})",
+        outcome.agreed_value().expect("agreement"),
+        outcome.last_decision().unwrap(),
+        8 * domain.bits(),
+    );
+    assert!(outcome.terminated && outcome.is_safe());
+}

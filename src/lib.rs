@@ -1,0 +1,25 @@
+//! # ccwan — Consensus and Collision Detectors in Wireless Ad Hoc Networks
+//!
+//! Umbrella crate for the reproduction of Newport, *Consensus and Collision
+//! Detectors in Wireless Ad Hoc Networks* (PODC 2005 / MIT M.S. thesis 2006).
+//!
+//! This crate re-exports the workspace members under stable module names:
+//!
+//! * [`sim`] — the executable formal model (Section 3): automata, rounds,
+//!   message-loss and crash adversaries, execution traces.
+//! * [`cd`] — collision detector classes and implementations (Section 5).
+//! * [`cm`] — contention managers (Section 4).
+//! * [`consensus`] — the consensus problem and the four algorithms
+//!   (Sections 6–7).
+//! * [`adversary`] — executable lower bounds (Section 8).
+//! * [`phy`] — the slotted SINR radio substrate backing the paper's
+//!   empirical claims (Section 1).
+//!
+//! See `README.md` for a guided tour and `examples/` for runnable scenarios.
+
+pub use ccwan_core as consensus;
+pub use wan_adversary as adversary;
+pub use wan_cd as cd;
+pub use wan_cm as cm;
+pub use wan_phy as phy;
+pub use wan_sim as sim;

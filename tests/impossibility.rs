@@ -1,0 +1,53 @@
+//! The six Section 8 results, end-to-end: each executable construction
+//! must establish its theorem.
+
+use ccwan::adversary::theorems;
+use ccwan::consensus::{IdSpace, ValueDomain};
+
+#[test]
+fn theorem_4_no_collision_detection() {
+    let r = theorems::t4_no_cd(ValueDomain::new(8), 4, 300);
+    assert!(r.established, "{:#?}", r.details);
+}
+
+#[test]
+fn theorem_5_no_accuracy() {
+    let r = theorems::t5_no_acc(ValueDomain::new(8), 4, 300);
+    assert!(r.established, "{:#?}", r.details);
+}
+
+#[test]
+fn theorem_6_anonymous_half_ac_lower_bound() {
+    for v_size in [16u64, 64, 256] {
+        let r = theorems::t6_anon_half_ac(ValueDomain::new(v_size), 3);
+        assert!(r.established, "|V|={v_size}: {:#?}", r.details);
+    }
+}
+
+#[test]
+fn majority_half_gap() {
+    let r = theorems::maj_half_gap(ValueDomain::new(4));
+    assert!(r.established, "{:#?}", r.details);
+}
+
+#[test]
+fn theorem_7_nonanonymous_half_ac_lower_bound() {
+    let r = theorems::t7_nonanon_half_ac(IdSpace::new(16), ValueDomain::new(1 << 12), 2);
+    assert!(r.established, "{:#?}", r.details);
+}
+
+#[test]
+fn theorem_8_eventual_accuracy_without_ecf() {
+    for v_size in [32u64, 128] {
+        let r = theorems::t8_ev_accuracy_nocf(ValueDomain::new(v_size), 3);
+        assert!(r.established, "|V|={v_size}: {:#?}", r.details);
+    }
+}
+
+#[test]
+fn theorem_9_accuracy_without_ecf_lower_bound() {
+    for v_size in [16u64, 64] {
+        let r = theorems::t9_accuracy_nocf(ValueDomain::new(v_size), 3);
+        assert!(r.established, "|V|={v_size}: {:#?}", r.details);
+    }
+}

@@ -1,0 +1,115 @@
+//! Indistinguishability machinery, end-to-end: alpha/beta determinism and
+//! the Lemma 23 composition against multiple algorithms.
+
+use ccwan::adversary::alpha::AlphaExecution;
+use ccwan::adversary::beta::BetaExecution;
+use ccwan::adversary::sequences::{
+    find_pair_with_shared_prefix, lemma21_depth, longest_shared_prefix_pair,
+};
+use ccwan::adversary::{compose_and_verify, observations_equal};
+use ccwan::cd::CdClass;
+use ccwan::consensus::{alg1, alg2, alg4, Value, ValueDomain};
+use ccwan::sim::ProcessId;
+
+#[test]
+fn alpha_executions_are_deterministic_across_rebuilds() {
+    let domain = ValueDomain::new(32);
+    for v in [0u64, 9, 31] {
+        let mk = || alg2::processes(domain, &vec![Value(v); 3]);
+        let a = AlphaExecution::run(mk(), 30);
+        let b = AlphaExecution::run(mk(), 30);
+        for i in 0..3 {
+            observations_equal(&a.trace, ProcessId(i), &b.trace, ProcessId(i), 30)
+                .expect("alpha must replay exactly");
+        }
+    }
+}
+
+#[test]
+fn pigeonhole_guarantee_holds_for_every_algorithm() {
+    // Lemma 21's pigeonhole is algorithm-independent: for any anonymous
+    // algorithm, some value pair shares the guaranteed depth.
+    let domain = ValueDomain::new(64);
+    let k = lemma21_depth(domain);
+    // Algorithm 2.
+    assert!(find_pair_with_shared_prefix(
+        domain.values().collect::<Vec<_>>(),
+        k,
+        |&v| AlphaExecution::run(alg2::processes(domain, &vec![v; 3]), k as u64)
+            .broadcast_seq(k)
+    )
+    .is_some());
+    // Algorithm 1.
+    assert!(find_pair_with_shared_prefix(
+        domain.values().collect::<Vec<_>>(),
+        k,
+        |&v| AlphaExecution::run(alg1::processes(domain, &vec![v; 3]), k as u64)
+            .broadcast_seq(k)
+    )
+    .is_some());
+    // The BST algorithm.
+    assert!(find_pair_with_shared_prefix(
+        domain.values().collect::<Vec<_>>(),
+        k,
+        |&v| AlphaExecution::run(alg4::processes(domain, &vec![v; 3]), k as u64)
+            .broadcast_seq(k)
+    )
+    .is_some());
+}
+
+#[test]
+fn composition_establishes_bound_for_alg2_across_domains() {
+    for v_size in [16u64, 64, 128] {
+        let domain = ValueDomain::new(v_size);
+        let depth = 4 * (domain.bits() as usize + 2);
+        let (v1, v2, shared) = longest_shared_prefix_pair(
+            domain.values().collect::<Vec<_>>(),
+            depth,
+            |&v| {
+                AlphaExecution::run(alg2::processes(domain, &vec![v; 3]), depth as u64)
+                    .broadcast_seq(depth)
+            },
+        )
+        .unwrap();
+        let report = compose_and_verify(
+            || alg2::processes(domain, &vec![v1; 3]),
+            || alg2::processes(domain, &vec![v2; 3]),
+            shared.max(1),
+            CdClass::HALF_AC,
+        );
+        assert!(
+            report.establishes_lower_bound(),
+            "|V|={v_size}: {:?}",
+            report.indistinguishability_failure
+        );
+    }
+}
+
+#[test]
+fn beta_executions_are_symmetric_and_deterministic() {
+    let domain = ValueDomain::new(32);
+    for v in [0u64, 17, 31] {
+        let mk = || alg4::processes(domain, &vec![Value(v); 4]);
+        let a = BetaExecution::run(mk(), 60);
+        assert!(a.is_symmetric());
+        let b = BetaExecution::run(mk(), 60);
+        assert_eq!(a.binary_broadcast_seq(60), b.binary_broadcast_seq(60));
+    }
+}
+
+#[test]
+fn group_size_does_not_change_alpha_counts() {
+    // Corollary 2 flavour: the broadcast-count sequence of an anonymous
+    // algorithm's alpha execution depends on the value, not on which
+    // specific equal-sized index set runs it. Rebuilding with the same n
+    // must agree; and for Algorithm 2 the sequence is even n-independent
+    // in the {0,1,2+} abstraction once n ≥ 2.
+    let domain = ValueDomain::new(16);
+    for v in [3u64, 12] {
+        let s2 = AlphaExecution::run(alg2::processes(domain, &vec![Value(v); 2]), 12)
+            .broadcast_seq(12);
+        let s5 = AlphaExecution::run(alg2::processes(domain, &vec![Value(v); 5]), 12)
+            .broadcast_seq(12);
+        assert_eq!(s2, s5, "value {v}");
+    }
+}

@@ -1,0 +1,99 @@
+//! The full stack: consensus algorithms running over the slotted SINR
+//! radio with carrier-sensing collision detection and the backoff MAC —
+//! no formal-model shortcuts anywhere, plus the Section 1 empirical-claim
+//! checks at test strength.
+
+use ccwan::cd::{CdClass, CheckedDetector};
+use ccwan::cm::BackoffCm;
+use ccwan::consensus::{alg2, ConsensusRun, Value, ValueDomain};
+use ccwan::phy::{measure_properties, phy_components, simulate_sync, PhyConfig, SyncConfig};
+use ccwan::sim::crash::{NoCrashes, ScheduledCrashes};
+use ccwan::sim::loss::Ecf;
+use ccwan::sim::{Components, ProcessId, Round};
+
+fn full_stack(n: usize, seed: u64, crash: Option<(usize, u64)>) -> ConsensusRun<alg2::ZeroEcfConsensus> {
+    let domain = ValueDomain::new(16);
+    let (loss, detector) = phy_components(PhyConfig::new(n, seed));
+    let values: Vec<Value> = (0..n).map(|i| Value((seed + i as u64) % 16)).collect();
+    let crash_adv: Box<dyn ccwan::sim::CrashAdversary> = match crash {
+        Some((p, r)) => Box::new(ScheduledCrashes::new().crash(ProcessId(p), Round(r))),
+        None => Box::new(NoCrashes),
+    };
+    ConsensusRun::new(
+        alg2::processes(domain, &values),
+        Components {
+            detector: Box::new(CheckedDetector::new(detector, CdClass::ZERO_EV_AC)),
+            manager: Box::new(BackoffCm::new(seed ^ 0xFEED)),
+            loss: Box::new(Ecf::new(loss, Round(1))),
+            crash: crash_adv,
+        },
+    )
+}
+
+#[test]
+fn consensus_over_the_radio_terminates_safely() {
+    for n in [4usize, 8, 12] {
+        for seed in 1..6u64 {
+            let mut run = full_stack(n, seed * 31, None);
+            let outcome = run.run_to_completion(Round(4000));
+            assert!(outcome.is_safe(), "n={n} seed={seed}");
+            assert!(outcome.terminated, "n={n} seed={seed}: no decision in 4000 rounds");
+        }
+    }
+}
+
+#[test]
+fn consensus_over_the_radio_survives_a_crash() {
+    for seed in 1..5u64 {
+        let mut run = full_stack(6, seed * 17, Some((0, 9)));
+        let outcome = run.run_to_completion(Round(5000));
+        assert!(outcome.is_safe(), "seed={seed}");
+        assert!(outcome.terminated, "seed={seed}");
+    }
+}
+
+#[test]
+fn backoff_mac_stabilizes_on_the_radio() {
+    let mut run = full_stack(8, 5, None);
+    run.run_to_completion(Round(4000));
+    assert!(
+        run.trace().observed_wakeup_round().is_some(),
+        "no single-active suffix observed"
+    );
+}
+
+#[test]
+fn paper_claim_zero_completeness_always_majority_mostly() {
+    let stats = measure_properties(PhyConfig::new(8, 3), 1500, 0.4, 99);
+    assert!(stats.zero_complete_rounds >= 0.995, "{stats:?}");
+    assert!(stats.majority_complete_rounds > 0.9, "{stats:?}");
+    assert!(stats.accurate_rounds >= 0.995, "{stats:?}");
+}
+
+#[test]
+fn paper_claim_20_to_50_percent_loss_under_load() {
+    let stats = measure_properties(PhyConfig::new(8, 5), 1500, 0.6, 41);
+    assert!(
+        (0.2..=0.55).contains(&stats.loss_fraction),
+        "loss {:.3} outside the paper's 20-50% band",
+        stats.loss_fraction
+    );
+}
+
+#[test]
+fn interference_gives_eventual_accuracy_with_declared_horizon() {
+    let cfg = PhyConfig::new(6, 7).with_interference(0.4, Some(Round(200)));
+    let (_, detector) = phy_components(cfg);
+    use ccwan::sim::CollisionDetector;
+    assert_eq!(detector.accuracy_from(), Some(Round(200)));
+}
+
+#[test]
+fn synchronized_rounds_are_justified() {
+    let stats = simulate_sync(SyncConfig::default(), 20_000);
+    assert!(
+        stats.skew_fraction_of_round < 0.05,
+        "clock skew {:.4} of a round — synchronized rounds unsound",
+        stats.skew_fraction_of_round
+    );
+}
