@@ -131,10 +131,7 @@ mod tests {
         let a = alpha_alg2(3, 16, 9, 6);
         for rec in a.trace.rounds() {
             let contended = rec.senders().len() >= 2;
-            assert!(rec
-                .cd
-                .iter()
-                .all(|adv| adv.is_collision() == contended));
+            assert!(rec.cd.iter().all(|adv| adv.is_collision() == contended));
         }
     }
 }

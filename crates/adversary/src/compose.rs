@@ -129,8 +129,8 @@ where
 
     // 4. Loss: alpha rule within each group, total loss across, healing at
     //    k+1 so γ satisfies eventual collision freedom (item 2).
-    let loss = PartitionLoss::two_groups(2 * n, n, IntraGroupRule::Solo)
-        .healing_from(Round(k as u64 + 1));
+    let loss =
+        PartitionLoss::two_groups(2 * n, n, IntraGroupRule::Solo).healing_from(Round(k as u64 + 1));
 
     let mut composed_procs = build_a();
     composed_procs.extend(build_b());
@@ -223,15 +223,12 @@ mod tests {
         let domain = ValueDomain::new(64);
         let n = 3;
         let depth = 4 * (domain.bits() as usize + 2);
-        let (v1, v2, shared) = longest_shared_prefix_pair(
-            domain.values().collect::<Vec<_>>(),
-            depth,
-            |&v| {
+        let (v1, v2, shared) =
+            longest_shared_prefix_pair(domain.values().collect::<Vec<_>>(), depth, |&v| {
                 AlphaExecution::run(alg2::processes(domain, &vec![v; n]), depth as u64)
                     .broadcast_seq(depth)
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         assert!(shared >= lemma21_depth(domain));
         let k = shared.max(1);
         let report = compose_and_verify(
@@ -247,7 +244,10 @@ mod tests {
             report.indistinguishability_failure
         );
         assert_eq!(report.detector_violations, 0);
-        assert!(!report.decided_within_k, "Algorithm 2 must not decide early");
+        assert!(
+            !report.decided_within_k,
+            "Algorithm 2 must not decide early"
+        );
         assert!(report.establishes_lower_bound());
     }
 

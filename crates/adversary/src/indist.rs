@@ -129,7 +129,10 @@ mod tests {
         let a = AlphaExecution::run(alg2::processes(domain, &[Value(0), Value(0)]), 10);
         let b = AlphaExecution::run(alg2::processes(domain, &[Value(7), Value(7)]), 10);
         let res = observations_equal(&a.trace, ProcessId(0), &b.trace, ProcessId(0), 10);
-        assert!(res.is_err(), "v0 vs v7 alphas must diverge within 10 rounds");
+        assert!(
+            res.is_err(),
+            "v0 vs v7 alphas must diverge within 10 rounds"
+        );
         let m = res.unwrap_err();
         assert!(m.round >= Round(1));
         assert!(!m.to_string().is_empty());

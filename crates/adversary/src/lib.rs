@@ -34,7 +34,7 @@ pub mod sequences;
 pub mod theorems;
 
 pub use alpha::AlphaExecution;
-pub use compose::{CompositionReport, compose_and_verify};
+pub use compose::{compose_and_verify, CompositionReport};
 pub use indist::{observations_equal, IndistMismatch};
 pub use sequences::{find_pair_with_shared_prefix, longest_shared_prefix_pair};
 pub use theorems::TheoremReport;

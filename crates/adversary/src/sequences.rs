@@ -134,9 +134,8 @@ mod tests {
         // Lemma 21 guarantees a pair for Algorithm 2 over V[64] at depth 2.
         let domain = ValueDomain::new(64);
         let k = lemma21_depth(domain);
-        let pair = find_pair_with_shared_prefix(all_values(domain), k, |&v| {
-            alpha_seq(3, domain, v, k)
-        });
+        let pair =
+            find_pair_with_shared_prefix(all_values(domain), k, |&v| alpha_seq(3, domain, v, k));
         assert!(pair.is_some(), "pigeonhole pair must exist at depth {k}");
         let (a, b) = pair.unwrap();
         assert_ne!(a, b);
@@ -147,11 +146,10 @@ mod tests {
         let domain = ValueDomain::new(32);
         let k_guarantee = lemma21_depth(domain);
         let depth = 4 * (domain.bits() as usize + 2);
-        let (a, b, shared) =
-            longest_shared_prefix_pair(all_values(domain), depth, |&v| {
-                alpha_seq(3, domain, v, depth)
-            })
-            .unwrap();
+        let (a, b, shared) = longest_shared_prefix_pair(all_values(domain), depth, |&v| {
+            alpha_seq(3, domain, v, depth)
+        })
+        .unwrap();
         assert_ne!(a, b);
         assert!(
             shared >= k_guarantee,
@@ -166,9 +164,8 @@ mod tests {
     #[test]
     fn no_pair_among_singletons() {
         let domain = ValueDomain::new(1);
-        let pair = find_pair_with_shared_prefix(all_values(domain), 1, |&v| {
-            alpha_seq(2, domain, v, 1)
-        });
+        let pair =
+            find_pair_with_shared_prefix(all_values(domain), 1, |&v| alpha_seq(2, domain, v, 1));
         assert!(pair.is_none());
     }
 }

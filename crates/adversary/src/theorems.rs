@@ -12,9 +12,7 @@ use crate::sequences::{lemma21_depth, lemma22_depth, longest_shared_prefix_pair}
 use ccwan_core::alg1::MajEcfConsensus;
 use ccwan_core::alg3::NonAnonConsensus;
 use ccwan_core::strawman::CdBlindOptimist;
-use ccwan_core::{
-    alg2, alg4, ConsensusRun, IdSpace, SafetyViolation, Uid, Value, ValueDomain,
-};
+use ccwan_core::{alg2, alg4, ConsensusRun, IdSpace, SafetyViolation, Uid, Value, ValueDomain};
 use wan_cd::{CdClass, ClassDetector, FreedomPolicy, NoCdDetector, ScriptedDetector};
 use wan_cm::{LeaderElectionService, PreStabilization, ScriptedCm};
 use wan_sim::crash::NoCrashes;
@@ -153,7 +151,9 @@ pub fn t4_no_cd(domain: ValueDomain, n: usize, horizon: u64) -> TheoremReport {
         .safety_violations()
         .iter()
         .any(|x| matches!(x, SafetyViolation::Agreement { .. }));
-    report.note(format!("γ breaks agreement for the strawman: {agreement_broken}"));
+    report.note(format!(
+        "γ breaks agreement for the strawman: {agreement_broken}"
+    ));
 
     report.established = stalled && both_decided && indistinguishable && agreement_broken;
     report
@@ -219,14 +219,9 @@ pub fn t6_anon_half_ac(domain: ValueDomain, n: usize) -> TheoremReport {
         ),
     );
     let depth = 4 * (domain.bits() as usize + 2);
-    let pair = longest_shared_prefix_pair(
-        domain.values().collect::<Vec<_>>(),
-        depth,
-        |&v| {
-            AlphaExecution::run(alg2::processes(domain, &vec![v; n]), depth as u64)
-                .broadcast_seq(depth)
-        },
-    );
+    let pair = longest_shared_prefix_pair(domain.values().collect::<Vec<_>>(), depth, |&v| {
+        AlphaExecution::run(alg2::processes(domain, &vec![v; n]), depth as u64).broadcast_seq(depth)
+    });
     let Some((v1, v2, shared)) = pair else {
         report.note("domain too small for a pair".to_string());
         return report;
@@ -249,8 +244,7 @@ pub fn t6_anon_half_ac(domain: ValueDomain, n: usize) -> TheoremReport {
         comp.detector_violations == 0,
         !comp.decided_within_k
     ));
-    report.established =
-        shared >= lemma21_depth(domain) && comp.establishes_lower_bound();
+    report.established = shared >= lemma21_depth(domain) && comp.establishes_lower_bound();
     report
 }
 
@@ -330,7 +324,10 @@ pub fn t7_nonanon_half_ac(ids: IdSpace, domain: ValueDomain, n: usize) -> Theore
     let blocks = (ids.size() / n as u64).min(16);
     let value_samples: Vec<Value> = {
         let step = (domain.size() / 16).max(1);
-        (0..domain.size()).step_by(step as usize).map(Value).collect()
+        (0..domain.size())
+            .step_by(step as usize)
+            .map(Value)
+            .collect()
     };
     let depth = 8 * (ids.bits().max(domain.bits()) as usize + 2);
     let build = |block: u64, v: Value| -> Vec<NonAnonConsensus> {
@@ -351,7 +348,8 @@ pub fn t7_nonanon_half_ac(ids: IdSpace, domain: ValueDomain, n: usize) -> Theore
         .collect();
     entries.sort_by(|a, b| a.0.cmp(&b.0));
     // Deepest pair with different block AND value.
-    let mut best: Option<((u64, Value), (u64, Value), usize)> = None;
+    type BlockValue = (u64, Value);
+    let mut best: Option<(BlockValue, BlockValue, usize)> = None;
     for i in 0..entries.len() {
         for j in (i + 1)..entries.len().min(i + 8) {
             let (ka, kb) = (entries[i].1, entries[j].1);
@@ -472,8 +470,7 @@ pub fn t8_ev_accuracy_nocf(domain: ValueDomain, n: usize) -> TheoremReport {
         },
     );
     let solo_out = solo.run_rounds(k);
-    let indist =
-        group_observations_equal(gamma.trace(), loser_base, n, solo.trace(), k as usize);
+    let indist = group_observations_equal(gamma.trace(), loser_base, n, solo.trace(), k as usize);
     report.note(format!(
         "solo replay indistinguishable from γ for the losing group: {}",
         indist.is_ok()
@@ -574,16 +571,12 @@ pub fn t9_accuracy_nocf(domain: ValueDomain, n: usize) -> TheoremReport {
             })
             .collect()
     };
-    let pair = longest_shared_prefix_pair(
-        domain.values().collect::<Vec<_>>(),
-        depth,
-        |&v| {
-            to_counts(
-                BetaExecution::run(alg4::processes(domain, &vec![v; n]), depth as u64)
-                    .binary_broadcast_seq(depth),
-            )
-        },
-    );
+    let pair = longest_shared_prefix_pair(domain.values().collect::<Vec<_>>(), depth, |&v| {
+        to_counts(
+            BetaExecution::run(alg4::processes(domain, &vec![v; n]), depth as u64)
+                .binary_broadcast_seq(depth),
+        )
+    });
     let Some((v1, v2, shared)) = pair else {
         report.note("domain too small".to_string());
         return report;
@@ -618,8 +611,7 @@ pub fn t9_accuracy_nocf(domain: ValueDomain, n: usize) -> TheoremReport {
     ));
     let undecided = out.first_decision().is_none();
     report.note(format!("no decision through round {k}: {undecided}"));
-    report.established =
-        shared as u64 >= bound && ind_a.is_ok() && ind_b.is_ok() && undecided;
+    report.established = shared as u64 >= bound && ind_a.is_ok() && ind_b.is_ok() && undecided;
     report
 }
 

@@ -1,0 +1,298 @@
+//! `engine_dispatch`: static vs. boxed engine dispatch on the per-round
+//! hot path — 1000-round runs through both forms of the same component
+//! stack.
+//!
+//! Two stacks are measured:
+//!
+//! * `storm` — trivial components (`AlwaysNull`/`AllActive`/`NoLoss`/
+//!   `NoCrashes`), where per-component work is nil and the dispatch
+//!   mechanism itself dominates: the upper bound on what static dispatch
+//!   can buy.
+//! * `ecf` — a realistic experiment stack (in-class detector, fair
+//!   wake-up, ECF-wrapped random loss), where component work dilutes the
+//!   dispatch win: the realistic figure.
+//!
+//! Each stack runs at two system sizes: `n = 4` (dispatch-dominated — the
+//! per-round payload is a handful of small allocations, so the virtual
+//! calls and lost inlining of the boxed path are a visible fraction) and
+//! `n = 50` (payload-dominated — 50 broadcasters mean thousands of
+//! multiset insertions per round, so *any* dispatch mechanism is noise;
+//! reported faithfully all the same).
+//!
+//! The headline speedup figure uses *interleaved paired sampling*: static
+//! and boxed samples alternate back-to-back and the reported speedup is
+//! the median of per-pair ratios. On a shared machine, sequential
+//! benchmarking puts minutes between the two variants' samples and
+//! scheduling noise swamps a few-percent dispatch effect; pairing cancels
+//! the drift.
+//!
+//! Besides the stdout report, the bench writes machine-readable results to
+//! `BENCH_engine.json` at the workspace root. Run with:
+//!
+//! ```text
+//! cargo bench -p wan-bench --bench engine_dispatch          # full
+//! CCWAN_BENCH_QUICK=1 cargo bench -p wan-bench --bench engine_dispatch
+//! ```
+
+use criterion::{black_box, Criterion};
+use std::fmt::Write as _;
+use wan_cd::{CdClass, ClassDetector, FreedomPolicy};
+use wan_cm::FairWakeUp;
+use wan_sim::crash::NoCrashes;
+use wan_sim::loss::{Ecf, NoLoss, RandomLoss};
+use wan_sim::{
+    AllActive, AlwaysNull, Automaton, CmAdvice, Components, Engine, Round, RoundInput, Simulation,
+    TraceDetail,
+};
+
+const ROUNDS: u64 = 1000;
+
+/// Broadcasts its id every round and folds what it hears into a checksum:
+/// per-round automaton work is a few adds, so the engine (and its dispatch
+/// mechanism) dominates the profile.
+struct Beacon {
+    id: usize,
+    checksum: u64,
+}
+
+impl Automaton for Beacon {
+    type Msg = u64;
+    fn message(&self, cm: CmAdvice) -> Option<u64> {
+        cm.is_active().then_some(self.id as u64)
+    }
+    fn transition(&mut self, input: RoundInput<'_, u64>) {
+        self.checksum = self
+            .checksum
+            .wrapping_add(input.received.total() as u64)
+            .wrapping_add(input.round.0);
+    }
+}
+
+fn beacons(n: usize) -> Vec<Beacon> {
+    (0..n).map(|id| Beacon { id, checksum: 0 }).collect()
+}
+
+fn ecf_parts(seed: u64) -> (ClassDetector, FairWakeUp, Ecf<RandomLoss>, NoCrashes) {
+    (
+        ClassDetector::new(CdClass::MAJ_EV_AC, FreedomPolicy::Quiet, seed).accurate_from(Round(8)),
+        FairWakeUp::immediate(),
+        Ecf::new(RandomLoss::new(0.3, seed), Round(8)),
+        NoCrashes,
+    )
+}
+
+fn checksum(procs: &[Beacon]) -> u64 {
+    procs.iter().fold(0u64, |a, p| a.wrapping_add(p.checksum))
+}
+
+fn run_static_storm<const N: usize>() -> u64 {
+    let mut engine = Engine::from_parts(beacons(N), AlwaysNull, AllActive, NoLoss, NoCrashes)
+        .with_detail(TraceDetail::Counts);
+    engine.run_untraced(ROUNDS);
+    checksum(engine.processes())
+}
+
+fn run_boxed_storm<const N: usize>() -> u64 {
+    // `black_box` keeps the component types opaque, as they are in real
+    // registry-driven sweeps — otherwise LTO devirtualizes the boxed path
+    // and the comparison measures nothing.
+    let mut engine = Simulation::new(
+        beacons(N),
+        black_box(Components {
+            detector: Box::new(AlwaysNull),
+            manager: Box::new(AllActive),
+            loss: Box::new(NoLoss),
+            crash: Box::new(NoCrashes),
+        }),
+    )
+    .with_detail(TraceDetail::Counts);
+    engine.run_untraced(ROUNDS);
+    checksum(engine.processes())
+}
+
+fn run_static_ecf<const N: usize>() -> u64 {
+    let (cd, cm, loss, crash) = ecf_parts(7);
+    let mut engine =
+        Engine::from_parts(beacons(N), cd, cm, loss, crash).with_detail(TraceDetail::Counts);
+    engine.run_untraced(ROUNDS);
+    checksum(engine.processes())
+}
+
+fn run_boxed_ecf<const N: usize>() -> u64 {
+    let (cd, cm, loss, crash) = ecf_parts(7);
+    let mut engine = Simulation::new(
+        beacons(N),
+        black_box(Components {
+            detector: Box::new(cd),
+            manager: Box::new(cm),
+            loss: Box::new(loss),
+            crash: Box::new(crash),
+        }),
+    )
+    .with_detail(TraceDetail::Counts);
+    engine.run_untraced(ROUNDS);
+    checksum(engine.processes())
+}
+
+fn run_static_ecf_traced<const N: usize>() -> u64 {
+    let (cd, cm, loss, crash) = ecf_parts(7);
+    let mut engine =
+        Engine::from_parts(beacons(N), cd, cm, loss, crash).with_detail(TraceDetail::Counts);
+    engine.run(ROUNDS);
+    checksum(engine.processes())
+}
+
+fn run_static_storm_traced<const N: usize>() -> u64 {
+    let mut engine = Engine::from_parts(beacons(N), AlwaysNull, AllActive, NoLoss, NoCrashes)
+        .with_detail(TraceDetail::Counts);
+    engine.run(ROUNDS);
+    checksum(engine.processes())
+}
+
+/// Nanoseconds per run, over `iters` back-to-back runs under one timer.
+fn time_ns(f: fn() -> u64, iters: u64) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Interleaved paired comparison: alternates static/boxed samples and
+/// returns (median speedup, static median ns, boxed median ns).
+fn paired_speedup(static_f: fn() -> u64, boxed_f: fn() -> u64) -> (f64, f64, f64) {
+    let quick = std::env::var_os("CCWAN_BENCH_QUICK").is_some();
+    let pairs = if quick { 7 } else { 21 };
+    // Calibrate so one sample costs ~60 ms.
+    let once = time_ns(static_f, 1);
+    let iters = ((60_000_000.0 / once) as u64).max(1);
+    // Warm both paths.
+    time_ns(static_f, iters);
+    time_ns(boxed_f, iters);
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut static_ns = Vec::with_capacity(pairs);
+    let mut boxed_ns = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let s = time_ns(static_f, iters);
+        let b = time_ns(boxed_f, iters);
+        ratios.push(b / s);
+        static_ns.push(s);
+        boxed_ns.push(b);
+    }
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        xs[xs.len() / 2]
+    };
+    (
+        median(&mut ratios),
+        median(&mut static_ns),
+        median(&mut boxed_ns),
+    )
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+
+    // Sanity: both dispatch paths execute the identical system.
+    assert_eq!(run_static_storm::<4>(), run_boxed_storm::<4>());
+    assert_eq!(run_static_ecf::<50>(), run_boxed_ecf::<50>());
+
+    // Per-variant figures (sequential, criterion-style), at n = 50.
+    let mut group = c.benchmark_group("engine_dispatch");
+    group.bench_function("storm/static/n50", |b| {
+        b.iter(|| black_box(run_static_storm::<50>()))
+    });
+    group.bench_function("storm/boxed/n50", |b| {
+        b.iter(|| black_box(run_boxed_storm::<50>()))
+    });
+    group.bench_function("ecf/static/n50", |b| {
+        b.iter(|| black_box(run_static_ecf::<50>()))
+    });
+    group.bench_function("ecf/boxed/n50", |b| {
+        b.iter(|| black_box(run_boxed_ecf::<50>()))
+    });
+    group.finish();
+
+    // Headline speedups (interleaved paired sampling), both system sizes.
+    type Cell = (&'static str, usize, fn() -> u64, fn() -> u64);
+    let cells: [Cell; 4] = [
+        ("storm", 4, run_static_storm::<4>, run_boxed_storm::<4>),
+        ("ecf", 4, run_static_ecf::<4>, run_boxed_ecf::<4>),
+        ("storm", 50, run_static_storm::<50>, run_boxed_storm::<50>),
+        ("ecf", 50, run_static_ecf::<50>, run_boxed_ecf::<50>),
+    ];
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"engine_dispatch\",");
+    let _ = writeln!(json, "  \"rounds_per_run\": {ROUNDS},");
+    let _ = writeln!(
+        json,
+        "  \"method\": \"interleaved paired sampling; speedup = median of per-pair boxed/static ratios\","
+    );
+    let _ = writeln!(json, "  \"scenarios\": [");
+    let count = cells.len();
+    for (i, (stack, n, static_f, boxed_f)) in cells.into_iter().enumerate() {
+        let (speedup, static_ns, boxed_ns) = paired_speedup(static_f, boxed_f);
+        println!(
+            "paired {stack:<6} n={n:<3} static {static_ns:>14.1} ns/run  boxed {boxed_ns:>14.1} \
+             ns/run  speedup {speedup:.3}x"
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"stack\": \"{stack}\",");
+        let _ = writeln!(json, "      \"processes\": {n},");
+        let _ = writeln!(json, "      \"static_ns_per_run\": {static_ns:.1},");
+        let _ = writeln!(json, "      \"boxed_ns_per_run\": {boxed_ns:.1},");
+        let _ = writeln!(
+            json,
+            "      \"static_ns_per_round\": {:.2},",
+            static_ns / ROUNDS as f64
+        );
+        let _ = writeln!(
+            json,
+            "      \"boxed_ns_per_round\": {:.2},",
+            boxed_ns / ROUNDS as f64
+        );
+        let _ = writeln!(json, "      \"speedup_static_over_boxed\": {speedup:.3}");
+        let _ = writeln!(json, "    }}{}", if i + 1 < count { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+
+    // The engine's sweep fast path: running untraced vs. recording a
+    // counts-detail trace. This is the robust engine win of the generic
+    // refactor — per-round record assembly gone entirely.
+    type TraceCell = (&'static str, usize, fn() -> u64, fn() -> u64);
+    let trace_cells: [TraceCell; 2] = [
+        (
+            "storm",
+            4,
+            run_static_storm::<4>,
+            run_static_storm_traced::<4>,
+        ),
+        ("ecf", 50, run_static_ecf::<50>, run_static_ecf_traced::<50>),
+    ];
+    let _ = writeln!(json, "  \"trace_overhead\": [");
+    let count = trace_cells.len();
+    for (i, (stack, n, untraced_f, traced_f)) in trace_cells.into_iter().enumerate() {
+        let (speedup, untraced_ns, traced_ns) = paired_speedup(untraced_f, traced_f);
+        println!(
+            "paired {stack:<6} n={n:<3} untraced {untraced_ns:>12.1} ns/run  traced \
+             {traced_ns:>14.1} ns/run  speedup {speedup:.3}x"
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"stack\": \"{stack}\",");
+        let _ = writeln!(json, "      \"processes\": {n},");
+        let _ = writeln!(json, "      \"untraced_ns_per_run\": {untraced_ns:.1},");
+        let _ = writeln!(json, "      \"traced_ns_per_run\": {traced_ns:.1},");
+        let _ = writeln!(json, "      \"speedup_untraced_over_traced\": {speedup:.3}");
+        let _ = writeln!(json, "    }}{}", if i + 1 < count { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(out, &json).expect("write BENCH_engine.json");
+    println!("\nwrote {out}:\n{json}");
+}

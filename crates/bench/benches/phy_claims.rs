@@ -6,7 +6,13 @@ use wan_bench::{experiments, Scale};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    println!("{}", experiments::phy_claims::e11_detector_properties(scale));
+    println!(
+        "{}",
+        experiments::phy_claims::e11_detector_properties(scale)
+    );
     println!("{}", experiments::phy_claims::e12_loss_under_load(scale));
-    println!("{}", experiments::phy_claims::e13_backoff_and_end_to_end(scale));
+    println!(
+        "{}",
+        experiments::phy_claims::e13_backoff_and_end_to_end(scale)
+    );
 }

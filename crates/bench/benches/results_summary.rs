@@ -6,11 +6,26 @@ use wan_bench::{experiments, Scale};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    println!("{}", experiments::upper_bounds::e2_alg1_constant_rounds(scale));
+    println!(
+        "{}",
+        experiments::upper_bounds::e2_alg1_constant_rounds(scale)
+    );
     println!("{}", experiments::upper_bounds::e3_alg2_log_rounds(scale));
-    println!("{}", experiments::upper_bounds::e4_nonanon_min_crossover(scale));
+    println!(
+        "{}",
+        experiments::upper_bounds::e4_nonanon_min_crossover(scale)
+    );
     println!("{}", experiments::upper_bounds::e5_bst_nocf_bound(scale));
-    println!("{}", experiments::ablation::e14_model_and_detector_ablation(scale));
-    println!("{}", experiments::extensions::e15_occasional_detectors(scale));
-    println!("{}", experiments::extensions::e16_counting_separation(scale));
+    println!(
+        "{}",
+        experiments::ablation::e14_model_and_detector_ablation(scale)
+    );
+    println!(
+        "{}",
+        experiments::extensions::e15_occasional_detectors(scale)
+    );
+    println!(
+        "{}",
+        experiments::extensions::e16_counting_separation(scale)
+    );
 }

@@ -4,7 +4,33 @@
 //! run_experiments [--quick] [--only eN]
 //! ```
 
-use wan_bench::{experiments, Scale};
+use wan_bench::{experiments, Scale, Table};
+
+type Experiment = fn(Scale) -> Table;
+
+/// Experiment ids in suite order; `--only` dispatches here, so a filtered
+/// run executes only the requested experiment.
+const EXPERIMENTS: [(&str, Experiment); 16] = [
+    ("e1", experiments::lattice::e1_figure1_lattice),
+    ("e2", experiments::upper_bounds::e2_alg1_constant_rounds),
+    ("e3", experiments::upper_bounds::e3_alg2_log_rounds),
+    ("e4", experiments::upper_bounds::e4_nonanon_min_crossover),
+    ("e5", experiments::upper_bounds::e5_bst_nocf_bound),
+    ("e6", experiments::lower_bounds::e6_impossibility),
+    ("e7", experiments::lower_bounds::e7_anon_half_ac),
+    ("e8", experiments::lower_bounds::e8_nonanon_half_ac),
+    ("e9", experiments::lower_bounds::e9_ev_accuracy_nocf),
+    ("e10", experiments::lower_bounds::e10_accuracy_nocf),
+    ("e11", experiments::phy_claims::e11_detector_properties),
+    ("e12", experiments::phy_claims::e12_loss_under_load),
+    ("e13", experiments::phy_claims::e13_backoff_and_end_to_end),
+    (
+        "e14",
+        experiments::ablation::e14_model_and_detector_ablation,
+    ),
+    ("e15", experiments::extensions::e15_occasional_detectors),
+    ("e16", experiments::extensions::e16_counting_separation),
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,19 +45,21 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_lowercase());
 
-    println!("# ccwan experiment suite ({scale:?})");
-    for table in experiments::all(scale) {
-        if let Some(filter) = &only {
-            let id = table
-                .title
-                .split([' ', ':'])
-                .next()
-                .unwrap_or("")
-                .to_lowercase();
-            if &id != filter {
-                continue;
-            }
+    if let Some(filter) = &only {
+        if !EXPERIMENTS.iter().any(|(id, _)| id == filter) {
+            eprintln!(
+                "unknown experiment {filter:?}; expected one of e1..e{}",
+                EXPERIMENTS.len()
+            );
+            std::process::exit(2);
         }
-        println!("{table}");
+    }
+
+    println!("# ccwan experiment suite ({scale:?})");
+    for (id, experiment) in EXPERIMENTS {
+        if only.as_deref().is_some_and(|filter| filter != id) {
+            continue;
+        }
+        println!("{}", experiment(scale));
     }
 }

@@ -1,9 +1,9 @@
 //! E14: model and detector ablations — why the paper's model and detector
 //! classes matter.
 
-use super::helpers::EnvPlan;
+use crate::sweep::{spec::ablation_specs, SweepRunner};
 use crate::{Scale, Table};
-use ccwan_core::{alg1, alg2, ConsensusRun, Value, ValueDomain};
+use ccwan_core::{alg1, ConsensusRun, Value, ValueDomain};
 use wan_cd::{CdClass, ClassDetector, FreedomPolicy};
 use wan_cm::FairWakeUp;
 use wan_sim::crash::NoCrashes;
@@ -38,41 +38,28 @@ pub fn e14_model_and_detector_ablation(scale: Scale) -> Table {
         "total collision model + AC + Algorithm 1".into(),
         format!(
             "decided {} at round {:?} (safe: {})",
-            out.agreed_value().map(|v| v.to_string()).unwrap_or_default(),
+            out.agreed_value()
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
             out.last_decision().map(|r| r.0),
             out.is_safe()
         ),
     ]);
 
-    let plan = EnvPlan::chaos(6);
-    let worst = super::helpers::worst_rounds_past_cst(
-        |seed| {
-            (
-                alg1::processes(domain, &values),
-                plan.components(CdClass::MAJ_EV_AC, seed),
-            )
-        },
-        scale.seeds(),
-        400,
-    );
+    let specs = ablation_specs(scale);
+    let results = SweepRunner::parallel().run(&specs);
     t.row(vec![
         "arbitrary loss + ECF + maj-⋄AC + Algorithm 1".into(),
-        format!("worst rounds past CST = {worst} (bound 2)"),
+        format!(
+            "worst rounds past CST = {} (bound 2)",
+            results.worst_rounds_past(0)
+        ),
     ]);
-    let worst2 = super::helpers::worst_rounds_past_cst(
-        |seed| {
-            (
-                alg2::processes(domain, &values),
-                plan.components(CdClass::ZERO_EV_AC, seed),
-            )
-        },
-        scale.seeds(),
-        400,
-    );
     t.row(vec![
         "arbitrary loss + ECF + 0-⋄AC + Algorithm 2".into(),
         format!(
-            "worst rounds past CST = {worst2} (bound {})",
+            "worst rounds past CST = {} (bound {})",
+            results.worst_rounds_past(1),
             2 * (domain.bits() + 1)
         ),
     ]);

@@ -109,8 +109,7 @@ pub fn e16_counting_separation(_scale: Scale) -> Table {
                 },
             );
             sim.run(k * n as u64 + 3);
-            let counts: Vec<Option<u64>> =
-                sim.processes().iter().map(|p| p.count()).collect();
+            let counts: Vec<Option<u64>> = sim.processes().iter().map(|p| p.count()).collect();
             let correct = counts.iter().all(|&c| c == Some(n as u64));
             t.row(vec![
                 n.to_string(),

@@ -1,6 +1,7 @@
-//! Shared environment builders and measurement plumbing.
+//! Shared environment builders. Per-run measurement lives in the
+//! scenario-sweep subsystem (`crate::sweep`); experiments declare
+//! [`crate::sweep::ScenarioSpec`]s instead of hand-rolling seed loops.
 
-use ccwan_core::{ConsensusAutomaton, ConsensusRun, Cst};
 use wan_cd::{CdClass, CheckedDetector, ClassDetector, FreedomPolicy};
 use wan_cm::{FairWakeUp, PreStabilization};
 use wan_sim::crash::NoCrashes;
@@ -9,7 +10,7 @@ use wan_sim::{Components, CrashAdversary, Round};
 
 /// Stabilization schedule for an adversarial-but-admissible ECF
 /// environment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnvPlan {
     /// Collision-freedom round `r_cf`.
     pub r_cf: u64,
@@ -85,53 +86,4 @@ impl EnvPlan {
             crash,
         }
     }
-}
-
-/// The result of one measured consensus run.
-#[derive(Debug, Clone, Copy)]
-pub struct RunMeasurement {
-    /// Rounds past CST at the *last* decision (`None` if undecided).
-    pub rounds_past_cst: Option<u64>,
-    /// Whether every correct process decided within the cap.
-    pub terminated: bool,
-    /// Whether any safety property was violated.
-    pub safe: bool,
-}
-
-/// Runs one consensus instance to completion (cap `cap`) and measures
-/// rounds past the declared CST.
-pub fn measure<A: ConsensusAutomaton>(
-    procs: Vec<A>,
-    components: Components,
-    cap: u64,
-) -> RunMeasurement {
-    let cst = Cst::from_components(&components)
-        .value()
-        .expect("declared CST required; use measure_with_wake for backoff");
-    let mut run = ConsensusRun::new(procs, components).with_counts_only();
-    let outcome = run.run_to_completion(Round(cap));
-    RunMeasurement {
-        rounds_past_cst: outcome.last_decision().map(|d| d.since(cst)),
-        terminated: outcome.terminated,
-        safe: outcome.is_safe(),
-    }
-}
-
-/// The worst (max) measurement across seeds; panics on any safety
-/// violation or non-termination so experiment tables can't silently hide
-/// broken runs.
-pub fn worst_rounds_past_cst<A, F>(mut build: F, seeds: u64, cap: u64) -> u64
-where
-    A: ConsensusAutomaton,
-    F: FnMut(u64) -> (Vec<A>, Components),
-{
-    let mut worst = 0;
-    for seed in 0..seeds {
-        let (procs, components) = build(seed);
-        let m = measure(procs, components, cap);
-        assert!(m.safe, "safety violation at seed {seed}");
-        assert!(m.terminated, "non-termination at seed {seed} (cap {cap})");
-        worst = worst.max(m.rounds_past_cst.unwrap_or(0));
-    }
-    worst
 }

@@ -1,10 +1,10 @@
 //! E1: Figure 1 — the collision-detector class lattice, with measured
 //! solvability and round complexity per class (ECF setting).
 
-use super::helpers::{worst_rounds_past_cst, EnvPlan};
+use crate::sweep::{spec::lattice_specs, Algorithm, SweepRunner};
 use crate::{Scale, Table};
-use ccwan_core::{alg1, alg2, ConsensusRun, Value, ValueDomain};
-use wan_cd::{CdClass, NoCdDetector};
+use ccwan_core::{alg1, ConsensusRun, Value, ValueDomain};
+use wan_cd::NoCdDetector;
 use wan_cm::LeaderElectionService;
 use wan_sim::crash::NoCrashes;
 use wan_sim::loss::NoLoss;
@@ -13,6 +13,9 @@ use wan_sim::{Components, Round};
 /// One row per Figure 1 class plus `NoCD` and `NoACC`: which algorithm
 /// solves consensus with it (if any), the paper's round bound, and the
 /// measured worst-case rounds past CST across seeds.
+///
+/// The per-class measurements run as one parallel scenario sweep (one
+/// spec per class, [`crate::sweep::spec::lattice_specs`]).
 pub fn e1_figure1_lattice(scale: Scale) -> Table {
     let mut t = Table::new(
         "E1 (Figure 1): collision detector classes — solvability and measured rounds past CST",
@@ -26,46 +29,25 @@ pub fn e1_figure1_lattice(scale: Scale) -> Table {
     );
     let domain = ValueDomain::new(16);
     let n = 4;
-    let plan = EnvPlan::chaos(6);
     let alg2_bound = 2 * (u64::from(domain.bits()) + 1);
 
-    for class in CdClass::FIGURE_1 {
-        let maj_or_better = class
-            .completeness
-            .implies(wan_cd::Completeness::Majority);
-        let (alg_name, bound, measured) = if maj_or_better {
-            let worst = worst_rounds_past_cst(
-                |seed| {
-                    let values: Vec<Value> =
-                        (0..n).map(|i| Value((seed + i as u64) % domain.size())).collect();
-                    (alg1::processes(domain, &values), plan.components(class, seed))
-                },
-                scale.seeds(),
-                500,
-            );
-            ("Algorithm 1", "CST + 2".to_string(), worst)
-        } else {
-            let worst = worst_rounds_past_cst(
-                |seed| {
-                    let values: Vec<Value> =
-                        (0..n).map(|i| Value((seed + i as u64) % domain.size())).collect();
-                    (alg2::processes(domain, &values), plan.components(class, seed))
-                },
-                scale.seeds(),
-                500,
-            );
-            (
+    let specs = lattice_specs(scale);
+    let results = SweepRunner::parallel().run(&specs);
+    for (i, spec) in specs.iter().enumerate() {
+        let worst = results.worst_rounds_past(i);
+        let (alg_name, bound) = match spec.algorithm {
+            Algorithm::Alg1 => ("Algorithm 1", "CST + 2".to_string()),
+            _ => (
                 "Algorithm 2",
                 format!("CST + 2(⌈lg|V|⌉+1) = CST + {alg2_bound}"),
-                worst,
-            )
+            ),
         };
         t.row(vec![
-            class.to_string(),
+            spec.class.to_string(),
             "yes".into(),
             alg_name.into(),
             bound,
-            measured.to_string(),
+            worst.to_string(),
         ]);
     }
 
@@ -98,9 +80,10 @@ pub fn e1_figure1_lattice(scale: Scale) -> Table {
     ]);
     t.note(format!(
         "n = {n}, |V| = {}, chaotic prefix with CST = 6, detector noise up to r_acc, {} seeds; \
-         all runs safety-checked and class-certified (CheckedDetector strict).",
+         all runs safety-checked and class-certified (CheckedDetector strict); cells fanned \
+         across the sweep runner's worker threads (results are thread-count-independent).",
         domain.size(),
-        scale.seeds()
+        scale.seeds(),
     ));
     t
 }

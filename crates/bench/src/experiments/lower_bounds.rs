@@ -1,15 +1,23 @@
 //! E6–E10: the impossibility and lower-bound experiments, driven by
-//! `wan_adversary::theorems`.
+//! `wan_adversary::theorems`. The theorem constructions are independent of
+//! one another, so each table fans them across cores with
+//! [`SweepRunner::map`] (deterministic result order).
 
+use crate::sweep::SweepRunner;
 use crate::{Scale, Table};
 use ccwan_core::{IdSpace, ValueDomain};
-use wan_adversary::theorems;
+use wan_adversary::theorems::{self, TheoremReport};
 
-fn report_rows(t: &mut Table, r: &theorems::TheoremReport) {
+fn report_rows(t: &mut Table, r: &TheoremReport) {
     t.row(vec![
         r.name.to_string(),
         r.claim.clone(),
-        if r.established { "established" } else { "FAILED" }.to_string(),
+        if r.established {
+            "established"
+        } else {
+            "FAILED"
+        }
+        .to_string(),
     ]);
     for d in &r.details {
         t.row(vec!["".into(), format!("  · {d}"), "".into()]);
@@ -24,8 +32,13 @@ pub fn e6_impossibility(scale: Scale) -> Table {
         &["theorem", "claim / evidence", "verdict"],
     );
     let horizon = scale.rounds();
-    report_rows(&mut t, &theorems::t4_no_cd(ValueDomain::new(4), 3, horizon));
-    report_rows(&mut t, &theorems::t5_no_acc(ValueDomain::new(4), 3, horizon));
+    let reports = SweepRunner::parallel().map(2, |i| match i {
+        0 => theorems::t4_no_cd(ValueDomain::new(4), 3, horizon),
+        _ => theorems::t5_no_acc(ValueDomain::new(4), 3, horizon),
+    });
+    for report in &reports {
+        report_rows(&mut t, report);
+    }
     t
 }
 
@@ -36,13 +49,17 @@ pub fn e7_anon_half_ac(_scale: Scale) -> Table {
         "E7 (Theorem 6): anonymous half-AC lower bound — pigeonhole pairs and compositions",
         &["theorem", "claim / evidence", "verdict"],
     );
-    for v_size in [16u64, 64, 256] {
-        report_rows(
-            &mut t,
-            &theorems::t6_anon_half_ac(ValueDomain::new(v_size), 3),
-        );
+    let sizes = [16u64, 64, 256];
+    let reports = SweepRunner::parallel().map(sizes.len() + 1, |i| {
+        if i < sizes.len() {
+            theorems::t6_anon_half_ac(ValueDomain::new(sizes[i]), 3)
+        } else {
+            theorems::maj_half_gap(ValueDomain::new(4))
+        }
+    });
+    for report in &reports {
+        report_rows(&mut t, report);
     }
-    report_rows(&mut t, &theorems::maj_half_gap(ValueDomain::new(4)));
     t.note(
         "Each row verifies: pigeonhole pair exists at the Lemma 21 depth, the Lemma 23 \
          composition is half-AC-admissible and per-group indistinguishable, and no process \
@@ -58,15 +75,13 @@ pub fn e8_nonanon_half_ac(_scale: Scale) -> Table {
         "E8 (Theorem 7): non-anonymous half-AC lower bound",
         &["theorem", "claim / evidence", "verdict"],
     );
-    for (v_bits, i_bits, n) in [(12u32, 4u32, 2usize), (10, 3, 2)] {
-        report_rows(
-            &mut t,
-            &theorems::t7_nonanon_half_ac(
-                IdSpace::new(1 << i_bits),
-                ValueDomain::new(1 << v_bits),
-                n,
-            ),
-        );
+    let params = [(12u32, 4u32, 2usize), (10, 3, 2)];
+    let reports = SweepRunner::parallel().map(params.len(), |i| {
+        let (v_bits, i_bits, n) = params[i];
+        theorems::t7_nonanon_half_ac(IdSpace::new(1 << i_bits), ValueDomain::new(1 << v_bits), n)
+    });
+    for report in &reports {
+        report_rows(&mut t, report);
     }
     t.note("IDs help only through lg|I|: the pair is found across different ID blocks AND values.");
     t
@@ -78,11 +93,12 @@ pub fn e9_ev_accuracy_nocf(_scale: Scale) -> Table {
         "E9 (Theorem 8): ⋄AC + NOCF impossibility — advice replay breaks uniform validity",
         &["theorem", "claim / evidence", "verdict"],
     );
-    for v_size in [32u64, 128] {
-        report_rows(
-            &mut t,
-            &theorems::t8_ev_accuracy_nocf(ValueDomain::new(v_size), 3),
-        );
+    let sizes = [32u64, 128];
+    let reports = SweepRunner::parallel().map(sizes.len(), |i| {
+        theorems::t8_ev_accuracy_nocf(ValueDomain::new(sizes[i]), 3)
+    });
+    for report in &reports {
+        report_rows(&mut t, report);
     }
     t
 }
@@ -94,11 +110,12 @@ pub fn e10_accuracy_nocf(_scale: Scale) -> Table {
         "E10 (Theorem 9): AC + NOCF lower bound vs the BST algorithm's upper curve",
         &["theorem", "claim / evidence", "verdict"],
     );
-    for v_size in [16u64, 64, 256] {
-        report_rows(
-            &mut t,
-            &theorems::t9_accuracy_nocf(ValueDomain::new(v_size), 3),
-        );
+    let sizes = [16u64, 64, 256];
+    let reports = SweepRunner::parallel().map(sizes.len(), |i| {
+        theorems::t9_accuracy_nocf(ValueDomain::new(sizes[i]), 3)
+    });
+    for report in &reports {
+        report_rows(&mut t, report);
     }
     t.note("Upper curve: E5 measures the matching 8·lg|V| decision rounds for the same domains.");
     t

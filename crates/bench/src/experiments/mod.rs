@@ -1,4 +1,8 @@
 //! The experiments of DESIGN.md Section 3, grouped by bench target.
+//!
+//! The suite order and id table (`e1`..`e16`) live in the
+//! `run_experiments` binary, which dispatches `--only eN` to exactly one
+//! of these functions.
 
 pub mod ablation;
 pub mod extensions;
@@ -7,27 +11,3 @@ pub mod lattice;
 pub mod lower_bounds;
 pub mod phy_claims;
 pub mod upper_bounds;
-
-use crate::{Scale, Table};
-
-/// Runs every experiment and returns all tables, in E1..E14 order.
-pub fn all(scale: Scale) -> Vec<Table> {
-    let mut tables = Vec::new();
-    tables.push(lattice::e1_figure1_lattice(scale));
-    tables.push(upper_bounds::e2_alg1_constant_rounds(scale));
-    tables.push(upper_bounds::e3_alg2_log_rounds(scale));
-    tables.push(upper_bounds::e4_nonanon_min_crossover(scale));
-    tables.push(upper_bounds::e5_bst_nocf_bound(scale));
-    tables.push(lower_bounds::e6_impossibility(scale));
-    tables.push(lower_bounds::e7_anon_half_ac(scale));
-    tables.push(lower_bounds::e8_nonanon_half_ac(scale));
-    tables.push(lower_bounds::e9_ev_accuracy_nocf(scale));
-    tables.push(lower_bounds::e10_accuracy_nocf(scale));
-    tables.push(phy_claims::e11_detector_properties(scale));
-    tables.push(phy_claims::e12_loss_under_load(scale));
-    tables.push(phy_claims::e13_backoff_and_end_to_end(scale));
-    tables.push(ablation::e14_model_and_detector_ablation(scale));
-    tables.push(extensions::e15_occasional_detectors(scale));
-    tables.push(extensions::e16_counting_separation(scale));
-    tables
-}

@@ -54,7 +54,11 @@ pub fn e11_detector_properties(scale: Scale) -> Table {
 pub fn e12_loss_under_load(scale: Scale) -> Table {
     let mut t = Table::new(
         "E12 (Section 1.1): message loss fraction vs offered load",
-        &["offered load p_tx", "mean broadcasters/round", "loss fraction"],
+        &[
+            "offered load p_tx",
+            "mean broadcasters/round",
+            "loss fraction",
+        ],
     );
     let rounds = scale.rounds();
     for p_tx in [0.05, 0.1, 0.3, 0.5, 0.7, 0.9] {
@@ -74,7 +78,13 @@ pub fn e12_loss_under_load(scale: Scale) -> Table {
 pub fn e13_backoff_and_end_to_end(scale: Scale) -> Table {
     let mut t = Table::new(
         "E13: backoff contention manager stabilization and end-to-end consensus over the radio",
-        &["n", "mean r_wake (measured)", "max r_wake", "mean decision round", "success"],
+        &[
+            "n",
+            "mean r_wake (measured)",
+            "max r_wake",
+            "mean decision round",
+            "success",
+        ],
     );
     let domain = ValueDomain::new(16);
     for n in [2usize, 4, 8, 16] {
@@ -91,8 +101,9 @@ pub fn e13_backoff_and_end_to_end(scale: Scale) -> Table {
                 loss: Box::new(Ecf::new(loss, Round(1))),
                 crash: Box::new(NoCrashes),
             };
-            let values: Vec<Value> =
-                (0..n).map(|i| Value((seed + i as u64) % domain.size())).collect();
+            let values: Vec<Value> = (0..n)
+                .map(|i| Value((seed + i as u64) % domain.size()))
+                .collect();
             let mut run = ConsensusRun::new(alg2::processes(domain, &values), components);
             let cst_decl = run.cst();
             let outcome = run.run_to_completion(Round(3000));

@@ -1,13 +1,11 @@
-//! E2–E5: the upper-bound (algorithm) experiments.
+//! E2–E5: the upper-bound (algorithm) experiments, as scenario sweeps.
 
-use super::helpers::{worst_rounds_past_cst, EnvPlan};
+use crate::sweep::{
+    spec::{alg1_grid_specs, alg2_staircase_specs, alg3_crossover_specs, bst_nocf_specs},
+    SweepRunner,
+};
 use crate::{Scale, Table};
-use ccwan_core::{alg1, alg2, alg3, alg4, ConsensusRun, IdSpace, Uid, Value, ValueDomain};
-use wan_cd::{CdClass, ClassDetector, FreedomPolicy};
-use wan_cm::NoCm;
-use wan_sim::crash::ScheduledCrashes;
-use wan_sim::loss::RandomLoss;
-use wan_sim::{Components, ProcessId, Round};
+use ccwan_core::ValueDomain;
 
 /// E2 (Theorem 1): Algorithm 1 decides within 2 rounds of CST — constant in
 /// both `n` and `|V|`.
@@ -16,30 +14,16 @@ pub fn e2_alg1_constant_rounds(scale: Scale) -> Table {
         "E2 (Theorem 1): Algorithm 1 — worst rounds past CST (bound: 2)",
         &["n", "|V|", "CST", "measured worst", "bound"],
     );
-    for n in [2usize, 4, 8] {
-        for v_size in [2u64, 16, 256] {
-            let domain = ValueDomain::new(v_size);
-            let plan = EnvPlan::chaos(8);
-            let worst = worst_rounds_past_cst(
-                |seed| {
-                    let values: Vec<Value> =
-                        (0..n).map(|i| Value((seed * 7 + i as u64) % v_size)).collect();
-                    (
-                        alg1::processes(domain, &values),
-                        plan.components(CdClass::MAJ_EV_AC, seed),
-                    )
-                },
-                scale.seeds(),
-                600,
-            );
-            t.row(vec![
-                n.to_string(),
-                v_size.to_string(),
-                "8".into(),
-                worst.to_string(),
-                "2".into(),
-            ]);
-        }
+    let specs = alg1_grid_specs(scale);
+    let results = SweepRunner::parallel().run(&specs);
+    for (i, spec) in specs.iter().enumerate() {
+        t.row(vec![
+            spec.n.to_string(),
+            spec.v_size.to_string(),
+            "8".into(),
+            results.worst_rounds_past(i).to_string(),
+            "2".into(),
+        ]);
     }
     t.note("Constant in n and |V|: the defining property of maj-complete detection.");
     t
@@ -52,26 +36,15 @@ pub fn e3_alg2_log_rounds(scale: Scale) -> Table {
         "E3 (Theorem 2): Algorithm 2 — worst rounds past CST vs |V| (bound: 2(⌈lg|V|⌉+1))",
         &["|V|", "⌈lg|V|⌉", "measured worst", "bound"],
     );
-    for v_size in [2u64, 4, 16, 64, 256, 1024, 4096] {
-        let domain = ValueDomain::new(v_size);
-        let plan = EnvPlan::chaos(8);
+    let specs = alg2_staircase_specs(scale);
+    let results = SweepRunner::parallel().run(&specs);
+    for (i, spec) in specs.iter().enumerate() {
+        let domain = ValueDomain::new(spec.v_size);
         let bound = 2 * (u64::from(domain.bits()) + 1);
-        let worst = worst_rounds_past_cst(
-            |seed| {
-                let values: Vec<Value> =
-                    (0..4).map(|i| Value((seed * 13 + i as u64) % v_size)).collect();
-                (
-                    alg2::processes(domain, &values),
-                    plan.components(CdClass::ZERO_EV_AC, seed),
-                )
-            },
-            scale.seeds(),
-            800,
-        );
         t.row(vec![
-            v_size.to_string(),
+            spec.v_size.to_string(),
             domain.bits().to_string(),
-            worst.to_string(),
+            results.worst_rounds_past(i).to_string(),
             bound.to_string(),
         ]);
     }
@@ -86,55 +59,26 @@ pub fn e4_nonanon_min_crossover(scale: Scale) -> Table {
         "E4 (Section 7.3): non-anonymous protocol — rounds past CST vs (|V|, |I|)",
         &["|V|", "|I|", "mode", "min{lg|V|, lg|I|}", "measured worst"],
     );
-    let n = 3usize;
-    for v_bits in [2u32, 8, 16] {
-        for i_bits in [2u32, 8, 16] {
-            let domain = ValueDomain::new(1 << v_bits);
-            let ids = IdSpace::new(1 << i_bits);
-            let plan = EnvPlan::chaos(4);
-            let mode = if domain.size() <= ids.size() {
-                "direct (Alg 2 on V)"
-            } else {
-                "elect (Alg 2 on I)"
-            };
-            let worst = worst_rounds_past_cst(
-                |seed| {
-                    let assignments: Vec<(Uid, Value)> = (0..n as u64)
-                        .map(|j| {
-                            (
-                                Uid((seed * 3 + j) % ids.size()),
-                                Value((seed * 31 + j) % domain.size()),
-                            )
-                        })
-                        .collect();
-                    // Deduplicate IDs defensively for small spaces.
-                    let mut seen = std::collections::BTreeSet::new();
-                    let assignments: Vec<(Uid, Value)> = assignments
-                        .into_iter()
-                        .map(|(u, v)| {
-                            let mut u = u;
-                            while !seen.insert(u) {
-                                u = Uid((u.0 + 1) % ids.size());
-                            }
-                            (u, v)
-                        })
-                        .collect();
-                    (
-                        alg3::processes(ids, domain, &assignments, seed),
-                        plan.components(CdClass::ZERO_EV_AC, seed),
-                    )
-                },
-                scale.seeds(),
-                4000,
-            );
-            t.row(vec![
-                format!("2^{v_bits}"),
-                format!("2^{i_bits}"),
-                mode.into(),
-                v_bits.min(i_bits).to_string(),
-                worst.to_string(),
-            ]);
-        }
+    let specs = alg3_crossover_specs(scale);
+    let results = SweepRunner::parallel().run(&specs);
+    for (i, spec) in specs.iter().enumerate() {
+        let v_bits = spec.v_size.ilog2();
+        let i_bits = match spec.algorithm {
+            crate::sweep::Algorithm::Alg3 { id_bits } => id_bits,
+            _ => unreachable!("crossover specs are Alg3"),
+        };
+        let mode = if v_bits <= i_bits {
+            "direct (Alg 2 on V)"
+        } else {
+            "elect (Alg 2 on I)"
+        };
+        t.row(vec![
+            format!("2^{v_bits}"),
+            format!("2^{i_bits}"),
+            mode.into(),
+            v_bits.min(i_bits).to_string(),
+            results.worst_rounds_past(i).to_string(),
+        ]);
     }
     t.note(
         "The measured column tracks min{lg|V|, lg|I|} (×4 for the elect/value/veto/sync \
@@ -151,59 +95,18 @@ pub fn e5_bst_nocf_bound(scale: Scale) -> Table {
         "E5 (Theorem 3): BST algorithm (0-AC, no CM, no ECF) — rounds after failures cease vs 8·lg|V|",
         &["|V|", "schedule", "rounds after failures cease", "bound 8⌈lg|V|⌉ (+group slack)"],
     );
-    for v_bits in [2u32, 4, 6, 8] {
-        let v_size = 1u64 << v_bits;
-        let domain = ValueDomain::new(v_size);
-        let bound = 8 * u64::from(domain.bits()) + 8;
-        // (a) No failures.
-        let mut worst_clean = 0;
-        for seed in 0..scale.seeds() {
-            let values: Vec<Value> =
-                (0..3).map(|i| Value((seed * 17 + i) % v_size)).collect();
-            let mut run = ConsensusRun::new(
-                alg4::processes(domain, &values),
-                nocf_components(seed),
-            );
-            let out = run.run_to_completion(Round(10 * bound));
-            assert!(out.terminated && out.is_safe());
-            worst_clean = worst_clean.max(out.last_decision().unwrap().0);
-        }
+    let specs = bst_nocf_specs(scale);
+    let results = SweepRunner::parallel().run(&specs);
+    for (i, spec) in specs.iter().enumerate() {
+        let bound = 8 * u64::from(ValueDomain::new(spec.v_size).bits()) + 8;
+        let schedule = match spec.crash {
+            None => "no failures".to_string(),
+            Some(plan) => format!("leaf-walk leader crashes at r{}", plan.round),
+        };
         t.row(vec![
-            v_size.to_string(),
-            "no failures".into(),
-            worst_clean.to_string(),
-            bound.to_string(),
-        ]);
-
-        // (b) The adversarial schedule: one process holds the deepest-left
-        // value and leads the walk there, then crashes at the start of the
-        // exact round it would vote for it; the others hold the rightmost
-        // value, forcing a full climb and re-descent.
-        let mut node = ccwan_core::bst::BstNode::root(domain);
-        let mut steps = 0u64;
-        while node.value() != Value(0) {
-            node = node.left().expect("value 0 is leftmost");
-            steps += 1;
-        }
-        let crash_round = 4 * steps + 1; // the leaf's vote-val round
-        let mut worst_adv = 0;
-        for seed in 0..scale.seeds() {
-            let mut values = vec![Value(v_size - 1); 3];
-            values[0] = Value(0);
-            let crash = ScheduledCrashes::new().crash(ProcessId(0), Round(crash_round));
-            let mut run = ConsensusRun::new(
-                alg4::processes(domain, &values),
-                nocf_components_with_crash(seed, Box::new(crash)),
-            );
-            let out = run.run_to_completion(Round(20 * bound));
-            assert!(out.terminated && out.is_safe());
-            let after = out.last_decision().unwrap().since(Round(crash_round));
-            worst_adv = worst_adv.max(after);
-        }
-        t.row(vec![
-            v_size.to_string(),
-            format!("leaf-walk leader crashes at r{crash_round}"),
-            worst_adv.to_string(),
+            spec.v_size.to_string(),
+            schedule,
+            results.worst_rounds_past(i).to_string(),
             bound.to_string(),
         ]);
     }
@@ -212,24 +115,4 @@ pub fn e5_bst_nocf_bound(scale: Scale) -> Table {
          the crash schedule forces the full climb-and-descend the Theorem 3 analysis charges for.",
     );
     t
-}
-
-fn nocf_components(seed: u64) -> Components {
-    nocf_components_with_crash(seed, Box::new(wan_sim::crash::NoCrashes))
-}
-
-fn nocf_components_with_crash(
-    seed: u64,
-    crash: Box<dyn wan_sim::CrashAdversary>,
-) -> Components {
-    Components {
-        detector: Box::new(ClassDetector::new(
-            CdClass::ZERO_AC,
-            FreedomPolicy::Quiet,
-            seed,
-        )),
-        manager: Box::new(NoCm),
-        loss: Box::new(RandomLoss::new(1.0, seed)),
-        crash,
-    }
 }

@@ -8,8 +8,10 @@
 //! paper-versus-measured for each.
 
 pub mod experiments;
+pub mod sweep;
 pub mod table;
 
+pub use sweep::{Registry, ScenarioSpec, SweepResults, SweepRunner};
 pub use table::Table;
 
 /// How big to run the sweeps.

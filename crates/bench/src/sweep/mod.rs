@@ -1,0 +1,32 @@
+//! # The scenario-sweep subsystem
+//!
+//! Experiments in this crate used to run one `(environment, algorithm,
+//! seed)` cell at a time, serially, inside each experiment function. This
+//! module factors that shape out into three pieces:
+//!
+//! * [`ScenarioSpec`] — a declarative description of one experiment
+//!   configuration: environment plan × detector class × contention-manager
+//!   arrangement × algorithm × `n` × `|V|` × seed count. A spec expands
+//!   into independent *cells* (one per seed index), each with its own
+//!   deterministic RNG seed derived from the spec name and cell index, so
+//!   a cell's execution is a pure function of `(spec, index)` no matter
+//!   where or in what order it runs.
+//! * [`Registry`] — the named catalogue of the standard scenario families
+//!   (the Figure 1 lattice, the Theorem 1/2 scaling grids, the Section 7.3
+//!   crossover, the Theorem 3 NOCF runs, the ablation arms), shared by the
+//!   experiment tables, the determinism tests, and the benches.
+//! * [`SweepRunner`] — a work-stealing fan-out over OS threads
+//!   (`std::thread::scope`; the environment is offline so rayon is not
+//!   available, and the dependency-free pool below is all the sweep
+//!   needs). Results arrive in deterministic cell order regardless of
+//!   thread count: [`SweepRunner::serial`] and [`SweepRunner::parallel`]
+//!   produce byte-identical [`SweepResults`].
+//!
+//! The experiment functions in [`crate::experiments`] are thin table
+//! renderers over this subsystem.
+
+pub mod runner;
+pub mod spec;
+
+pub use runner::{SweepResults, SweepRunner};
+pub use spec::{Algorithm, CellResult, CrashPlan, EnvironmentPlan, Registry, ScenarioSpec};

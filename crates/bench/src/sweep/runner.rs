@@ -1,0 +1,200 @@
+//! The parallel sweep runner: fans independent cells across OS threads.
+
+use super::spec::{CellResult, ScenarioSpec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Executes scenario sweeps, fanning `(spec, case)` cells across a fixed
+/// number of worker threads.
+///
+/// Cells are claimed from a shared atomic counter (work stealing at cell
+/// granularity — cells are far from uniform in cost, so static chunking
+/// would leave cores idle), and every result carries its cell index, so
+/// the assembled [`SweepResults`] is in deterministic cell order no matter
+/// how the OS schedules the workers. Combined with per-cell seeding
+/// ([`ScenarioSpec::cell_seed`]), serial and parallel sweeps are
+/// *identical*, which `tests/determinism.rs` pins down.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner using every available core (or `CCWAN_SWEEP_THREADS` if
+    /// set).
+    pub fn parallel() -> Self {
+        let threads = std::env::var("CCWAN_SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded runner (the reference execution order).
+    pub fn serial() -> Self {
+        SweepRunner { threads: 1 }
+    }
+
+    /// A runner with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count this runner fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every cell of every spec and returns the results in cell order
+    /// (spec-major, then case).
+    pub fn run(&self, specs: &[ScenarioSpec]) -> SweepResults {
+        let cells: Vec<(usize, u64)> = specs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, spec)| (0..spec.seeds).map(move |k| (i, k)))
+            .collect();
+        let results = self.map(cells.len(), |idx| {
+            let (spec_index, case) = cells[idx];
+            specs[spec_index].run_cell(spec_index, case)
+        });
+        SweepResults { cells: results }
+    }
+
+    /// Parallel deterministic map: applies `job` to `0..count` across the
+    /// worker threads and returns the results in index order. The generic
+    /// escape hatch for work that is not a consensus cell (e.g. the
+    /// Section 8 theorem drivers).
+    pub fn map<T, F>(&self, count: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || count <= 1 {
+            return (0..count).map(job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(count);
+        let mut indexed: Vec<(usize, T)> = Vec::with_capacity(count);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= count {
+                                return local;
+                            }
+                            local.push((idx, job(idx)));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                indexed.extend(handle.join().expect("sweep worker panicked"));
+            }
+        });
+        indexed.sort_by_key(|&(idx, _)| idx);
+        debug_assert_eq!(indexed.len(), count);
+        indexed.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+/// The outcome of a sweep, in deterministic cell order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepResults {
+    /// Every executed cell, spec-major then case order.
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepResults {
+    /// The cells of one spec.
+    pub fn for_spec(&self, spec_index: usize) -> impl Iterator<Item = &CellResult> {
+        self.cells
+            .iter()
+            .filter(move |c| c.spec_index == spec_index)
+    }
+
+    /// The worst (max) rounds past the measurement reference across a
+    /// spec's cells; panics on any safety violation or non-termination so
+    /// experiment tables can't silently hide broken runs.
+    pub fn worst_rounds_past(&self, spec_index: usize) -> u64 {
+        let mut worst = 0;
+        let mut cells = 0;
+        for cell in self.for_spec(spec_index) {
+            assert!(
+                cell.safe,
+                "safety violation in spec {spec_index} cell {} (seed {})",
+                cell.case, cell.cell_seed
+            );
+            assert!(
+                cell.terminated,
+                "non-termination in spec {spec_index} cell {} (seed {})",
+                cell.case, cell.cell_seed
+            );
+            worst = worst.max(cell.rounds_past_reference().unwrap_or(0));
+            cells += 1;
+        }
+        assert!(cells > 0, "spec {spec_index} has no cells");
+        worst
+    }
+
+    /// A stable textual rendering of every cell (for equality assertions
+    /// and golden files).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            out.push_str(&format!(
+                "spec={} case={} seed={:#018x} ref={} decided={:?} terminated={} safe={}\n",
+                c.spec_index,
+                c.case,
+                c.cell_seed,
+                c.reference,
+                c.last_decision,
+                c.terminated,
+                c.safe
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::spec::lattice_specs;
+    use crate::Scale;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 8] {
+            let runner = SweepRunner::with_threads(threads);
+            let out = runner.map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree() {
+        let specs = &lattice_specs(Scale::Quick)[..2];
+        let serial = SweepRunner::serial().run(specs);
+        let parallel = SweepRunner::with_threads(4).run(specs);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.render(), parallel.render());
+        assert_eq!(
+            serial.cells.len(),
+            specs.iter().map(|s| s.seeds as usize).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn worst_rounds_past_covers_all_cells() {
+        let specs = lattice_specs(Scale::Quick);
+        let results = SweepRunner::parallel().run(&specs[..1]);
+        // Theorem 1: within 2 rounds of CST for a maj-complete class.
+        assert!(results.worst_rounds_past(0) <= 2);
+    }
+}

@@ -1,0 +1,556 @@
+//! Scenario specifications and the standard registry.
+
+use crate::experiments::helpers::EnvPlan;
+use crate::Scale;
+use ccwan_core::{
+    alg1, alg2, alg3, alg4, ConsensusAutomaton, ConsensusRun, Cst, IdSpace, Uid, Value, ValueDomain,
+};
+use wan_cd::{CdClass, ClassDetector, FreedomPolicy};
+use wan_cm::NoCm;
+use wan_sim::crash::{NoCrashes, ScheduledCrashes};
+use wan_sim::loss::RandomLoss;
+use wan_sim::{Components, CrashAdversary, ProcessId, Round};
+
+/// SplitMix64 finalizer: the spec/cell seed mixer. Deterministic, stateless,
+/// and independent of execution order — the heart of the "same cell, same
+/// execution anywhere" guarantee.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which consensus algorithm a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algorithm 1 (Section 7.1): constant rounds, needs maj-completeness.
+    Alg1,
+    /// Algorithm 2 (Section 7.2): log |V| rounds, zero-completeness.
+    Alg2,
+    /// The Section 7.3 non-anonymous protocol over an id space of
+    /// `2^id_bits` identifiers.
+    Alg3 {
+        /// lg of the identifier-space size.
+        id_bits: u32,
+    },
+    /// Algorithm 3 of Section 7.4 (the BST walk): no CM, no ECF.
+    Alg4,
+}
+
+/// The environment family a scenario runs against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EnvironmentPlan {
+    /// Eventual-collision-freedom setting: certified in-class detector
+    /// (noisy until `r_acc`), fair wake-up manager, ECF-wrapped random
+    /// loss. The declared CST is the measurement reference.
+    Ecf(EnvPlan),
+    /// No collision freedom, ever: total message loss, no contention
+    /// manager, quiet in-class detector (Theorem 3's setting). The
+    /// measurement reference is the round failures cease.
+    Nocf,
+}
+
+/// A scheduled crash of one process (Definition 13 resolved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Index of the process to crash.
+    pub process: usize,
+    /// Round at whose start it crashes.
+    pub round: u64,
+}
+
+/// One experiment configuration: everything needed to reproduce a family
+/// of consensus runs, as data. A spec expands into `seeds` independent
+/// *cells*; cell `k` is a pure function of `(spec, k)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Registry name, e.g. `"lattice/maj-ac"`. Also salts the cell seeds.
+    pub name: String,
+    /// The algorithm under test.
+    pub algorithm: Algorithm,
+    /// The collision-detector class the environment honours.
+    pub class: CdClass,
+    /// The environment family.
+    pub env: EnvironmentPlan,
+    /// The crash schedule, if any.
+    pub crash: Option<CrashPlan>,
+    /// Number of processes.
+    pub n: usize,
+    /// Value-domain size `|V|`.
+    pub v_size: u64,
+    /// Initial values: explicit, or derived per-cell from the cell seed
+    /// when `None`.
+    pub fixed_values: Option<Vec<u64>>,
+    /// How many cells (seed indices) the spec expands into.
+    pub seeds: u64,
+    /// Round cap per run.
+    pub cap: u64,
+}
+
+/// The outcome of one executed cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellResult {
+    /// Index of the spec in the sweep's spec list.
+    pub spec_index: usize,
+    /// Cell (seed) index within the spec.
+    pub case: u64,
+    /// The derived RNG seed the cell ran with.
+    pub cell_seed: u64,
+    /// The measurement reference round: declared CST (ECF) or the round
+    /// failures cease (NOCF).
+    pub reference: u64,
+    /// The last decision round, if every correct process decided.
+    pub last_decision: Option<u64>,
+    /// Whether every correct process decided within the cap.
+    pub terminated: bool,
+    /// Whether agreement/validity held.
+    pub safe: bool,
+}
+
+impl CellResult {
+    /// Rounds past the measurement reference at the last decision.
+    pub fn rounds_past_reference(&self) -> Option<u64> {
+        self.last_decision.map(|d| d.saturating_sub(self.reference))
+    }
+}
+
+impl ScenarioSpec {
+    /// The deterministic RNG seed of cell `case`: a SplitMix64 mix of the
+    /// spec name hash and the case index. Independent of thread schedule
+    /// and of every other cell.
+    pub fn cell_seed(&self, case: u64) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in self.name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        mix(h ^ mix(case))
+    }
+
+    /// The initial values of cell `case`.
+    pub fn initial_values(&self, case: u64) -> Vec<Value> {
+        if let Some(fixed) = &self.fixed_values {
+            assert_eq!(fixed.len(), self.n, "fixed values arity");
+            return fixed.iter().map(|&v| Value(v % self.v_size)).collect();
+        }
+        let seed = self.cell_seed(case);
+        (0..self.n as u64)
+            .map(|i| Value(mix(seed ^ i) % self.v_size))
+            .collect()
+    }
+
+    fn components(&self, seed: u64) -> (Components, u64) {
+        let crash: Box<dyn CrashAdversary> = match self.crash {
+            None => Box::new(NoCrashes),
+            Some(plan) => {
+                Box::new(ScheduledCrashes::new().crash(ProcessId(plan.process), Round(plan.round)))
+            }
+        };
+        match self.env {
+            EnvironmentPlan::Ecf(plan) => {
+                let components = plan.components_with_crash(self.class, seed, crash);
+                let reference = Cst::from_components(&components)
+                    .value()
+                    .expect("an ECF scenario's components declare a CST")
+                    .0;
+                (components, reference)
+            }
+            EnvironmentPlan::Nocf => {
+                let components = Components {
+                    detector: Box::new(ClassDetector::new(self.class, FreedomPolicy::Quiet, seed)),
+                    manager: Box::new(NoCm),
+                    loss: Box::new(RandomLoss::new(1.0, seed)),
+                    crash,
+                };
+                let reference = self.crash.map_or(0, |plan| plan.round);
+                (components, reference)
+            }
+        }
+    }
+
+    /// Executes cell `case` and returns its measurement. Runs on the
+    /// engine's untraced fast path; [`ScenarioSpec::run_cell_traced`] is
+    /// the traced reference execution the test suite compares against.
+    pub fn run_cell(&self, spec_index: usize, case: u64) -> CellResult {
+        self.execute(spec_index, case, false)
+    }
+
+    /// As [`ScenarioSpec::run_cell`], but recording a full trace along the
+    /// way. Exists so `tests/determinism.rs` can pin that the untraced
+    /// fast path and the traced path execute identically; sweeps use the
+    /// untraced form.
+    pub fn run_cell_traced(&self, spec_index: usize, case: u64) -> CellResult {
+        self.execute(spec_index, case, true)
+    }
+
+    fn execute(&self, spec_index: usize, case: u64, traced: bool) -> CellResult {
+        let seed = self.cell_seed(case);
+        let (components, reference) = self.components(seed);
+        let values = self.initial_values(case);
+        let domain = ValueDomain::new(self.v_size);
+        let cap = self.cap;
+        let outcome = match self.algorithm {
+            Algorithm::Alg1 => {
+                run_counted(alg1::processes(domain, &values), components, cap, traced)
+            }
+            Algorithm::Alg2 => {
+                run_counted(alg2::processes(domain, &values), components, cap, traced)
+            }
+            Algorithm::Alg3 { id_bits } => {
+                let ids = IdSpace::new(1 << id_bits);
+                let assignments = unique_assignments(&values, ids, seed);
+                run_counted(
+                    alg3::processes(ids, domain, &assignments, seed),
+                    components,
+                    cap,
+                    traced,
+                )
+            }
+            Algorithm::Alg4 => {
+                run_counted(alg4::processes(domain, &values), components, cap, traced)
+            }
+        };
+        CellResult {
+            spec_index,
+            case,
+            cell_seed: seed,
+            reference,
+            last_decision: outcome.0,
+            terminated: outcome.1,
+            safe: outcome.2,
+        }
+    }
+
+    /// Executes cell `case` with full trace recording and returns a debug
+    /// fingerprint of the entire execution (every round record). Two calls
+    /// with the same `(spec, case)` must produce byte-identical strings —
+    /// the determinism contract the test suite pins down.
+    pub fn trace_fingerprint(&self, case: u64) -> String {
+        let seed = self.cell_seed(case);
+        let (components, _) = self.components(seed);
+        let values = self.initial_values(case);
+        let domain = ValueDomain::new(self.v_size);
+        match self.algorithm {
+            Algorithm::Alg1 => trace_of(alg1::processes(domain, &values), components, self.cap),
+            Algorithm::Alg2 => trace_of(alg2::processes(domain, &values), components, self.cap),
+            Algorithm::Alg3 { id_bits } => {
+                let ids = IdSpace::new(1 << id_bits);
+                let assignments = unique_assignments(&values, ids, seed);
+                trace_of(
+                    alg3::processes(ids, domain, &assignments, seed),
+                    components,
+                    self.cap,
+                )
+            }
+            Algorithm::Alg4 => trace_of(alg4::processes(domain, &values), components, self.cap),
+        }
+    }
+}
+
+/// Distinct UIDs for the Section 7.3 protocol, derived from the cell seed,
+/// linear-probing around collisions in small id spaces.
+fn unique_assignments(values: &[Value], ids: IdSpace, seed: u64) -> Vec<(Uid, Value)> {
+    let mut seen = std::collections::BTreeSet::new();
+    values
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| {
+            let mut u = Uid(mix(seed ^ (j as u64).wrapping_add(0x1D)) % ids.size());
+            while !seen.insert(u) {
+                u = Uid((u.0 + 1) % ids.size());
+            }
+            (u, v)
+        })
+        .collect()
+}
+
+fn run_counted<A: ConsensusAutomaton>(
+    procs: Vec<A>,
+    components: Components,
+    cap: u64,
+    traced: bool,
+) -> (Option<u64>, bool, bool) {
+    // Sweeps consume the outcome only, so they skip trace recording
+    // entirely (traced = false); the traced arm is the reference execution
+    // `tests/determinism.rs` compares the fast path against.
+    let mut run = ConsensusRun::new(procs, components);
+    let outcome = if traced {
+        run.run_to_completion(Round(cap))
+    } else {
+        run.run_to_completion_untraced(Round(cap))
+    };
+    (
+        outcome.last_decision().map(|r| r.0),
+        outcome.terminated,
+        outcome.is_safe(),
+    )
+}
+
+fn trace_of<A: ConsensusAutomaton>(procs: Vec<A>, components: Components, cap: u64) -> String {
+    let mut run = ConsensusRun::new(procs, components);
+    let outcome = run.run_to_completion(Round(cap));
+    let (_, trace) = run.into_parts();
+    format!("{outcome:?}\n{trace:?}")
+}
+
+/// The named catalogue of standard scenario families.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    specs: Vec<ScenarioSpec>,
+}
+
+impl Registry {
+    /// Every standard scenario at the given scale: the Figure 1 lattice,
+    /// the Theorem 1/2 scaling grids, the Section 7.3 crossover, the
+    /// Theorem 3 NOCF family, and the ablation arms.
+    pub fn standard(scale: Scale) -> Self {
+        let mut specs = Vec::new();
+        specs.extend(lattice_specs(scale));
+        specs.extend(alg1_grid_specs(scale));
+        specs.extend(alg2_staircase_specs(scale));
+        specs.extend(alg3_crossover_specs(scale));
+        specs.extend(bst_nocf_specs(scale));
+        specs.extend(ablation_specs(scale));
+        let registry = Registry { specs };
+        let mut names: Vec<&str> = registry.specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            registry.specs.len(),
+            "registry names must be unique"
+        );
+        registry
+    }
+
+    /// All specs, in registration order.
+    pub fn specs(&self) -> &[ScenarioSpec] {
+        &self.specs
+    }
+
+    /// Looks a spec up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// All registered names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.specs.iter().map(|s| s.name.as_str())
+    }
+}
+
+/// E1: one spec per Figure 1 class, running the weakest algorithm whose
+/// class requirement the detector meets.
+pub fn lattice_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    CdClass::FIGURE_1
+        .into_iter()
+        .map(|class| {
+            let algorithm = if class.completeness.implies(wan_cd::Completeness::Majority) {
+                Algorithm::Alg1
+            } else {
+                Algorithm::Alg2
+            };
+            ScenarioSpec {
+                name: format!("lattice/{class}"),
+                algorithm,
+                class,
+                env: EnvironmentPlan::Ecf(EnvPlan::chaos(6)),
+                crash: None,
+                n: 4,
+                v_size: 16,
+                fixed_values: None,
+                seeds: scale.seeds(),
+                cap: 500,
+            }
+        })
+        .collect()
+}
+
+/// E2: Algorithm 1 over the (n, |V|) grid — the bound is constant in both.
+pub fn alg1_grid_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for n in [2usize, 4, 8] {
+        for v_size in [2u64, 16, 256] {
+            specs.push(ScenarioSpec {
+                name: format!("alg1/n{n}-v{v_size}"),
+                algorithm: Algorithm::Alg1,
+                class: CdClass::MAJ_EV_AC,
+                env: EnvironmentPlan::Ecf(EnvPlan::chaos(8)),
+                crash: None,
+                n,
+                v_size,
+                fixed_values: None,
+                seeds: scale.seeds(),
+                cap: 600,
+            });
+        }
+    }
+    specs
+}
+
+/// E3: Algorithm 2 over |V| — the logarithmic staircase.
+pub fn alg2_staircase_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    [2u64, 4, 16, 64, 256, 1024, 4096]
+        .into_iter()
+        .map(|v_size| ScenarioSpec {
+            name: format!("alg2/v{v_size}"),
+            algorithm: Algorithm::Alg2,
+            class: CdClass::ZERO_EV_AC,
+            env: EnvironmentPlan::Ecf(EnvPlan::chaos(8)),
+            crash: None,
+            n: 4,
+            v_size,
+            fixed_values: None,
+            seeds: scale.seeds(),
+            cap: 800,
+        })
+        .collect()
+}
+
+/// E4: the Section 7.3 protocol over the (|V|, |I|) grid.
+pub fn alg3_crossover_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for v_bits in [2u32, 8, 16] {
+        for i_bits in [2u32, 8, 16] {
+            specs.push(ScenarioSpec {
+                name: format!("alg3/v{v_bits}-i{i_bits}"),
+                algorithm: Algorithm::Alg3 { id_bits: i_bits },
+                class: CdClass::ZERO_EV_AC,
+                env: EnvironmentPlan::Ecf(EnvPlan::chaos(4)),
+                crash: None,
+                n: 3,
+                v_size: 1 << v_bits,
+                fixed_values: None,
+                seeds: scale.seeds(),
+                cap: 4000,
+            });
+        }
+    }
+    specs
+}
+
+/// E5: the BST algorithm under NOCF, clean and under the adversarial
+/// "walk to the deepest-left leaf, then die" crash schedule.
+pub fn bst_nocf_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for v_bits in [2u32, 4, 6, 8] {
+        let v_size = 1u64 << v_bits;
+        let domain = ValueDomain::new(v_size);
+        let bound = 8 * u64::from(domain.bits()) + 8;
+        specs.push(ScenarioSpec {
+            name: format!("bst/v{v_size}-clean"),
+            algorithm: Algorithm::Alg4,
+            class: CdClass::ZERO_AC,
+            env: EnvironmentPlan::Nocf,
+            crash: None,
+            n: 3,
+            v_size,
+            fixed_values: None,
+            seeds: scale.seeds(),
+            cap: 10 * bound,
+        });
+
+        // The adversarial schedule: process 0 holds the deepest-left value
+        // and leads the walk there, then crashes at the start of the exact
+        // round it would vote for it; the others hold the rightmost value,
+        // forcing a full climb and re-descent.
+        let mut node = ccwan_core::bst::BstNode::root(domain);
+        let mut steps = 0u64;
+        while node.value() != Value(0) {
+            node = node.left().expect("value 0 is leftmost");
+            steps += 1;
+        }
+        let crash_round = 4 * steps + 1; // the leaf's vote-val round
+        let mut fixed = vec![v_size - 1; 3];
+        fixed[0] = 0;
+        specs.push(ScenarioSpec {
+            name: format!("bst/v{v_size}-leafcrash"),
+            algorithm: Algorithm::Alg4,
+            class: CdClass::ZERO_AC,
+            env: EnvironmentPlan::Nocf,
+            crash: Some(CrashPlan {
+                process: 0,
+                round: crash_round,
+            }),
+            n: 3,
+            v_size,
+            fixed_values: Some(fixed),
+            seeds: scale.seeds(),
+            cap: 20 * bound,
+        });
+    }
+    specs
+}
+
+/// E14's sweep arms: Algorithms 1 and 2 run inside their classes under
+/// arbitrary loss, with the fixed value profile the bespoke rows use.
+pub fn ablation_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let plan = EnvironmentPlan::Ecf(EnvPlan::chaos(6));
+    vec![
+        ScenarioSpec {
+            name: "ablation/alg1-maj".into(),
+            algorithm: Algorithm::Alg1,
+            class: CdClass::MAJ_EV_AC,
+            env: plan,
+            crash: None,
+            n: 3,
+            v_size: 16,
+            fixed_values: Some(vec![3, 7, 7]),
+            seeds: scale.seeds(),
+            cap: 400,
+        },
+        ScenarioSpec {
+            name: "ablation/alg2-zero".into(),
+            algorithm: Algorithm::Alg2,
+            class: CdClass::ZERO_EV_AC,
+            env: plan,
+            crash: None,
+            n: 3,
+            v_size: 16,
+            fixed_values: Some(vec![3, 7, 7]),
+            seeds: scale.seeds(),
+            cap: 400,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_resolvable() {
+        let registry = Registry::standard(Scale::Quick);
+        assert!(registry.specs().len() >= 30);
+        let spec = registry.get("lattice/maj-AC").or_else(|| {
+            // Class display names are defined in wan-cd; fall back to the
+            // first lattice entry if the exact rendering differs.
+            registry
+                .specs()
+                .iter()
+                .find(|s| s.name.starts_with("lattice/"))
+        });
+        assert!(spec.is_some());
+    }
+
+    #[test]
+    fn cell_seeds_differ_across_cases_and_specs() {
+        let registry = Registry::standard(Scale::Quick);
+        let a = &registry.specs()[0];
+        let b = &registry.specs()[1];
+        assert_ne!(a.cell_seed(0), a.cell_seed(1));
+        assert_ne!(a.cell_seed(0), b.cell_seed(0));
+        assert_eq!(a.cell_seed(3), a.cell_seed(3));
+    }
+
+    #[test]
+    fn run_cell_is_deterministic() {
+        let spec = &lattice_specs(Scale::Quick)[0];
+        let one = spec.run_cell(0, 2);
+        let two = spec.run_cell(0, 2);
+        assert_eq!(one, two);
+        assert!(one.safe);
+        assert!(one.terminated);
+    }
+}

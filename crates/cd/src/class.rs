@@ -111,7 +111,13 @@ impl Accuracy {
     /// process that received all messages (`received == sent`), in `round`,
     /// given the detector's accuracy horizon `r_acc` (ignored unless
     /// `Eventual`).
-    pub fn must_stay_silent(self, round: Round, r_acc: Round, sent: usize, received: usize) -> bool {
+    pub fn must_stay_silent(
+        self,
+        round: Round,
+        r_acc: Round,
+        sent: usize,
+        received: usize,
+    ) -> bool {
         debug_assert!(received <= sent);
         if received != sent {
             return false;
@@ -244,11 +250,7 @@ impl CdClass {
         if self.completeness.must_report(sent, received) && !collision {
             return false;
         }
-        if self
-            .accuracy
-            .must_stay_silent(round, r_acc, sent, received)
-            && collision
-        {
+        if self.accuracy.must_stay_silent(round, r_acc, sent, received) && collision {
             return false;
         }
         true

@@ -113,7 +113,11 @@ impl CollisionDetector for ClassDetector {
             .map(|t| {
                 if self.class.completeness.must_report(c, t) {
                     CdAdvice::Collision
-                } else if self.class.accuracy.must_stay_silent(round, self.r_acc, c, t) {
+                } else if self
+                    .class
+                    .accuracy
+                    .must_stay_silent(round, self.r_acc, c, t)
+                {
                     CdAdvice::Null
                 } else {
                     self.free_choice()
@@ -192,8 +196,10 @@ mod tests {
 
     #[test]
     fn random_policy_is_deterministic_per_seed() {
-        let mk = || ClassDetector::new(CdClass::ZERO_EV_AC, FreedomPolicy::Random { p: 0.5 }, 11)
-            .accurate_from(Round(1000));
+        let mk = || {
+            ClassDetector::new(CdClass::ZERO_EV_AC, FreedomPolicy::Random { p: 0.5 }, 11)
+                .accurate_from(Round(1000))
+        };
         let (mut a, mut b) = (mk(), mk());
         for r in 1..50u64 {
             assert_eq!(

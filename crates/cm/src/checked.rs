@@ -51,9 +51,7 @@ mod tests {
     use crate::schedule::{LeaderElectionService, PreStabilization, WakeUpService};
     use wan_sim::crash::NoCrashes;
     use wan_sim::loss::NoLoss;
-    use wan_sim::{
-        AlwaysNull, Automaton, CmAdvice, Components, ProcessId, RoundInput, Simulation,
-    };
+    use wan_sim::{AlwaysNull, Automaton, CmAdvice, Components, ProcessId, RoundInput, Simulation};
 
     /// A process that broadcasts whenever advised active.
     struct Obedient;

@@ -183,7 +183,11 @@ impl ContentionManager for ScriptedCm {
     fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
         match self.script.get(round.trace_index()) {
             Some(advice) => {
-                assert_eq!(advice.len(), view.n, "scripted CM arity mismatch at {round}");
+                assert_eq!(
+                    advice.len(),
+                    view.n,
+                    "scripted CM arity mismatch at {round}"
+                );
                 advice.clone()
             }
             None => self.fallback.advise(round, view),
@@ -219,12 +223,7 @@ mod tests {
     #[test]
     fn wakeup_stabilizes_on_designated() {
         let alive = [true; 4];
-        let mut ws = WakeUpService::new(
-            Round(3),
-            ProcessId(2),
-            PreStabilization::AllActive,
-            0,
-        );
+        let mut ws = WakeUpService::new(Round(3), ProcessId(2), PreStabilization::AllActive, 0);
         let v = view(4, &alive, &alive);
         assert_eq!(actives(&ws.advise(Round(1), &v)).len(), 4);
         assert_eq!(actives(&ws.advise(Round(3), &v)), vec![2]);
@@ -235,8 +234,8 @@ mod tests {
     #[test]
     fn rotating_wakeup_is_not_a_leader_election() {
         let alive = [true; 3];
-        let mut ws = WakeUpService::new(Round(1), ProcessId(0), PreStabilization::AllPassive, 0)
-            .rotating();
+        let mut ws =
+            WakeUpService::new(Round(1), ProcessId(0), PreStabilization::AllPassive, 0).rotating();
         let v = view(3, &alive, &alive);
         assert_eq!(actives(&ws.advise(Round(1), &v)), vec![0]);
         assert_eq!(actives(&ws.advise(Round(2), &v)), vec![1]);

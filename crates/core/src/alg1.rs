@@ -92,7 +92,7 @@ impl MajEcfConsensus {
     }
 
     fn phase(&self) -> Phase {
-        if self.rounds_done % 2 == 0 {
+        if self.rounds_done.is_multiple_of(2) {
             Phase::Proposal
         } else {
             Phase::Veto
@@ -198,7 +198,10 @@ mod tests {
 
     fn run_clean(values: &[u64], v_size: u64) -> crate::checker::ConsensusOutcome {
         let domain = ValueDomain::new(v_size);
-        let procs = processes(domain, &values.iter().map(|&v| Value(v)).collect::<Vec<_>>());
+        let procs = processes(
+            domain,
+            &values.iter().map(|&v| Value(v)).collect::<Vec<_>>(),
+        );
         let components = Components {
             detector: Box::new(
                 CheckedDetector::new(

@@ -244,12 +244,10 @@ impl Automaton for ZeroEcfConsensus {
         if self.halted {
             return None;
         }
-        self.core
-            .wire(self.pos(), cm.is_active())
-            .map(|w| match w {
-                Alg2Wire::Estimate(v) => Alg2Msg::Estimate(v),
-                Alg2Wire::Mark => Alg2Msg::Mark,
-            })
+        self.core.wire(self.pos(), cm.is_active()).map(|w| match w {
+            Alg2Wire::Estimate(v) => Alg2Msg::Estimate(v),
+            Alg2Wire::Mark => Alg2Msg::Mark,
+        })
     }
 
     fn transition(&mut self, input: RoundInput<'_, Alg2Msg>) {

@@ -293,12 +293,12 @@ impl Automaton for NonAnonConsensus {
                         },
                     })
             }
-            Slot::Value => (!self.direct && self.elected == Some(self.my_id)).then(|| {
-                Alg3Msg::ValueMsg {
+            Slot::Value => {
+                (!self.direct && self.elected == Some(self.my_id)).then(|| Alg3Msg::ValueMsg {
                     epoch: self.epoch,
                     value: self.dissemination_value(),
-                }
-            }),
+                })
+            }
             Slot::Veto => (!self.direct && !self.has_current_val()).then_some(Alg3Msg::Veto),
             Slot::Sync => {
                 if self.direct {
@@ -400,9 +400,7 @@ impl Automaton for NonAnonConsensus {
                 // Sound leader-death detection: a truly silent value round
                 // while a leader is known. Zero completeness makes silence
                 // definitive; the leader itself hears its own heartbeat.
-                if self.elected.is_some()
-                    && input.received.is_empty()
-                    && input.cd == CdAdvice::Null
+                if self.elected.is_some() && input.received.is_empty() && input.cd == CdAdvice::Null
                 {
                     self.advance_epoch(self.epoch + 1);
                 }
@@ -583,7 +581,11 @@ mod tests {
         let procs = processes(
             ids,
             domain,
-            &[(Uid(0), Value(11)), (Uid(1), Value(22)), (Uid(2), Value(33))],
+            &[
+                (Uid(0), Value(11)),
+                (Uid(1), Value(22)),
+                (Uid(2), Value(33)),
+            ],
             2,
         );
         // Uid(0) at index 0 wins the first election (min id with the fair
@@ -600,8 +602,7 @@ mod tests {
     fn leader_crash_storm_is_survived() {
         let ids = IdSpace::new(8);
         let domain = ValueDomain::new(1 << 16);
-        let assignments: Vec<(Uid, Value)> =
-            (0..6).map(|i| (Uid(i), Value(1000 + i))).collect();
+        let assignments: Vec<(Uid, Value)> = (0..6).map(|i| (Uid(i), Value(1000 + i))).collect();
         let procs = processes(ids, domain, &assignments, 3);
         // Crash the first three indices in waves.
         let crash = ScheduledCrashes::new()
@@ -622,7 +623,11 @@ mod tests {
             let procs = processes(
                 ids,
                 domain,
-                &[(Uid(1), Value(500)), (Uid(2), Value(600)), (Uid(3), Value(700))],
+                &[
+                    (Uid(1), Value(500)),
+                    (Uid(2), Value(600)),
+                    (Uid(3), Value(700)),
+                ],
                 seed,
             );
             let comps = Components {
@@ -644,7 +649,11 @@ mod tests {
             };
             let mut run = ConsensusRun::new(procs, comps);
             let outcome = run.run_to_completion(Round(3000));
-            assert!(outcome.is_safe(), "seed {seed}: {:?}", outcome.safety_violations());
+            assert!(
+                outcome.is_safe(),
+                "seed {seed}: {:?}",
+                outcome.safety_violations()
+            );
             assert!(outcome.terminated, "seed {seed} undecided");
         }
     }
@@ -667,7 +676,13 @@ mod tests {
 
         fn elect_proc() -> NonAnonConsensus {
             // |V| > |I| forces elect mode.
-            NonAnonConsensus::new(IdSpace::new(8), ValueDomain::new(1 << 10), Uid(5), Value(700), 0)
+            NonAnonConsensus::new(
+                IdSpace::new(8),
+                ValueDomain::new(1 << 10),
+                Uid(5),
+                Value(700),
+                0,
+            )
         }
 
         fn feed(p: &mut NonAnonConsensus, round: u64, msgs: &[Alg3Msg], cd: CdAdvice) {
@@ -702,7 +717,7 @@ mod tests {
         fn value_round_heartbeat_and_adoption() {
             let mut p = elect_proc();
             feed(&mut p, 1, &[], CdAdvice::Null); // ELECT: silence
-            // VALUE round: a current-epoch heartbeat.
+                                                  // VALUE round: a current-epoch heartbeat.
             feed(
                 &mut p,
                 2,
@@ -777,8 +792,8 @@ mod tests {
             ); // SYNC: learn the winner
             assert_eq!(p.elected(), Some(Uid(2)));
             feed(&mut p, 5, &[], CdAdvice::Null); // ELECT
-            // VALUE round: nothing received but a collision notification —
-            // the leader may have broadcast and been lost. NOT death.
+                                                  // VALUE round: nothing received but a collision notification —
+                                                  // the leader may have broadcast and been lost. NOT death.
             feed(&mut p, 6, &[], CdAdvice::Collision);
             assert_eq!(p.epoch(), 1, "± is not evidence of death");
             // VALUE round with true silence: death.
@@ -862,7 +877,11 @@ mod tests {
                 }
             }
             assert_eq!(p.elected(), Some(Uid(2)).or(p.elected()), "sanity");
-            assert_eq!(p.decision(), Some(Value(99)), "lone leader decides its own value");
+            assert_eq!(
+                p.decision(),
+                Some(Value(99)),
+                "lone leader decides its own value"
+            );
         }
     }
 }

@@ -137,11 +137,7 @@ mod tests {
         let root = BstNode::root(d);
         for v in d.values() {
             assert!(root.contains(v));
-            assert_eq!(
-                root.in_left(v),
-                v < root.value(),
-                "left membership for {v}"
-            );
+            assert_eq!(root.in_left(v), v < root.value(), "left membership for {v}");
             assert_eq!(root.in_right(v), v > root.value());
         }
         assert!(!root.contains(Value(10)));

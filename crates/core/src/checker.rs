@@ -123,7 +123,10 @@ impl ConsensusOutcome {
         // Strong validity.
         for &(p, v) in &deciders {
             if !self.initial_values.contains(&v) {
-                out.push(SafetyViolation::StrongValidity { process: p, value: v });
+                out.push(SafetyViolation::StrongValidity {
+                    process: p,
+                    value: v,
+                });
             }
         }
 
@@ -174,11 +177,11 @@ mod tests {
 
     #[test]
     fn clean_run_is_safe() {
-        let o = outcome(vec![3, 1, 2], vec![Some(1), Some(1), Some(1)], vec![
-            Some(4),
-            Some(4),
-            Some(6),
-        ]);
+        let o = outcome(
+            vec![3, 1, 2],
+            vec![Some(1), Some(1), Some(1)],
+            vec![Some(4), Some(4), Some(6)],
+        );
         assert!(o.is_safe());
         assert_eq!(o.agreed_value(), Some(Value(1)));
         assert_eq!(o.first_decision(), Some(Round(4)));

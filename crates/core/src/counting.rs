@@ -168,10 +168,7 @@ mod tests {
             },
         );
         sim.run(k * n as u64 + 3);
-        assert!(sim
-            .processes()
-            .iter()
-            .all(|p| p.count() == Some(n as u64)));
+        assert!(sim.processes().iter().all(|p| p.count() == Some(n as u64)));
     }
 
     #[test]

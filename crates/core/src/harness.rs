@@ -4,26 +4,69 @@
 use crate::checker::ConsensusOutcome;
 use crate::consensus::ConsensusAutomaton;
 use crate::cst::Cst;
-use wan_sim::{Components, ExecutionTrace, Round, Simulation, TraceDetail};
+use wan_sim::{
+    CollisionDetector, Components, ContentionManager, CrashAdversary, DynCrash, DynDetector,
+    DynLoss, DynManager, Engine, ExecutionTrace, LossAdversary, Round, TraceDetail,
+};
 
-/// A consensus run: a [`Simulation`] plus decision-round bookkeeping and the
+/// A consensus run: an [`Engine`] plus decision-round bookkeeping and the
 /// declared CST of its environment.
-pub struct ConsensusRun<A: ConsensusAutomaton> {
-    sim: Simulation<A>,
+///
+/// Generic over the component types like the engine itself; the defaults
+/// are the boxed trait objects, so `ConsensusRun<A>` and
+/// [`ConsensusRun::new`] mean exactly what they meant when the harness was
+/// fully dynamic. Statically-dispatched runs are built with
+/// [`ConsensusRun::from_engine`].
+pub struct ConsensusRun<
+    A: ConsensusAutomaton,
+    CD = DynDetector,
+    CM = DynManager,
+    L = DynLoss,
+    C = DynCrash,
+> {
+    sim: Engine<A, CD, CM, L, C>,
     decision_rounds: Vec<Option<Round>>,
     cst: Cst,
 }
 
 impl<A: ConsensusAutomaton> ConsensusRun<A> {
-    /// Builds a run over the given processes and environment components.
+    /// Builds a fully-dynamic run over the given processes and boxed
+    /// environment components.
     pub fn new(procs: Vec<A>, components: Components) -> Self {
         let cst = Cst::from_components(&components);
         let n = procs.len();
         ConsensusRun {
-            sim: Simulation::new(procs, components),
+            sim: Engine::new(procs, components),
             decision_rounds: vec![None; n],
             cst,
         }
+    }
+}
+
+impl<A, CD, CM, L, C> ConsensusRun<A, CD, CM, L, C>
+where
+    A: ConsensusAutomaton,
+    CD: CollisionDetector,
+    CM: ContentionManager,
+    L: LossAdversary,
+    C: CrashAdversary,
+{
+    /// Wraps an already-built engine (statically dispatched for concrete
+    /// component types), reading the declared CST from its components.
+    pub fn from_engine(sim: Engine<A, CD, CM, L, C>) -> Self {
+        let cst = Cst::from_engine(&sim);
+        let n = sim.n();
+        ConsensusRun {
+            sim,
+            decision_rounds: vec![None; n],
+            cst,
+        }
+    }
+
+    /// Builds a statically-dispatched run over the given processes and
+    /// concrete environment components.
+    pub fn from_parts(procs: Vec<A>, detector: CD, manager: CM, loss: L, crash: C) -> Self {
+        Self::from_engine(Engine::from_parts(procs, detector, manager, loss, crash))
     }
 
     /// Record only receive counts in the trace (cheaper for sweeps).
@@ -38,8 +81,8 @@ impl<A: ConsensusAutomaton> ConsensusRun<A> {
         self.cst
     }
 
-    /// The underlying simulation (read-only).
-    pub fn sim(&self) -> &Simulation<A> {
+    /// The underlying engine (read-only).
+    pub fn sim(&self) -> &Engine<A, CD, CM, L, C> {
         &self.sim
     }
 
@@ -51,6 +94,17 @@ impl<A: ConsensusAutomaton> ConsensusRun<A> {
     /// Executes one round, recording any new decisions.
     pub fn step(&mut self) {
         self.sim.step();
+        self.note_decisions();
+    }
+
+    /// Executes one round without trace recording, still tracking
+    /// decisions (the sweep fast path).
+    pub fn step_untraced(&mut self) {
+        self.sim.step_untraced();
+        self.note_decisions();
+    }
+
+    fn note_decisions(&mut self) {
         let round = self.sim.current_round();
         for (i, p) in self.sim.processes().iter().enumerate() {
             if self.decision_rounds[i].is_none() && p.decision().is_some() {
@@ -73,6 +127,18 @@ impl<A: ConsensusAutomaton> ConsensusRun<A> {
     pub fn run_to_completion(&mut self, cap: Round) -> ConsensusOutcome {
         while !self.all_correct_decided() && self.sim.current_round() < cap {
             self.step();
+        }
+        self.outcome()
+    }
+
+    /// As [`ConsensusRun::run_to_completion`], but skipping all trace
+    /// recording: the execution (and therefore the outcome) is identical,
+    /// only the per-round bookkeeping allocations disappear. Use for large
+    /// sweeps that consume the [`ConsensusOutcome`] and never look at the
+    /// trace.
+    pub fn run_to_completion_untraced(&mut self, cap: Round) -> ConsensusOutcome {
+        while !self.all_correct_decided() && self.sim.current_round() < cap {
+            self.step_untraced();
         }
         self.outcome()
     }
@@ -180,7 +246,10 @@ mod tests {
         let mut run = ConsensusRun::new(procs, components());
         let outcome = run.run_to_completion(Round(20));
         assert!(outcome.terminated);
-        assert_eq!(outcome.decision_rounds, vec![Some(Round(2)), Some(Round(5))]);
+        assert_eq!(
+            outcome.decision_rounds,
+            vec![Some(Round(2)), Some(Round(5))]
+        );
         assert_eq!(outcome.agreed_value(), Some(Value(7)));
         assert_eq!(outcome.rounds_executed, Round(5));
         assert!(outcome.is_safe());

@@ -47,7 +47,7 @@ impl CdBlindOptimist {
     }
 
     fn in_proposal(&self) -> bool {
-        self.rounds_done % 2 == 0
+        self.rounds_done.is_multiple_of(2)
     }
 }
 
@@ -209,7 +209,11 @@ mod tests {
         let outcome = ConsensusRun::new(procs, components).run_to_completion(Round(20));
         assert!(outcome.terminated);
         assert!(outcome.is_safe());
-        assert_eq!(outcome.agreed_value(), Some(Value(3)), "leader's value wins");
+        assert_eq!(
+            outcome.agreed_value(),
+            Some(Value(3)),
+            "leader's value wins"
+        );
     }
 
     #[test]
@@ -233,10 +237,7 @@ mod tests {
         ];
         let components = Components {
             detector: Box::new(NoCdDetector),
-            manager: Box::new(wan_cm::ScriptedCm::new(
-                script,
-                Box::new(wan_cm::NoCm),
-            )),
+            manager: Box::new(wan_cm::ScriptedCm::new(script, Box::new(wan_cm::NoCm))),
             loss: Box::new(PartitionLoss::two_groups(4, 2, IntraGroupRule::Full)),
             crash: Box::new(NoCrashes),
         };

@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn msb_first_indexing() {
         let d = ValueDomain::new(8); // 3 bits
-        // v6 = 110
+                                     // v6 = 110
         assert!(d.bit(Value(6), 1));
         assert!(d.bit(Value(6), 2));
         assert!(!d.bit(Value(6), 3));

@@ -47,9 +47,7 @@ impl RadioChannel {
         let positions: Vec<(f64, f64)> = (0..cfg.n)
             .map(|i| {
                 let r = cfg.radius_m * hash::uniform(&[cfg.seed, 0xB0, i as u64]).sqrt();
-                let theta = 2.0
-                    * std::f64::consts::PI
-                    * hash::uniform(&[cfg.seed, 0xA1, i as u64]);
+                let theta = 2.0 * std::f64::consts::PI * hash::uniform(&[cfg.seed, 0xA1, i as u64]);
                 (r * theta.cos(), r * theta.sin())
             })
             .collect();
@@ -155,9 +153,8 @@ impl RadioChannel {
                     .enumerate()
                     .filter(|(si, _)| sender_slot[*si] == slot)
                     .map(|(si, &s)| {
-                        let p = p_tx
-                            * self.gain[s.index()][rx]
-                            * self.fading(round, s, ProcessId(rx));
+                        let p =
+                            p_tx * self.gain[s.index()][rx] * self.fading(round, s, ProcessId(rx));
                         (si, p)
                     })
                     .collect();

@@ -11,8 +11,7 @@ use crate::config::PhyConfig;
 use std::cell::RefCell;
 use std::rc::Rc;
 use wan_sim::{
-    CdAdvice, CollisionDetector, DeliveryMatrix, LossAdversary, ProcessId, Round,
-    TransmissionEntry,
+    CdAdvice, CollisionDetector, DeliveryMatrix, LossAdversary, ProcessId, Round, TransmissionEntry,
 };
 
 /// Shared per-round channel state.
@@ -96,7 +95,13 @@ impl CollisionDetector for PhyDetector {
         outcome
             .collision
             .iter()
-            .map(|&c| if c { CdAdvice::Collision } else { CdAdvice::Null })
+            .map(|&c| {
+                if c {
+                    CdAdvice::Collision
+                } else {
+                    CdAdvice::Null
+                }
+            })
             .collect()
     }
 

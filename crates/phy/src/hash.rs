@@ -74,8 +74,7 @@ mod tests {
 
     #[test]
     fn exponential_positive_with_unit_mean() {
-        let mean: f64 =
-            (0..20_000u64).map(|i| exponential(&[7, i])).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000u64).map(|i| exponential(&[7, i])).sum::<f64>() / 20_000.0;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
     }
 

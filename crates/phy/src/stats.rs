@@ -39,7 +39,12 @@ pub struct PropertyStats {
 /// Per the formal definitions, `T(i)` counts a broadcaster's own message
 /// (constraint 5 forces self-delivery), and property predicates are
 /// evaluated per process per round exactly as in `wan_cd`.
-pub fn measure_properties(cfg: PhyConfig, rounds: u64, p_tx: f64, workload_seed: u64) -> PropertyStats {
+pub fn measure_properties(
+    cfg: PhyConfig,
+    rounds: u64,
+    p_tx: f64,
+    workload_seed: u64,
+) -> PropertyStats {
     assert!((0.0..=1.0).contains(&p_tx), "p_tx out of range");
     let channel = RadioChannel::new(cfg);
     let n = cfg.n;

@@ -1,0 +1,294 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! shim provides the API surface the bench targets use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`], [`criterion_main!`] — backed by a plain
+//! wall-clock sampler: per benchmark it warms up, picks an iteration count
+//! that fills the configured measurement window, takes `sample_size`
+//! samples, and reports mean / best / worst nanoseconds per iteration.
+//!
+//! There is no statistical outlier analysis, HTML report, or saved
+//! baseline; results are printed to stdout and retrievable in-process via
+//! [`Criterion::results`] so bench targets can emit machine-readable files
+//! (e.g. `BENCH_engine.json`). Honouring `CCWAN_BENCH_QUICK=1` shrinks the
+//! windows for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A benchmark identifier: function name plus a parameter, rendered
+/// `name/param` as in real criterion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id carrying only a parameter (attached to the group name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full id (`group/function/param`).
+    pub id: String,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Fastest sample (ns per iteration).
+    pub min_ns: f64,
+    /// Slowest sample (ns per iteration).
+    pub max_ns: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: u64,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var_os("CCWAN_BENCH_QUICK").is_some();
+        Criterion {
+            sample_size: if quick { 10 } else { 30 },
+            measurement_time: Duration::from_millis(if quick { 200 } else { 1500 }),
+            warm_up_time: Duration::from_millis(if quick { 50 } else { 300 }),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        if std::env::var_os("CCWAN_BENCH_QUICK").is_none() {
+            self.measurement_time = d;
+        }
+        self
+    }
+
+    /// Warm-up window per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        if std::env::var_os("CCWAN_BENCH_QUICK").is_none() {
+            self.warm_up_time = d;
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id: BenchmarkId = id.into();
+        self.run_one(id.0, &mut f);
+    }
+
+    /// All measurements taken so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up and calibration: count iterations until the warm-up window
+        // elapses to estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            let mut b = Bencher {
+                mode: Mode::Once,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: Mode::Repeat(iters_per_sample),
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "bench {id:<48} mean {:>12.1} ns/iter  (min {:.1}, max {:.1}, {} iters x {} samples)",
+            mean, min, max, iters_per_sample, self.sample_size
+        );
+        self.results.push(BenchResult {
+            id,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            iters_per_sample,
+            samples: self.sample_size as u64,
+        });
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id: BenchmarkId = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(full, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Calibration: run the routine once.
+    Once,
+    /// Measurement: run the routine `n` times under one timer.
+    Repeat(u64),
+}
+
+/// Passed to benchmark closures; its [`iter`](Bencher::iter) runs the
+/// measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, preventing its result from being optimized away.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Once => {
+                black_box(routine());
+            }
+            Mode::Repeat(n) => {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                self.elapsed += start.elapsed();
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        std::env::set_var("CCWAN_BENCH_QUICK", "1");
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "g/square/7");
+        assert_eq!(c.results()[1].id, "standalone");
+        assert!(c.results().iter().all(|r| r.mean_ns >= 0.0));
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! shim implements the subset of the proptest API the test suite uses:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   inner attribute),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * range, tuple, [`strategy::Just`], `any::<bool>()`, and
+//!   [`collection::vec`] strategies.
+//!
+//! Semantics: each test body runs for `ProptestConfig::cases` inputs drawn
+//! from a generator seeded deterministically from the test's name, so runs
+//! are reproducible without a persisted regression file. There is **no
+//! shrinking** — on failure the case index and seed are reported and the
+//! test panics. That is a weaker debugging experience than real proptest but
+//! an identical pass/fail contract.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     // (would carry #[test] in a real test module)
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let strat = ($($strat,)+);
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::sample(&strat, &mut rng);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}",
+                            stringify!($name),
+                            case,
+                            cfg.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case (early-returns success) if the condition does not
+/// hold. Unlike real proptest, skipped cases still count toward `cases` and
+/// there is no too-many-rejects limit.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Fails the enclosing property (early-returns a `TestCaseError`) if the
+/// condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing property if the two values are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the enclosing property if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples(
+            a in 3u64..9,
+            (lo, hi) in (0usize..5).prop_flat_map(|c| (Just(c), c..10)),
+            flag in any::<bool>(),
+            x in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(lo <= hi && hi < 10);
+            prop_assert!(u8::from(flag) <= 1);
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn vec_strategy_respects_bounds(
+            v in crate::collection::vec((0usize..4, 0u8..8), 2..6),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            for (a, b) in v {
+                prop_assert!(a < 4);
+                prop_assert!(b < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = TestRng::for_case("inclusive", 0);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(0usize..=2).sample(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(a in 0u32..10) {
+                prop_assert!(a > 100, "got {}", a);
+            }
+        }
+        always_fails();
+    }
+}

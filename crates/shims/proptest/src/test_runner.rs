@@ -1,0 +1,86 @@
+//! Test configuration, errors, and the deterministic case generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Per-test configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the simulator's properties each run
+        // whole executions, so the shim trades depth for suite latency.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a property case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed-assertion error.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The generator handed to strategies: a [`StdRng`] seeded from the test
+/// name and case index, so every run of the suite replays identical inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The generator for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ (u64::from(case) << 32 | u64::from(case)),
+        ))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform `u64` below `bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.0.random_u64_below(bound)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}

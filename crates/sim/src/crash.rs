@@ -145,7 +145,10 @@ mod tests {
         assert_eq!(first.len(), 2, "cap of 2 respected even at p=1");
         assert!(adv.crashes(Round(2), &alive).is_empty(), "cap exhausted");
         let mut adv2 = RandomCrashes::new(1.0, 10, 9).ceasing_at(Round(4));
-        assert!(adv2.crashes(Round(4), &alive).is_empty(), "horizon respected");
+        assert!(
+            adv2.crashes(Round(4), &alive).is_empty(),
+            "horizon respected"
+        );
     }
 
     #[test]

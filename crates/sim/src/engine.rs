@@ -1,4 +1,13 @@
 //! The round engine: executes a system `(E, A)` per Definition 11.
+//!
+//! The engine is generic over its four environment components
+//! ([`Engine`]), so a monomorphized simulation pays no virtual-dispatch
+//! cost on the per-round hot path. The boxed bundle [`Components`] and the
+//! alias [`Simulation`] keep the original fully-dynamic API: a
+//! `Simulation<A>` is just an `Engine` whose component parameters are the
+//! `Box<dyn …>` trait objects (which implement the component traits
+//! themselves, by deref — see `traits.rs`), so heterogeneous experiment
+//! sweeps can still mix detector/manager/loss/crash types at runtime.
 
 use crate::automaton::{Automaton, RoundInput};
 use crate::ids::{ProcessId, Round};
@@ -18,18 +27,33 @@ pub enum TraceDetail {
     Counts,
 }
 
+/// A boxed collision detector (the dynamic-dispatch component form).
+pub type DynDetector = Box<dyn CollisionDetector>;
+/// A boxed contention manager.
+pub type DynManager = Box<dyn ContentionManager>;
+/// A boxed message-loss adversary.
+pub type DynLoss = Box<dyn LossAdversary>;
+/// A boxed crash adversary.
+pub type DynCrash = Box<dyn CrashAdversary>;
+
 /// The environment components a simulation runs against (an *environment* in
 /// the sense of Definition 9, plus the resolved message-loss and crash
-/// nondeterminism of Definition 11).
+/// nondeterminism of Definition 11), as boxed trait objects.
+///
+/// This is the dynamic-dispatch adapter: each `Box<dyn …>` implements its
+/// component trait via deref, so a `Components` bundle plugs straight into
+/// the generic [`Engine`] (yielding the [`Simulation`] alias). Use it when
+/// an experiment sweep must mix component *types* at runtime; use
+/// [`Engine::from_parts`] with concrete types when the hot path matters.
 pub struct Components {
     /// The collision detector (`E.CD`).
-    pub detector: Box<dyn CollisionDetector>,
+    pub detector: DynDetector,
     /// The contention manager (`E.CM`).
-    pub manager: Box<dyn ContentionManager>,
+    pub manager: DynManager,
     /// The resolved message-loss behaviour.
-    pub loss: Box<dyn LossAdversary>,
+    pub loss: DynLoss,
     /// The resolved crash behaviour.
-    pub crash: Box<dyn CrashAdversary>,
+    pub crash: DynCrash,
 }
 
 impl std::fmt::Debug for Components {
@@ -38,12 +62,20 @@ impl std::fmt::Debug for Components {
     }
 }
 
+/// The fully-dynamic engine: every component behind a `Box<dyn …>`.
+///
+/// This is the original engine type; all seed-era call sites
+/// (`Simulation::new(procs, components)`) keep working unchanged.
+pub type Simulation<A> = Engine<A, DynDetector, DynManager, DynLoss, DynCrash>;
+
 /// A running system `(E, A)`: `n` process automata plus the environment
 /// components, executing synchronized rounds and recording a full
 /// [`ExecutionTrace`].
 ///
-/// Each call to [`Simulation::step`] executes one round in the order fixed by
-/// Definition 11:
+/// Generic over the component types so that concrete components are
+/// statically dispatched (and inlined) on the per-round hot path; see
+/// [`Simulation`] for the boxed form. Each call to [`Engine::step`]
+/// executes one round in the order fixed by Definition 11:
 ///
 /// 1. the crash adversary selects processes to fail;
 /// 2. the contention manager produces `W_r`;
@@ -53,29 +85,62 @@ impl std::fmt::Debug for Components {
 /// 5. the collision detector produces `D_r` from the transmission entry
 ///    `(c, T)` (constraint 6);
 /// 6. live processes transition (`C_r = trans_A(C_{r-1}, N_r, D_r, W_r)`).
-pub struct Simulation<A: Automaton> {
+pub struct Engine<A: Automaton, CD, CM, L, C> {
     procs: Vec<A>,
     alive: Vec<bool>,
-    components: Components,
+    detector: CD,
+    manager: CM,
+    loss: L,
+    crash: C,
     round: Round,
     trace: ExecutionTrace<A::Msg>,
     detail: TraceDetail,
 }
 
 impl<A: Automaton> Simulation<A> {
-    /// Creates a simulation over the given automata and environment.
+    /// Creates a fully-dynamic simulation over the given automata and
+    /// boxed environment bundle.
     ///
     /// # Panics
     ///
     /// Panics if `procs` is empty (environments are defined over non-empty
     /// index sets, Definition 9).
     pub fn new(procs: Vec<A>, components: Components) -> Self {
+        let Components {
+            detector,
+            manager,
+            loss,
+            crash,
+        } = components;
+        Engine::from_parts(procs, detector, manager, loss, crash)
+    }
+}
+
+impl<A, CD, CM, L, C> Engine<A, CD, CM, L, C>
+where
+    A: Automaton,
+    CD: CollisionDetector,
+    CM: ContentionManager,
+    L: LossAdversary,
+    C: CrashAdversary,
+{
+    /// Creates an engine over the given automata and concrete environment
+    /// components (statically dispatched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is empty (environments are defined over non-empty
+    /// index sets, Definition 9).
+    pub fn from_parts(procs: Vec<A>, detector: CD, manager: CM, loss: L, crash: C) -> Self {
         assert!(!procs.is_empty(), "a system needs at least one process");
         let n = procs.len();
-        Simulation {
+        Engine {
             procs,
             alive: vec![true; n],
-            components,
+            detector,
+            manager,
+            loss,
+            crash,
             round: Round::ZERO,
             trace: ExecutionTrace::new(n),
             detail: TraceDetail::Full,
@@ -115,18 +180,80 @@ impl<A: Automaton> Simulation<A> {
         &self.trace
     }
 
-    /// The environment components (read-only).
-    pub fn components(&self) -> &Components {
-        &self.components
+    /// The collision detector (read-only).
+    pub fn detector(&self) -> &CD {
+        &self.detector
+    }
+
+    /// The contention manager (read-only).
+    pub fn manager(&self) -> &CM {
+        &self.manager
+    }
+
+    /// The message-loss adversary (read-only).
+    pub fn loss(&self) -> &L {
+        &self.loss
+    }
+
+    /// The crash adversary (read-only).
+    pub fn crash(&self) -> &C {
+        &self.crash
     }
 
     /// Executes one round and returns its record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any untraced round has already run: the trace is indexed
+    /// by round number, so traced and untraced stepping cannot be mixed in
+    /// one engine.
     pub fn step(&mut self) -> &RoundRecord<A::Msg> {
+        self.assert_trace_contiguous();
+        self.advance(true);
+        self.trace
+            .round(self.round)
+            .expect("the just-pushed round exists")
+    }
+
+    /// Executes one round without recording it ([`Engine::run_untraced`]).
+    /// The execution is identical to [`Engine::step`] — components see the
+    /// same calls in the same order — only the bookkeeping is skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any traced round has already run: an engine is either
+    /// traced or untraced for its whole life, so a stale partial trace can
+    /// never masquerade as a complete one.
+    pub fn step_untraced(&mut self) {
+        self.assert_never_traced();
+        self.advance(false);
+    }
+
+    fn assert_trace_contiguous(&self) {
+        assert_eq!(
+            self.trace.len() as u64,
+            self.round.0,
+            "cannot record a traced round after untraced rounds: the trace \
+             is indexed by round number, so traced and untraced stepping \
+             cannot be mixed in one engine"
+        );
+    }
+
+    fn assert_never_traced(&self) {
+        assert!(
+            self.trace.is_empty(),
+            "cannot step untraced after traced rounds: the partial trace \
+             would silently masquerade as the complete execution"
+        );
+    }
+
+    #[inline]
+    fn advance(&mut self, record: bool) {
         let n = self.n();
         let round = self.round.next();
 
         // 1. Crashes take effect at the start of the round.
-        let mut crashed = self.components.crash.crashes(round, &self.alive);
+        let mut crashed = self.crash.crashes(round, &self.alive);
         crashed.retain(|p| self.alive[p.index()]);
         for p in &crashed {
             self.alive[p.index()] = false;
@@ -139,7 +266,7 @@ impl<A: Automaton> Simulation<A> {
             .enumerate()
             .map(|(i, p)| self.alive[i] && p.is_contending())
             .collect();
-        let cm = self.components.manager.advise(
+        let cm = self.manager.advise(
             round,
             &CmView {
                 n,
@@ -169,27 +296,27 @@ impl<A: Automaton> Simulation<A> {
             .collect();
 
         // 4. Loss resolution; self-delivery forced (constraint 5).
-        let mut matrix = self.components.loss.deliver(round, &senders, n);
+        let mut matrix = self.loss.deliver(round, &senders, n);
         assert_eq!(matrix.n(), n, "loss adversary returned wrong arity");
         matrix.force_self_delivery();
 
         let mut received: Vec<Multiset<A::Msg>> = vec![Multiset::new(); n];
         for &s in &senders {
             let msg = sent[s.index()].as_ref().expect("sender has a message");
-            for r in 0..n {
+            for (r, bucket) in received.iter_mut().enumerate() {
                 if matrix.delivered(s, ProcessId(r)) {
-                    received[r].insert(msg.clone());
+                    bucket.insert(msg.clone());
                 }
             }
         }
-        let received_counts: Vec<usize> = received.iter().map(|m| m.total()).collect();
-
-        // 5. Collision detection from the transmission entry (c, T).
+        // 5. Collision detection from the transmission entry (c, T). The
+        // counts live inside the entry until the record is assembled, so
+        // the hot path builds them exactly once.
         let tx = TransmissionEntry {
             sent_count: senders.len(),
-            received: received_counts.clone(),
+            received: received.iter().map(|m| m.total()).collect(),
         };
-        let cd = self.components.detector.advise(round, &tx);
+        let cd = self.detector.advise(round, &tx);
         assert_eq!(cd.len(), n, "collision detector returned wrong arity");
 
         // 6. Transitions for live processes.
@@ -205,32 +332,51 @@ impl<A: Automaton> Simulation<A> {
         }
 
         // Channel feedback for adaptive managers.
-        self.components.manager.observe(round, &tx, &senders);
+        self.manager.observe(round, &tx, &senders);
 
-        let record = RoundRecord {
-            round,
-            cm,
-            sent,
-            cd,
-            received_counts,
-            received: match self.detail {
-                TraceDetail::Full => Some(received),
-                TraceDetail::Counts => None,
-            },
-            crashed,
-            alive: self.alive.clone(),
-        };
-        self.trace.push(record);
+        if record {
+            self.trace.push(RoundRecord {
+                round,
+                cm,
+                sent,
+                cd,
+                received_counts: tx.received,
+                received: match self.detail {
+                    TraceDetail::Full => Some(received),
+                    TraceDetail::Counts => None,
+                },
+                crashed,
+                alive: self.alive.clone(),
+            });
+        }
         self.round = round;
-        self.trace
-            .round(round)
-            .expect("the just-pushed round exists")
     }
 
     /// Executes `rounds` further rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any untraced round has already run (see [`Engine::step`]).
     pub fn run(&mut self, rounds: u64) {
+        self.assert_trace_contiguous();
         for _ in 0..rounds {
-            self.step();
+            self.advance(true);
+        }
+    }
+
+    /// Executes `rounds` further rounds without recording any of them —
+    /// the sweep fast path. The trace stays empty, while the automata,
+    /// liveness, and round counter evolve exactly as under
+    /// [`Engine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any traced round has already run (see
+    /// [`Engine::step_untraced`]).
+    pub fn run_untraced(&mut self, rounds: u64) {
+        self.assert_never_traced();
+        for _ in 0..rounds {
+            self.advance(false);
         }
     }
 
@@ -255,10 +401,13 @@ impl<A: Automaton> Simulation<A> {
     }
 }
 
-impl<A: Automaton + std::fmt::Debug> std::fmt::Debug for Simulation<A> {
+impl<A, CD, CM, L, C> std::fmt::Debug for Engine<A, CD, CM, L, C>
+where
+    A: Automaton + std::fmt::Debug,
+{
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Simulation")
-            .field("n", &self.n())
+        f.debug_struct("Engine")
+            .field("n", &self.procs.len())
             .field("round", &self.round)
             .field("alive", &self.alive)
             .finish_non_exhaustive()
@@ -304,10 +453,7 @@ mod tests {
             .collect()
     }
 
-    fn components(
-        loss: Box<dyn LossAdversary>,
-        crash: Box<dyn CrashAdversary>,
-    ) -> Components {
+    fn components(loss: Box<dyn LossAdversary>, crash: Box<dyn CrashAdversary>) -> Components {
         Components {
             detector: Box::new(AlwaysNull),
             manager: Box::new(AllActive),
@@ -331,6 +477,35 @@ mod tests {
     }
 
     #[test]
+    fn static_engine_matches_boxed_simulation() {
+        // The same system through both dispatch paths, step by step.
+        let mut fast = Engine::from_parts(chatters(4), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        let mut boxed = Simulation::new(
+            chatters(4),
+            components(Box::new(NoLoss), Box::new(NoCrashes)),
+        );
+        for _ in 0..5 {
+            fast.step();
+            boxed.step();
+        }
+        assert_eq!(
+            format!("{:?}", fast.trace()),
+            format!("{:?}", boxed.trace()),
+            "static and boxed engines must produce identical traces"
+        );
+        assert_eq!(fast.current_round(), boxed.current_round());
+    }
+
+    #[test]
+    fn static_engine_component_accessors() {
+        let eng = Engine::from_parts(chatters(2), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        assert_eq!(eng.detector().accuracy_from(), Some(Round::FIRST));
+        assert!(eng.loss().collision_free_from().is_some());
+        assert!(eng.manager().stabilized_from().is_none());
+        let _: &NoCrashes = eng.crash();
+    }
+
+    #[test]
     fn total_collision_loses_contended_round_but_senders_keep_own() {
         let mut sim = Simulation::new(
             chatters(3),
@@ -346,10 +521,7 @@ mod tests {
     #[test]
     fn crashed_process_is_silent_forever() {
         let crash = ScheduledCrashes::new().crash(ProcessId(0), Round(2));
-        let mut sim = Simulation::new(
-            chatters(2),
-            components(Box::new(NoLoss), Box::new(crash)),
-        );
+        let mut sim = Simulation::new(chatters(2), components(Box::new(NoLoss), Box::new(crash)));
         sim.run(3);
         assert_eq!(sim.alive(), &[false, true]);
         // Round 1: both broadcast. Rounds 2-3: only p1.
@@ -392,6 +564,49 @@ mod tests {
         let _ = Simulation::new(
             Vec::<Chatter>::new(),
             components(Box::new(NoLoss), Box::new(NoCrashes)),
+        );
+    }
+
+    #[test]
+    fn untraced_run_matches_traced_run() {
+        let mut traced = Engine::from_parts(chatters(3), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        let mut untraced =
+            Engine::from_parts(chatters(3), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        traced.run(6);
+        untraced.run_untraced(6);
+        assert_eq!(untraced.trace().len(), 0, "untraced run records nothing");
+        assert_eq!(traced.current_round(), untraced.current_round());
+        for (a, b) in traced.processes().iter().zip(untraced.processes()) {
+            assert_eq!(a.heard, b.heard, "execution must be identical");
+            assert_eq!(a.collisions, b.collisions);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot record a traced round after untraced rounds")]
+    fn traced_step_after_untraced_rejected() {
+        let mut sim = Engine::from_parts(chatters(2), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        sim.run_untraced(3);
+        sim.step();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot step untraced after traced rounds")]
+    fn untraced_step_after_traced_rejected() {
+        let mut sim = Engine::from_parts(chatters(2), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        sim.run(3);
+        sim.run_untraced(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_static_system_rejected() {
+        let _ = Engine::from_parts(
+            Vec::<Chatter>::new(),
+            AlwaysNull,
+            AllActive,
+            NoLoss,
+            NoCrashes,
         );
     }
 }

@@ -74,7 +74,9 @@ pub mod traits;
 
 pub use advice::{CdAdvice, CmAdvice};
 pub use automaton::{Automaton, RoundInput};
-pub use engine::{Components, Simulation, TraceDetail};
+pub use engine::{
+    Components, DynCrash, DynDetector, DynLoss, DynManager, Engine, Simulation, TraceDetail,
+};
 pub use ids::{ProcessId, Round};
 pub use multiset::Multiset;
 pub use trace::{BroadcastCount, ExecutionTrace, RoundRecord, TransmissionEntry};

@@ -104,10 +104,7 @@ impl PartitionLoss {
     /// the rest group 1.
     pub fn two_groups(n: usize, split: usize, intra: IntraGroupRule) -> Self {
         assert!(split <= n, "split {split} exceeds n {n}");
-        Self::new(
-            (0..n).map(|i| usize::from(i >= split)).collect(),
-            intra,
-        )
+        Self::new((0..n).map(|i| usize::from(i >= split)).collect(), intra)
     }
 
     /// Heals the partition from the given round on (used by the Theorem 4
@@ -126,7 +123,11 @@ impl PartitionLoss {
 
 impl LossAdversary for PartitionLoss {
     fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
-        assert_eq!(self.group_of.len(), n, "group map does not cover all processes");
+        assert_eq!(
+            self.group_of.len(),
+            n,
+            "group map does not cover all processes"
+        );
         if self.heal_from.is_some_and(|h| round >= h) {
             return DeliveryMatrix::full(senders, n);
         }
@@ -343,8 +344,7 @@ mod tests {
 
     #[test]
     fn partition_heals() {
-        let mut adv =
-            PartitionLoss::two_groups(2, 1, IntraGroupRule::Full).healing_from(Round(5));
+        let mut adv = PartitionLoss::two_groups(2, 1, IntraGroupRule::Full).healing_from(Round(5));
         let before = adv.deliver(Round(4), &pids(&[0]), 2);
         assert!(!before.delivered(ProcessId(0), ProcessId(1)));
         let after = adv.deliver(Round(5), &pids(&[0]), 2);

@@ -65,6 +65,7 @@ pub fn render_timeline<M: Ord>(trace: &ExecutionTrace<M>, options: TimelineOptio
     }
     let _ = dead;
 
+    #[allow(clippy::needless_range_loop)] // `i` indexes several per-round vectors below
     for i in 0..trace.n() {
         let pid = ProcessId(i);
         let _ = write!(out, "{:<label_width$} |", pid.to_string());

@@ -205,10 +205,7 @@ impl<M: Ord> ExecutionTrace<M> {
             .map(|rec| Observation {
                 round: rec.round,
                 sent: rec.sent[i.index()].clone(),
-                received: rec
-                    .received
-                    .as_ref()
-                    .map(|rs| rs[i.index()].clone()),
+                received: rec.received.as_ref().map(|rs| rs[i.index()].clone()),
                 received_count: rec.received_counts[i.index()],
                 cd: rec.cd[i.index()],
                 cm: rec.cm[i.index()],
@@ -282,10 +279,10 @@ mod tests {
                 BroadcastCount::Zero
             ]
         );
-        assert_eq!(t.round(Round(2)).unwrap().senders(), vec![
-            ProcessId(0),
-            ProcessId(1)
-        ]);
+        assert_eq!(
+            t.round(Round(2)).unwrap().senders(),
+            vec![ProcessId(0), ProcessId(1)]
+        );
         let tt = t.transmission_trace();
         assert_eq!(tt[1].sent_count, 2);
     }

@@ -137,10 +137,7 @@ impl DeliveryMatrix {
     /// Whether receiver `r` gets sender `s`'s message. `false` if `s` is not
     /// a sender this round.
     pub fn delivered(&self, s: ProcessId, r: ProcessId) -> bool {
-        self.rows
-            .get(&s)
-            .map(|row| row[r.index()])
-            .unwrap_or(false)
+        self.rows.get(&s).map(|row| row[r.index()]).unwrap_or(false)
     }
 
     /// Sets whether receiver `r` gets sender `s`'s message.
@@ -149,9 +146,7 @@ impl DeliveryMatrix {
     ///
     /// Panics if `s` is not a sender in this matrix or `r` is out of range.
     pub fn set(&mut self, s: ProcessId, r: ProcessId, delivered: bool) {
-        self.rows
-            .get_mut(&s)
-            .expect("set() on a non-sender row")[r.index()] = delivered;
+        self.rows.get_mut(&s).expect("set() on a non-sender row")[r.index()] = delivered;
     }
 
     /// Delivers sender `s`'s message to every process.

@@ -46,9 +46,7 @@ fn main() {
 
     // Phase 2: agree on the reading to report (consensus over readings).
     let domain = ValueDomain::new(1024);
-    let readings: Vec<Value> = (0..n)
-        .map(|i| Value(500 + (i as u64 * 37) % 100))
-        .collect();
+    let readings: Vec<Value> = (0..n).map(|i| Value(500 + (i as u64 * 37) % 100)).collect();
     println!("readings: {readings:?}");
     let mut vote = ConsensusRun::new(
         alg2::processes(domain, &readings),

@@ -47,10 +47,7 @@ fn main() {
         crash: Box::new(crash),
     };
 
-    let mut run = ConsensusRun::new(
-        alg3::processes(ids, domain, &assignments, 99),
-        components,
-    );
+    let mut run = ConsensusRun::new(alg3::processes(ids, domain, &assignments, 99), components);
     let outcome = run.run_to_completion(Round(5000));
 
     let survivors: Vec<usize> = outcome

@@ -30,7 +30,11 @@ fn main() {
             ClassDetector::new(CdClass::MAJ_EV_AC, FreedomPolicy::Random { p: 0.25 }, 42)
                 .accurate_from(cst),
         ),
-        manager: Box::new(FairWakeUp::new(cst, PreStabilization::Random { p: 0.5 }, 42)),
+        manager: Box::new(FairWakeUp::new(
+            cst,
+            PreStabilization::Random { p: 0.5 },
+            42,
+        )),
         loss: Box::new(Ecf::new(RandomLoss::new(0.7, 42), cst)),
         crash: Box::new(NoCrashes),
     };

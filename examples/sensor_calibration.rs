@@ -25,9 +25,7 @@ fn main() {
     let n = 8;
     // Calibration offsets in centi-units: V = {0..255}.
     let domain = ValueDomain::new(256);
-    let proposals: Vec<Value> = (0..n)
-        .map(|i| Value(120 + (i as u64 * 17) % 40))
-        .collect();
+    let proposals: Vec<Value> = (0..n).map(|i| Value(120 + (i as u64 * 17) % 40)).collect();
     println!("sensor offset proposals: {proposals:?}");
 
     let (radio_loss, radio_detector) = phy_components(PhyConfig::new(n, 2026));

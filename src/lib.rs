@@ -14,11 +14,15 @@
 //! * [`adversary`] — executable lower bounds (Section 8).
 //! * [`phy`] — the slotted SINR radio substrate backing the paper's
 //!   empirical claims (Section 1).
+//! * [`bench`] — the experiment harness and the scenario-sweep subsystem
+//!   ([`bench::sweep`]): scenario registry plus the deterministic parallel
+//!   sweep runner.
 //!
 //! See `README.md` for a guided tour and `examples/` for runnable scenarios.
 
 pub use ccwan_core as consensus;
 pub use wan_adversary as adversary;
+pub use wan_bench as bench;
 pub use wan_cd as cd;
 pub use wan_cm as cm;
 pub use wan_phy as phy;

@@ -70,16 +70,20 @@ fn occasional_strength_cannot_carry_safety() {
         crash: Box::new(NoCrashes),
     };
     let mut alg1_violation_found = false;
-    for seed in 0..60u64 {
+    for seed in 0..300u64 {
         let values: Vec<Value> = (0..n).map(|i| Value((seed + i) % 16)).collect();
-        let out1 = ConsensusRun::new(alg1::processes(domain, &values), env(seed, 0.9))
-            .run_rounds(120);
+        let out1 =
+            ConsensusRun::new(alg1::processes(domain, &values), env(seed, 0.9)).run_rounds(120);
         alg1_violation_found |= !out1.is_safe();
         // Algorithm 2 must be safe in every one of these environments: the
         // detector *does* honour zero completeness and accuracy.
-        let out2 = ConsensusRun::new(alg2::processes(domain, &values), env(seed, 0.9))
-            .run_rounds(120);
-        assert!(out2.is_safe(), "seed {seed}: {:?}", out2.safety_violations());
+        let out2 =
+            ConsensusRun::new(alg2::processes(domain, &values), env(seed, 0.9)).run_rounds(120);
+        assert!(
+            out2.is_safe(),
+            "seed {seed}: {:?}",
+            out2.safety_violations()
+        );
     }
     assert!(
         alg1_violation_found,

@@ -15,7 +15,7 @@ use ccwan::sim::ProcessId;
 fn alpha_executions_are_deterministic_across_rebuilds() {
     let domain = ValueDomain::new(32);
     for v in [0u64, 9, 31] {
-        let mk = || alg2::processes(domain, &vec![Value(v); 3]);
+        let mk = || alg2::processes(domain, &[Value(v); 3]);
         let a = AlphaExecution::run(mk(), 30);
         let b = AlphaExecution::run(mk(), 30);
         for i in 0..3 {
@@ -32,29 +32,26 @@ fn pigeonhole_guarantee_holds_for_every_algorithm() {
     let domain = ValueDomain::new(64);
     let k = lemma21_depth(domain);
     // Algorithm 2.
-    assert!(find_pair_with_shared_prefix(
-        domain.values().collect::<Vec<_>>(),
-        k,
-        |&v| AlphaExecution::run(alg2::processes(domain, &vec![v; 3]), k as u64)
-            .broadcast_seq(k)
-    )
-    .is_some());
+    assert!(
+        find_pair_with_shared_prefix(domain.values().collect::<Vec<_>>(), k, |&v| {
+            AlphaExecution::run(alg2::processes(domain, &[v; 3]), k as u64).broadcast_seq(k)
+        })
+        .is_some()
+    );
     // Algorithm 1.
-    assert!(find_pair_with_shared_prefix(
-        domain.values().collect::<Vec<_>>(),
-        k,
-        |&v| AlphaExecution::run(alg1::processes(domain, &vec![v; 3]), k as u64)
-            .broadcast_seq(k)
-    )
-    .is_some());
+    assert!(
+        find_pair_with_shared_prefix(domain.values().collect::<Vec<_>>(), k, |&v| {
+            AlphaExecution::run(alg1::processes(domain, &[v; 3]), k as u64).broadcast_seq(k)
+        })
+        .is_some()
+    );
     // The BST algorithm.
-    assert!(find_pair_with_shared_prefix(
-        domain.values().collect::<Vec<_>>(),
-        k,
-        |&v| AlphaExecution::run(alg4::processes(domain, &vec![v; 3]), k as u64)
-            .broadcast_seq(k)
-    )
-    .is_some());
+    assert!(
+        find_pair_with_shared_prefix(domain.values().collect::<Vec<_>>(), k, |&v| {
+            AlphaExecution::run(alg4::processes(domain, &[v; 3]), k as u64).broadcast_seq(k)
+        })
+        .is_some()
+    );
 }
 
 #[test]
@@ -62,18 +59,15 @@ fn composition_establishes_bound_for_alg2_across_domains() {
     for v_size in [16u64, 64, 128] {
         let domain = ValueDomain::new(v_size);
         let depth = 4 * (domain.bits() as usize + 2);
-        let (v1, v2, shared) = longest_shared_prefix_pair(
-            domain.values().collect::<Vec<_>>(),
-            depth,
-            |&v| {
-                AlphaExecution::run(alg2::processes(domain, &vec![v; 3]), depth as u64)
+        let (v1, v2, shared) =
+            longest_shared_prefix_pair(domain.values().collect::<Vec<_>>(), depth, |&v| {
+                AlphaExecution::run(alg2::processes(domain, &[v; 3]), depth as u64)
                     .broadcast_seq(depth)
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         let report = compose_and_verify(
-            || alg2::processes(domain, &vec![v1; 3]),
-            || alg2::processes(domain, &vec![v2; 3]),
+            || alg2::processes(domain, &[v1; 3]),
+            || alg2::processes(domain, &[v2; 3]),
             shared.max(1),
             CdClass::HALF_AC,
         );
@@ -89,7 +83,7 @@ fn composition_establishes_bound_for_alg2_across_domains() {
 fn beta_executions_are_symmetric_and_deterministic() {
     let domain = ValueDomain::new(32);
     for v in [0u64, 17, 31] {
-        let mk = || alg4::processes(domain, &vec![Value(v); 4]);
+        let mk = || alg4::processes(domain, &[Value(v); 4]);
         let a = BetaExecution::run(mk(), 60);
         assert!(a.is_symmetric());
         let b = BetaExecution::run(mk(), 60);
@@ -106,10 +100,8 @@ fn group_size_does_not_change_alpha_counts() {
     // in the {0,1,2+} abstraction once n ≥ 2.
     let domain = ValueDomain::new(16);
     for v in [3u64, 12] {
-        let s2 = AlphaExecution::run(alg2::processes(domain, &vec![Value(v); 2]), 12)
-            .broadcast_seq(12);
-        let s5 = AlphaExecution::run(alg2::processes(domain, &vec![Value(v); 5]), 12)
-            .broadcast_seq(12);
+        let s2 = AlphaExecution::run(alg2::processes(domain, &[Value(v); 2]), 12).broadcast_seq(12);
+        let s5 = AlphaExecution::run(alg2::processes(domain, &[Value(v); 5]), 12).broadcast_seq(12);
         assert_eq!(s2, s5, "value {v}");
     }
 }

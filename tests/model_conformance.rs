@@ -9,7 +9,11 @@ use ccwan::sim::crash::RandomCrashes;
 use ccwan::sim::loss::{Ecf, RandomLoss};
 use ccwan::sim::{Components, Multiset, Round};
 
-fn run_alg2(seed: u64, cst: u64, rounds: u64) -> ConsensusRun<ccwan::consensus::alg2::ZeroEcfConsensus> {
+fn run_alg2(
+    seed: u64,
+    cst: u64,
+    rounds: u64,
+) -> ConsensusRun<ccwan::consensus::alg2::ZeroEcfConsensus> {
     let domain = ValueDomain::new(32);
     let values: Vec<Value> = (0..5).map(|i| Value((seed + i) % 32)).collect();
     let mut run = ConsensusRun::new(
@@ -39,8 +43,7 @@ fn receive_sets_are_submultisets_of_broadcasts() {
     for seed in 0..8u64 {
         let run = run_alg2(seed, 8, 40);
         for rec in run.trace().rounds() {
-            let broadcast: Multiset<_> =
-                rec.sent.iter().flatten().cloned().collect();
+            let broadcast: Multiset<_> = rec.sent.iter().flatten().cloned().collect();
             for (i, received) in rec
                 .received
                 .as_ref()
@@ -89,12 +92,7 @@ fn noise_lemma_holds_on_traces() {
             if c == 0 {
                 continue;
             }
-            for (i, (&t, advice)) in rec
-                .received_counts
-                .iter()
-                .zip(rec.cd.iter())
-                .enumerate()
-            {
+            for (i, (&t, advice)) in rec.received_counts.iter().zip(rec.cd.iter()).enumerate() {
                 assert!(
                     t > 0 || advice.is_collision(),
                     "seed {seed} {} p{i}: c={c}, T=0, advice=null",

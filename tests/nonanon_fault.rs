@@ -22,11 +22,8 @@ fn run_with_crashes(
     let assignments: Vec<(Uid, Value)> = (0..5u64)
         .map(|j| (Uid(2 * j + 1), Value(10_000 + j * 997)))
         .collect();
-    let crash = ScheduledCrashes::from_pairs(
-        crashes
-            .iter()
-            .map(|&(p, r)| (ProcessId(p), Round(r))),
-    );
+    let crash =
+        ScheduledCrashes::from_pairs(crashes.iter().map(|&(p, r)| (ProcessId(p), Round(r))));
     let components = Components {
         detector: Box::new(
             CheckedDetector::new(
@@ -75,12 +72,7 @@ fn leader_crash_at_every_early_round_is_survived() {
 #[test]
 fn cascading_leader_crashes_are_survived() {
     for seed in 0..5u64 {
-        let outcome = run_with_crashes(
-            &[(0, 15), (1, 60), (2, 120)],
-            seed,
-            0.0,
-            1,
-        );
+        let outcome = run_with_crashes(&[(0, 15), (1, 60), (2, 120)], seed, 0.0, 1);
         assert!(outcome.is_safe(), "seed {seed}");
         assert!(outcome.terminated, "seed {seed}");
     }
@@ -92,7 +84,11 @@ fn cascading_leader_crashes_are_survived() {
 fn crashes_during_chaotic_prefix() {
     for seed in 0..5u64 {
         let outcome = run_with_crashes(&[(0, 5), (2, 25)], seed, 0.6, 50);
-        assert!(outcome.is_safe(), "seed {seed}: {:?}", outcome.safety_violations());
+        assert!(
+            outcome.is_safe(),
+            "seed {seed}: {:?}",
+            outcome.safety_violations()
+        );
         assert!(outcome.terminated, "seed {seed}");
     }
 }
@@ -102,14 +98,12 @@ fn crashes_during_chaotic_prefix() {
 #[test]
 fn lone_survivor_decides() {
     for seed in 0..4u64 {
-        let outcome = run_with_crashes(
-            &[(0, 10), (1, 14), (2, 18), (3, 22)],
-            seed,
-            0.0,
-            1,
-        );
+        let outcome = run_with_crashes(&[(0, 10), (1, 14), (2, 18), (3, 22)], seed, 0.0, 1);
         assert!(outcome.is_safe(), "seed {seed}");
-        assert!(outcome.terminated, "seed {seed}: the survivor never decided");
+        assert!(
+            outcome.terminated,
+            "seed {seed}: the survivor never decided"
+        );
         let survivor_decision = outcome.decisions[4];
         assert!(survivor_decision.is_some());
     }

@@ -11,7 +11,11 @@ use ccwan::sim::crash::{NoCrashes, ScheduledCrashes};
 use ccwan::sim::loss::Ecf;
 use ccwan::sim::{Components, ProcessId, Round};
 
-fn full_stack(n: usize, seed: u64, crash: Option<(usize, u64)>) -> ConsensusRun<alg2::ZeroEcfConsensus> {
+fn full_stack(
+    n: usize,
+    seed: u64,
+    crash: Option<(usize, u64)>,
+) -> ConsensusRun<alg2::ZeroEcfConsensus> {
     let domain = ValueDomain::new(16);
     let (loss, detector) = phy_components(PhyConfig::new(n, seed));
     let values: Vec<Value> = (0..n).map(|i| Value((seed + i as u64) % 16)).collect();
@@ -37,7 +41,10 @@ fn consensus_over_the_radio_terminates_safely() {
             let mut run = full_stack(n, seed * 31, None);
             let outcome = run.run_to_completion(Round(4000));
             assert!(outcome.is_safe(), "n={n} seed={seed}");
-            assert!(outcome.terminated, "n={n} seed={seed}: no decision in 4000 rounds");
+            assert!(
+                outcome.terminated,
+                "n={n} seed={seed}: no decision in 4000 rounds"
+            );
         }
     }
 }

@@ -9,9 +9,7 @@
 
 use ccwan::cd::{CdClass, CheckedDetector, ClassDetector, FreedomPolicy};
 use ccwan::cm::{FairWakeUp, NoCm, PreStabilization};
-use ccwan::consensus::{
-    alg1, alg2, alg3, alg4, ConsensusRun, IdSpace, Uid, Value, ValueDomain,
-};
+use ccwan::consensus::{alg1, alg2, alg3, alg4, ConsensusRun, IdSpace, Uid, Value, ValueDomain};
 use ccwan::sim::crash::{NoCrashes, ScheduledCrashes};
 use ccwan::sim::loss::{Ecf, RandomLoss};
 use ccwan::sim::{Components, ProcessId, Round};
@@ -87,13 +85,18 @@ fn section_7_3_scales_with_min_of_log_v_log_i() {
     // protocol must finish in rounds proportional to lg|I|, not lg|V|.
     let ids = IdSpace::new(8); // lg|I| = 3
     let domain = ValueDomain::new(1 << 24); // lg|V| = 24
-    // Generous constant for the 4-slot interleave and one full election
-    // cycle plus dissemination: c · (lg|I| + 2) with c = 16.
+                                            // Generous constant for the 4-slot interleave and one full election
+                                            // cycle plus dissemination: c · (lg|I| + 2) with c = 16.
     let budget = 16 * (u64::from(ids.bits()) + 2);
     for seed in 0..10u64 {
         let cst = 5;
         let assignments: Vec<(Uid, Value)> = (0..4u64)
-            .map(|j| (Uid((seed + 2 * j) % 8), Value((seed * 99_991 + j) % (1 << 24))))
+            .map(|j| {
+                (
+                    Uid((seed + 2 * j) % 8),
+                    Value((seed * 99_991 + j) % (1 << 24)),
+                )
+            })
             .collect();
         let mut seen = std::collections::BTreeSet::new();
         let assignments: Vec<(Uid, Value)> = assignments
@@ -185,9 +188,7 @@ fn theorem_3_worst_case_crash_schedule_costs_a_climb() {
                 )),
                 manager: Box::new(NoCm),
                 loss: Box::new(RandomLoss::new(1.0, seed)),
-                crash: Box::new(
-                    ScheduledCrashes::new().crash(ProcessId(0), Round(crash_round)),
-                ),
+                crash: Box::new(ScheduledCrashes::new().crash(ProcessId(0), Round(crash_round))),
             },
         );
         let outcome = run.run_to_completion(Round(crash_round + 10 * bound));
