@@ -21,8 +21,14 @@ use wan_sim::{
 pub struct OwnMessageOnly;
 
 impl LossAdversary for OwnMessageOnly {
-    fn deliver(&mut self, _round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
-        DeliveryMatrix::none(senders, n)
+    fn deliver_into(
+        &mut self,
+        _round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
+        out.clear_and_resize(senders, n);
     }
 }
 

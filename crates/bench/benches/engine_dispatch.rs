@@ -26,6 +26,12 @@
 //! scheduling noise swamps a few-percent dispatch effect; pairing cancels
 //! the drift.
 //!
+//! The process also runs under a **counting global allocator** and reports
+//! steady-state allocations/round and bytes/round for traced vs. untraced
+//! runs of both stacks. The untraced hot path is asserted to be exactly
+//! zero-allocation after warm-up — the bench exits nonzero otherwise, which
+//! is what the CI bench-smoke step gates on.
+//!
 //! Besides the stdout report, the bench writes machine-readable results to
 //! `BENCH_engine.json` at the workspace root. Run with:
 //!
@@ -35,7 +41,9 @@
 //! ```
 
 use criterion::{black_box, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use wan_cd::{CdClass, ClassDetector, FreedomPolicy};
 use wan_cm::FairWakeUp;
 use wan_sim::crash::NoCrashes;
@@ -46,6 +54,60 @@ use wan_sim::{
 };
 
 const ROUNDS: u64 = 1000;
+
+/// A pass-through allocator that counts allocation events and bytes, so the
+/// zero-allocation claim of the round engine's untraced hot path is
+/// machine-checkable rather than asserted by inspection. Deallocations are
+/// not counted: the claim is about allocator *pressure* per round.
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counters are plain atomics.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (ALLOC_CALLS.load(Relaxed), ALLOC_BYTES.load(Relaxed))
+}
+
+/// Steady-state allocator pressure of `run(rounds)`: warm the system up
+/// (buffers reach capacity, traces reach their growth plateau), then
+/// measure a long window and average per round.
+fn steady_state_allocs(mut run: impl FnMut(u64)) -> (f64, f64) {
+    const WARMUP: u64 = 200;
+    const MEASURE: u64 = 800;
+    run(WARMUP);
+    let (calls0, bytes0) = alloc_snapshot();
+    run(MEASURE);
+    let (calls1, bytes1) = alloc_snapshot();
+    (
+        (calls1 - calls0) as f64 / MEASURE as f64,
+        (bytes1 - bytes0) as f64 / MEASURE as f64,
+    )
+}
 
 /// Broadcasts its id every round and folds what it hears into a checksum:
 /// per-round automaton work is a few adds, so the engine (and its dispatch
@@ -289,10 +351,112 @@ fn main() {
         let _ = writeln!(json, "      \"speedup_untraced_over_traced\": {speedup:.3}");
         let _ = writeln!(json, "    }}{}", if i + 1 < count { "," } else { "" });
     }
+    let _ = writeln!(json, "  ],");
+
+    // Steady-state allocator pressure per round, via the counting global
+    // allocator: the zero-allocation property of the untraced hot path
+    // (asserted below — this is the CI gate), with the traced cost
+    // alongside for the contrast.
+    type AllocRun = Box<dyn FnMut(u64)>;
+    let alloc_cells: Vec<(&'static str, usize, &'static str, &'static str, AllocRun)> = vec![
+        ("storm", 4, "static", "untraced", {
+            let mut e = Engine::from_parts(beacons(4), AlwaysNull, AllActive, NoLoss, NoCrashes)
+                .with_detail(TraceDetail::Counts);
+            Box::new(move |r| e.run_untraced(r))
+        }),
+        ("storm", 50, "static", "untraced", {
+            let mut e = Engine::from_parts(beacons(50), AlwaysNull, AllActive, NoLoss, NoCrashes)
+                .with_detail(TraceDetail::Counts);
+            Box::new(move |r| e.run_untraced(r))
+        }),
+        ("ecf", 4, "static", "untraced", {
+            let (cd, cm, loss, crash) = ecf_parts(7);
+            let mut e = Engine::from_parts(beacons(4), cd, cm, loss, crash)
+                .with_detail(TraceDetail::Counts);
+            Box::new(move |r| e.run_untraced(r))
+        }),
+        ("ecf", 50, "static", "untraced", {
+            let (cd, cm, loss, crash) = ecf_parts(7);
+            let mut e = Engine::from_parts(beacons(50), cd, cm, loss, crash)
+                .with_detail(TraceDetail::Counts);
+            Box::new(move |r| e.run_untraced(r))
+        }),
+        ("storm", 50, "boxed", "untraced", {
+            let mut e = Simulation::new(
+                beacons(50),
+                black_box(Components {
+                    detector: Box::new(AlwaysNull),
+                    manager: Box::new(AllActive),
+                    loss: Box::new(NoLoss),
+                    crash: Box::new(NoCrashes),
+                }),
+            )
+            .with_detail(TraceDetail::Counts);
+            Box::new(move |r| e.run_untraced(r))
+        }),
+        ("ecf", 50, "boxed", "untraced", {
+            let (cd, cm, loss, crash) = ecf_parts(7);
+            let mut e = Simulation::new(
+                beacons(50),
+                black_box(Components {
+                    detector: Box::new(cd),
+                    manager: Box::new(cm),
+                    loss: Box::new(loss),
+                    crash: Box::new(crash),
+                }),
+            )
+            .with_detail(TraceDetail::Counts);
+            Box::new(move |r| e.run_untraced(r))
+        }),
+        ("storm", 50, "static", "traced", {
+            let mut e = Engine::from_parts(beacons(50), AlwaysNull, AllActive, NoLoss, NoCrashes)
+                .with_detail(TraceDetail::Counts);
+            Box::new(move |r| e.run(r))
+        }),
+        ("ecf", 50, "static", "traced", {
+            let (cd, cm, loss, crash) = ecf_parts(7);
+            let mut e = Engine::from_parts(beacons(50), cd, cm, loss, crash)
+                .with_detail(TraceDetail::Counts);
+            Box::new(move |r| e.run(r))
+        }),
+    ];
+
+    let _ = writeln!(json, "  \"allocation\": [");
+    let count = alloc_cells.len();
+    let mut untraced_violations: Vec<String> = Vec::new();
+    for (i, (stack, n, dispatch, mode, run)) in alloc_cells.into_iter().enumerate() {
+        let (allocs, bytes) = steady_state_allocs(run);
+        println!(
+            "allocs {stack:<6} n={n:<3} {dispatch:<6} {mode:<8} {allocs:>10.3} allocs/round  \
+             {bytes:>12.1} bytes/round"
+        );
+        if mode == "untraced" && allocs != 0.0 {
+            untraced_violations.push(format!(
+                "{stack}/{dispatch}/n{n}: {allocs} allocs/round ({bytes} bytes/round)"
+            ));
+        }
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"stack\": \"{stack}\",");
+        let _ = writeln!(json, "      \"processes\": {n},");
+        let _ = writeln!(json, "      \"dispatch\": \"{dispatch}\",");
+        let _ = writeln!(json, "      \"mode\": \"{mode}\",");
+        let _ = writeln!(json, "      \"allocs_per_round\": {allocs:.3},");
+        let _ = writeln!(json, "      \"bytes_per_round\": {bytes:.1}");
+        let _ = writeln!(json, "    }}{}", if i + 1 < count { "," } else { "" });
+    }
     let _ = writeln!(json, "  ]");
     json.push_str("}\n");
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(out, &json).expect("write BENCH_engine.json");
     println!("\nwrote {out}:\n{json}");
+
+    // The CI gate: the untraced hot path must be allocation-free in steady
+    // state, for both stacks and both dispatch forms. (Checked after the
+    // JSON is written so a regression still leaves the numbers on disk.)
+    assert!(
+        untraced_violations.is_empty(),
+        "untraced hot path allocated in steady state:\n  {}",
+        untraced_violations.join("\n  ")
+    );
 }

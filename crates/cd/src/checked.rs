@@ -108,10 +108,11 @@ impl<D: CollisionDetector> CheckedDetector<D> {
 }
 
 impl<D: CollisionDetector> CollisionDetector for CheckedDetector<D> {
-    fn advise(&mut self, round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
-        let advice = self.inner.advise(round, tx);
+    fn advise_into(&mut self, round: Round, tx: &TransmissionEntry, out: &mut [CdAdvice]) {
+        assert_eq!(out.len(), tx.received.len(), "advice arity");
+        self.inner.advise_into(round, tx, out);
         let c = tx.sent_count;
-        for (i, (&t, &a)) in tx.received.iter().zip(advice.iter()).enumerate() {
+        for (i, (&t, &a)) in tx.received.iter().zip(out.iter()).enumerate() {
             assert!(
                 t <= c,
                 "invalid transmission entry at {round}: T({i})={t} > c={c}"
@@ -136,7 +137,6 @@ impl<D: CollisionDetector> CollisionDetector for CheckedDetector<D> {
                 self.violations.push(v);
             }
         }
-        advice
     }
 
     fn accuracy_from(&self) -> Option<Round> {

@@ -105,25 +105,24 @@ impl ClassDetector {
 }
 
 impl CollisionDetector for ClassDetector {
-    fn advise(&mut self, round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
+    fn advise_into(&mut self, round: Round, tx: &TransmissionEntry, out: &mut [CdAdvice]) {
+        assert_eq!(out.len(), tx.received.len(), "advice arity");
         let c = tx.sent_count;
-        tx.received
-            .clone()
-            .into_iter()
-            .map(|t| {
-                if self.class.completeness.must_report(c, t) {
-                    CdAdvice::Collision
-                } else if self
-                    .class
-                    .accuracy
-                    .must_stay_silent(round, self.r_acc, c, t)
-                {
-                    CdAdvice::Null
-                } else {
-                    self.free_choice()
-                }
-            })
-            .collect()
+        // Per-receiver draws in index order: the RNG stream of the Random
+        // policy is pinned by the determinism tests.
+        for (slot, &t) in out.iter_mut().zip(tx.received.iter()) {
+            *slot = if self.class.completeness.must_report(c, t) {
+                CdAdvice::Collision
+            } else if self
+                .class
+                .accuracy
+                .must_stay_silent(round, self.r_acc, c, t)
+            {
+                CdAdvice::Null
+            } else {
+                self.free_choice()
+            };
+        }
     }
 
     fn accuracy_from(&self) -> Option<Round> {

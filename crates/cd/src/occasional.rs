@@ -81,21 +81,19 @@ impl OccasionalDetector {
 }
 
 impl CollisionDetector for OccasionalDetector {
-    fn advise(&mut self, _round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
+    fn advise_into(&mut self, _round: Round, tx: &TransmissionEntry, out: &mut [CdAdvice]) {
+        assert_eq!(out.len(), tx.received.len(), "advice arity");
         let strong_now = self.rng.random_bool(self.strong_prob);
         let completeness = if strong_now { self.strong } else { self.weak };
         let c = tx.sent_count;
-        tx.received
-            .iter()
-            .map(|&t| {
-                if completeness.must_report(c, t) {
-                    CdAdvice::Collision
-                } else {
-                    // Accuracy always: silence wherever not obliged.
-                    CdAdvice::Null
-                }
-            })
-            .collect()
+        for (slot, &t) in out.iter_mut().zip(tx.received.iter()) {
+            *slot = if completeness.must_report(c, t) {
+                CdAdvice::Collision
+            } else {
+                // Accuracy always: silence wherever not obliged.
+                CdAdvice::Null
+            };
+        }
     }
 
     fn accuracy_from(&self) -> Option<Round> {

@@ -55,7 +55,7 @@ impl ScriptedDetector {
 }
 
 impl CollisionDetector for ScriptedDetector {
-    fn advise(&mut self, round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
+    fn advise_into(&mut self, round: Round, tx: &TransmissionEntry, out: &mut [CdAdvice]) {
         match self.script.get(round.trace_index()) {
             Some(advice) => {
                 assert_eq!(
@@ -63,9 +63,9 @@ impl CollisionDetector for ScriptedDetector {
                     tx.received.len(),
                     "scripted advice arity mismatch at {round}"
                 );
-                advice.clone()
+                out.copy_from_slice(advice);
             }
-            None => self.fallback.advise(round, tx),
+            None => self.fallback.advise_into(round, tx, out),
         }
     }
 

@@ -14,8 +14,8 @@ use wan_sim::{CdAdvice, CollisionDetector, Round, TransmissionEntry};
 pub struct NoCdDetector;
 
 impl CollisionDetector for NoCdDetector {
-    fn advise(&mut self, _round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
-        vec![CdAdvice::Collision; tx.received.len()]
+    fn advise_into(&mut self, _round: Round, _tx: &TransmissionEntry, out: &mut [CdAdvice]) {
+        out.fill(CdAdvice::Collision);
     }
 
     fn accuracy_from(&self) -> Option<Round> {

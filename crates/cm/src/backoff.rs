@@ -64,7 +64,7 @@ impl BackoffCm {
 }
 
 impl ContentionManager for BackoffCm {
-    fn advise(&mut self, _round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
+    fn advise_into(&mut self, _round: Round, view: &CmView<'_>, out: &mut [CmAdvice]) {
         // A leader that died or stopped contending re-opens contention.
         if let Some(l) = self.leader {
             if !view.alive[l.index()] || !view.contending[l.index()] {
@@ -72,28 +72,27 @@ impl ContentionManager for BackoffCm {
                 self.window = 1;
             }
         }
-        let advice: Vec<CmAdvice> = match self.leader {
-            Some(l) => (0..view.n)
-                .map(|i| {
-                    if i == l.index() {
+        match self.leader {
+            Some(l) => {
+                out.fill(CmAdvice::Passive);
+                out[l.index()] = CmAdvice::Active;
+            }
+            None => {
+                // One draw per contending process in index order (the
+                // short-circuit matches the seed-era stream).
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = if view.contending[i]
+                        && self.rng.random_ratio(1, self.window.max(1) as u32)
+                    {
                         CmAdvice::Active
                     } else {
                         CmAdvice::Passive
-                    }
-                })
-                .collect(),
-            None => (0..view.n)
-                .map(|i| {
-                    if view.contending[i] && self.rng.random_ratio(1, self.window.max(1) as u32) {
-                        CmAdvice::Active
-                    } else {
-                        CmAdvice::Passive
-                    }
-                })
-                .collect(),
-        };
-        self.last_advice = advice.clone();
-        advice
+                    };
+                }
+            }
+        }
+        self.last_advice.clear();
+        self.last_advice.extend_from_slice(out);
     }
 
     fn observe(&mut self, _round: Round, tx: &TransmissionEntry, senders: &[ProcessId]) {

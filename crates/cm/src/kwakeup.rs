@@ -57,15 +57,14 @@ impl KWakeUp {
 }
 
 impl ContentionManager for KWakeUp {
-    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
-        let mut advice = vec![CmAdvice::Passive; view.n];
+    fn advise_into(&mut self, round: Round, _view: &CmView<'_>, out: &mut [CmAdvice]) {
+        out.fill(CmAdvice::Passive);
         if round.0 > self.offset {
             let slot = (round.0 - self.offset - 1) / self.k;
-            if let Some(a) = advice.get_mut(slot as usize) {
+            if let Some(a) = out.get_mut(slot as usize) {
                 *a = CmAdvice::Active;
             }
         }
-        advice
     }
 
     fn stabilized_from(&self) -> Option<Round> {

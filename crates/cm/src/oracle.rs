@@ -41,24 +41,10 @@ impl FairWakeUp {
 }
 
 impl ContentionManager for FairWakeUp {
-    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
+    fn advise_into(&mut self, round: Round, view: &CmView<'_>, out: &mut [CmAdvice]) {
         if round < self.r_wake {
-            return match self.pre {
-                PreStabilization::AllActive => vec![CmAdvice::Active; view.n],
-                PreStabilization::AllPassive => vec![CmAdvice::Passive; view.n],
-                PreStabilization::Random { p } => {
-                    use rand::Rng;
-                    (0..view.n)
-                        .map(|_| {
-                            if self.rng.random_bool(p) {
-                                CmAdvice::Active
-                            } else {
-                                CmAdvice::Passive
-                            }
-                        })
-                        .collect()
-                }
-            };
+            self.pre.fill_advice(out, &mut self.rng);
+            return;
         }
         let target = view
             .contending
@@ -66,9 +52,8 @@ impl ContentionManager for FairWakeUp {
             .position(|&c| c)
             .or_else(|| view.alive.iter().position(|&a| a))
             .unwrap_or(0);
-        let mut advice = vec![CmAdvice::Passive; view.n];
-        advice[target] = CmAdvice::Active;
-        advice
+        out.fill(CmAdvice::Passive);
+        out[target] = CmAdvice::Active;
     }
 
     fn stabilized_from(&self) -> Option<Round> {

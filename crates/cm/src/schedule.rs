@@ -22,27 +22,29 @@ pub enum PreStabilization {
 }
 
 impl PreStabilization {
-    fn advice(self, n: usize, rng: &mut StdRng) -> Vec<CmAdvice> {
+    /// Writes one round of pre-stabilization advice into `out` (one RNG
+    /// draw per process, in index order, for `Random` — the stream the
+    /// determinism tests pin).
+    pub(crate) fn fill_advice(self, out: &mut [CmAdvice], rng: &mut StdRng) {
         match self {
-            PreStabilization::AllActive => vec![CmAdvice::Active; n],
-            PreStabilization::AllPassive => vec![CmAdvice::Passive; n],
-            PreStabilization::Random { p } => (0..n)
-                .map(|_| {
-                    if rng.random_bool(p) {
+            PreStabilization::AllActive => out.fill(CmAdvice::Active),
+            PreStabilization::AllPassive => out.fill(CmAdvice::Passive),
+            PreStabilization::Random { p } => {
+                for slot in out.iter_mut() {
+                    *slot = if rng.random_bool(p) {
                         CmAdvice::Active
                     } else {
                         CmAdvice::Passive
-                    }
-                })
-                .collect(),
+                    };
+                }
+            }
         }
     }
 }
 
-fn solo(n: usize, active: usize) -> Vec<CmAdvice> {
-    let mut advice = vec![CmAdvice::Passive; n];
-    advice[active] = CmAdvice::Active;
-    advice
+fn solo_into(out: &mut [CmAdvice], active: usize) {
+    out.fill(CmAdvice::Passive);
+    out[active] = CmAdvice::Active;
 }
 
 /// A wake-up service (Property 2) with declared stabilization round
@@ -84,14 +86,14 @@ impl WakeUpService {
 }
 
 impl ContentionManager for WakeUpService {
-    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
+    fn advise_into(&mut self, round: Round, view: &CmView<'_>, out: &mut [CmAdvice]) {
         if round < self.r_wake {
-            self.pre.advice(view.n, &mut self.rng)
+            self.pre.fill_advice(out, &mut self.rng);
         } else if self.rotate {
             let offset = round.since(self.r_wake) as usize;
-            solo(view.n, (self.designated.index() + offset) % view.n)
+            solo_into(out, (self.designated.index() + offset) % view.n);
         } else {
-            solo(view.n, self.designated.index() % view.n)
+            solo_into(out, self.designated.index() % view.n);
         }
     }
 
@@ -130,8 +132,8 @@ impl LeaderElectionService {
 }
 
 impl ContentionManager for LeaderElectionService {
-    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
-        self.inner.advise(round, view)
+    fn advise_into(&mut self, round: Round, view: &CmView<'_>, out: &mut [CmAdvice]) {
+        self.inner.advise_into(round, view, out)
     }
 
     fn stabilized_from(&self) -> Option<Round> {
@@ -180,7 +182,7 @@ impl std::fmt::Debug for ScriptedCm {
 }
 
 impl ContentionManager for ScriptedCm {
-    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
+    fn advise_into(&mut self, round: Round, view: &CmView<'_>, out: &mut [CmAdvice]) {
         match self.script.get(round.trace_index()) {
             Some(advice) => {
                 assert_eq!(
@@ -188,9 +190,9 @@ impl ContentionManager for ScriptedCm {
                     view.n,
                     "scripted CM arity mismatch at {round}"
                 );
-                advice.clone()
+                out.copy_from_slice(advice);
             }
-            None => self.fallback.advise(round, view),
+            None => self.fallback.advise_into(round, view, out),
         }
     }
 

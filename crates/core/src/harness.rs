@@ -105,12 +105,12 @@ where
     }
 
     fn note_decisions(&mut self) {
-        let round = self.sim.current_round();
-        for (i, p) in self.sim.processes().iter().enumerate() {
-            if self.decision_rounds[i].is_none() && p.decision().is_some() {
-                self.decision_rounds[i] = Some(round);
-            }
-        }
+        note_and_check(
+            &mut self.decision_rounds,
+            self.sim.processes(),
+            self.sim.alive(),
+            self.sim.current_round(),
+        );
     }
 
     /// Whether every correct (non-crashed) process has decided.
@@ -133,13 +133,33 @@ where
 
     /// As [`ConsensusRun::run_to_completion`], but skipping all trace
     /// recording: the execution (and therefore the outcome) is identical,
-    /// only the per-round bookkeeping allocations disappear. Use for large
-    /// sweeps that consume the [`ConsensusOutcome`] and never look at the
-    /// trace.
+    /// only the per-round bookkeeping disappears. Use for large sweeps
+    /// that consume the [`ConsensusOutcome`] and never look at the trace.
+    ///
+    /// Rides [`Engine::run_until_untraced`], noting decision rounds from
+    /// inside the convergence predicate so the whole run stays on the
+    /// engine's allocation-free fast path.
     pub fn run_to_completion_untraced(&mut self, cap: Round) -> ConsensusOutcome {
-        while !self.all_correct_decided() && self.sim.current_round() < cap {
-            self.step_untraced();
+        // Seed-era semantics: a run that needs no further rounds (already
+        // converged, or cap already reached) returns its outcome without
+        // touching the untraced machinery — in particular without the
+        // engine's traced/untraced exclusivity assertion, so finishing a
+        // traced run through this method stays a no-op.
+        if self.all_correct_decided() || self.sim.current_round() >= cap {
+            return self.outcome();
         }
+        let decision_rounds = &mut self.decision_rounds;
+        self.sim.run_until_untraced(
+            |sim| {
+                note_and_check(
+                    decision_rounds,
+                    sim.processes(),
+                    sim.alive(),
+                    sim.current_round(),
+                )
+            },
+            cap,
+        );
         self.outcome()
     }
 
@@ -173,6 +193,33 @@ where
     pub fn into_parts(self) -> (Vec<A>, ExecutionTrace<A::Msg>) {
         self.sim.into_parts()
     }
+}
+
+/// The one statement of the decision-recording rules, shared by the traced
+/// step loop ([`ConsensusRun::step`]) and the untraced convergence
+/// predicate ([`ConsensusRun::run_to_completion_untraced`]) so the two
+/// paths cannot drift: records each process's *first* decision round into
+/// `slots` (decisions are only recorded from round 1 on — a process
+/// decided at construction keeps `None`) and returns whether every correct
+/// (non-crashed) process has decided.
+fn note_and_check<A: ConsensusAutomaton>(
+    slots: &mut [Option<Round>],
+    procs: &[A],
+    alive: &[bool],
+    round: Round,
+) -> bool {
+    let mut all_decided = true;
+    for ((slot, p), &alive) in slots.iter_mut().zip(procs).zip(alive) {
+        match p.decision() {
+            Some(_) if round > Round::ZERO => {
+                slot.get_or_insert(round);
+            }
+            Some(_) => {}
+            None if alive => all_decided = false,
+            None => {}
+        }
+    }
+    all_decided
 }
 
 /// Convenience: rounds past a stabilization point, the unit in which the
@@ -267,6 +314,36 @@ mod tests {
         assert!(!outcome.terminated);
         assert_eq!(outcome.rounds_executed, Round(8));
         assert_eq!(outcome.first_decision(), None);
+    }
+
+    #[test]
+    fn untraced_completion_is_a_noop_on_a_converged_traced_run() {
+        // Regression: finishing a traced run through the untraced entry
+        // point must return the outcome, not trip the engine's
+        // traced/untraced exclusivity assertion.
+        let procs = vec![TimedDecider {
+            initial: Value(3),
+            when: 2,
+            decided: None,
+        }];
+        let mut run = ConsensusRun::new(procs, components());
+        let traced = run.run_to_completion(Round(10));
+        assert!(traced.terminated);
+        let again = run.run_to_completion_untraced(Round(10));
+        assert_eq!(again.decision_rounds, traced.decision_rounds);
+        // Same for a capped, unconverged traced run.
+        let mut capped = ConsensusRun::new(
+            vec![TimedDecider {
+                initial: Value(0),
+                when: u64::MAX,
+                decided: None,
+            }],
+            components(),
+        );
+        capped.run_to_completion(Round(4));
+        let outcome = capped.run_to_completion_untraced(Round(4));
+        assert!(!outcome.terminated);
+        assert_eq!(outcome.rounds_executed, Round(4));
     }
 
     #[test]

@@ -55,20 +55,25 @@ pub fn phy_components(cfg: PhyConfig) -> (PhyLoss, PhyDetector) {
 }
 
 impl LossAdversary for PhyLoss {
-    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+    fn deliver_into(
+        &mut self,
+        round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
         let mut shared = self.shared.borrow_mut();
         assert_eq!(shared.channel.config().n, n, "radio sized for {n} nodes");
         let outcome = shared.channel.resolve(round, senders);
-        let mut matrix = DeliveryMatrix::none(senders, n);
+        out.clear_and_resize(senders, n);
         for (si, &s) in senders.iter().enumerate() {
             for r in 0..n {
                 if outcome.delivered[si][r] {
-                    matrix.set(s, ProcessId(r), true);
+                    out.set(s, ProcessId(r), true);
                 }
             }
         }
         shared.last = Some((round, outcome));
-        matrix
     }
 
     fn collision_free_from(&self) -> Option<Round> {
@@ -81,7 +86,7 @@ impl LossAdversary for PhyLoss {
 }
 
 impl CollisionDetector for PhyDetector {
-    fn advise(&mut self, round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
+    fn advise_into(&mut self, round: Round, tx: &TransmissionEntry, out: &mut [CdAdvice]) {
         let shared = self.shared.borrow();
         let (last_round, outcome) = shared
             .last
@@ -92,17 +97,13 @@ impl CollisionDetector for PhyDetector {
             "detector consulted for a round the radio did not resolve"
         );
         assert_eq!(outcome.collision.len(), tx.received.len());
-        outcome
-            .collision
-            .iter()
-            .map(|&c| {
-                if c {
-                    CdAdvice::Collision
-                } else {
-                    CdAdvice::Null
-                }
-            })
-            .collect()
+        for (slot, &c) in out.iter_mut().zip(outcome.collision.iter()) {
+            *slot = if c {
+                CdAdvice::Collision
+            } else {
+                CdAdvice::Null
+            };
+        }
     }
 
     fn accuracy_from(&self) -> Option<Round> {

@@ -12,9 +12,7 @@ use std::collections::BTreeMap;
 pub struct NoCrashes;
 
 impl CrashAdversary for NoCrashes {
-    fn crashes(&mut self, _round: Round, _alive: &[bool]) -> Vec<ProcessId> {
-        Vec::new()
-    }
+    fn crashes_into(&mut self, _round: Round, _alive: &[bool], _out: &mut Vec<ProcessId>) {}
 }
 
 /// Crashes exactly the scheduled processes at the scheduled rounds — the tool
@@ -53,8 +51,10 @@ impl ScheduledCrashes {
 }
 
 impl CrashAdversary for ScheduledCrashes {
-    fn crashes(&mut self, round: Round, _alive: &[bool]) -> Vec<ProcessId> {
-        self.schedule.get(&round).cloned().unwrap_or_default()
+    fn crashes_into(&mut self, round: Round, _alive: &[bool], out: &mut Vec<ProcessId>) {
+        if let Some(ps) = self.schedule.get(&round) {
+            out.extend_from_slice(ps);
+        }
     }
 }
 
@@ -97,18 +97,16 @@ impl RandomCrashes {
 }
 
 impl CrashAdversary for RandomCrashes {
-    fn crashes(&mut self, round: Round, alive: &[bool]) -> Vec<ProcessId> {
+    fn crashes_into(&mut self, round: Round, alive: &[bool], out: &mut Vec<ProcessId>) {
         if self.stop_after.is_some_and(|stop| round >= stop) {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
         for (i, &a) in alive.iter().enumerate() {
             if a && self.crashed_so_far < self.max_crashes && self.rng.random_bool(self.p) {
                 out.push(ProcessId(i));
                 self.crashed_so_far += 1;
             }
         }
-        out
     }
 }
 

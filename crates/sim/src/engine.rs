@@ -9,11 +9,14 @@
 //! themselves, by deref — see `traits.rs`), so heterogeneous experiment
 //! sweeps can still mix detector/manager/loss/crash types at runtime.
 
+use crate::advice::{CdAdvice, CmAdvice};
 use crate::automaton::{Automaton, RoundInput};
 use crate::ids::{ProcessId, Round};
 use crate::multiset::Multiset;
 use crate::trace::{ExecutionTrace, RoundRecord, TransmissionEntry};
-use crate::traits::{CmView, CollisionDetector, ContentionManager, CrashAdversary, LossAdversary};
+use crate::traits::{
+    CmView, CollisionDetector, ContentionManager, CrashAdversary, DeliveryMatrix, LossAdversary,
+};
 
 /// How much of the execution to record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,6 +98,55 @@ pub struct Engine<A: Automaton, CD, CM, L, C> {
     round: Round,
     trace: ExecutionTrace<A::Msg>,
     detail: TraceDetail,
+    buffers: RoundBuffers<A::Msg>,
+}
+
+/// The engine's reusable per-round scratch state: every buffer
+/// [`Engine::advance`] needs, cleared and refilled each round instead of
+/// reallocated. After warm-up (once every buffer has reached its
+/// steady-state capacity) an untraced round performs no heap allocation;
+/// traced stepping clones from these buffers into the [`RoundRecord`] it
+/// must own.
+struct RoundBuffers<M: Ord> {
+    /// This round's crashes (variable length).
+    crashed: Vec<ProcessId>,
+    /// `alive[i] && procs[i].is_contending()`, length `n`.
+    contending: Vec<bool>,
+    /// Contention-manager advice `W_r`, length `n`.
+    cm: Vec<CmAdvice>,
+    /// Collision-detector advice `D_r`, length `n`.
+    cd: Vec<CdAdvice>,
+    /// The message assignment `M_r`, length `n`.
+    sent: Vec<Option<M>>,
+    /// Broadcasters this round, ascending (variable length).
+    senders: Vec<ProcessId>,
+    /// The resolved delivery matrix `N_r` (bitset; reused via
+    /// [`DeliveryMatrix::clear_and_resize`]).
+    matrix: DeliveryMatrix,
+    /// Per-process receive multisets, length `n`; each keeps its storage
+    /// across rounds ([`Multiset::clear`]).
+    received: Vec<Multiset<M>>,
+    /// The transmission entry `(c, T)`; its `received` vector is reused.
+    tx: TransmissionEntry,
+}
+
+impl<M: Ord> RoundBuffers<M> {
+    fn for_n(n: usize) -> Self {
+        RoundBuffers {
+            crashed: Vec::new(),
+            contending: vec![false; n],
+            cm: vec![CmAdvice::Passive; n],
+            cd: vec![CdAdvice::Null; n],
+            sent: (0..n).map(|_| None).collect(),
+            senders: Vec::with_capacity(n),
+            matrix: DeliveryMatrix::empty(),
+            received: (0..n).map(|_| Multiset::new()).collect(),
+            tx: TransmissionEntry {
+                sent_count: 0,
+                received: Vec::with_capacity(n),
+            },
+        }
+    }
 }
 
 impl<A: Automaton> Simulation<A> {
@@ -144,6 +196,7 @@ where
             round: Round::ZERO,
             trace: ExecutionTrace::new(n),
             detail: TraceDetail::Full,
+            buffers: RoundBuffers::for_n(n),
         }
     }
 
@@ -247,109 +300,125 @@ where
         );
     }
 
+    /// One round, written entirely through the engine's [`RoundBuffers`]:
+    /// after warm-up, an untraced round allocates nothing — components
+    /// write their advice into reused slices, the loss adversary re-keys
+    /// the reused bitset matrix, and the receive multisets keep their
+    /// storage. The traced path additionally clones the buffers into the
+    /// [`RoundRecord`] the trace must own.
     #[inline]
     fn advance(&mut self, record: bool) {
-        let n = self.n();
-        let round = self.round.next();
+        let Engine {
+            procs,
+            alive,
+            detector,
+            manager,
+            loss,
+            crash,
+            round,
+            trace,
+            detail,
+            buffers: buf,
+        } = self;
+        let n = procs.len();
+        let now = round.next();
 
         // 1. Crashes take effect at the start of the round.
-        let mut crashed = self.crash.crashes(round, &self.alive);
-        crashed.retain(|p| self.alive[p.index()]);
-        for p in &crashed {
-            self.alive[p.index()] = false;
+        buf.crashed.clear();
+        crash.crashes_into(now, alive, &mut buf.crashed);
+        buf.crashed.retain(|p| alive[p.index()]);
+        for p in &buf.crashed {
+            alive[p.index()] = false;
         }
 
-        // 2. Contention manager advice.
-        let contending: Vec<bool> = self
-            .procs
-            .iter()
-            .enumerate()
-            .map(|(i, p)| self.alive[i] && p.is_contending())
-            .collect();
-        let cm = self.manager.advise(
-            round,
+        // 2. Contention manager advice. The buffer is pre-filled with the
+        // same default the Vec-form wrapper uses, so a writer that
+        // (wrongly) skips slots sees `Passive` — never last round's
+        // advice.
+        for (slot, (i, p)) in buf.contending.iter_mut().zip(procs.iter().enumerate()) {
+            *slot = alive[i] && p.is_contending();
+        }
+        buf.cm.fill(CmAdvice::Passive);
+        manager.advise_into(
+            now,
             &CmView {
                 n,
-                alive: &self.alive,
-                contending: &contending,
+                alive,
+                contending: &buf.contending,
             },
+            &mut buf.cm,
         );
-        assert_eq!(cm.len(), n, "contention manager returned wrong arity");
 
         // 3. Message generation.
-        let sent: Vec<Option<A::Msg>> = self
-            .procs
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                if self.alive[i] {
-                    p.message(cm[i])
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let senders: Vec<ProcessId> = sent
-            .iter()
-            .enumerate()
-            .filter_map(|(i, m)| m.is_some().then_some(ProcessId(i)))
-            .collect();
+        for (slot, (i, p)) in buf.sent.iter_mut().zip(procs.iter().enumerate()) {
+            *slot = if alive[i] { p.message(buf.cm[i]) } else { None };
+        }
+        buf.senders.clear();
+        buf.senders.extend(
+            buf.sent
+                .iter()
+                .enumerate()
+                .filter_map(|(i, m)| m.is_some().then_some(ProcessId(i))),
+        );
 
         // 4. Loss resolution; self-delivery forced (constraint 5).
-        let mut matrix = self.loss.deliver(round, &senders, n);
-        assert_eq!(matrix.n(), n, "loss adversary returned wrong arity");
-        matrix.force_self_delivery();
+        loss.deliver_into(now, &buf.senders, n, &mut buf.matrix);
+        assert_eq!(buf.matrix.n(), n, "loss adversary returned wrong arity");
+        buf.matrix.force_self_delivery();
 
-        let mut received: Vec<Multiset<A::Msg>> = vec![Multiset::new(); n];
-        for &s in &senders {
-            let msg = sent[s.index()].as_ref().expect("sender has a message");
-            for (r, bucket) in received.iter_mut().enumerate() {
-                if matrix.delivered(s, ProcessId(r)) {
-                    bucket.insert(msg.clone());
-                }
+        for (r, bucket) in buf.received.iter_mut().enumerate() {
+            bucket.clear();
+            for s in buf.matrix.delivered_to(ProcessId(r)) {
+                let msg = buf.sent[s.index()]
+                    .as_ref()
+                    .expect("delivery matrix may only deliver from this round's senders");
+                bucket.insert(msg.clone());
             }
         }
+
         // 5. Collision detection from the transmission entry (c, T). The
         // counts live inside the entry until the record is assembled, so
         // the hot path builds them exactly once.
-        let tx = TransmissionEntry {
-            sent_count: senders.len(),
-            received: received.iter().map(|m| m.total()).collect(),
-        };
-        let cd = self.detector.advise(round, &tx);
-        assert_eq!(cd.len(), n, "collision detector returned wrong arity");
+        buf.tx.sent_count = buf.senders.len();
+        buf.tx.received.clear();
+        buf.tx
+            .received
+            .extend(buf.received.iter().map(|m| m.total()));
+        // Pre-filled like the Vec-form wrapper's default (see step 2).
+        buf.cd.fill(CdAdvice::Null);
+        detector.advise_into(now, &buf.tx, &mut buf.cd);
 
         // 6. Transitions for live processes.
-        for (i, p) in self.procs.iter_mut().enumerate() {
-            if self.alive[i] {
+        for (i, p) in procs.iter_mut().enumerate() {
+            if alive[i] {
                 p.transition(RoundInput {
-                    round,
-                    received: &received[i],
-                    cd: cd[i],
-                    cm: cm[i],
+                    round: now,
+                    received: &buf.received[i],
+                    cd: buf.cd[i],
+                    cm: buf.cm[i],
                 });
             }
         }
 
         // Channel feedback for adaptive managers.
-        self.manager.observe(round, &tx, &senders);
+        manager.observe(now, &buf.tx, &buf.senders);
 
         if record {
-            self.trace.push(RoundRecord {
-                round,
-                cm,
-                sent,
-                cd,
-                received_counts: tx.received,
-                received: match self.detail {
-                    TraceDetail::Full => Some(received),
+            trace.push(RoundRecord {
+                round: now,
+                cm: buf.cm.clone(),
+                sent: buf.sent.clone(),
+                cd: buf.cd.clone(),
+                received_counts: buf.tx.received.clone(),
+                received: match detail {
+                    TraceDetail::Full => Some(buf.received.clone()),
                     TraceDetail::Counts => None,
                 },
-                crashed,
-                alive: self.alive.clone(),
+                crashed: buf.crashed.clone(),
+                alive: alive.clone(),
             });
         }
-        self.round = round;
+        *round = now;
     }
 
     /// Executes `rounds` further rounds.
@@ -392,6 +461,30 @@ where
                 return false;
             }
             self.step();
+        }
+    }
+
+    /// As [`Engine::run_until`], but on the untraced fast path: the
+    /// execution (and the rounds the predicate observes) is identical,
+    /// only the per-round trace bookkeeping is skipped — so sweep cells
+    /// with convergence predicates get the same speedup as
+    /// [`Engine::run_untraced`]. The predicate is consulted before every
+    /// round, starting at the current (possibly [`Round::ZERO`]) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any traced round has already run (see
+    /// [`Engine::step_untraced`]).
+    pub fn run_until_untraced(&mut self, mut done: impl FnMut(&Self) -> bool, cap: Round) -> bool {
+        self.assert_never_traced();
+        loop {
+            if done(self) {
+                return true;
+            }
+            if self.round >= cap {
+                return false;
+            }
+            self.advance(false);
         }
     }
 
@@ -545,6 +638,41 @@ mod tests {
         let reached = sim.run_until(|s| s.current_round() >= Round(3), Round(10));
         assert!(reached);
         assert_eq!(sim.current_round(), Round(5), "predicate already true");
+    }
+
+    #[test]
+    fn run_until_untraced_matches_run_until_execution() {
+        let mut traced = Engine::from_parts(chatters(3), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        let mut untraced =
+            Engine::from_parts(chatters(3), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        let done = |e: &Engine<Chatter, AlwaysNull, AllActive, NoLoss, NoCrashes>| {
+            e.processes()[0].heard.len() >= 9
+        };
+        let a = traced.run_until(done, Round(20));
+        let b = untraced.run_until_untraced(done, Round(20));
+        assert_eq!(a, b);
+        assert_eq!(traced.current_round(), untraced.current_round());
+        assert_eq!(untraced.trace().len(), 0, "untraced run records nothing");
+        for (x, y) in traced.processes().iter().zip(untraced.processes()) {
+            assert_eq!(x.heard, y.heard, "execution must be identical");
+        }
+    }
+
+    #[test]
+    fn run_until_untraced_respects_cap_and_immediate_predicate() {
+        let mut sim = Engine::from_parts(chatters(2), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        assert!(!sim.run_until_untraced(|_| false, Round(5)));
+        assert_eq!(sim.current_round(), Round(5));
+        assert!(sim.run_until_untraced(|s| s.current_round() >= Round(3), Round(10)));
+        assert_eq!(sim.current_round(), Round(5), "predicate already true");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot step untraced after traced rounds")]
+    fn run_until_untraced_after_traced_rejected() {
+        let mut sim = Engine::from_parts(chatters(2), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        sim.run(2);
+        sim.run_until_untraced(|_| false, Round(5));
     }
 
     #[test]

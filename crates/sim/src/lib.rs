@@ -67,6 +67,7 @@ pub mod crash;
 pub mod engine;
 pub mod ids;
 pub mod loss;
+pub mod matrix;
 pub mod multiset;
 pub mod timeline;
 pub mod trace;
@@ -92,8 +93,8 @@ pub use traits::{
 pub struct AlwaysNull;
 
 impl CollisionDetector for AlwaysNull {
-    fn advise(&mut self, _round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
-        vec![CdAdvice::Null; tx.received.len()]
+    fn advise_into(&mut self, _round: Round, _tx: &TransmissionEntry, out: &mut [CdAdvice]) {
+        out.fill(CdAdvice::Null);
     }
     fn accuracy_from(&self) -> Option<Round> {
         Some(Round::FIRST)
@@ -106,7 +107,7 @@ impl CollisionDetector for AlwaysNull {
 pub struct AllActive;
 
 impl ContentionManager for AllActive {
-    fn advise(&mut self, _round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
-        vec![CmAdvice::Active; view.n]
+    fn advise_into(&mut self, _round: Round, _view: &CmView<'_>, out: &mut [CmAdvice]) {
+        out.fill(CmAdvice::Active);
     }
 }

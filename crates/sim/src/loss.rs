@@ -24,15 +24,21 @@ use crate::ids::{ProcessId, Round};
 use crate::traits::{DeliveryMatrix, LossAdversary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
 
 /// Delivers every broadcast to every process.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoLoss;
 
 impl LossAdversary for NoLoss {
-    fn deliver(&mut self, _round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
-        DeliveryMatrix::full(senders, n)
+    fn deliver_into(
+        &mut self,
+        _round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
+        out.clear_and_resize(senders, n);
+        out.deliver_all();
     }
     fn collision_free_from(&self) -> Option<Round> {
         Some(Round::FIRST)
@@ -48,11 +54,16 @@ impl LossAdversary for NoLoss {
 pub struct TotalCollisionLoss;
 
 impl LossAdversary for TotalCollisionLoss {
-    fn deliver(&mut self, _round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+    fn deliver_into(
+        &mut self,
+        _round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
+        out.clear_and_resize(senders, n);
         if senders.len() == 1 {
-            DeliveryMatrix::full(senders, n)
-        } else {
-            DeliveryMatrix::none(senders, n)
+            out.deliver_all();
         }
     }
     fn collision_free_from(&self) -> Option<Round> {
@@ -122,36 +133,42 @@ impl PartitionLoss {
 }
 
 impl LossAdversary for PartitionLoss {
-    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+    fn deliver_into(
+        &mut self,
+        round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
         assert_eq!(
             self.group_of.len(),
             n,
             "group map does not cover all processes"
         );
+        out.clear_and_resize(senders, n);
         if self.heal_from.is_some_and(|h| round >= h) {
-            return DeliveryMatrix::full(senders, n);
+            out.deliver_all();
+            return;
         }
-        // Count broadcasters per group for the Solo rule.
-        let mut per_group: BTreeMap<usize, usize> = BTreeMap::new();
-        for s in senders {
-            *per_group.entry(self.group_of(*s)).or_insert(0) += 1;
-        }
-        let mut m = DeliveryMatrix::none(senders, n);
         for &s in senders {
             let g = self.group_of(s);
             let deliver_in_group = match self.intra {
                 IntraGroupRule::Full => true,
-                IntraGroupRule::Solo => per_group[&g] == 1,
+                // The Solo rule needs the group's broadcaster count;
+                // senders are few, so counting inline beats building a
+                // per-group map every round.
+                IntraGroupRule::Solo => {
+                    senders.iter().filter(|&&x| self.group_of(x) == g).count() == 1
+                }
             };
             if deliver_in_group {
                 for r in 0..n {
                     if self.group_of[r] == g {
-                        m.set(s, ProcessId(r), true);
+                        out.set(s, ProcessId(r), true);
                     }
                 }
             }
         }
-        m
     }
 
     fn collision_free_from(&self) -> Option<Round> {
@@ -185,16 +202,23 @@ impl RandomLoss {
 }
 
 impl LossAdversary for RandomLoss {
-    fn deliver(&mut self, _round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
-        let mut m = DeliveryMatrix::none(senders, n);
+    fn deliver_into(
+        &mut self,
+        _round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
+        out.clear_and_resize(senders, n);
+        // One draw per (sender, receiver) pair in this exact order: the
+        // RNG stream is pinned by the determinism tests.
         for &s in senders {
             for r in 0..n {
                 if !self.rng.random_bool(self.p_loss) {
-                    m.set(s, ProcessId(r), true);
+                    out.set(s, ProcessId(r), true);
                 }
             }
         }
-        m
     }
 }
 
@@ -217,19 +241,24 @@ impl ScriptedLoss {
 }
 
 impl LossAdversary for ScriptedLoss {
-    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+    fn deliver_into(
+        &mut self,
+        round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
+        out.clear_and_resize(senders, n);
         match self.script.get(round.trace_index()) {
-            None => DeliveryMatrix::full(senders, n),
+            None => out.deliver_all(),
             Some(pred) => {
-                let mut m = DeliveryMatrix::none(senders, n);
                 for &s in senders {
                     for r in 0..n {
                         if pred(s, ProcessId(r)) {
-                            m.set(s, ProcessId(r), true);
+                            out.set(s, ProcessId(r), true);
                         }
                     }
                 }
-                m
             }
         }
     }
@@ -275,12 +304,17 @@ impl<A> Ecf<A> {
 }
 
 impl<A: LossAdversary> LossAdversary for Ecf<A> {
-    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
-        let mut m = self.inner.deliver(round, senders, n);
+    fn deliver_into(
+        &mut self,
+        round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
+        self.inner.deliver_into(round, senders, n, out);
         if round >= self.r_cf && senders.len() == 1 {
-            m.deliver_all_from(senders[0]);
+            out.deliver_all_from(senders[0]);
         }
-        m
     }
 
     fn collision_free_from(&self) -> Option<Round> {

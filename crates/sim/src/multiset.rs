@@ -3,16 +3,20 @@
 //! preliminaries define sub-multiset inclusion, multiset union, `|M|`, and
 //! `SET(M)`.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
-/// A finite multiset over `T`, backed by an ordered map from values to
-/// (positive) multiplicities.
+/// A finite multiset over `T`, backed by a sorted vector of
+/// `(value, positive multiplicity)` entries.
 ///
 /// This is the `Multi(V)` of Section 2. The receive set `N_r[i]` of every
 /// round is a `Multiset` of messages; constraint 4 of Definition 11 (receive
 /// sets are sub-multisets of the round's broadcasts) is checked with
 /// [`Multiset::is_submultiset_of`].
+///
+/// The vector backing (rather than a `BTreeMap`) is a hot-path choice:
+/// [`Multiset::clear`] keeps the allocation, so the engine's reusable
+/// per-process receive buffers insert into already-warm storage and a
+/// steady-state round performs no heap allocation at all.
 ///
 /// # Examples
 ///
@@ -25,9 +29,11 @@ use std::fmt;
 /// assert_eq!(m.support().count(), 2);  // SET(M) = {1, 3}
 /// assert_eq!(m.min(), Some(&1));
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Default)]
 pub struct Multiset<T: Ord> {
-    counts: BTreeMap<T, usize>,
+    /// Sorted by value; multiplicities are always ≥ 1, so the
+    /// representation is canonical and the derived `PartialEq` is exact.
+    entries: Vec<(T, usize)>,
     total: usize,
 }
 
@@ -35,9 +41,15 @@ impl<T: Ord> Multiset<T> {
     /// The empty multiset.
     pub fn new() -> Self {
         Multiset {
-            counts: BTreeMap::new(),
+            entries: Vec::new(),
             total: 0,
         }
+    }
+
+    /// Empties the multiset, keeping its storage for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.total = 0;
     }
 
     /// Inserts one occurrence of `value`.
@@ -51,13 +63,19 @@ impl<T: Ord> Multiset<T> {
         if n == 0 {
             return;
         }
-        *self.counts.entry(value).or_insert(0) += n;
+        match self.entries.binary_search_by(|(v, _)| v.cmp(&value)) {
+            Ok(i) => self.entries[i].1 += n,
+            Err(i) => self.entries.insert(i, (value, n)),
+        }
         self.total += n;
     }
 
     /// The multiplicity of `value` in the multiset (zero if absent).
     pub fn count(&self, value: &T) -> usize {
-        self.counts.get(value).copied().unwrap_or(0)
+        self.entries
+            .binary_search_by(|(v, _)| v.cmp(value))
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
     }
 
     /// The total number of occurrences, the paper's `|M|`.
@@ -72,35 +90,55 @@ impl<T: Ord> Multiset<T> {
 
     /// The number of *distinct* values, `|SET(M)|`.
     pub fn unique_len(&self) -> usize {
-        self.counts.len()
+        self.entries.len()
     }
 
     /// Iterates over the distinct values in ascending order: the paper's
     /// `SET(M)`.
     pub fn support(&self) -> impl Iterator<Item = &T> {
-        self.counts.keys()
+        self.entries.iter().map(|(v, _)| v)
     }
 
     /// Iterates over `(value, multiplicity)` pairs in ascending value order.
     pub fn iter(&self) -> impl Iterator<Item = (&T, usize)> {
-        self.counts.iter().map(|(v, &c)| (v, c))
+        self.entries.iter().map(|e| (&e.0, e.1))
     }
 
     /// The minimum value, if the multiset is non-empty. Algorithms 1 and 2
     /// update their estimate to `min{messages}`.
     pub fn min(&self) -> Option<&T> {
-        self.counts.keys().next()
+        self.entries.first().map(|(v, _)| v)
     }
 
     /// The maximum value, if the multiset is non-empty.
     pub fn max(&self) -> Option<&T> {
-        self.counts.keys().next_back()
+        self.entries.last().map(|(v, _)| v)
     }
 
     /// Sub-multiset inclusion (`M₁ ⊆ M₂` of Section 2): every value of `self`
     /// appears in `other` with at least the same multiplicity.
     pub fn is_submultiset_of(&self, other: &Multiset<T>) -> bool {
-        self.counts.iter().all(|(v, &c)| other.count(v) >= c)
+        self.entries.iter().all(|e| other.count(&e.0) >= e.1)
+    }
+}
+
+/// Formats like the seed-era `BTreeMap`-backed derive (`Multiset { counts:
+/// {v: c, …}, total: t }`), so debug-rendered execution traces are
+/// byte-identical across the representation change.
+impl<T: Ord + fmt::Debug> fmt::Debug for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Counts<'a, T>(&'a [(T, usize)]);
+        impl<T: fmt::Debug> fmt::Debug for Counts<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_map()
+                    .entries(self.0.iter().map(|(v, c)| (v, c)))
+                    .finish()
+            }
+        }
+        f.debug_struct("Multiset")
+            .field("counts", &Counts(&self.entries))
+            .field("total", &self.total)
+            .finish()
     }
 }
 
@@ -190,6 +228,27 @@ mod tests {
         assert_eq!(m.unique_len(), 2);
         assert_eq!(m.min(), Some(&2));
         assert_eq!(m.max(), Some(&5));
+    }
+
+    #[test]
+    fn clear_empties_and_reuses() {
+        let mut m: Multiset<u8> = [1, 1, 2].into_iter().collect();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.count(&1), 0);
+        m.insert(9);
+        assert_eq!(m.total(), 1);
+        assert_eq!(m.min(), Some(&9));
+    }
+
+    #[test]
+    fn debug_format_matches_map_backed_derive() {
+        let m: Multiset<u8> = [7, 7, 4].into_iter().collect();
+        assert_eq!(
+            format!("{m:?}"),
+            "Multiset { counts: {4: 1, 7: 2}, total: 3 }"
+        );
     }
 
     #[test]

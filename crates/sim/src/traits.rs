@@ -2,11 +2,30 @@
 //! contention managers (Definition 8), message-loss adversaries (the
 //! unconstrained receive behaviour of Definition 11), and crash adversaries
 //! (Section 3.3).
+//!
+//! ## The writer-API convention
+//!
+//! Every component trait exposes its per-round output in two forms: a
+//! writer-style `*_into` method that fills a caller-provided buffer, and a
+//! `Vec`-returning convenience method. **Each has a default implementation
+//! in terms of the other, so an implementor must override at least one**
+//! (overriding neither recurses forever):
+//!
+//! * Components on a hot path implement the `*_into` form natively — the
+//!   engine's reusable round buffers then make a steady-state round
+//!   allocation-free — and inherit the `Vec` wrapper for free.
+//! * Seed-era or external implementors that only define the `Vec` form
+//!   keep compiling unchanged; the default `*_into` falls back to the
+//!   `Vec` method and copies (correct, but allocating).
+//!
+//! The `Box<dyn …>` adapters forward *both* methods, so dynamic dispatch
+//! preserves whichever form the underlying component implements natively.
 
 use crate::advice::{CdAdvice, CmAdvice};
 use crate::ids::{ProcessId, Round};
 use crate::trace::TransmissionEntry;
-use std::collections::BTreeMap;
+
+pub use crate::matrix::DeliveryMatrix;
 
 /// A collision detector (Definition 6): a function from per-round
 /// transmission information to per-process advice.
@@ -16,11 +35,31 @@ use std::collections::BTreeMap;
 /// received — never sender identities or message contents. Class obligations
 /// (completeness/accuracy, Properties 4–9) are defined and enforced in
 /// `wan-cd`.
+///
+/// Implement [`CollisionDetector::advise_into`] (hot path) or
+/// [`CollisionDetector::advise`] (convenience); see the module docs.
 pub trait CollisionDetector {
     /// Advice for every process index for round `round`, given the round's
     /// transmission entry. The returned vector must have length
     /// `tx.received.len()`.
-    fn advise(&mut self, round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice>;
+    fn advise(&mut self, round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
+        let mut out = vec![CdAdvice::Null; tx.received.len()];
+        self.advise_into(round, tx, &mut out);
+        out
+    }
+
+    /// Writer form of [`CollisionDetector::advise`]: fills `out` (length
+    /// `tx.received.len()`) with this round's advice, overwriting every
+    /// slot.
+    fn advise_into(&mut self, round: Round, tx: &TransmissionEntry, out: &mut [CdAdvice]) {
+        let advice = self.advise(round, tx);
+        assert_eq!(
+            advice.len(),
+            out.len(),
+            "collision detector returned wrong arity"
+        );
+        out.copy_from_slice(&advice);
+    }
 
     /// The round `r_acc` from which this detector guarantees accuracy
     /// (Property 9), if it declares one. Used by the harness to compute the
@@ -34,6 +73,9 @@ pub trait CollisionDetector {
 impl CollisionDetector for Box<dyn CollisionDetector> {
     fn advise(&mut self, round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
         (**self).advise(round, tx)
+    }
+    fn advise_into(&mut self, round: Round, tx: &TransmissionEntry, out: &mut [CdAdvice]) {
+        (**self).advise_into(round, tx, out)
     }
     fn accuracy_from(&self) -> Option<Round> {
         (**self).accuracy_from()
@@ -64,10 +106,29 @@ pub struct CmView<'a> {
 /// A contention manager (Definition 8): a source of per-round
 /// `active`/`passive` advice. Wake-up and leader-election service properties
 /// (Properties 2–3) live in `wan-cm`.
+///
+/// Implement [`ContentionManager::advise_into`] (hot path) or
+/// [`ContentionManager::advise`] (convenience); see the module docs.
 pub trait ContentionManager {
     /// Advice for every process index for round `round`. Must return a
     /// vector of length `view.n`.
-    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice>;
+    fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
+        let mut out = vec![CmAdvice::Passive; view.n];
+        self.advise_into(round, view, &mut out);
+        out
+    }
+
+    /// Writer form of [`ContentionManager::advise`]: fills `out` (length
+    /// `view.n`) with this round's advice, overwriting every slot.
+    fn advise_into(&mut self, round: Round, view: &CmView<'_>, out: &mut [CmAdvice]) {
+        let advice = self.advise(round, view);
+        assert_eq!(
+            advice.len(),
+            out.len(),
+            "contention manager returned wrong arity"
+        );
+        out.copy_from_slice(&advice);
+    }
 
     /// Channel feedback after the round completes: the transmission entry
     /// and which processes broadcast. Formal managers ignore this;
@@ -88,91 +149,14 @@ impl ContentionManager for Box<dyn ContentionManager> {
     fn advise(&mut self, round: Round, view: &CmView<'_>) -> Vec<CmAdvice> {
         (**self).advise(round, view)
     }
+    fn advise_into(&mut self, round: Round, view: &CmView<'_>, out: &mut [CmAdvice]) {
+        (**self).advise_into(round, view, out)
+    }
     fn observe(&mut self, round: Round, tx: &TransmissionEntry, senders: &[ProcessId]) {
         (**self).observe(round, tx, senders)
     }
     fn stabilized_from(&self) -> Option<Round> {
         (**self).stabilized_from()
-    }
-}
-
-/// Which receivers get which broadcasts in one round.
-///
-/// Keyed by *sender*: `matrix.delivered(s, r)` says whether receiver `r`
-/// obtains the message broadcast by `s`. Because every process broadcasts at
-/// most one message per round, a sender-indexed boolean matrix expresses
-/// every receive behaviour the model admits (constraint 4 of Definition 11);
-/// the engine forces the diagonal (constraint 5: broadcasters receive their
-/// own message).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DeliveryMatrix {
-    n: usize,
-    rows: BTreeMap<ProcessId, Vec<bool>>,
-}
-
-impl DeliveryMatrix {
-    /// A matrix for the given senders with *no* deliveries (the engine will
-    /// still force self-delivery).
-    pub fn none(senders: &[ProcessId], n: usize) -> Self {
-        let rows = senders.iter().map(|&s| (s, vec![false; n])).collect();
-        DeliveryMatrix { n, rows }
-    }
-
-    /// A matrix where every sender's message reaches every process.
-    pub fn full(senders: &[ProcessId], n: usize) -> Self {
-        let rows = senders.iter().map(|&s| (s, vec![true; n])).collect();
-        DeliveryMatrix { n, rows }
-    }
-
-    /// Number of process indices.
-    pub fn n(&self) -> usize {
-        self.n
-    }
-
-    /// The senders this matrix covers, in ascending order.
-    pub fn senders(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.rows.keys().copied()
-    }
-
-    /// Whether receiver `r` gets sender `s`'s message. `false` if `s` is not
-    /// a sender this round.
-    pub fn delivered(&self, s: ProcessId, r: ProcessId) -> bool {
-        self.rows.get(&s).map(|row| row[r.index()]).unwrap_or(false)
-    }
-
-    /// Sets whether receiver `r` gets sender `s`'s message.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `s` is not a sender in this matrix or `r` is out of range.
-    pub fn set(&mut self, s: ProcessId, r: ProcessId, delivered: bool) {
-        self.rows.get_mut(&s).expect("set() on a non-sender row")[r.index()] = delivered;
-    }
-
-    /// Delivers sender `s`'s message to every process.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `s` is not a sender in this matrix.
-    pub fn deliver_all_from(&mut self, s: ProcessId) {
-        self.rows
-            .get_mut(&s)
-            .expect("deliver_all_from() on a non-sender row")
-            .fill(true);
-    }
-
-    /// Forces `delivered(s, s) = true` for every sender: constraint 5 of
-    /// Definition 11 (broadcasters always receive their own message). Called
-    /// by the engine on every matrix an adversary returns.
-    pub fn force_self_delivery(&mut self) {
-        for (s, row) in self.rows.iter_mut() {
-            row[s.index()] = true;
-        }
-    }
-
-    /// How many messages receiver `r` obtains under this matrix.
-    pub fn received_count(&self, r: ProcessId) -> usize {
-        self.rows.values().filter(|row| row[r.index()]).count()
     }
 }
 
@@ -185,11 +169,33 @@ impl DeliveryMatrix {
 /// nondeterminism, resolved. Concrete adversaries (no loss, the total
 /// collision model, partitions, random loss, scripts, and the eventual
 /// collision freedom wrapper of Property 1) live in [`crate::loss`].
+///
+/// Implement [`LossAdversary::deliver_into`] (hot path) or
+/// [`LossAdversary::deliver`] (convenience); see the module docs.
 pub trait LossAdversary {
     /// The delivery matrix for round `round`, given which processes
     /// broadcast. The engine forces self-delivery afterwards, so adversaries
     /// need not handle constraint 5 themselves.
-    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix;
+    fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+        let mut out = DeliveryMatrix::empty();
+        self.deliver_into(round, senders, n, &mut out);
+        out
+    }
+
+    /// Writer form of [`LossAdversary::deliver`]: resolves the round into
+    /// `out`, whose previous contents are arbitrary (typically the last
+    /// round's matrix). Implementations must start with
+    /// [`DeliveryMatrix::clear_and_resize`]`(senders, n)` and may only mark
+    /// deliveries from the given senders.
+    fn deliver_into(
+        &mut self,
+        round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
+        *out = self.deliver(round, senders, n);
+    }
 
     /// The round `r_cf` from which the adversary guarantees eventual
     /// collision freedom (Property 1: solo broadcasts are delivered to
@@ -202,6 +208,15 @@ pub trait LossAdversary {
 impl LossAdversary for Box<dyn LossAdversary> {
     fn deliver(&mut self, round: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
         (**self).deliver(round, senders, n)
+    }
+    fn deliver_into(
+        &mut self,
+        round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
+        (**self).deliver_into(round, senders, n, out)
     }
     fn collision_free_from(&self) -> Option<Round> {
         (**self).collision_free_from()
@@ -216,15 +231,32 @@ impl LossAdversary for Box<dyn LossAdversary> {
 /// round-`r` broadcast still happens; composing our start-of-round crashes
 /// with the unconstrained loss adversary recovers that behaviour, see
 /// DESIGN.md "Known subtleties".)
+///
+/// Implement [`CrashAdversary::crashes_into`] (hot path) or
+/// [`CrashAdversary::crashes`] (convenience); see the module docs.
 pub trait CrashAdversary {
     /// Processes to crash at the start of `round`. Crashing an
     /// already-crashed process is a no-op.
-    fn crashes(&mut self, round: Round, alive: &[bool]) -> Vec<ProcessId>;
+    fn crashes(&mut self, round: Round, alive: &[bool]) -> Vec<ProcessId> {
+        let mut out = Vec::new();
+        self.crashes_into(round, alive, &mut out);
+        out
+    }
+
+    /// Writer form of [`CrashAdversary::crashes`]: *appends* this round's
+    /// crashes to `out` (the engine clears the buffer between rounds).
+    fn crashes_into(&mut self, round: Round, alive: &[bool], out: &mut Vec<ProcessId>) {
+        let crashes = self.crashes(round, alive);
+        out.extend(crashes);
+    }
 }
 
 impl CrashAdversary for Box<dyn CrashAdversary> {
     fn crashes(&mut self, round: Round, alive: &[bool]) -> Vec<ProcessId> {
         (**self).crashes(round, alive)
+    }
+    fn crashes_into(&mut self, round: Round, alive: &[bool], out: &mut Vec<ProcessId>) {
+        (**self).crashes_into(round, alive, out)
     }
 }
 
@@ -232,47 +264,107 @@ impl CrashAdversary for Box<dyn CrashAdversary> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn delivery_matrix_basics() {
-        let senders = [ProcessId(0), ProcessId(2)];
-        let mut m = DeliveryMatrix::none(&senders, 4);
-        assert_eq!(m.n(), 4);
-        assert_eq!(m.senders().collect::<Vec<_>>(), senders);
-        assert!(!m.delivered(ProcessId(0), ProcessId(1)));
-        m.set(ProcessId(0), ProcessId(1), true);
-        assert!(m.delivered(ProcessId(0), ProcessId(1)));
-        // Non-senders never deliver.
-        assert!(!m.delivered(ProcessId(1), ProcessId(0)));
-        m.force_self_delivery();
-        assert!(m.delivered(ProcessId(0), ProcessId(0)));
-        assert!(m.delivered(ProcessId(2), ProcessId(2)));
-        assert_eq!(m.received_count(ProcessId(0)), 1, "own message only");
-        assert_eq!(m.received_count(ProcessId(1)), 1, "from sender 0");
-        assert_eq!(m.received_count(ProcessId(3)), 0);
-    }
-
-    #[test]
-    fn full_matrix_delivers_everything() {
-        let senders = [ProcessId(1)];
-        let m = DeliveryMatrix::full(&senders, 3);
-        for r in 0..3 {
-            assert!(m.delivered(ProcessId(1), ProcessId(r)));
+    /// A detector that only implements the seed-era `Vec` form: the writer
+    /// default must fall back to it (the source-compatibility contract).
+    struct VecOnlyDetector;
+    impl CollisionDetector for VecOnlyDetector {
+        fn advise(&mut self, _round: Round, tx: &TransmissionEntry) -> Vec<CdAdvice> {
+            tx.received
+                .iter()
+                .map(|&t| {
+                    if t == 0 {
+                        CdAdvice::Collision
+                    } else {
+                        CdAdvice::Null
+                    }
+                })
+                .collect()
         }
-        assert_eq!(m.received_count(ProcessId(2)), 1);
+    }
+
+    /// A manager that only implements the writer form: the `Vec` default
+    /// must wrap it.
+    struct IntoOnlyManager;
+    impl ContentionManager for IntoOnlyManager {
+        fn advise_into(&mut self, _round: Round, _view: &CmView<'_>, out: &mut [CmAdvice]) {
+            out.fill(CmAdvice::Active);
+        }
     }
 
     #[test]
-    #[should_panic(expected = "non-sender")]
-    fn setting_non_sender_panics() {
-        let mut m = DeliveryMatrix::none(&[ProcessId(0)], 2);
-        m.set(ProcessId(1), ProcessId(0), true);
+    fn vec_only_implementor_serves_the_writer_form() {
+        let mut d = VecOnlyDetector;
+        let tx = TransmissionEntry {
+            sent_count: 2,
+            received: vec![2, 0],
+        };
+        let mut out = [CdAdvice::Null; 2];
+        d.advise_into(Round(1), &tx, &mut out);
+        assert_eq!(out, [CdAdvice::Null, CdAdvice::Collision]);
     }
 
     #[test]
-    fn deliver_all_from_fills_row() {
-        let mut m = DeliveryMatrix::none(&[ProcessId(0), ProcessId(1)], 3);
-        m.deliver_all_from(ProcessId(1));
-        assert!(m.delivered(ProcessId(1), ProcessId(2)));
-        assert!(!m.delivered(ProcessId(0), ProcessId(2)));
+    fn writer_only_implementor_serves_the_vec_form() {
+        let mut m = IntoOnlyManager;
+        let alive = [true; 3];
+        let view = CmView {
+            n: 3,
+            alive: &alive,
+            contending: &alive,
+        };
+        assert_eq!(m.advise(Round(1), &view), vec![CmAdvice::Active; 3]);
+    }
+
+    #[test]
+    fn vec_only_loss_serves_the_writer_form() {
+        struct HalfLoss;
+        impl LossAdversary for HalfLoss {
+            fn deliver(&mut self, _r: Round, senders: &[ProcessId], n: usize) -> DeliveryMatrix {
+                let mut m = DeliveryMatrix::none(senders, n);
+                for &s in senders {
+                    for r in 0..n / 2 {
+                        m.set(s, ProcessId(r), true);
+                    }
+                }
+                m
+            }
+        }
+        let mut adv = HalfLoss;
+        let mut out = DeliveryMatrix::full(&[ProcessId(1)], 2); // stale state
+        adv.deliver_into(Round(1), &[ProcessId(0)], 4, &mut out);
+        assert_eq!(out.n(), 4);
+        assert!(out.delivered(ProcessId(0), ProcessId(1)));
+        assert!(!out.delivered(ProcessId(0), ProcessId(2)));
+        assert!(!out.is_sender(ProcessId(1)), "stale sender replaced");
+    }
+
+    #[test]
+    fn vec_only_crash_serves_the_writer_form() {
+        struct CrashZero;
+        impl CrashAdversary for CrashZero {
+            fn crashes(&mut self, _round: Round, _alive: &[bool]) -> Vec<ProcessId> {
+                vec![ProcessId(0)]
+            }
+        }
+        let mut out = vec![ProcessId(9)];
+        CrashZero.crashes_into(Round(1), &[true; 2], &mut out);
+        assert_eq!(out, vec![ProcessId(9), ProcessId(0)], "appends, not clears");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn arity_mismatch_in_vec_fallback_is_caught() {
+        struct WrongArity;
+        impl CollisionDetector for WrongArity {
+            fn advise(&mut self, _round: Round, _tx: &TransmissionEntry) -> Vec<CdAdvice> {
+                vec![CdAdvice::Null]
+            }
+        }
+        let tx = TransmissionEntry {
+            sent_count: 0,
+            received: vec![0, 0],
+        };
+        let mut out = [CdAdvice::Null; 2];
+        WrongArity.advise_into(Round(1), &tx, &mut out);
     }
 }
