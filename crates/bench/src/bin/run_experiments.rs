@@ -1,10 +1,26 @@
 //! Runs the experiment suite and prints every table.
 //!
 //! ```text
-//! run_experiments [--quick] [--only eN]
+//! run_experiments [--quick] [--only eN] [--cache | --no-cache]
+//! run_experiments --check [--quick] [--bless] [--no-cache]
 //! ```
+//!
+//! * Sweeps consult the persistent result cache (`target/sweep-cache/`,
+//!   override with `CCWAN_SWEEP_CACHE_DIR`) by default; a warm invocation
+//!   executes zero scenario cells and prints byte-identical tables.
+//!   `--no-cache` forces fresh execution; `--cache` states the default
+//!   explicitly. The hit/miss summary goes to **stderr**, so stdout stays
+//!   comparable across cold and warm runs.
+//! * `--check` replays the standard scenario registry against the
+//!   committed golden summary (`golden/sweeps/`, override with
+//!   `CCWAN_GOLDEN_DIR`) and exits nonzero on any drift — the CI
+//!   regression gate. `--bless` rewrites the golden file after an
+//!   intentional behavior change. Either way the observed summary is also
+//!   written under `target/sweep-summaries/` for CI artifact upload.
 
-use wan_bench::{experiments, Scale, Table};
+use std::path::PathBuf;
+use wan_bench::sweep::{cache, golden, SweepSummary};
+use wan_bench::{experiments, Scale, SweepRunner, Table};
 
 type Experiment = fn(Scale) -> Table;
 
@@ -34,16 +50,50 @@ const EXPERIMENTS: [(&str, Experiment); 16] = [
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--quick") {
-        Scale::Quick
-    } else {
-        Scale::Full
-    };
-    let only: Option<String> = args
-        .iter()
-        .position(|a| a == "--only")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.to_lowercase());
+    let mut i = 0;
+    let mut only: Option<String> = None;
+    let (mut quick, mut use_cache, mut check, mut bless) = (false, true, false, false);
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--cache" => use_cache = true,
+            "--no-cache" => use_cache = false,
+            "--check" => check = true,
+            "--bless" => {
+                check = true;
+                bless = true;
+            }
+            "--only" => {
+                i += 1;
+                match args.get(i) {
+                    Some(id) => only = Some(id.to_lowercase()),
+                    None => {
+                        eprintln!(
+                            "--only requires an experiment id (e1..e{})",
+                            EXPERIMENTS.len()
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: run_experiments [--quick] [--only eN] \
+                     [--cache | --no-cache] [--check [--bless]]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+
+    if check && only.is_some() {
+        // --check always gates the whole registry; silently ignoring the
+        // filter would let "checked e1" mean "checked everything".
+        eprintln!("--only cannot be combined with --check (the gate covers the full registry)");
+        std::process::exit(2);
+    }
 
     if let Some(filter) = &only {
         if !EXPERIMENTS.iter().any(|(id, _)| id == filter) {
@@ -55,11 +105,114 @@ fn main() {
         }
     }
 
+    if use_cache {
+        let dir = std::env::var("CCWAN_SWEEP_CACHE_DIR")
+            .unwrap_or_else(|_| cache::DEFAULT_DIR.to_string());
+        cache::install_global(&dir);
+    }
+
+    let code = if check {
+        run_check(scale, bless)
+    } else {
+        run_suite(scale, only.as_deref())
+    };
+
+    if use_cache {
+        if let Some(stats) = cache::uninstall_global() {
+            // stderr, so cold and warm stdout stay byte-identical.
+            eprintln!("sweep-cache: {stats}");
+        }
+    }
+    std::process::exit(code);
+}
+
+fn run_suite(scale: Scale, only: Option<&str>) -> i32 {
     println!("# ccwan experiment suite ({scale:?})");
     for (id, experiment) in EXPERIMENTS {
-        if only.as_deref().is_some_and(|filter| filter != id) {
+        if only.is_some_and(|filter| filter != id) {
             continue;
         }
         println!("{}", experiment(scale));
     }
+    0
+}
+
+/// The registry regression gate: summarize a (cache-assisted) run of the
+/// standard registry, record the observed summary for artifact upload,
+/// then bless or compare.
+fn run_check(scale: Scale, bless: bool) -> i32 {
+    let observed = SweepSummary::measure(scale, &SweepRunner::parallel());
+    let golden_dir = PathBuf::from(
+        std::env::var("CCWAN_GOLDEN_DIR").unwrap_or_else(|_| "golden/sweeps".to_string()),
+    );
+    let golden_path = golden_dir.join(golden::golden_file_name(scale));
+
+    let observed_dir = PathBuf::from("target/sweep-summaries");
+    let observed_path = observed_dir.join(golden::golden_file_name(scale));
+    let record = std::fs::create_dir_all(&observed_dir)
+        .and_then(|()| std::fs::write(&observed_path, observed.to_json()));
+    if let Err(err) = record {
+        eprintln!(
+            "--check: could not record observed summary at {}: {err}",
+            observed_path.display()
+        );
+    }
+
+    if bless {
+        if let Err(err) = std::fs::create_dir_all(&golden_dir)
+            .and_then(|()| std::fs::write(&golden_path, observed.to_json()))
+        {
+            eprintln!("--bless: writing {} failed: {err}", golden_path.display());
+            return 1;
+        }
+        println!(
+            "--bless: wrote {} spec summaries to {}",
+            observed.specs.len(),
+            golden_path.display()
+        );
+        return 0;
+    }
+
+    let text = match std::fs::read_to_string(&golden_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!(
+                "--check: cannot read golden summary {}: {err}\n\
+                 (generate it with `run_experiments --check --bless{}`)",
+                golden_path.display(),
+                if scale == Scale::Quick {
+                    " --quick"
+                } else {
+                    ""
+                },
+            );
+            return 1;
+        }
+    };
+    let expected = match SweepSummary::parse(&text) {
+        Ok(expected) => expected,
+        Err(err) => {
+            eprintln!("--check: {}: {err}", golden_path.display());
+            return 1;
+        }
+    };
+    let drift = expected.diff(&observed);
+    if drift.is_empty() {
+        println!(
+            "--check: {} specs match {}",
+            observed.specs.len(),
+            golden_path.display()
+        );
+        return 0;
+    }
+    eprintln!(
+        "--check: {} drift(s) against {}:",
+        drift.len(),
+        golden_path.display()
+    );
+    for line in &drift {
+        eprintln!("  {line}");
+    }
+    eprintln!("(if this change is intentional, regenerate with --bless)");
+    1
 }

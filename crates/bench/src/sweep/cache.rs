@@ -1,0 +1,549 @@
+//! The persistent, content-addressed sweep result cache.
+//!
+//! Every scenario cell is a pure function of `(spec, case)` — that is the
+//! determinism contract `tests/determinism.rs` pins. This module turns
+//! that contract into *incremental re-runs*: executed [`CellResult`]s are
+//! persisted to disk under a key derived from the cell's **content**, and
+//! [`super::SweepRunner::run`] consults the store before executing
+//! anything. A warm run of the full experiment registry executes zero
+//! cells.
+//!
+//! ## Cell keys
+//!
+//! A [`CellKey`] is 128 bits assembled from two independently-salted
+//! FNV-1a lanes over:
+//!
+//! * the spec's parameter fingerprint
+//!   ([`super::ScenarioSpec::params_fingerprint`] — name, algorithm,
+//!   class, environment, crash schedule, `n`, `|V|`, value profile, cap;
+//!   deliberately *not* the cell count, so scaling `Quick` → `Full`
+//!   reuses the cached prefix),
+//! * the case index and its derived RNG seed, and
+//! * the spec's **canary fingerprint**
+//!   ([`super::ScenarioSpec::canary_fingerprint`]): traced reference
+//!   executions of cells 0 and 1, hashed. The canary is re-run once per
+//!   spec per process, so *code* changes — a new engine fast path, a
+//!   fixed algorithm, a re-tuned component — change the keys and
+//!   invalidate stale results even though no spec parameter moved. It is
+//!   a sentinel, not a proof: a code change observable in neither
+//!   reference cell keeps the old keys (use `--no-cache`, or bump
+//!   [`FORMAT_VERSION`], when that certainty matters).
+//!
+//! ## On-disk format
+//!
+//! JSON lines at `<dir>/cells.jsonl` (default `target/sweep-cache/`): a
+//! versioned header object, then one object per cell, each carrying a
+//! per-line FNV checksum. Loading is corruption-tolerant: a bad or
+//! truncated line is skipped (the cell just re-runs), an unknown header
+//! version ignores the whole file, and the file is rewritten on the next
+//! flush. Appends are atomic enough for the single-writer use this has;
+//! the keys are content-addressed, so a stale or shared file can cause
+//! re-execution but never a wrong result.
+
+use super::json::{escape, field_bool, field_opt_u64, field_str, field_u64, opt_u64_token};
+use super::spec::CellResult;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as IoWrite};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use wan_sim::fingerprint::StableHasher;
+
+/// Bumped whenever the key derivation or line schema changes; a mismatch
+/// ignores the whole file.
+pub const FORMAT_VERSION: u32 = 1;
+const HEADER_TAG: &str = "ccwan-sweep-cache";
+const FILE_NAME: &str = "cells.jsonl";
+
+/// The default cache directory, relative to the working directory.
+pub const DEFAULT_DIR: &str = "target/sweep-cache";
+
+/// A 128-bit content-addressed cell key (two salted FNV-1a lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl CellKey {
+    /// Derives the key of one cell from the four content lanes. Changing
+    /// any input changes the key (with overwhelming probability), which is
+    /// what the cache-invalidation tests pin down.
+    pub fn derive(params_fp: u64, case: u64, cell_seed: u64, canary_fp: u64) -> CellKey {
+        let lane = |salt: u64| {
+            let mut h = StableHasher::with_salt(salt);
+            h.write_u64(params_fp);
+            h.write_u64(case);
+            h.write_u64(cell_seed);
+            h.write_u64(canary_fp);
+            h.finish()
+        };
+        CellKey {
+            hi: lane(0x5EE9_CA5E),
+            lo: lane(0xD15C_0B01),
+        }
+    }
+
+    /// The 32-hex-digit rendering used on disk.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses [`CellKey::to_hex`]'s rendering.
+    pub fn from_hex(s: &str) -> Option<CellKey> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        Some(CellKey {
+            hi: u64::from_str_radix(&s[..16], 16).ok()?,
+            lo: u64::from_str_radix(&s[16..], 16).ok()?,
+        })
+    }
+}
+
+/// One stored cell: a [`CellResult`] minus `spec_index` (which is the
+/// position of the spec in the *caller's* slice, not cell content — the
+/// same cell can be row 0 of one sweep and row 7 of another).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedCell {
+    /// The spec name, stored for humans reading the file; the key is
+    /// authoritative.
+    pub spec_name: String,
+    /// Case index within the spec.
+    pub case: u64,
+    /// The derived RNG seed the cell ran with.
+    pub cell_seed: u64,
+    /// Measurement reference round.
+    pub reference: u64,
+    /// Last decision round, if all correct processes decided.
+    pub last_decision: Option<u64>,
+    /// Whether the run terminated within the cap.
+    pub terminated: bool,
+    /// Whether agreement/validity held.
+    pub safe: bool,
+}
+
+impl CachedCell {
+    fn from_result(spec_name: &str, result: &CellResult) -> CachedCell {
+        CachedCell {
+            spec_name: spec_name.to_string(),
+            case: result.case,
+            cell_seed: result.cell_seed,
+            reference: result.reference,
+            last_decision: result.last_decision,
+            terminated: result.terminated,
+            safe: result.safe,
+        }
+    }
+
+    /// Reconstitutes the [`CellResult`] exactly as a fresh execution would
+    /// have produced it, re-anchored at the caller's `spec_index`.
+    pub fn to_result(&self, spec_index: usize) -> CellResult {
+        CellResult {
+            spec_index,
+            case: self.case,
+            cell_seed: self.cell_seed,
+            reference: self.reference,
+            last_decision: self.last_decision,
+            terminated: self.terminated,
+            safe: self.safe,
+        }
+    }
+}
+
+/// Counters for one cache's lifetime (cumulative across sweeps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cells answered from the store (not executed).
+    pub hits: u64,
+    /// Cells executed and appended to the store.
+    pub misses: u64,
+    /// Traced canary executions (one per distinct spec per process).
+    pub canary_runs: u64,
+    /// Entries loaded from disk at open.
+    pub loaded: u64,
+    /// Malformed/corrupted lines skipped at open.
+    pub skipped_lines: u64,
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses ({} cells executed), {} canary runs, {} entries loaded, {} corrupt lines skipped",
+            self.hits, self.misses, self.misses, self.canary_runs, self.loaded, self.skipped_lines
+        )
+    }
+}
+
+/// The persistent store: an in-memory index over `cells.jsonl`, plus the
+/// per-process canary memo and pending (unflushed) appends.
+#[derive(Debug)]
+pub struct SweepCache {
+    path: PathBuf,
+    entries: HashMap<CellKey, CachedCell>,
+    /// `params_fingerprint → canary_fingerprint`, memoized per process.
+    /// Never persisted: re-running canaries on each process start is the
+    /// mechanism that detects code changes.
+    canaries: HashMap<u64, u64>,
+    pending: Vec<String>,
+    /// `true` only once a valid format header has been seen on disk (or
+    /// written by us). While `false`, the next flush *rewrites* the file —
+    /// appending to an empty, truncated-at-birth, unreadable (non-UTF-8),
+    /// or alien-versioned file would produce headerless lines the next
+    /// load rejects wholesale.
+    disk_header_ok: bool,
+    /// Lifetime counters (pub so the runner can account hits/misses).
+    pub stats: CacheStats,
+}
+
+impl SweepCache {
+    /// Opens (or initializes) the cache in `dir`. Never fails: an
+    /// unreadable or corrupted file simply loads fewer entries, and a
+    /// missing directory is created at first flush.
+    pub fn open(dir: impl AsRef<Path>) -> SweepCache {
+        let mut cache = SweepCache {
+            path: dir.as_ref().join(FILE_NAME),
+            entries: HashMap::new(),
+            canaries: HashMap::new(),
+            pending: Vec::new(),
+            disk_header_ok: false,
+            stats: CacheStats::default(),
+        };
+        if let Ok(text) = fs::read_to_string(&cache.path) {
+            cache.absorb(&text);
+        }
+        cache
+    }
+
+    /// Parses a full file's text into the store — the corruption-tolerant
+    /// loader (exposed so tests can drive it with arbitrary mutations).
+    pub fn absorb(&mut self, text: &str) {
+        let mut lines = text.lines();
+        match lines.next() {
+            // Empty file (e.g. created but never written): no header, so
+            // `disk_header_ok` stays false and the next flush writes one.
+            None => return,
+            Some(header) if header_version(header) == Some(FORMAT_VERSION) => {
+                self.disk_header_ok = true;
+            }
+            Some(_) => {
+                // Alien or corrupted header: nothing in this file can be
+                // trusted to be ours. Skip it all; the next flush rewrites.
+                self.stats.skipped_lines += text.lines().count() as u64;
+                return;
+            }
+        }
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match decode_line(line) {
+                Some((key, cell)) => {
+                    self.entries.insert(key, cell);
+                    self.stats.loaded += 1;
+                }
+                None => self.stats.skipped_lines += 1,
+            }
+        }
+    }
+
+    /// The file this cache persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of distinct cells currently indexed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks a cell up. The stored case/seed must match the request (a
+    /// 128-bit key collision or hand-edited file otherwise silently
+    /// misattributes a result); mismatches are treated as misses.
+    pub fn lookup(
+        &self,
+        key: CellKey,
+        spec_index: usize,
+        case: u64,
+        seed: u64,
+    ) -> Option<CellResult> {
+        let cell = self.entries.get(&key)?;
+        (cell.case == case && cell.cell_seed == seed).then(|| cell.to_result(spec_index))
+    }
+
+    /// Indexes a freshly-executed cell and queues it for the next flush.
+    pub fn record(&mut self, key: CellKey, spec_name: &str, result: &CellResult) {
+        let cell = CachedCell::from_result(spec_name, result);
+        self.pending.push(encode_line(key, &cell));
+        self.entries.insert(key, cell);
+    }
+
+    /// The memoized canary fingerprint for a spec's parameter fingerprint.
+    pub fn canary(&self, params_fp: u64) -> Option<u64> {
+        self.canaries.get(&params_fp).copied()
+    }
+
+    /// Memoizes a computed canary fingerprint for this process.
+    pub fn set_canary(&mut self, params_fp: u64, canary_fp: u64) {
+        self.canaries.insert(params_fp, canary_fp);
+    }
+
+    /// Appends pending entries to disk (creating directory, file, and
+    /// header as needed). Unless a valid header was confirmed on disk at
+    /// load time, the file is **rewritten**, not appended to — an empty,
+    /// unreadable, or alien-versioned store is replaced rather than grown
+    /// into something the next load would reject.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        if let Some(dir) = self.path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let fresh = !self.disk_header_ok;
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(!fresh)
+            .write(true)
+            .truncate(fresh)
+            .open(&self.path)?;
+        let mut out = String::new();
+        if fresh {
+            out.push_str(&format!("{{\"{HEADER_TAG}\":{FORMAT_VERSION}}}\n"));
+        }
+        for line in &self.pending {
+            out.push_str(line);
+            out.push('\n');
+        }
+        file.write_all(out.as_bytes())?;
+        self.pending.clear();
+        self.disk_header_ok = true;
+        Ok(())
+    }
+}
+
+fn header_version(line: &str) -> Option<u32> {
+    u32::try_from(field_u64(line, HEADER_TAG)?).ok()
+}
+
+fn encode_line(key: CellKey, cell: &CachedCell) -> String {
+    let mut line = format!(
+        "{{\"key\":\"{}\",\"spec\":\"{}\",\"case\":{},\"seed\":{},\"ref\":{},\"decided\":{},\"terminated\":{},\"safe\":{}",
+        key.to_hex(),
+        escape(&cell.spec_name),
+        cell.case,
+        cell.cell_seed,
+        cell.reference,
+        opt_u64_token(cell.last_decision),
+        cell.terminated,
+        cell.safe,
+    );
+    let crc = StableHasher::hash_str(&line);
+    line.push_str(&format!(",\"crc\":\"{crc:016x}\"}}"));
+    line
+}
+
+fn decode_line(line: &str) -> Option<(CellKey, CachedCell)> {
+    // Checksum first: the crc covers every byte of the payload prefix, so
+    // any flip, drop, or truncation anywhere in the line is caught here.
+    let crc_at = line.rfind(",\"crc\":\"")?;
+    let (payload, tail) = line.split_at(crc_at);
+    let crc_hex = tail.strip_prefix(",\"crc\":\"")?.strip_suffix("\"}")?;
+    if crc_hex.len() != 16
+        || u64::from_str_radix(crc_hex, 16).ok()? != StableHasher::hash_str(payload)
+    {
+        return None;
+    }
+    let key = CellKey::from_hex(&field_str(payload, "key")?)?;
+    let cell = CachedCell {
+        spec_name: field_str(payload, "spec")?,
+        case: field_u64(payload, "case")?,
+        cell_seed: field_u64(payload, "seed")?,
+        reference: field_u64(payload, "ref")?,
+        last_decision: field_opt_u64(payload, "decided")?,
+        terminated: field_bool(payload, "terminated")?,
+        safe: field_bool(payload, "safe")?,
+    };
+    Some((key, cell))
+}
+
+/// The process-wide cache slot `run_experiments` installs into. Sweeps
+/// take the cache out while running (so no lock is held across cell
+/// execution) and put it back when done; concurrent sweeps in other
+/// threads simply run uncached for that window.
+static GLOBAL: Mutex<Option<SweepCache>> = Mutex::new(None);
+
+/// Installs a process-wide cache rooted at `dir`; subsequent
+/// [`super::SweepRunner::run`] calls consult it transparently. Returns the
+/// load-time stats.
+pub fn install_global(dir: impl AsRef<Path>) -> CacheStats {
+    let cache = SweepCache::open(dir);
+    let stats = cache.stats;
+    *GLOBAL.lock().expect("sweep cache lock") = Some(cache);
+    stats
+}
+
+/// Removes (and flushes) the process-wide cache, returning its final
+/// stats. `None` if none was installed.
+pub fn uninstall_global() -> Option<CacheStats> {
+    let mut cache = GLOBAL.lock().expect("sweep cache lock").take()?;
+    if let Err(err) = cache.flush() {
+        eprintln!(
+            "sweep-cache: flush to {} failed: {err}",
+            cache.path.display()
+        );
+    }
+    Some(cache.stats)
+}
+
+/// The installed cache's current stats, if one is installed (and not
+/// currently checked out by a running sweep).
+pub fn global_stats() -> Option<CacheStats> {
+    GLOBAL
+        .lock()
+        .expect("sweep cache lock")
+        .as_ref()
+        .map(|c| c.stats)
+}
+
+pub(crate) fn take_global() -> Option<SweepCache> {
+    GLOBAL.lock().expect("sweep cache lock").take()
+}
+
+pub(crate) fn put_global(cache: SweepCache) {
+    *GLOBAL.lock().expect("sweep cache lock") = Some(cache);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(case: u64) -> CellResult {
+        CellResult {
+            spec_index: 3,
+            case,
+            cell_seed: 0xABCD + case,
+            reference: 6,
+            last_decision: case.is_multiple_of(2).then_some(8 + case),
+            terminated: true,
+            safe: true,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let key = CellKey::derive(1, 2, 3, 4);
+        let cell = CachedCell::from_result("lattice/maj-AC", &result(2));
+        let line = encode_line(key, &cell);
+        let (k, c) = decode_line(&line).expect("own lines decode");
+        assert_eq!(k, key);
+        assert_eq!(c, cell);
+        // spec_index is re-anchored by the caller, not stored.
+        assert_eq!(c.to_result(9).spec_index, 9);
+        assert_eq!(c.to_result(3), result(2));
+    }
+
+    #[test]
+    fn key_hex_roundtrips_and_lanes_are_independent() {
+        let key = CellKey::derive(10, 20, 30, 40);
+        assert_eq!(CellKey::from_hex(&key.to_hex()), Some(key));
+        assert_eq!(CellKey::from_hex("short"), None);
+        for (a, b) in [
+            (CellKey::derive(11, 20, 30, 40), key),
+            (CellKey::derive(10, 21, 30, 40), key),
+            (CellKey::derive(10, 20, 31, 40), key),
+            (CellKey::derive(10, 20, 30, 41), key),
+        ] {
+            assert_ne!(a, b, "every content lane must feed the key");
+        }
+    }
+
+    #[test]
+    fn absorb_skips_corrupt_lines_and_keeps_good_ones() {
+        let key_a = CellKey::derive(1, 0, 7, 9);
+        let key_b = CellKey::derive(1, 1, 8, 9);
+        let good_a = encode_line(key_a, &CachedCell::from_result("s", &result(0)));
+        let good_b = encode_line(key_b, &CachedCell::from_result("s", &result(1)));
+        let mut flipped = good_b.clone();
+        // Flip one digit inside the payload: the crc must reject it.
+        let pos = flipped.find("\"ref\":6").unwrap() + 6;
+        flipped.replace_range(pos..pos + 1, "7");
+        let text = format!(
+            "{{\"{HEADER_TAG}\":{FORMAT_VERSION}}}\n{good_a}\nnot json at all\n{flipped}\n{}\n",
+            &good_b[..good_b.len() / 2], // truncated line
+        );
+        let mut cache = SweepCache::open("/nonexistent-dir-for-test");
+        cache.absorb(&text);
+        assert_eq!(cache.stats.loaded, 1);
+        assert_eq!(cache.stats.skipped_lines, 3);
+        assert!(cache.lookup(key_a, 0, 0, 0xABCD).is_some());
+        assert!(cache.lookup(key_b, 0, 1, 0xABCE).is_none());
+    }
+
+    #[test]
+    fn alien_header_ignores_whole_file() {
+        let line = encode_line(
+            CellKey::derive(1, 0, 7, 9),
+            &CachedCell::from_result("s", &result(0)),
+        );
+        let mut cache = SweepCache::open("/nonexistent-dir-for-test");
+        cache.absorb(&format!("{{\"{HEADER_TAG}\":999}}\n{line}\n"));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats.skipped_lines, 2);
+        assert!(
+            !cache.disk_header_ok,
+            "an alien file must be rewritten, not appended to"
+        );
+    }
+
+    /// Regression: an existing-but-headerless store (empty file from an
+    /// interrupted first write, or unreadable/alien content) must be
+    /// rewritten with a header on flush — appending would produce a file
+    /// the next load rejects wholesale.
+    #[test]
+    fn flush_rewrites_headerless_or_unreadable_stores() {
+        let dir = std::env::temp_dir().join(format!("ccwan-cache-header-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let key = CellKey::derive(1, 2, 3, 4);
+        for seed_content in [b"".to_vec(), b"\xFF\xFEnot utf8".to_vec()] {
+            fs::write(dir.join(FILE_NAME), &seed_content).unwrap();
+            let mut cache = SweepCache::open(&dir);
+            assert!(!cache.disk_header_ok);
+            cache.record(key, "s", &result(2));
+            cache.flush().unwrap();
+            let reloaded = SweepCache::open(&dir);
+            assert!(reloaded.disk_header_ok);
+            assert_eq!(
+                reloaded.stats.loaded, 1,
+                "flushed entry must survive a reload"
+            );
+            assert_eq!(reloaded.stats.skipped_lines, 0);
+            assert!(reloaded.lookup(key, 0, 2, 0xABCF).is_some());
+        }
+        // And a valid store keeps append semantics: a second flush must
+        // not drop previously flushed entries.
+        let mut cache = SweepCache::open(&dir);
+        cache.record(CellKey::derive(9, 0, 1, 2), "s", &result(0));
+        cache.flush().unwrap();
+        assert_eq!(SweepCache::open(&dir).stats.loaded, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_rejects_case_or_seed_mismatch() {
+        let key = CellKey::derive(1, 2, 3, 4);
+        let mut cache = SweepCache::open("/nonexistent-dir-for-test");
+        cache.record(key, "s", &result(2));
+        assert!(cache.lookup(key, 0, 2, 0xABCF).is_some());
+        assert!(cache.lookup(key, 0, 3, 0xABCF).is_none());
+        assert!(cache.lookup(key, 0, 2, 0xFFFF).is_none());
+    }
+}

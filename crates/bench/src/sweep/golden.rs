@@ -1,0 +1,292 @@
+//! Golden sweep summaries: the experiment matrix as a CI regression gate.
+//!
+//! `run_experiments --check` re-executes the standard scenario registry
+//! (through the result cache, so a warm run is I/O-bound), summarizes it
+//! per spec, and compares against the committed golden file under
+//! `golden/sweeps/` — any drift (a changed worst-case bound, a safety or
+//! termination flip, or any cell-level change via the per-spec digest)
+//! exits nonzero. `--bless` regenerates the golden file after an
+//! *intentional* behavior change.
+//!
+//! The summary is deliberately cell-exact: each spec row carries a stable
+//! FNV digest over every cell's full result, so the gate catches drift
+//! that aggregate statistics would hide, while the committed file stays a
+//! reviewable handful of lines per spec.
+
+use super::json::{escape, field_opt_u64, field_str, field_u64, opt_u64_token};
+use super::runner::{SweepResults, SweepRunner};
+use super::spec::{Registry, ScenarioSpec};
+use crate::Scale;
+use wan_sim::fingerprint::StableHasher;
+
+/// Bumped when the summary schema changes; a mismatch fails `--check`
+/// with a regeneration hint.
+pub const FORMAT_VERSION: u32 = 1;
+const HEADER_TAG: &str = "ccwan-golden-sweep";
+
+/// The committed file name for a scale's registry summary.
+pub fn golden_file_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "registry_quick.json",
+        Scale::Full => "registry_full.json",
+    }
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    }
+}
+
+/// One spec's row in a summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecSummary {
+    /// The registry name.
+    pub name: String,
+    /// Number of cells executed.
+    pub cells: u64,
+    /// How many cells were safe (agreement + validity).
+    pub safe: u64,
+    /// How many cells terminated within the cap.
+    pub terminated: u64,
+    /// Worst rounds past the measurement reference, over deciding cells.
+    pub worst_rounds_past: Option<u64>,
+    /// Stable digest over every cell's full result (order-sensitive,
+    /// independent of the spec's position in the registry).
+    pub digest: u64,
+}
+
+/// A full registry summary at one scale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// `"quick"` or `"full"`.
+    pub scale: String,
+    /// One row per registry spec, in registration order.
+    pub specs: Vec<SpecSummary>,
+}
+
+impl SweepSummary {
+    /// Runs the standard registry at `scale` through `runner` (which
+    /// consults the installed result cache, if any) and summarizes it.
+    pub fn measure(scale: Scale, runner: &SweepRunner) -> SweepSummary {
+        let registry = Registry::standard(scale);
+        let results = runner.run(registry.specs());
+        SweepSummary::from_results(scale, registry.specs(), &results)
+    }
+
+    /// Summarizes already-executed sweep results.
+    pub fn from_results(
+        scale: Scale,
+        specs: &[ScenarioSpec],
+        results: &SweepResults,
+    ) -> SweepSummary {
+        let specs = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut row = SpecSummary {
+                    name: spec.name.clone(),
+                    cells: 0,
+                    safe: 0,
+                    terminated: 0,
+                    worst_rounds_past: None,
+                    digest: 0,
+                };
+                let mut h = StableHasher::new();
+                for cell in results.for_spec(i) {
+                    row.cells += 1;
+                    row.safe += u64::from(cell.safe);
+                    row.terminated += u64::from(cell.terminated);
+                    if let Some(past) = cell.rounds_past_reference() {
+                        row.worst_rounds_past =
+                            Some(row.worst_rounds_past.map_or(past, |w| w.max(past)));
+                    }
+                    h.write_u64(cell.case);
+                    h.write_u64(cell.cell_seed);
+                    h.write_u64(cell.reference);
+                    h.write_u64(cell.last_decision.map_or(u64::MAX, |d| d));
+                    h.write_u64(u64::from(cell.terminated));
+                    h.write_u64(u64::from(cell.safe));
+                }
+                row.digest = h.finish();
+                row
+            })
+            .collect();
+        SweepSummary {
+            scale: scale_name(scale).to_string(),
+            specs,
+        }
+    }
+
+    /// Renders the committed format: a header line, one line per spec
+    /// (diff-friendly), a closing line.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"{HEADER_TAG}\":{FORMAT_VERSION},\"scale\":\"{}\",\"specs\":[\n",
+            escape(&self.scale)
+        );
+        for (i, spec) in self.specs.iter().enumerate() {
+            let comma = if i + 1 == self.specs.len() { "" } else { "," };
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cells\":{},\"safe\":{},\"terminated\":{},\"worst\":{},\"digest\":\"{:016x}\"}}{comma}\n",
+                escape(&spec.name),
+                spec.cells,
+                spec.safe,
+                spec.terminated,
+                opt_u64_token(spec.worst_rounds_past),
+                spec.digest,
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses [`SweepSummary::to_json`]'s rendering. Errors carry enough
+    /// context for a CI log.
+    pub fn parse(text: &str) -> Result<SweepSummary, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty golden summary file")?;
+        match field_u64(header, HEADER_TAG) {
+            Some(v) if v == u64::from(FORMAT_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "golden summary format v{v}, this binary writes v{FORMAT_VERSION}: regenerate with --bless"
+                ))
+            }
+            None => return Err("not a golden sweep summary (bad header)".to_string()),
+        }
+        let scale = field_str(header, "scale").ok_or("header missing \"scale\"")?;
+        let mut specs = Vec::new();
+        for line in lines {
+            let line = line.trim().trim_end_matches(',');
+            if !line.contains("\"name\":") {
+                continue;
+            }
+            let parse = || -> Option<SpecSummary> {
+                Some(SpecSummary {
+                    name: field_str(line, "name")?,
+                    cells: field_u64(line, "cells")?,
+                    safe: field_u64(line, "safe")?,
+                    terminated: field_u64(line, "terminated")?,
+                    worst_rounds_past: field_opt_u64(line, "worst")?,
+                    digest: u64::from_str_radix(&field_str(line, "digest")?, 16).ok()?,
+                })
+            };
+            specs.push(parse().ok_or_else(|| format!("malformed spec row: {line}"))?);
+        }
+        Ok(SweepSummary { scale, specs })
+    }
+
+    /// Describes every difference between a golden summary (`self`) and an
+    /// observed one. Empty means the gate passes.
+    pub fn diff(&self, observed: &SweepSummary) -> Vec<String> {
+        let mut drift = Vec::new();
+        if self.scale != observed.scale {
+            drift.push(format!(
+                "scale mismatch: golden {:?}, observed {:?}",
+                self.scale, observed.scale
+            ));
+        }
+        for expected in &self.specs {
+            let Some(actual) = observed.specs.iter().find(|s| s.name == expected.name) else {
+                drift.push(format!(
+                    "spec {:?} missing from this registry",
+                    expected.name
+                ));
+                continue;
+            };
+            let fields = [
+                (
+                    "cells",
+                    expected.cells.to_string(),
+                    actual.cells.to_string(),
+                ),
+                ("safe", expected.safe.to_string(), actual.safe.to_string()),
+                (
+                    "terminated",
+                    expected.terminated.to_string(),
+                    actual.terminated.to_string(),
+                ),
+                (
+                    "worst_rounds_past",
+                    format!("{:?}", expected.worst_rounds_past),
+                    format!("{:?}", actual.worst_rounds_past),
+                ),
+                (
+                    "digest",
+                    format!("{:016x}", expected.digest),
+                    format!("{:016x}", actual.digest),
+                ),
+            ];
+            for (field, want, got) in fields {
+                if want != got {
+                    drift.push(format!(
+                        "spec {:?}: {field} drifted (golden {want}, observed {got})",
+                        expected.name
+                    ));
+                }
+            }
+        }
+        for actual in &observed.specs {
+            if !self.specs.iter().any(|s| s.name == actual.name) {
+                drift.push(format!(
+                    "spec {:?} observed but absent from the golden summary",
+                    actual.name
+                ));
+            }
+        }
+        drift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::spec::lattice_specs;
+
+    fn summary() -> SweepSummary {
+        let specs = &lattice_specs(Scale::Quick)[..2];
+        let results = SweepRunner::with_threads(2).run_fresh(specs);
+        SweepSummary::from_results(Scale::Quick, specs, &results)
+    }
+
+    #[test]
+    fn render_parse_roundtrips() {
+        let s = summary();
+        let parsed = SweepSummary::parse(&s.to_json()).expect("own rendering parses");
+        assert_eq!(parsed, s);
+        assert!(s.diff(&parsed).is_empty());
+    }
+
+    #[test]
+    fn diff_reports_each_kind_of_drift() {
+        let golden = summary();
+        let mut observed = golden.clone();
+        observed.specs[0].worst_rounds_past = Some(999);
+        observed.specs[1].digest ^= 1;
+        let renamed = observed.specs[1].name.clone() + "-renamed";
+        observed.specs.push(SpecSummary {
+            name: renamed,
+            ..observed.specs[1].clone()
+        });
+        let drift = golden.diff(&observed);
+        assert_eq!(drift.len(), 3, "{drift:#?}");
+        assert!(drift[0].contains("worst_rounds_past"));
+        assert!(drift[1].contains("digest"));
+        assert!(drift[2].contains("absent from the golden"));
+    }
+
+    #[test]
+    fn parse_rejects_alien_and_future_headers() {
+        assert!(SweepSummary::parse("").is_err());
+        assert!(SweepSummary::parse("{\"something\":1}\n").is_err());
+        let future = summary().to_json().replacen(
+            &format!("\"{HEADER_TAG}\":{FORMAT_VERSION}"),
+            &format!("\"{HEADER_TAG}\":{}", FORMAT_VERSION + 1),
+            1,
+        );
+        let err = SweepSummary::parse(&future).unwrap_err();
+        assert!(err.contains("--bless"), "{err}");
+    }
+}

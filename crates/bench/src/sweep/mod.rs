@@ -21,12 +21,30 @@
 //!   needs). Results arrive in deterministic cell order regardless of
 //!   thread count: [`SweepRunner::serial`] and [`SweepRunner::parallel`]
 //!   produce byte-identical [`SweepResults`].
+//! * [`cache`] — the persistent, content-addressed result cache. Because
+//!   a cell is a pure function of `(spec, index)`, its result can be
+//!   stored under a fingerprint of the spec parameters, the derived seed,
+//!   and a canary trace fingerprint of the engine's reference execution
+//!   (so code changes invalidate correctly); [`SweepRunner::run`]
+//!   consults the store transparently when `run_experiments` installs
+//!   one, making repeat invocations incremental: a warm run executes
+//!   zero cells and prints byte-identical tables.
+//! * [`golden`] — registry summaries as a CI regression gate:
+//!   `run_experiments --check` compares a (cache-assisted) run of the
+//!   standard registry against the committed `golden/sweeps/*.json` and
+//!   exits nonzero on any drift, down to single-cell changes via
+//!   per-spec digests.
 //!
 //! The experiment functions in [`crate::experiments`] are thin table
 //! renderers over this subsystem.
 
+pub mod cache;
+pub mod golden;
+mod json;
 pub mod runner;
 pub mod spec;
 
+pub use cache::{CacheStats, CellKey, SweepCache};
+pub use golden::SweepSummary;
 pub use runner::{SweepResults, SweepRunner};
 pub use spec::{Algorithm, CellResult, CrashPlan, EnvironmentPlan, Registry, ScenarioSpec};

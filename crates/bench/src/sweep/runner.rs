@@ -1,5 +1,6 @@
 //! The parallel sweep runner: fans independent cells across OS threads.
 
+use super::cache::{self, CellKey, SweepCache};
 use super::spec::{CellResult, ScenarioSpec};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -50,17 +51,99 @@ impl SweepRunner {
 
     /// Runs every cell of every spec and returns the results in cell order
     /// (spec-major, then case).
+    ///
+    /// When a process-wide cache is installed
+    /// ([`cache::install_global`] — `run_experiments` does this unless
+    /// `--no-cache`), cached cells are answered from the store and only
+    /// misses execute; results are identical either way. With no cache
+    /// installed every cell executes, exactly as before the cache existed.
     pub fn run(&self, specs: &[ScenarioSpec]) -> SweepResults {
-        let cells: Vec<(usize, u64)> = specs
-            .iter()
-            .enumerate()
-            .flat_map(|(i, spec)| (0..spec.seeds).map(move |k| (i, k)))
-            .collect();
+        match cache::take_global() {
+            Some(mut cache) => {
+                let results = self.run_with_cache(specs, &mut cache);
+                if let Err(err) = cache.flush() {
+                    eprintln!(
+                        "sweep-cache: flush to {} failed: {err} (results unaffected)",
+                        cache.path().display()
+                    );
+                }
+                cache::put_global(cache);
+                results
+            }
+            None => self.run_fresh(specs),
+        }
+    }
+
+    /// Runs every cell unconditionally, consulting no cache — the
+    /// reference execution path.
+    pub fn run_fresh(&self, specs: &[ScenarioSpec]) -> SweepResults {
+        let cells: Vec<(usize, u64)> = expand(specs);
         let results = self.map(cells.len(), |idx| {
             let (spec_index, case) = cells[idx];
             specs[spec_index].run_cell(spec_index, case)
         });
         SweepResults { cells: results }
+    }
+
+    /// Runs a sweep through an explicit cache: canaries first (two traced
+    /// reference cells per spec not yet memoized this process), then cached
+    /// cells are answered from the store and only the misses execute (in
+    /// parallel, like any sweep). The assembled results are byte-identical
+    /// to [`SweepRunner::run_fresh`] — `tests/sweep_cache.rs` pins that —
+    /// and misses are queued on the cache for its next
+    /// [`SweepCache::flush`].
+    pub fn run_with_cache(&self, specs: &[ScenarioSpec], cache: &mut SweepCache) -> SweepResults {
+        // 1. Canary fingerprints: the code-sensitivity lane of every key.
+        //    Computed once per distinct spec per process, in parallel.
+        let params: Vec<u64> = specs.iter().map(ScenarioSpec::params_fingerprint).collect();
+        let mut need: Vec<usize> = Vec::new();
+        for (i, fp) in params.iter().enumerate() {
+            if cache.canary(*fp).is_none() && !need.iter().any(|&j| params[j] == *fp) {
+                need.push(i);
+            }
+        }
+        let computed = self.map(need.len(), |k| specs[need[k]].canary_fingerprint());
+        for (&i, canary) in need.iter().zip(computed) {
+            cache.set_canary(params[i], canary);
+        }
+        cache.stats.canary_runs += need.len() as u64;
+
+        // 2. Partition cells into hits (answered from the store) and
+        //    misses (executed in parallel).
+        let cells: Vec<(usize, u64)> = expand(specs);
+        let mut out: Vec<Option<CellResult>> = Vec::with_capacity(cells.len());
+        let mut keys: Vec<CellKey> = Vec::with_capacity(cells.len());
+        let mut miss: Vec<usize> = Vec::new();
+        for (idx, &(spec_index, case)) in cells.iter().enumerate() {
+            let seed = specs[spec_index].cell_seed(case);
+            let canary = cache
+                .canary(params[spec_index])
+                .expect("canaries memoized above");
+            let key = CellKey::derive(params[spec_index], case, seed, canary);
+            keys.push(key);
+            let hit = cache.lookup(key, spec_index, case, seed);
+            if hit.is_none() {
+                miss.push(idx);
+            }
+            out.push(hit);
+        }
+        cache.stats.hits += (cells.len() - miss.len()) as u64;
+        cache.stats.misses += miss.len() as u64;
+        let ran = self.map(miss.len(), |j| {
+            let (spec_index, case) = cells[miss[j]];
+            specs[spec_index].run_cell(spec_index, case)
+        });
+        for (idx, result) in miss.into_iter().zip(ran) {
+            let (spec_index, _) = cells[idx];
+            cache.record(keys[idx], &specs[spec_index].name, &result);
+            out[idx] = Some(result);
+        }
+        SweepResults {
+            cells: out
+                .into_iter()
+                .collect::<Option<Vec<_>>>()
+                .expect("every cell is a hit or an executed miss"),
+        }
     }
 
     /// Parallel deterministic map: applies `job` to `0..count` across the
@@ -101,6 +184,15 @@ impl SweepRunner {
         debug_assert_eq!(indexed.len(), count);
         indexed.into_iter().map(|(_, value)| value).collect()
     }
+}
+
+/// Expands specs into the canonical spec-major, then case cell order.
+fn expand(specs: &[ScenarioSpec]) -> Vec<(usize, u64)> {
+    specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, spec)| (0..spec.seeds).map(move |k| (i, k)))
+        .collect()
 }
 
 /// The outcome of a sweep, in deterministic cell order.

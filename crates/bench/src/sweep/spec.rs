@@ -8,6 +8,7 @@ use ccwan_core::{
 use wan_cd::{CdClass, ClassDetector, FreedomPolicy};
 use wan_cm::NoCm;
 use wan_sim::crash::{NoCrashes, ScheduledCrashes};
+use wan_sim::fingerprint::{absorb_debug, StableHasher};
 use wan_sim::loss::RandomLoss;
 use wan_sim::{Components, CrashAdversary, ProcessId, Round};
 
@@ -185,36 +186,11 @@ impl ScenarioSpec {
     }
 
     fn execute(&self, spec_index: usize, case: u64, traced: bool) -> CellResult {
-        let seed = self.cell_seed(case);
-        let (components, reference) = self.components(seed);
-        let values = self.initial_values(case);
-        let domain = ValueDomain::new(self.v_size);
-        let cap = self.cap;
-        let outcome = match self.algorithm {
-            Algorithm::Alg1 => {
-                run_counted(alg1::processes(domain, &values), components, cap, traced)
-            }
-            Algorithm::Alg2 => {
-                run_counted(alg2::processes(domain, &values), components, cap, traced)
-            }
-            Algorithm::Alg3 { id_bits } => {
-                let ids = IdSpace::new(1 << id_bits);
-                let assignments = unique_assignments(&values, ids, seed);
-                run_counted(
-                    alg3::processes(ids, domain, &assignments, seed),
-                    components,
-                    cap,
-                    traced,
-                )
-            }
-            Algorithm::Alg4 => {
-                run_counted(alg4::processes(domain, &values), components, cap, traced)
-            }
-        };
+        let (outcome, reference) = self.with_cell(case, RunCounted { traced });
         CellResult {
             spec_index,
             case,
-            cell_seed: seed,
+            cell_seed: self.cell_seed(case),
             reference,
             last_decision: outcome.0,
             terminated: outcome.1,
@@ -222,29 +198,162 @@ impl ScenarioSpec {
         }
     }
 
-    /// Executes cell `case` with full trace recording and returns a debug
-    /// fingerprint of the entire execution (every round record). Two calls
-    /// with the same `(spec, case)` must produce byte-identical strings —
-    /// the determinism contract the test suite pins down.
-    pub fn trace_fingerprint(&self, case: u64) -> String {
+    /// The one statement of cell setup and algorithm dispatch: derives the
+    /// cell's seed, components, and initial values, instantiates the
+    /// spec'd algorithm's processes, and hands everything to `visitor`.
+    /// Every cell-shaped entry point — [`ScenarioSpec::run_cell`],
+    /// [`ScenarioSpec::trace_fingerprint`], the cache canary — goes
+    /// through here, so a cell and the canary that keys it cannot be
+    /// configured differently by construction. Also returns the cell's
+    /// measurement reference round.
+    fn with_cell<V: CellVisitor>(&self, case: u64, visitor: V) -> (V::Out, u64) {
         let seed = self.cell_seed(case);
-        let (components, _) = self.components(seed);
+        let (components, reference) = self.components(seed);
         let values = self.initial_values(case);
         let domain = ValueDomain::new(self.v_size);
-        match self.algorithm {
-            Algorithm::Alg1 => trace_of(alg1::processes(domain, &values), components, self.cap),
-            Algorithm::Alg2 => trace_of(alg2::processes(domain, &values), components, self.cap),
+        let out = match self.algorithm {
+            Algorithm::Alg1 => {
+                visitor.visit(alg1::processes(domain, &values), components, self.cap)
+            }
+            Algorithm::Alg2 => {
+                visitor.visit(alg2::processes(domain, &values), components, self.cap)
+            }
             Algorithm::Alg3 { id_bits } => {
                 let ids = IdSpace::new(1 << id_bits);
                 let assignments = unique_assignments(&values, ids, seed);
-                trace_of(
+                visitor.visit(
                     alg3::processes(ids, domain, &assignments, seed),
                     components,
                     self.cap,
                 )
             }
-            Algorithm::Alg4 => trace_of(alg4::processes(domain, &values), components, self.cap),
-        }
+            Algorithm::Alg4 => {
+                visitor.visit(alg4::processes(domain, &values), components, self.cap)
+            }
+        };
+        (out, reference)
+    }
+
+    /// A stable fingerprint of every parameter that determines what a cell
+    /// of this spec *does*: name, algorithm, detector class, environment
+    /// plan, crash schedule, `n`, `|V|`, the fixed value profile, and the
+    /// round cap.
+    ///
+    /// Deliberately **excludes** `seeds` (the cell count): cell `k` is a
+    /// pure function of `(spec, k)` regardless of how many siblings it
+    /// has, so scaling a spec from `Quick` to `Full` reuses the cached
+    /// prefix instead of invalidating it.
+    pub fn params_fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_usize(self.name.len());
+        h.write_bytes(self.name.as_bytes());
+        absorb_debug(&mut h, &self.algorithm);
+        absorb_debug(&mut h, &self.class);
+        absorb_debug(&mut h, &self.env);
+        absorb_debug(&mut h, &self.crash);
+        h.write_usize(self.n);
+        h.write_u64(self.v_size);
+        absorb_debug(&mut h, &self.fixed_values);
+        h.write_u64(self.cap);
+        h.finish()
+    }
+
+    /// The code-sensitivity lane of this spec's cache keys: a stable hash
+    /// of full traced reference executions of cells 0 and 1 (outcome plus
+    /// every round record, via [`wan_sim::ExecutionTrace::fingerprint`]).
+    ///
+    /// Re-run once per spec per process, *not* read from the cache: a
+    /// change to engine, component, or algorithm code that alters either
+    /// reference execution changes this value, which changes every cell
+    /// key of the spec and invalidates its cached results. Two canary
+    /// cells (distinct seeds, and distinct per-cell initial values when
+    /// they are derived) cost two traced runs against the `seeds` untraced
+    /// cells they can save. Note the honest limit: this is a *sentinel*,
+    /// not a proof — a code change whose behavioral effect shows up in
+    /// neither reference cell keeps the old keys. `--no-cache` forces
+    /// fresh execution; bumping the cache `FORMAT_VERSION` retires every
+    /// stored entry.
+    pub fn canary_fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.canary_cell(0));
+        h.write_u64(self.canary_cell(1));
+        h.finish()
+    }
+
+    /// One canary cell: a traced reference execution of `case`, hashed.
+    /// Defined for any `case` (a cell is a pure function of `(spec,
+    /// case)` whether or not `case < seeds`), so the canary never depends
+    /// on the cell count and `Quick` → `Full` scale-ups keep their keys.
+    fn canary_cell(&self, case: u64) -> u64 {
+        self.with_cell(case, CanaryOf).0
+    }
+
+    /// Executes cell `case` with full trace recording and returns a debug
+    /// fingerprint of the entire execution (every round record). Two calls
+    /// with the same `(spec, case)` must produce byte-identical strings —
+    /// the determinism contract the test suite pins down.
+    pub fn trace_fingerprint(&self, case: u64) -> String {
+        self.with_cell(case, TraceOf).0
+    }
+}
+
+/// The algorithm-generic callback [`ScenarioSpec::with_cell`] dispatches
+/// to (a trait rather than a closure: the process type differs per
+/// `Algorithm` arm, so the callee must be generic).
+trait CellVisitor {
+    type Out;
+    fn visit<A: ConsensusAutomaton>(
+        self,
+        procs: Vec<A>,
+        components: Components,
+        cap: u64,
+    ) -> Self::Out;
+}
+
+/// [`ScenarioSpec::run_cell`] / [`ScenarioSpec::run_cell_traced`].
+struct RunCounted {
+    traced: bool,
+}
+
+impl CellVisitor for RunCounted {
+    type Out = (Option<u64>, bool, bool);
+    fn visit<A: ConsensusAutomaton>(
+        self,
+        procs: Vec<A>,
+        components: Components,
+        cap: u64,
+    ) -> Self::Out {
+        run_counted(procs, components, cap, self.traced)
+    }
+}
+
+/// [`ScenarioSpec::trace_fingerprint`].
+struct TraceOf;
+
+impl CellVisitor for TraceOf {
+    type Out = String;
+    fn visit<A: ConsensusAutomaton>(
+        self,
+        procs: Vec<A>,
+        components: Components,
+        cap: u64,
+    ) -> Self::Out {
+        trace_of(procs, components, cap)
+    }
+}
+
+/// [`ScenarioSpec::canary_fingerprint`].
+struct CanaryOf;
+
+impl CellVisitor for CanaryOf {
+    type Out = u64;
+    fn visit<A: ConsensusAutomaton>(
+        self,
+        procs: Vec<A>,
+        components: Components,
+        cap: u64,
+    ) -> Self::Out {
+        canary_of(procs, components, cap)
     }
 }
 
@@ -292,6 +401,19 @@ fn trace_of<A: ConsensusAutomaton>(procs: Vec<A>, components: Components, cap: u
     let outcome = run.run_to_completion(Round(cap));
     let (_, trace) = run.into_parts();
     format!("{outcome:?}\n{trace:?}")
+}
+
+/// The canary digest of one traced reference execution: the judged outcome
+/// plus the trace content fingerprint, streamed — no trace-sized string is
+/// built.
+fn canary_of<A: ConsensusAutomaton>(procs: Vec<A>, components: Components, cap: u64) -> u64 {
+    let mut run = ConsensusRun::new(procs, components);
+    let outcome = run.run_to_completion(Round(cap));
+    let (_, trace) = run.into_parts();
+    let mut h = StableHasher::new();
+    absorb_debug(&mut h, &outcome);
+    h.write_u64(trace.fingerprint());
+    h.finish()
 }
 
 /// The named catalogue of standard scenario families.

@@ -1,0 +1,91 @@
+//! End-to-end contract of the `run_experiments` binary's cache and
+//! `--check` modes, driven as a subprocess the way CI drives it:
+//!
+//! * a warm second invocation executes zero scenario cells and prints
+//!   byte-identical tables,
+//! * `--check` passes against a freshly `--bless`ed golden summary and
+//!   exits nonzero once the golden file is perturbed.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccwan-check-mode-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs the binary with isolated cache/golden/summary locations.
+fn run_experiments(workdir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .args(args)
+        .current_dir(workdir)
+        .env("CCWAN_SWEEP_CACHE_DIR", workdir.join("sweep-cache"))
+        .env("CCWAN_GOLDEN_DIR", workdir.join("golden"))
+        .output()
+        .expect("spawn run_experiments")
+}
+
+#[test]
+fn warm_invocation_executes_zero_cells_with_identical_stdout() {
+    let dir = scratch("warm");
+    let cold = run_experiments(&dir, &["--quick", "--only", "e1"]);
+    assert!(cold.status.success(), "{cold:?}");
+    let warm = run_experiments(&dir, &["--quick", "--only", "e1"]);
+    assert!(warm.status.success(), "{warm:?}");
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "cold and warm stdout must be byte-identical"
+    );
+    let warm_err = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        warm_err.contains("0 misses (0 cells executed)"),
+        "warm run must report full incrementality on stderr: {warm_err}"
+    );
+    let cold_err = String::from_utf8_lossy(&cold.stderr);
+    assert!(
+        cold_err.contains("0 hits") && cold_err.contains("cells executed"),
+        "cold run must report its misses on stderr: {cold_err}"
+    );
+}
+
+#[test]
+fn check_gates_on_golden_drift() {
+    let dir = scratch("check");
+
+    // No golden summary yet: --check must fail with a --bless hint.
+    let missing = run_experiments(&dir, &["--quick", "--check"]);
+    assert!(!missing.status.success(), "{missing:?}");
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("--bless"));
+
+    // Bless, then check: clean pass.
+    let bless = run_experiments(&dir, &["--quick", "--check", "--bless"]);
+    assert!(bless.status.success(), "{bless:?}");
+    let pass = run_experiments(&dir, &["--quick", "--check"]);
+    assert!(pass.status.success(), "{pass:?}");
+    assert!(String::from_utf8_lossy(&pass.stdout).contains("specs match"));
+
+    // Perturb one digest in the golden file: --check must exit nonzero
+    // and name the drifted spec.
+    let golden = dir.join("golden").join("registry_quick.json");
+    let text = std::fs::read_to_string(&golden).expect("read golden");
+    let digit = text.find("\"digest\":\"").expect("golden has digests") + "\"digest\":\"".len();
+    let mut bytes = text.clone().into_bytes();
+    bytes[digit] = if bytes[digit] == b'0' { b'1' } else { b'0' };
+    let perturbed = String::from_utf8(bytes).expect("still utf-8");
+    assert_ne!(text, perturbed, "perturbation must change the file");
+    std::fs::write(&golden, perturbed).expect("write perturbed golden");
+    let drift = run_experiments(&dir, &["--quick", "--check"]);
+    assert!(
+        !drift.status.success(),
+        "--check must exit nonzero on drift: {drift:?}"
+    );
+    let err = String::from_utf8_lossy(&drift.stderr);
+    assert!(err.contains("digest drifted"), "{err}");
+
+    // `--no-cache` must not change the verdict (fresh execution agrees).
+    std::fs::write(&golden, text).expect("restore golden");
+    let fresh = run_experiments(&dir, &["--quick", "--check", "--no-cache"]);
+    assert!(fresh.status.success(), "{fresh:?}");
+}

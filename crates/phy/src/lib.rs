@@ -4,8 +4,8 @@
 //! subset of a round's broadcasts, and that practical receiver-side
 //! collision detectors satisfy zero completeness essentially always and
 //! majority completeness most of the time (Newport '05, Sections 1.1–1.3,
-//! citing the empirical studies [30, 38, 70, 73] and the capture effect
-//! [71]). This crate *derives* those behaviours from physics:
+//! citing the empirical studies \[30, 38, 70, 73\] and the capture effect
+//! \[71\]). This crate *derives* those behaviours from physics:
 //!
 //! * [`channel`] — nodes placed in a disc (single-hop), log-distance path
 //!   loss with log-normal shadowing and per-round Rayleigh fading, rounds

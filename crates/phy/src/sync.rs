@@ -1,7 +1,7 @@
 //! Clock drift and round synchronization.
 //!
 //! Section 1.3 assumes synchronized rounds and justifies the assumption by
-//! pointing at reference-broadcast-style synchronization (RBS [25], which
+//! pointing at reference-broadcast-style synchronization (RBS \[25\], which
 //! achieved ~3.7 µs ± 2.6 µs over four hops). This module reproduces the
 //! *shape* of that justification: hardware clocks drift apart at tens of
 //! parts per million, periodic reference broadcasts collapse the skew to a

@@ -65,6 +65,7 @@ pub mod advice;
 pub mod automaton;
 pub mod crash;
 pub mod engine;
+pub mod fingerprint;
 pub mod ids;
 pub mod loss;
 pub mod matrix;
@@ -78,6 +79,7 @@ pub use automaton::{Automaton, RoundInput};
 pub use engine::{
     Components, DynCrash, DynDetector, DynLoss, DynManager, Engine, Simulation, TraceDetail,
 };
+pub use fingerprint::StableHasher;
 pub use ids::{ProcessId, Round};
 pub use multiset::Multiset;
 pub use trace::{BroadcastCount, ExecutionTrace, RoundRecord, TransmissionEntry};

@@ -3,6 +3,7 @@
 //! 5, 7) and basic broadcast count sequences (Definition 22) are derived.
 
 use crate::advice::{CdAdvice, CmAdvice};
+use crate::fingerprint::{absorb_debug, StableHasher};
 use crate::ids::{ProcessId, Round};
 use crate::multiset::Multiset;
 use std::fmt;
@@ -190,6 +191,32 @@ impl<M: Ord> ExecutionTrace<M> {
             }
         }
         candidate
+    }
+
+    /// A stable 64-bit content fingerprint of the whole recorded execution:
+    /// every round record — advice, message assignments, receive counts and
+    /// multisets (when recorded), crashes, liveness — streamed through
+    /// [`StableHasher`] in round order, without materializing the debug
+    /// string.
+    ///
+    /// Two traces fingerprint equal iff their full debug renderings are
+    /// byte-identical, so this is exactly the replay-determinism contract
+    /// the test suite pins, in 8 persistable bytes. The sweep result cache
+    /// uses it as the code-sensitivity lane of its cell keys: any change
+    /// to engine, component, or algorithm behavior that alters what a
+    /// reference cell *does* changes this value and invalidates the cached
+    /// results.
+    pub fn fingerprint(&self) -> u64
+    where
+        M: fmt::Debug,
+    {
+        let mut h = StableHasher::new();
+        h.write_usize(self.n);
+        h.write_usize(self.rounds.len());
+        for record in &self.rounds {
+            absorb_debug(&mut h, record);
+        }
+        h.finish()
     }
 
     /// Per-process observation stream used by indistinguishability checks

@@ -14,7 +14,7 @@
 //! * [`adversary`] — executable lower bounds (Section 8).
 //! * [`phy`] — the slotted SINR radio substrate backing the paper's
 //!   empirical claims (Section 1).
-//! * [`bench`] — the experiment harness and the scenario-sweep subsystem
+//! * [`bench`](mod@bench) — the experiment harness and the scenario-sweep subsystem
 //!   ([`bench::sweep`]): scenario registry plus the deterministic parallel
 //!   sweep runner.
 //!

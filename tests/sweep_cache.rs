@@ -1,0 +1,179 @@
+//! The sweep result cache's contracts: cache hits are byte-identical to
+//! fresh execution, a warm cache executes zero cells, corrupted stores
+//! degrade to fresh runs (never to wrong results), and cell keys move
+//! with every content lane — spec parameters, seed, and the engine's
+//! canary trace fingerprint.
+
+use ccwan::bench::sweep::cache::{CellKey, SweepCache};
+use ccwan::bench::sweep::spec::lattice_specs;
+use ccwan::bench::{Scale, SweepRunner};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A unique, empty scratch directory per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccwan-sweep-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn cold_and_warm_cached_sweeps_match_fresh_byte_for_byte() {
+    let dir = scratch("cold-warm");
+    let specs = lattice_specs(Scale::Quick);
+    let runner = SweepRunner::with_threads(4);
+    let fresh = runner.run_fresh(&specs);
+    let cell_count: u64 = specs.iter().map(|s| s.seeds).sum();
+
+    // Cold: everything misses, results identical to fresh.
+    let mut cache = SweepCache::open(&dir);
+    let cold = runner.run_with_cache(&specs, &mut cache);
+    assert_eq!(cold, fresh);
+    assert_eq!(cold.render(), fresh.render());
+    assert_eq!(cache.stats.hits, 0);
+    assert_eq!(cache.stats.misses, cell_count);
+    cache.flush().expect("flush");
+
+    // Warm, in a new process-equivalent (fresh open): zero cells execute,
+    // results still byte-identical.
+    let mut warm_cache = SweepCache::open(&dir);
+    assert_eq!(warm_cache.stats.loaded, cell_count);
+    let warm = runner.run_with_cache(&specs, &mut warm_cache);
+    assert_eq!(warm, fresh);
+    assert_eq!(warm.render(), fresh.render());
+    assert_eq!(warm_cache.stats.hits, cell_count);
+    assert_eq!(
+        warm_cache.stats.misses, 0,
+        "a warm cache must execute 0 cells"
+    );
+}
+
+#[test]
+fn scaling_a_spec_up_reuses_the_cached_prefix() {
+    let dir = scratch("scale-up");
+    let runner = SweepRunner::serial();
+    let mut small = lattice_specs(Scale::Quick).swap_remove(0);
+    small.seeds = 3;
+    let mut big = small.clone();
+    big.seeds = 5;
+    assert_eq!(
+        small.params_fingerprint(),
+        big.params_fingerprint(),
+        "the cell count must not participate in the params fingerprint"
+    );
+
+    let mut cache = SweepCache::open(&dir);
+    runner.run_with_cache(std::slice::from_ref(&small), &mut cache);
+    assert_eq!(cache.stats.misses, 3);
+    let results = runner.run_with_cache(std::slice::from_ref(&big), &mut cache);
+    assert_eq!(cache.stats.hits, 3, "the prefix cells must be reused");
+    assert_eq!(cache.stats.misses, 5, "3 + the 2 new cells");
+    assert_eq!(results, runner.run_fresh(std::slice::from_ref(&big)));
+}
+
+#[test]
+fn cell_keys_move_with_every_content_lane() {
+    let specs = lattice_specs(Scale::Quick);
+    let spec = &specs[0];
+    let canary = spec.canary_fingerprint();
+    // Canary is itself deterministic (it is a traced reference run).
+    assert_eq!(canary, spec.canary_fingerprint());
+
+    let base = CellKey::derive(spec.params_fingerprint(), 1, spec.cell_seed(1), canary);
+
+    // Different case / seed.
+    assert_ne!(
+        base,
+        CellKey::derive(spec.params_fingerprint(), 2, spec.cell_seed(2), canary)
+    );
+    // Same params, synthetic different seed (as if the seed derivation
+    // changed).
+    assert_ne!(
+        base,
+        CellKey::derive(spec.params_fingerprint(), 1, spec.cell_seed(1) ^ 1, canary)
+    );
+    // A changed engine/algorithm behavior shows up as a changed canary.
+    assert_ne!(
+        base,
+        CellKey::derive(spec.params_fingerprint(), 1, spec.cell_seed(1), canary ^ 1)
+    );
+    // Every spec parameter participates in the params fingerprint.
+    for mutate in [
+        |s: &mut ccwan::bench::ScenarioSpec| s.cap += 1,
+        |s: &mut ccwan::bench::ScenarioSpec| s.v_size *= 2,
+        |s: &mut ccwan::bench::ScenarioSpec| s.n += 1,
+        |s: &mut ccwan::bench::ScenarioSpec| s.name.push('x'),
+        |s: &mut ccwan::bench::ScenarioSpec| s.fixed_values = Some(vec![0; s.n]),
+    ] {
+        let mut changed = spec.clone();
+        mutate(&mut changed);
+        assert_ne!(
+            spec.params_fingerprint(),
+            changed.params_fingerprint(),
+            "params fingerprint ignored a spec parameter"
+        );
+        assert_ne!(
+            base,
+            CellKey::derive(changed.params_fingerprint(), 1, spec.cell_seed(1), canary)
+        );
+    }
+    // And distinct registry specs never share keys for the same case.
+    assert_ne!(
+        base,
+        CellKey::derive(
+            specs[1].params_fingerprint(),
+            1,
+            specs[1].cell_seed(1),
+            canary
+        )
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Corrupting the store anywhere — truncation at an arbitrary byte, or
+    /// a flipped byte — never panics the loader, never produces wrong
+    /// sweep results, and at worst re-executes cells.
+    #[test]
+    fn corrupted_cache_files_degrade_to_fresh_runs(
+        frac in 0.0f64..1.0,
+        flip in any::<bool>(),
+        offset in 1u8..255,
+    ) {
+        let specs = &lattice_specs(Scale::Quick)[..2];
+        let runner = SweepRunner::serial();
+        let fresh = runner.run_fresh(specs);
+
+        // Build a pristine store in memory via a real flush.
+        let dir = scratch("proptest-corrupt");
+        let mut cache = SweepCache::open(&dir);
+        runner.run_with_cache(specs, &mut cache);
+        cache.flush().expect("flush");
+        let pristine = std::fs::read(dir.join("cells.jsonl")).expect("read store");
+
+        // Corrupt it.
+        let pos = ((pristine.len().saturating_sub(1)) as f64 * frac) as usize;
+        let corrupted = if flip {
+            let mut bytes = pristine.clone();
+            bytes[pos] = bytes[pos].wrapping_add(offset);
+            bytes
+        } else {
+            pristine[..pos].to_vec()
+        };
+
+        // A loader fed the corrupted text must stay sane...
+        let mut damaged = SweepCache::open(dir.join("empty-subdir"));
+        damaged.absorb(&String::from_utf8_lossy(&corrupted));
+        let total: u64 = specs.iter().map(|s| s.seeds).sum();
+        prop_assert!(damaged.stats.loaded <= total);
+
+        // ...and a sweep through it must still equal fresh execution,
+        // re-running whatever was lost.
+        let results = runner.run_with_cache(specs, &mut damaged);
+        prop_assert_eq!(&results, &fresh);
+        prop_assert_eq!(results.render(), fresh.render());
+        prop_assert_eq!(damaged.stats.hits + damaged.stats.misses, total);
+    }
+}
