@@ -130,8 +130,8 @@ mod tests {
     fn alpha_advice_is_collision_iff_contended() {
         let a = alpha_alg2(3, 16, 9, 6);
         for rec in a.trace.rounds() {
-            let contended = rec.senders().len() >= 2;
-            assert!(rec.cd.iter().all(|adv| adv.is_collision() == contended));
+            let contended = rec.sent_count() >= 2;
+            assert!(rec.cd().iter().all(|adv| adv.is_collision() == contended));
         }
     }
 }

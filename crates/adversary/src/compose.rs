@@ -95,8 +95,13 @@ where
     let script: Vec<Vec<CdAdvice>> = (0..k)
         .map(|r| {
             let round = Round(r as u64 + 1);
-            let mut advice = alpha_a.trace.round(round).expect("alpha round").cd.clone();
-            advice.extend(alpha_b.trace.round(round).expect("alpha round").cd.iter());
+            let mut advice = alpha_a
+                .trace
+                .round(round)
+                .expect("alpha round")
+                .cd()
+                .to_vec();
+            advice.extend(alpha_b.trace.round(round).expect("alpha round").cd().iter());
             advice
         })
         .collect();
@@ -187,12 +192,12 @@ fn certify_script<A: ConsensusAutomaton>(
         let round = Round(r as u64 + 1);
         let rec_a = alpha_a.trace.round(round).expect("alpha round");
         let rec_b = alpha_b.trace.round(round).expect("alpha round");
-        let c = rec_a.senders().len() + rec_b.senders().len();
+        let c = rec_a.sent_count() + rec_b.sent_count();
         // Composed receive counts: intra-group alpha deliveries only.
         for (i, (&t, adv)) in rec_a
-            .received_counts
+            .received_counts()
             .iter()
-            .zip(rec_a.cd.iter())
+            .zip(rec_a.cd().iter())
             .enumerate()
         {
             let _ = i;
@@ -200,7 +205,7 @@ fn certify_script<A: ConsensusAutomaton>(
                 violations += 1;
             }
         }
-        for (&t, adv) in rec_b.received_counts.iter().zip(rec_b.cd.iter()) {
+        for (&t, adv) in rec_b.received_counts().iter().zip(rec_b.cd().iter()) {
             if !class.admits(round, Round::FIRST, c, t.min(c), adv.is_collision()) {
                 violations += 1;
             }

@@ -433,7 +433,7 @@ pub fn t8_ev_accuracy_nocf(domain: ValueDomain, n: usize) -> TheoremReport {
     let script: Vec<Vec<CdAdvice>> = (1..=k)
         .map(|r| {
             let rec = gamma.trace().round(Round(r)).expect("recorded");
-            rec.cd[loser_base..loser_base + n].to_vec()
+            rec.cd()[loser_base..loser_base + n].to_vec()
         })
         .collect();
     // Solo replay: no loss, scripted advice declared eventually-accurate

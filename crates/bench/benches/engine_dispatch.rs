@@ -28,9 +28,15 @@
 //!
 //! The process also runs under a **counting global allocator** and reports
 //! steady-state allocations/round and bytes/round for traced vs. untraced
-//! runs of both stacks. The untraced hot path is asserted to be exactly
-//! zero-allocation after warm-up — the bench exits nonzero otherwise, which
-//! is what the CI bench-smoke step gates on.
+//! runs of both stacks, plus allocations/call of the SINR radio's
+//! `resolve_into`. Three allocation gates make the bench exit nonzero
+//! (which is what the CI bench-smoke step gates on):
+//!
+//! * the untraced hot path must be exactly zero-allocation after warm-up;
+//! * the *traced* path must stay O(1) amortized — arena growth only,
+//!   gated at < 1 allocation/round in the steady-state window;
+//! * `RadioChannel::resolve_into` into a reused `PhyRound` must be
+//!   exactly zero-allocation after warm-up.
 //!
 //! Besides the stdout report, the bench writes machine-readable results to
 //! `BENCH_engine.json` at the workspace root. Run with:
@@ -46,8 +52,10 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use wan_cd::{CdClass, ClassDetector, FreedomPolicy};
 use wan_cm::FairWakeUp;
+use wan_phy::{PhyConfig, PhyRound, RadioChannel};
 use wan_sim::crash::NoCrashes;
 use wan_sim::loss::{Ecf, NoLoss, RandomLoss};
+use wan_sim::ProcessId;
 use wan_sim::{
     AllActive, AlwaysNull, Automaton, CmAdvice, Components, Engine, Round, RoundInput, Simulation,
     TraceDetail,
@@ -408,6 +416,11 @@ fn main() {
             .with_detail(TraceDetail::Counts);
             Box::new(move |r| e.run_untraced(r))
         }),
+        ("storm", 4, "static", "traced", {
+            let mut e = Engine::from_parts(beacons(4), AlwaysNull, AllActive, NoLoss, NoCrashes)
+                .with_detail(TraceDetail::Counts);
+            Box::new(move |r| e.run(r))
+        }),
         ("storm", 50, "static", "traced", {
             let mut e = Engine::from_parts(beacons(50), AlwaysNull, AllActive, NoLoss, NoCrashes)
                 .with_detail(TraceDetail::Counts);
@@ -419,11 +432,17 @@ fn main() {
                 .with_detail(TraceDetail::Counts);
             Box::new(move |r| e.run(r))
         }),
+        ("ecf", 50, "static", "traced-full", {
+            let (cd, cm, loss, crash) = ecf_parts(7);
+            let mut e =
+                Engine::from_parts(beacons(50), cd, cm, loss, crash).with_detail(TraceDetail::Full);
+            Box::new(move |r| e.run(r))
+        }),
     ];
 
     let _ = writeln!(json, "  \"allocation\": [");
     let count = alloc_cells.len();
-    let mut untraced_violations: Vec<String> = Vec::new();
+    let mut alloc_violations: Vec<String> = Vec::new();
     for (i, (stack, n, dispatch, mode, run)) in alloc_cells.into_iter().enumerate() {
         let (allocs, bytes) = steady_state_allocs(run);
         println!(
@@ -431,8 +450,18 @@ fn main() {
              {bytes:>12.1} bytes/round"
         );
         if mode == "untraced" && allocs != 0.0 {
-            untraced_violations.push(format!(
-                "{stack}/{dispatch}/n{n}: {allocs} allocs/round ({bytes} bytes/round)"
+            alloc_violations.push(format!(
+                "untraced {stack}/{dispatch}/n{n}: {allocs} allocs/round ({bytes} bytes/round)"
+            ));
+        }
+        // The traced arena may grow (amortized doubling), so the gate is
+        // O(1) amortized rather than exactly zero: averaged over the
+        // steady-state window, appending a round must cost less than one
+        // allocation.
+        if mode.starts_with("traced") && allocs >= 1.0 {
+            alloc_violations.push(format!(
+                "traced {stack}/{dispatch}/n{n} ({mode}): {allocs} allocs/round — \
+                 trace appends are no longer arena-growth-only"
             ));
         }
         let _ = writeln!(json, "    {{");
@@ -444,6 +473,47 @@ fn main() {
         let _ = writeln!(json, "      \"bytes_per_round\": {bytes:.1}");
         let _ = writeln!(json, "    }}{}", if i + 1 < count { "," } else { "" });
     }
+    let _ = writeln!(json, "  ],");
+
+    // The SINR radio: `resolve_into` into a reused `PhyRound` must be
+    // allocation-free in steady state (the scratch buffers and the round's
+    // output buffers all keep their storage).
+    let _ = writeln!(json, "  \"phy_resolve\": [");
+    let phy_cells: [(usize, usize); 2] = [(8, 4), (32, 16)];
+    let count = phy_cells.len();
+    for (i, (n, contenders)) in phy_cells.into_iter().enumerate() {
+        let channel = RadioChannel::new(PhyConfig::new(n, 11));
+        let senders: Vec<ProcessId> = (0..contenders).map(ProcessId).collect();
+        let mut out = PhyRound::new();
+        let mut next_round = 1u64;
+        let mut resolve_rounds = |count: u64| {
+            for _ in 0..count {
+                channel.resolve_into(Round(next_round), &senders, &mut out);
+                next_round += 1;
+            }
+        };
+        let (allocs, bytes) = steady_state_allocs(&mut resolve_rounds);
+        let timed = 200u64;
+        let start = std::time::Instant::now();
+        resolve_rounds(timed);
+        let ns_per_call = start.elapsed().as_nanos() as f64 / timed as f64;
+        println!(
+            "phy    n={n:<3} senders={contenders:<3} {allocs:>10.3} allocs/call  \
+             {bytes:>12.1} bytes/call  {ns_per_call:>10.1} ns/call"
+        );
+        if allocs != 0.0 {
+            alloc_violations.push(format!(
+                "phy resolve n={n} senders={contenders}: {allocs} allocs/call"
+            ));
+        }
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"n\": {n},");
+        let _ = writeln!(json, "      \"senders\": {contenders},");
+        let _ = writeln!(json, "      \"allocs_per_call\": {allocs:.3},");
+        let _ = writeln!(json, "      \"bytes_per_call\": {bytes:.1},");
+        let _ = writeln!(json, "      \"ns_per_call\": {ns_per_call:.1}");
+        let _ = writeln!(json, "    }}{}", if i + 1 < count { "," } else { "" });
+    }
     let _ = writeln!(json, "  ]");
     json.push_str("}\n");
 
@@ -451,12 +521,13 @@ fn main() {
     std::fs::write(out, &json).expect("write BENCH_engine.json");
     println!("\nwrote {out}:\n{json}");
 
-    // The CI gate: the untraced hot path must be allocation-free in steady
-    // state, for both stacks and both dispatch forms. (Checked after the
-    // JSON is written so a regression still leaves the numbers on disk.)
+    // The CI gates: the untraced hot path and phy resolve must be
+    // allocation-free in steady state, and the traced path O(1) amortized
+    // (arena growth only). (Checked after the JSON is written so a
+    // regression still leaves the numbers on disk.)
     assert!(
-        untraced_violations.is_empty(),
-        "untraced hot path allocated in steady state:\n  {}",
-        untraced_violations.join("\n  ")
+        alloc_violations.is_empty(),
+        "allocation gates failed:\n  {}",
+        alloc_violations.join("\n  ")
     );
 }

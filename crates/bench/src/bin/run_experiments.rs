@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! run_experiments [--quick] [--only eN] [--cache | --no-cache]
-//! run_experiments --check [--quick] [--bless] [--no-cache]
+//! run_experiments --check [--quick] [--bless] [--no-cache] [--traced]
 //! ```
 //!
 //! * Sweeps consult the persistent result cache (`target/sweep-cache/`,
@@ -17,6 +17,11 @@
 //!   regression gate. `--bless` rewrites the golden file after an
 //!   intentional behavior change. Either way the observed summary is also
 //!   written under `target/sweep-summaries/` for CI artifact upload.
+//! * `--traced` (with `--check`) runs every registry cell on the engine's
+//!   *traced* path, freshly executed, and diffs the per-spec summaries
+//!   against the same golden files. Traced and untraced executions are
+//!   identical by construction, so any drift here is a
+//!   trace-representation regression the untraced gate cannot see.
 
 use std::path::PathBuf;
 use wan_bench::sweep::{cache, golden, SweepSummary};
@@ -52,13 +57,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let mut only: Option<String> = None;
-    let (mut quick, mut use_cache, mut check, mut bless) = (false, true, false, false);
+    let (mut quick, mut use_cache, mut check, mut bless, mut traced) =
+        (false, true, false, false, false);
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--cache" => use_cache = true,
             "--no-cache" => use_cache = false,
             "--check" => check = true,
+            "--traced" => traced = true,
             "--bless" => {
                 check = true;
                 bless = true;
@@ -79,7 +86,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; usage: run_experiments [--quick] [--only eN] \
-                     [--cache | --no-cache] [--check [--bless]]"
+                     [--cache | --no-cache] [--check [--bless] [--traced]]"
                 );
                 std::process::exit(2);
             }
@@ -92,6 +99,11 @@ fn main() {
         // --check always gates the whole registry; silently ignoring the
         // filter would let "checked e1" mean "checked everything".
         eprintln!("--only cannot be combined with --check (the gate covers the full registry)");
+        std::process::exit(2);
+    }
+
+    if traced && !check {
+        eprintln!("--traced only applies to --check (the traced registry gate)");
         std::process::exit(2);
     }
 
@@ -112,7 +124,7 @@ fn main() {
     }
 
     let code = if check {
-        run_check(scale, bless)
+        run_check(scale, bless, traced)
     } else {
         run_suite(scale, only.as_deref())
     };
@@ -138,10 +150,14 @@ fn run_suite(scale: Scale, only: Option<&str>) -> i32 {
 }
 
 /// The registry regression gate: summarize a (cache-assisted) run of the
-/// standard registry, record the observed summary for artifact upload,
-/// then bless or compare.
-fn run_check(scale: Scale, bless: bool) -> i32 {
-    let observed = SweepSummary::measure(scale, &SweepRunner::parallel());
+/// standard registry — or, with `traced`, a fresh fully-traced run —
+/// record the observed summary for artifact upload, then bless or compare.
+fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
+    let observed = if traced {
+        SweepSummary::measure_traced(scale, &SweepRunner::parallel())
+    } else {
+        SweepSummary::measure(scale, &SweepRunner::parallel())
+    };
     let golden_dir = PathBuf::from(
         std::env::var("CCWAN_GOLDEN_DIR").unwrap_or_else(|_| "golden/sweeps".to_string()),
     );

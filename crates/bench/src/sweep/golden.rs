@@ -75,6 +75,18 @@ impl SweepSummary {
         SweepSummary::from_results(scale, registry.specs(), &results)
     }
 
+    /// As [`SweepSummary::measure`], but every cell runs on the engine's
+    /// *traced* path, always freshly executed (the cache stores untraced
+    /// measurements; serving them here would defeat the point). Since
+    /// traced and untraced executions are identical, the summary must
+    /// equal the committed golden file — any difference is
+    /// trace-representation drift.
+    pub fn measure_traced(scale: Scale, runner: &SweepRunner) -> SweepSummary {
+        let registry = Registry::standard(scale);
+        let results = runner.run_fresh_traced(registry.specs());
+        SweepSummary::from_results(scale, registry.specs(), &results)
+    }
+
     /// Summarizes already-executed sweep results.
     pub fn from_results(
         scale: Scale,

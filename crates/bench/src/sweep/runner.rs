@@ -85,6 +85,20 @@ impl SweepRunner {
         SweepResults { cells: results }
     }
 
+    /// As [`SweepRunner::run_fresh`], but every cell records a full trace
+    /// while it runs ([`ScenarioSpec::run_cell_traced`]). The measurements
+    /// must be identical to the untraced sweep — the CI traced-registry
+    /// gate runs this against the committed golden summaries, catching
+    /// trace-representation drift the untraced cache canary can't see.
+    pub fn run_fresh_traced(&self, specs: &[ScenarioSpec]) -> SweepResults {
+        let cells: Vec<(usize, u64)> = expand(specs);
+        let results = self.map(cells.len(), |idx| {
+            let (spec_index, case) = cells[idx];
+            specs[spec_index].run_cell_traced(spec_index, case)
+        });
+        SweepResults { cells: results }
+    }
+
     /// Runs a sweep through an explicit cache: canaries first (two traced
     /// reference cells per spec not yet memoized this process), then cached
     /// cells are answered from the store and only the misses execute (in

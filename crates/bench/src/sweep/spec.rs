@@ -295,6 +295,17 @@ impl ScenarioSpec {
     pub fn trace_fingerprint(&self, case: u64) -> String {
         self.with_cell(case, TraceOf).0
     }
+
+    /// Executes cell `case` traced and returns the pair
+    /// `(arena fingerprint, retained-reference fingerprint)`: the columnar
+    /// [`wan_sim::ExecutionTrace::fingerprint`] of the recorded trace, and
+    /// the fingerprint of the same rounds rebuilt into the
+    /// pre-columnar [`wan_sim::trace::reference::ReferenceTrace`] oracle.
+    /// The two must always be equal — the representation-identity contract
+    /// the test suite pins across every scenario family.
+    pub fn trace_reference_fingerprints(&self, case: u64) -> (u64, u64) {
+        self.with_cell(case, FingerprintPairOf).0
+    }
 }
 
 /// The algorithm-generic callback [`ScenarioSpec::with_cell`] dispatches
@@ -339,6 +350,25 @@ impl CellVisitor for TraceOf {
         cap: u64,
     ) -> Self::Out {
         trace_of(procs, components, cap)
+    }
+}
+
+/// [`ScenarioSpec::trace_reference_fingerprints`].
+struct FingerprintPairOf;
+
+impl CellVisitor for FingerprintPairOf {
+    type Out = (u64, u64);
+    fn visit<A: ConsensusAutomaton>(
+        self,
+        procs: Vec<A>,
+        components: Components,
+        cap: u64,
+    ) -> Self::Out {
+        let mut run = ConsensusRun::new(procs, components);
+        run.run_to_completion(Round(cap));
+        let (_, trace) = run.into_parts();
+        let rebuilt = wan_sim::trace::reference::ReferenceTrace::from_trace(&trace);
+        (trace.fingerprint(), rebuilt.fingerprint())
     }
 }
 

@@ -7,12 +7,12 @@ use wan_sim::{ExecutionTrace, ProcessId, Round};
 /// Returns the first offending round, or `Ok(())`.
 pub fn verify_wakeup<M: Ord>(trace: &ExecutionTrace<M>, r_wake: Round) -> Result<(), Round> {
     for rec in trace.rounds() {
-        if rec.round < r_wake {
+        if rec.round() < r_wake {
             continue;
         }
-        let actives = rec.cm.iter().filter(|a| a.is_active()).count();
+        let actives = rec.cm().iter().filter(|a| a.is_active()).count();
         if actives != 1 {
-            return Err(rec.round);
+            return Err(rec.round());
         }
     }
     Ok(())
@@ -27,11 +27,11 @@ pub fn verify_leader_election<M: Ord>(
 ) -> Result<Option<ProcessId>, Round> {
     let mut leader: Option<ProcessId> = None;
     for rec in trace.rounds() {
-        if rec.round < r_lead {
+        if rec.round() < r_lead {
             continue;
         }
         let actives: Vec<usize> = rec
-            .cm
+            .cm()
             .iter()
             .enumerate()
             .filter_map(|(i, a)| a.is_active().then_some(i))
@@ -39,7 +39,7 @@ pub fn verify_leader_election<M: Ord>(
         match (actives.as_slice(), leader) {
             ([single], None) => leader = Some(ProcessId(*single)),
             ([single], Some(l)) if *single == l.index() => {}
-            _ => return Err(rec.round),
+            _ => return Err(rec.round()),
         }
     }
     Ok(leader)

@@ -2,29 +2,95 @@
 
 use crate::config::PhyConfig;
 use crate::hash;
+use std::cell::RefCell;
 use wan_sim::{ProcessId, Round};
 
 /// Everything the radio resolved for one round: per-(sender, receiver)
 /// deliveries and per-receiver carrier-sense collision flags.
-#[derive(Debug, Clone)]
+///
+/// The buffers are reusable: [`RadioChannel::resolve_into`] re-keys an
+/// existing `PhyRound` without releasing its storage, so a steady-state
+/// resolution allocates nothing. The delivery matrix is stored flat
+/// (row-major by sender index) behind the [`PhyRound::delivered`]
+/// accessor.
+#[derive(Debug, Clone, Default)]
 pub struct PhyRound {
     /// The broadcasters, in ascending order.
-    pub senders: Vec<ProcessId>,
-    /// `delivered[si][r]`: did receiver `r` decode sender `senders[si]`'s
-    /// packet (self-reception excluded here; the engine adds it).
-    pub delivered: Vec<Vec<bool>>,
+    senders: Vec<ProcessId>,
+    /// Number of process indices (the row length of `delivered`).
+    n: usize,
+    /// `delivered[si * n + r]`: did receiver `r` decode sender
+    /// `senders[si]`'s packet (self-reception excluded here; the engine
+    /// adds it).
+    delivered: Vec<bool>,
     /// Per-receiver collision flag from the carrier-sensing detector rule:
     /// some foreign slot was energy-busy but yielded no decode.
-    pub collision: Vec<bool>,
+    collision: Vec<bool>,
 }
 
 impl PhyRound {
+    /// An empty round, ready to be filled by
+    /// [`RadioChannel::resolve_into`].
+    pub fn new() -> Self {
+        PhyRound::default()
+    }
+
+    /// The broadcasters, in ascending order.
+    pub fn senders(&self) -> &[ProcessId] {
+        &self.senders
+    }
+
+    /// Whether receiver `rx` decoded sender `senders[si]`'s packet.
+    pub fn delivered(&self, si: usize, rx: usize) -> bool {
+        self.delivered[si * self.n + rx]
+    }
+
+    /// Per-receiver carrier-sense collision flags (length `n`).
+    pub fn collisions(&self) -> &[bool] {
+        &self.collision
+    }
+
+    /// Whether receiver `rx` sensed a busy-but-undecoded slot.
+    pub fn collision(&self, rx: ProcessId) -> bool {
+        self.collision[rx.index()]
+    }
+
     /// How many of the round's broadcasts receiver `r` decoded (not
     /// counting its own).
     pub fn decoded_by(&self, r: ProcessId) -> usize {
-        self.delivered.iter().filter(|row| row[r.index()]).count()
+        (0..self.senders.len())
+            .filter(|&si| self.delivered(si, r.index()))
+            .count()
+    }
+
+    /// Re-keys the buffers for a new round, keeping their storage.
+    fn clear_and_resize(&mut self, senders: &[ProcessId], n: usize) {
+        self.senders.clear();
+        self.senders.extend_from_slice(senders);
+        self.n = n;
+        self.delivered.clear();
+        self.delivered.resize(senders.len() * n, false);
+        self.collision.clear();
+        self.collision.resize(n, false);
     }
 }
+
+/// Reusable intermediate buffers of [`RadioChannel::resolve_into`], kept
+/// across calls so a steady-state resolution performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+struct ResolveScratch {
+    /// Slot chosen by each sender (parallel to the sender list).
+    sender_slot: Vec<usize>,
+    /// Each process's own transmit slot, or `NO_SLOT` for non-senders.
+    own_slot: Vec<usize>,
+    /// `(sender index, received power)` of the transmitters in the slot
+    /// currently being decoded.
+    txs: Vec<(usize, f64)>,
+}
+
+/// Sentinel for "not transmitting" in `ResolveScratch::own_slot` (a real
+/// slot index is always `< slots_per_round`).
+const NO_SLOT: usize = usize::MAX;
 
 /// The radio: static geometry and link gains, plus pure-function fading and
 /// interference realizations per round.
@@ -33,9 +99,14 @@ pub struct RadioChannel {
     cfg: PhyConfig,
     /// Node positions (metres).
     positions: Vec<(f64, f64)>,
-    /// Static linear link gains (path loss × shadowing), `gain[i][j]`,
-    /// symmetric.
-    gain: Vec<Vec<f64>>,
+    /// Static linear link gains (path loss × shadowing), row-major:
+    /// entry `i * n + j` is the gain from `i` to `j`, symmetric. See
+    /// [`RadioChannel::gain`].
+    gain: Vec<f64>,
+    /// Reusable per-resolve buffers (interior mutability keeps
+    /// [`RadioChannel::resolve_into`] callable through `&self`, which
+    /// every read-only consumer already relies on).
+    scratch: RefCell<ResolveScratch>,
 }
 
 impl RadioChannel {
@@ -51,7 +122,7 @@ impl RadioChannel {
                 (r * theta.cos(), r * theta.sin())
             })
             .collect();
-        let mut gain = vec![vec![0.0; cfg.n]; cfg.n];
+        let mut gain = vec![0.0; cfg.n * cfg.n];
         for i in 0..cfg.n {
             for j in 0..cfg.n {
                 if i == j {
@@ -64,13 +135,14 @@ impl RadioChannel {
                 let path = d.powf(-cfg.pathloss_exp);
                 let shadow_db =
                     cfg.shadowing_sigma_db * hash::standard_normal(&[cfg.seed, 0x5D, a, b]);
-                gain[i][j] = path * PhyConfig::db_to_linear(shadow_db);
+                gain[i * cfg.n + j] = path * PhyConfig::db_to_linear(shadow_db);
             }
         }
         RadioChannel {
             cfg,
             positions,
             gain,
+            scratch: RefCell::new(ResolveScratch::default()),
         }
     }
 
@@ -82,6 +154,13 @@ impl RadioChannel {
     /// Node positions (for visualization / tests).
     pub fn positions(&self) -> &[(f64, f64)] {
         &self.positions
+    }
+
+    /// The static linear link gain from `i` to `j` (zero on the diagonal):
+    /// one row-major indexed load, no pointer chase per SINR term.
+    #[inline]
+    pub fn gain(&self, i: usize, j: usize) -> f64 {
+        self.gain[i * self.cfg.n + j]
     }
 
     /// Slot chosen by `sender` in `round`.
@@ -117,9 +196,20 @@ impl RadioChannel {
         }
     }
 
-    /// Resolves one round: slot choices, fading, SINR decoding with
-    /// capture, carrier sensing.
+    /// Resolves one round into a fresh [`PhyRound`]. Convenience wrapper
+    /// over [`RadioChannel::resolve_into`] for callers that keep the
+    /// result; hot paths reuse one `PhyRound` instead.
     pub fn resolve(&self, round: Round, senders: &[ProcessId]) -> PhyRound {
+        let mut out = PhyRound::new();
+        self.resolve_into(round, senders, &mut out);
+        out
+    }
+
+    /// Resolves one round — slot choices, fading, SINR decoding with
+    /// capture, carrier sensing — into `out`, whose previous contents are
+    /// discarded and whose storage is reused. After warm-up (buffers at
+    /// steady-state capacity) a call performs no heap allocation.
+    pub fn resolve_into(&self, round: Round, senders: &[ProcessId], out: &mut PhyRound) {
         let n = self.cfg.n;
         let slots = self.cfg.slots_per_round;
         let p_tx = PhyConfig::dbm_to_mw(self.cfg.tx_power_dbm);
@@ -127,59 +217,55 @@ impl RadioChannel {
         let beta = PhyConfig::db_to_linear(self.cfg.sinr_threshold_db);
         let sense = PhyConfig::dbm_to_mw(self.cfg.sense_threshold_dbm);
 
-        let sender_slot: Vec<usize> = senders.iter().map(|&s| self.slot_of(round, s)).collect();
-        let own_slot: Vec<Option<usize>> = (0..n)
-            .map(|i| {
-                senders
-                    .iter()
-                    .position(|&s| s.index() == i)
-                    .map(|si| sender_slot[si])
-            })
-            .collect();
+        let mut scratch = self.scratch.borrow_mut();
+        let ResolveScratch {
+            sender_slot,
+            own_slot,
+            txs,
+        } = &mut *scratch;
+        sender_slot.clear();
+        sender_slot.extend(senders.iter().map(|&s| self.slot_of(round, s)));
+        own_slot.clear();
+        own_slot.resize(n, NO_SLOT);
+        for (si, &s) in senders.iter().enumerate() {
+            own_slot[s.index()] = sender_slot[si];
+        }
 
-        let mut delivered = vec![vec![false; n]; senders.len()];
-        let mut collision = vec![false; n];
+        out.clear_and_resize(senders, n);
 
+        #[allow(clippy::needless_range_loop)] // `rx` indexes own_slot, gains, and out
         for rx in 0..n {
             for slot in 0..slots {
                 // Half-duplex: a node neither decodes nor senses during its
                 // own transmit slot (it knows its own packet anyway).
-                if own_slot[rx] == Some(slot) {
+                if own_slot[rx] == slot {
                     continue;
                 }
                 // Received powers of all transmitters in this slot.
-                let txs: Vec<(usize, f64)> = senders
-                    .iter()
-                    .enumerate()
-                    .filter(|(si, _)| sender_slot[*si] == slot)
-                    .map(|(si, &s)| {
+                txs.clear();
+                for (si, &s) in senders.iter().enumerate() {
+                    if sender_slot[si] == slot {
                         let p =
-                            p_tx * self.gain[s.index()][rx] * self.fading(round, s, ProcessId(rx));
-                        (si, p)
-                    })
-                    .collect();
+                            p_tx * self.gain(s.index(), rx) * self.fading(round, s, ProcessId(rx));
+                        txs.push((si, p));
+                    }
+                }
                 let interference = self.interference_mw(round, slot);
                 let total: f64 = txs.iter().map(|(_, p)| p).sum::<f64>() + interference;
 
                 let busy = total >= sense;
                 let mut any_decoded = false;
-                for &(si, p) in &txs {
+                for &(si, p) in txs.iter() {
                     let sinr = p / (noise + interference + (total - interference - p));
                     if sinr >= beta {
-                        delivered[si][rx] = true;
+                        out.delivered[si * n + rx] = true;
                         any_decoded = true;
                     }
                 }
                 if busy && !any_decoded {
-                    collision[rx] = true;
+                    out.collision[rx] = true;
                 }
             }
-        }
-
-        PhyRound {
-            senders: senders.to_vec(),
-            delivered,
-            collision,
         }
     }
 }
@@ -204,7 +290,7 @@ mod tests {
                 let out = ch.resolve(Round(r), &[ProcessId(0)]);
                 for rx in 1..8 {
                     total += 1;
-                    delivered += u64::from(out.delivered[0][rx]);
+                    delivered += u64::from(out.delivered(0, rx));
                 }
             }
         }
@@ -228,11 +314,11 @@ mod tests {
                         continue;
                     }
                     total += 1;
-                    lost += u64::from(!out.delivered[si][rx]);
+                    lost += u64::from(!out.delivered(si, rx));
                 }
                 if out.decoded_by(ProcessId(rx)) == 0 {
                     total_loss_rounds += 1;
-                    sensed_when_total_loss += u64::from(out.collision[rx]);
+                    sensed_when_total_loss += u64::from(out.collision(ProcessId(rx)));
                 }
             }
         }
@@ -253,7 +339,7 @@ mod tests {
         for r in 1..300u64 {
             let out = ch.resolve(Round(r), &[ProcessId(0), ProcessId(1)]);
             for rx in 2..8 {
-                if out.delivered[0][rx] ^ out.delivered[1][rx] {
+                if out.delivered(0, rx) ^ out.delivered(1, rx) {
                     captures += 1;
                 }
             }
@@ -269,13 +355,13 @@ mod tests {
         let mut early = 0u64;
         for r in 1..100u64 {
             let out = ch.resolve(Round(r), &[]);
-            early += out.collision.iter().filter(|&&c| c).count() as u64;
+            early += out.collisions().iter().filter(|&&c| c).count() as u64;
         }
         assert!(early > 0, "interference should trigger false positives");
         for r in 100..200u64 {
             let out = ch.resolve(Round(r), &[]);
             assert!(
-                out.collision.iter().all(|&c| !c),
+                out.collisions().iter().all(|&c| !c),
                 "false positive after interference horizon at round {r}"
             );
         }
@@ -289,5 +375,58 @@ mod tests {
         let b = ch.resolve(Round(17), &senders);
         assert_eq!(a.delivered, b.delivered);
         assert_eq!(a.collision, b.collision);
+    }
+
+    #[test]
+    fn resolve_into_reuses_buffers_and_matches_resolve() {
+        let ch = channel(6, 13);
+        let mut reused = PhyRound::new();
+        for r in 1..40u64 {
+            let senders = [ProcessId(r as usize % 6), ProcessId((r as usize + 2) % 6)];
+            ch.resolve_into(Round(r), &senders, &mut reused);
+            let fresh = ch.resolve(Round(r), &senders);
+            assert_eq!(reused.senders(), fresh.senders());
+            assert_eq!(reused.delivered, fresh.delivered);
+            assert_eq!(reused.collision, fresh.collision);
+        }
+        // Shrinking rounds must not leak stale state.
+        ch.resolve_into(Round(50), &[], &mut reused);
+        assert!(reused.senders().is_empty());
+        assert_eq!(reused.decoded_by(ProcessId(0)), 0);
+    }
+
+    #[test]
+    fn gain_is_row_major_symmetric_and_matches_nested_reference() {
+        // Bug-adjacent pin for the flat layout: recompute the gains the
+        // way the seed-era nested `Vec<Vec<f64>>` did and require exact
+        // equality, plus the symmetry the shared shadowing term implies.
+        let cfg = PhyConfig::new(7, 42);
+        let ch = RadioChannel::new(cfg);
+        let positions = ch.positions();
+        let mut nested = vec![vec![0.0f64; cfg.n]; cfg.n];
+        #[allow(clippy::needless_range_loop)] // `i`/`j` index positions and nested
+        for i in 0..cfg.n {
+            for j in 0..cfg.n {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (i.min(j) as u64, i.max(j) as u64);
+                let (xi, yi) = positions[i];
+                let (xj, yj) = positions[j];
+                let d = ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt().max(1.0);
+                let path = d.powf(-cfg.pathloss_exp);
+                let shadow_db =
+                    cfg.shadowing_sigma_db * hash::standard_normal(&[cfg.seed, 0x5D, a, b]);
+                nested[i][j] = path * PhyConfig::db_to_linear(shadow_db);
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // `i`/`j` index both layouts
+        for i in 0..cfg.n {
+            for j in 0..cfg.n {
+                assert_eq!(ch.gain(i, j), nested[i][j], "gain({i}, {j})");
+                assert_eq!(ch.gain(i, j), ch.gain(j, i), "symmetry ({i}, {j})");
+            }
+            assert_eq!(ch.gain(i, i), 0.0, "diagonal");
+        }
     }
 }

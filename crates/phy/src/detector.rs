@@ -14,11 +14,14 @@ use wan_sim::{
     CdAdvice, CollisionDetector, DeliveryMatrix, LossAdversary, ProcessId, Round, TransmissionEntry,
 };
 
-/// Shared per-round channel state.
+/// Shared per-round channel state. `outcome` is a reusable buffer the
+/// radio resolves into each round ([`RadioChannel::resolve_into`]), so
+/// steady-state rounds stay allocation-free.
 #[derive(Debug)]
 struct Shared {
     channel: RadioChannel,
-    last: Option<(Round, PhyRound)>,
+    resolved: Option<Round>,
+    outcome: PhyRound,
 }
 
 /// The radio as a message-loss adversary: deliveries are the SINR decodes.
@@ -44,7 +47,8 @@ pub struct PhyDetector {
 pub fn phy_components(cfg: PhyConfig) -> (PhyLoss, PhyDetector) {
     let shared = Rc::new(RefCell::new(Shared {
         channel: RadioChannel::new(cfg),
-        last: None,
+        resolved: None,
+        outcome: PhyRound::new(),
     }));
     (
         PhyLoss {
@@ -62,18 +66,20 @@ impl LossAdversary for PhyLoss {
         n: usize,
         out: &mut DeliveryMatrix,
     ) {
-        let mut shared = self.shared.borrow_mut();
+        let shared = &mut *self.shared.borrow_mut();
         assert_eq!(shared.channel.config().n, n, "radio sized for {n} nodes");
-        let outcome = shared.channel.resolve(round, senders);
+        shared
+            .channel
+            .resolve_into(round, senders, &mut shared.outcome);
         out.clear_and_resize(senders, n);
         for (si, &s) in senders.iter().enumerate() {
             for r in 0..n {
-                if outcome.delivered[si][r] {
+                if shared.outcome.delivered(si, r) {
                     out.set(s, ProcessId(r), true);
                 }
             }
         }
-        shared.last = Some((round, outcome));
+        shared.resolved = Some(round);
     }
 
     fn collision_free_from(&self) -> Option<Round> {
@@ -88,16 +94,15 @@ impl LossAdversary for PhyLoss {
 impl CollisionDetector for PhyDetector {
     fn advise_into(&mut self, round: Round, tx: &TransmissionEntry, out: &mut [CdAdvice]) {
         let shared = self.shared.borrow();
-        let (last_round, outcome) = shared
-            .last
-            .as_ref()
+        let last_round = shared
+            .resolved
             .expect("PhyLoss must resolve the round before PhyDetector advises");
         assert_eq!(
-            *last_round, round,
+            last_round, round,
             "detector consulted for a round the radio did not resolve"
         );
-        assert_eq!(outcome.collision.len(), tx.received.len());
-        for (slot, &c) in out.iter_mut().zip(outcome.collision.iter()) {
+        assert_eq!(shared.outcome.collisions().len(), tx.received.len());
+        for (slot, &c) in out.iter_mut().zip(shared.outcome.collisions().iter()) {
             *slot = if c {
                 CdAdvice::Collision
             } else {

@@ -79,7 +79,7 @@ pub fn measure_properties(
             let own = senders.iter().any(|s| s.index() == rx);
             // T(i): decoded foreign packets plus own forced self-delivery.
             let t = outcome.decoded_by(ProcessId(rx)) + usize::from(own);
-            let flagged = outcome.collision[rx];
+            let flagged = outcome.collision(ProcessId(rx));
             if c > 0 && t == 0 && !flagged {
                 zero_ok = false;
             }
@@ -100,7 +100,7 @@ pub fn measure_properties(
                     continue;
                 }
                 total_pairs += 1;
-                lost_pairs += u64::from(!outcome.delivered[si][rx]);
+                lost_pairs += u64::from(!outcome.delivered(si, rx));
             }
         }
         zero_rounds += u64::from(zero_ok);

@@ -13,7 +13,7 @@ use crate::advice::{CdAdvice, CmAdvice};
 use crate::automaton::{Automaton, RoundInput};
 use crate::ids::{ProcessId, Round};
 use crate::multiset::Multiset;
-use crate::trace::{ExecutionTrace, RoundRecord, TransmissionEntry};
+use crate::trace::{ExecutionTrace, RoundView, TransmissionEntry};
 use crate::traits::{
     CmView, CollisionDetector, ContentionManager, CrashAdversary, DeliveryMatrix, LossAdversary,
 };
@@ -105,8 +105,8 @@ pub struct Engine<A: Automaton, CD, CM, L, C> {
 /// [`Engine::advance`] needs, cleared and refilled each round instead of
 /// reallocated. After warm-up (once every buffer has reached its
 /// steady-state capacity) an untraced round performs no heap allocation;
-/// traced stepping clones from these buffers into the [`RoundRecord`] it
-/// must own.
+/// traced stepping appends the buffers into the trace's columnar arena
+/// ([`ExecutionTrace`]), paying amortized arena growth only.
 struct RoundBuffers<M: Ord> {
     /// This round's crashes (variable length).
     crashed: Vec<ProcessId>,
@@ -253,14 +253,14 @@ where
         &self.crash
     }
 
-    /// Executes one round and returns its record.
+    /// Executes one round and returns a view of its record.
     ///
     /// # Panics
     ///
     /// Panics if any untraced round has already run: the trace is indexed
     /// by round number, so traced and untraced stepping cannot be mixed in
     /// one engine.
-    pub fn step(&mut self) -> &RoundRecord<A::Msg> {
+    pub fn step(&mut self) -> RoundView<'_, A::Msg> {
         self.assert_trace_contiguous();
         self.advance(true);
         self.trace
@@ -304,8 +304,9 @@ where
     /// after warm-up, an untraced round allocates nothing — components
     /// write their advice into reused slices, the loss adversary re-keys
     /// the reused bitset matrix, and the receive multisets keep their
-    /// storage. The traced path additionally clones the buffers into the
-    /// [`RoundRecord`] the trace must own.
+    /// storage. The traced path additionally appends the buffers into the
+    /// trace's columns ([`ExecutionTrace::append_round`] — amortized arena
+    /// growth, no per-round records).
     #[inline]
     fn advance(&mut self, record: bool) {
         let Engine {
@@ -404,19 +405,20 @@ where
         manager.observe(now, &buf.tx, &buf.senders);
 
         if record {
-            trace.push(RoundRecord {
-                round: now,
-                cm: buf.cm.clone(),
-                sent: buf.sent.clone(),
-                cd: buf.cd.clone(),
-                received_counts: buf.tx.received.clone(),
-                received: match detail {
-                    TraceDetail::Full => Some(buf.received.clone()),
+            trace.append_round(
+                now,
+                &buf.cm,
+                &buf.sent,
+                &buf.senders,
+                &buf.cd,
+                &buf.tx.received,
+                match detail {
+                    TraceDetail::Full => Some(&buf.received),
                     TraceDetail::Counts => None,
                 },
-                crashed: buf.crashed.clone(),
-                alive: alive.clone(),
-            });
+                &buf.crashed,
+                alive,
+            );
         }
         *round = now;
     }
@@ -428,6 +430,11 @@ where
     /// Panics if any untraced round has already run (see [`Engine::step`]).
     pub fn run(&mut self, rounds: u64) {
         self.assert_trace_contiguous();
+        // The horizon is known, so the trace arena can size its
+        // fixed-width columns up front instead of doubling into them
+        // (capped so absurd caps cannot balloon the reservation).
+        self.trace
+            .reserve_rounds(usize::try_from(rounds).unwrap_or(usize::MAX).min(1 << 20));
         for _ in 0..rounds {
             self.advance(true);
         }
@@ -563,7 +570,7 @@ mod tests {
         );
         let rec = sim.step();
         assert_eq!(rec.transmission_entry().sent_count, 3);
-        assert!(rec.received_counts.iter().all(|&c| c == 3));
+        assert!(rec.received_counts().iter().all(|&c| c == 3));
         for p in sim.processes() {
             assert_eq!(p.heard, vec![0, 1, 2]);
         }
@@ -683,7 +690,13 @@ mod tests {
         )
         .with_detail(TraceDetail::Counts);
         sim.step();
-        assert!(sim.trace().round(Round(1)).unwrap().received.is_none());
+        assert!(!sim.trace().has_receive_multisets());
+        assert!(sim
+            .trace()
+            .round(Round(1))
+            .unwrap()
+            .received_of(ProcessId(0))
+            .is_none());
     }
 
     #[test]

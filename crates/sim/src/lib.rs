@@ -81,8 +81,8 @@ pub use engine::{
 };
 pub use fingerprint::StableHasher;
 pub use ids::{ProcessId, Round};
-pub use multiset::Multiset;
-pub use trace::{BroadcastCount, ExecutionTrace, RoundRecord, TransmissionEntry};
+pub use multiset::{Multiset, MultisetView};
+pub use trace::{BroadcastCount, ExecutionTrace, RoundRecord, RoundView, TransmissionEntry};
 pub use traits::{
     CmView, CollisionDetector, ContentionManager, CrashAdversary, DeliveryMatrix, LossAdversary,
 };

@@ -120,6 +120,123 @@ impl<T: Ord> Multiset<T> {
     pub fn is_submultiset_of(&self, other: &Multiset<T>) -> bool {
         self.entries.iter().all(|e| other.count(&e.0) >= e.1)
     }
+
+    /// Consumes the multiset into its canonical entry vector (sorted by
+    /// value, multiplicities ≥ 1) — the trace arena's pool format.
+    pub(crate) fn into_entries(self) -> Vec<(T, usize)> {
+        self.entries
+    }
+
+    /// Rebuilds a multiset from entries already in canonical form.
+    fn from_canonical(entries: Vec<(T, usize)>) -> Multiset<T> {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(entries.iter().all(|e| e.1 >= 1));
+        let total = entries.iter().map(|e| e.1).sum();
+        Multiset { entries, total }
+    }
+}
+
+/// A borrowed multiset: a view over a canonical slice of sorted
+/// `(value, multiplicity)` entries, as stored in the trace arena's
+/// receive-multiset pool. Offers the read-side of the [`Multiset`] API
+/// without owning (or allocating) anything; [`MultisetView::to_multiset`]
+/// materializes an owned copy when one is needed.
+#[derive(PartialEq, Eq)]
+pub struct MultisetView<'a, T> {
+    entries: &'a [(T, usize)],
+}
+
+// Manual impls: the derive would demand `T: Clone`/`T: Copy`, but a view
+// is a borrowed slice regardless of the value type.
+impl<T> Clone for MultisetView<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for MultisetView<'_, T> {}
+
+impl<'a, T: Ord> MultisetView<'a, T> {
+    /// Wraps a canonical entry slice (sorted by value, multiplicities
+    /// ≥ 1).
+    pub(crate) fn over(entries: &'a [(T, usize)]) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        MultisetView { entries }
+    }
+
+    /// The total number of occurrences, the paper's `|M|`.
+    pub fn total(self) -> usize {
+        self.entries.iter().map(|e| e.1).sum()
+    }
+
+    /// `true` iff the multiset contains no elements.
+    pub fn is_empty(self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The number of *distinct* values, `|SET(M)|`.
+    pub fn unique_len(self) -> usize {
+        self.entries.len()
+    }
+
+    /// The multiplicity of `value` (zero if absent).
+    pub fn count(self, value: &T) -> usize {
+        self.entries
+            .binary_search_by(|(v, _)| v.cmp(value))
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over the distinct values in ascending order (`SET(M)`).
+    pub fn support(self) -> impl Iterator<Item = &'a T> {
+        self.entries.iter().map(|(v, _)| v)
+    }
+
+    /// Iterates over `(value, multiplicity)` pairs in ascending value order.
+    pub fn iter(self) -> impl Iterator<Item = (&'a T, usize)> {
+        self.entries.iter().map(|e| (&e.0, e.1))
+    }
+
+    /// The minimum value, if non-empty.
+    pub fn min(self) -> Option<&'a T> {
+        self.entries.first().map(|(v, _)| v)
+    }
+
+    /// The maximum value, if non-empty.
+    pub fn max(self) -> Option<&'a T> {
+        self.entries.last().map(|(v, _)| v)
+    }
+
+    /// Sub-multiset inclusion against an owned multiset (`M₁ ⊆ M₂`).
+    pub fn is_submultiset_of(self, other: &Multiset<T>) -> bool {
+        self.entries.iter().all(|e| other.count(&e.0) >= e.1)
+    }
+
+    /// An owned copy.
+    pub fn to_multiset(self) -> Multiset<T>
+    where
+        T: Clone,
+    {
+        Multiset::from_canonical(self.entries.to_vec())
+    }
+}
+
+/// Formats exactly like [`Multiset`]'s `Debug`, so debug-rendered trace
+/// views are byte-identical to their owned-record equivalents.
+impl<T: Ord + fmt::Debug> fmt::Debug for MultisetView<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Counts<'a, T>(&'a [(T, usize)]);
+        impl<T: fmt::Debug> fmt::Debug for Counts<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_map()
+                    .entries(self.0.iter().map(|(v, c)| (v, c)))
+                    .finish()
+            }
+        }
+        f.debug_struct("Multiset")
+            .field("counts", &Counts(self.entries))
+            .field("total", &self.total())
+            .finish()
+    }
 }
 
 /// Formats like the seed-era `BTreeMap`-backed derive (`Multiset { counts:

@@ -42,7 +42,7 @@ impl Default for TimelineOptions {
 pub fn render_timeline<M: Ord>(trace: &ExecutionTrace<M>, options: TimelineOptions) -> String {
     let records: Vec<_> = trace
         .rounds()
-        .filter(|r| r.round.0 >= options.from_round)
+        .filter(|r| r.round().0 >= options.from_round)
         .take(options.max_rounds)
         .collect();
     let mut out = String::new();
@@ -51,40 +51,40 @@ pub fn render_timeline<M: Ord>(trace: &ExecutionTrace<M>, options: TimelineOptio
     let label_width = format!("p{}", trace.n().saturating_sub(1)).len().max(5);
     let _ = write!(out, "{:<label_width$} |", "round");
     for rec in &records {
-        let _ = write!(out, " {:>3}", rec.round.0);
+        let _ = write!(out, " {:>3}", rec.round().0);
     }
     out.push('\n');
 
     let mut dead = vec![false; trace.n()];
     let mut dead_at: Vec<Option<usize>> = vec![None; trace.n()];
     for (col, rec) in records.iter().enumerate() {
-        for p in &rec.crashed {
+        for p in rec.crashed() {
             dead[p.index()] = true;
             dead_at[p.index()] = Some(col);
         }
     }
     let _ = dead;
 
-    #[allow(clippy::needless_range_loop)] // `i` indexes several per-round vectors below
+    #[allow(clippy::needless_range_loop)] // `i` indexes several per-round columns below
     for i in 0..trace.n() {
         let pid = ProcessId(i);
         let _ = write!(out, "{:<label_width$} |", pid.to_string());
         let mut is_dead = false;
         for (col, rec) in records.iter().enumerate() {
-            let crashed_now = rec.crashed.contains(&pid);
+            let crashed_now = rec.crashed().contains(&pid);
             let mut cell = String::new();
             if is_dead {
                 cell.push('×');
             } else {
-                if rec.cm[i].is_active() {
+                if rec.cm()[i].is_active() {
                     cell.push('*');
                 }
-                if rec.sent[i].is_some() {
+                if rec.is_sender(pid) {
                     cell.push('B');
-                } else if rec.cd[i].is_collision() {
+                } else if rec.cd()[i].is_collision() {
                     cell.push('±');
                 } else {
-                    let t = rec.received_counts[i];
+                    let t = rec.received_counts()[i];
                     if t > 0 {
                         let _ = write!(cell, "{}", t.min(9));
                     } else {
@@ -139,7 +139,7 @@ mod tests {
 
     fn sample_trace() -> ExecutionTrace<u8> {
         let mut t = ExecutionTrace::new(3);
-        t.push(record(
+        t.push_record(record(
             1,
             vec![CmAdvice::Active, CmAdvice::Passive, CmAdvice::Passive],
             vec![Some(7), None, None],
@@ -147,7 +147,7 @@ mod tests {
             vec![1, 1, 0],
             vec![],
         ));
-        t.push(record(
+        t.push_record(record(
             2,
             vec![CmAdvice::Passive; 3],
             vec![None, Some(9), None],
@@ -155,7 +155,7 @@ mod tests {
             vec![1, 1, 0],
             vec![ProcessId(2)],
         ));
-        t.push(record(
+        t.push_record(record(
             3,
             vec![CmAdvice::Passive; 3],
             vec![None, None, None],

@@ -1,11 +1,33 @@
 //! Execution traces: the recorded history of a simulation, from which the
 //! paper's transmission traces (Definition 4), CD/CM traces (Definitions
 //! 5, 7) and basic broadcast count sequences (Definition 22) are derived.
+//!
+//! ## Representation
+//!
+//! [`ExecutionTrace`] is a **columnar arena** (struct-of-arrays): one
+//! grow-only flat buffer per column — CM advice, CD advice, receive
+//! counts, liveness (each indexed by `round * n + process`), a dense
+//! per-round sender bitset plus a pool of sent messages in ascending
+//! sender order, a pool of receive-multiset `(value, multiplicity)`
+//! entries, and a crash pool — instead of one heap-allocated record per
+//! round. Appending a round is a handful of `extend_from_slice` calls
+//! into warm buffers (amortized O(1) allocation, arena growth only),
+//! which is what lets the *traced* engine path run nearly as fast as the
+//! untraced one.
+//!
+//! Rounds are read through the borrowed accessor type [`RoundView`];
+//! [`RoundRecord`] remains as the owned per-round snapshot (the input to
+//! [`ExecutionTrace::push_record`] and the retained representation of the
+//! [`reference::ReferenceTrace`] test oracle). A `RoundView` debug-renders
+//! byte-identically to the equivalent `RoundRecord`, so trace debug
+//! strings and [`ExecutionTrace::fingerprint`] values are unchanged
+//! across the representation switch — the sweep-cache canaries and the
+//! replay-determinism pins in the test suite carry over untouched.
 
 use crate::advice::{CdAdvice, CmAdvice};
 use crate::fingerprint::{absorb_debug, StableHasher};
 use crate::ids::{ProcessId, Round};
-use crate::multiset::Multiset;
+use crate::multiset::{Multiset, MultisetView};
 use std::fmt;
 
 /// One entry of a transmission trace (Definition 4): the pair `(c, T)` where
@@ -65,7 +87,14 @@ impl fmt::Display for BroadcastCount {
     }
 }
 
-/// Everything that happened in one round.
+/// Everything that happened in one round, as an owned snapshot.
+///
+/// The arena-backed [`ExecutionTrace`] does not store these; it stores
+/// columns and serves [`RoundView`]s. `RoundRecord` remains the *builder*
+/// input ([`ExecutionTrace::push_record`]) for hand-assembled traces, the
+/// output of [`RoundView::to_record`], and the retained representation of
+/// the [`reference::ReferenceTrace`] oracle — its derived `Debug` is the
+/// format contract every `RoundView` must render identically.
 #[derive(Debug, Clone)]
 pub struct RoundRecord<M: Ord> {
     /// The (1-based) round number.
@@ -113,12 +142,43 @@ impl<M: Ord> RoundRecord<M> {
     }
 }
 
-/// The full recorded history of a simulation: one [`RoundRecord`] per
-/// completed round.
-#[derive(Debug, Clone)]
+/// The full recorded history of a simulation, stored as a columnar arena
+/// (see the module docs). Rounds are read through [`RoundView`]s.
+#[derive(Clone)]
 pub struct ExecutionTrace<M: Ord> {
     n: usize,
-    rounds: Vec<RoundRecord<M>>,
+    /// Completed rounds.
+    len: usize,
+    /// `⌈n / 64⌉`: words per round in the sender bitset.
+    sender_words: usize,
+    /// CM advice, `len * n`.
+    cm: Vec<CmAdvice>,
+    /// CD advice, `len * n`.
+    cd: Vec<CdAdvice>,
+    /// Receive counts `T(i)`, `len * n`.
+    received_counts: Vec<usize>,
+    /// Liveness after the round's crashes, `len * n`.
+    alive: Vec<bool>,
+    /// Dense sender bitset, `len * sender_words` words; bit `i` of a
+    /// round's span means process `i` broadcast.
+    sender_bits: Vec<u64>,
+    /// Sent messages in (round, ascending sender) order.
+    msgs: Vec<M>,
+    /// `msgs` span of round `r`: `msg_offsets[r] .. msg_offsets[r + 1]`.
+    msg_offsets: Vec<usize>,
+    /// Receive-multiset entries in (round, process, ascending value)
+    /// order; empty when the trace records counts only.
+    recv_entries: Vec<(M, usize)>,
+    /// `recv_entries` span of `(r, i)`: index `r * n + i` to its
+    /// successor. Length `len * n + 1` when full detail is recorded.
+    recv_offsets: Vec<usize>,
+    /// Whether receive multisets are recorded; fixed by the first
+    /// appended round.
+    recv_recorded: Option<bool>,
+    /// Crashes in round order.
+    crashed: Vec<ProcessId>,
+    /// `crashed` span of round `r`: `crash_offsets[r] .. [r + 1]`.
+    crash_offsets: Vec<usize>,
 }
 
 impl<M: Ord> ExecutionTrace<M> {
@@ -126,7 +186,20 @@ impl<M: Ord> ExecutionTrace<M> {
     pub fn new(n: usize) -> Self {
         ExecutionTrace {
             n,
-            rounds: Vec::new(),
+            len: 0,
+            sender_words: n.div_ceil(64),
+            cm: Vec::new(),
+            cd: Vec::new(),
+            received_counts: Vec::new(),
+            alive: Vec::new(),
+            sender_bits: Vec::new(),
+            msgs: Vec::new(),
+            msg_offsets: vec![0],
+            recv_entries: Vec::new(),
+            recv_offsets: vec![0],
+            recv_recorded: None,
+            crashed: Vec::new(),
+            crash_offsets: vec![0],
         }
     }
 
@@ -137,43 +210,198 @@ impl<M: Ord> ExecutionTrace<M> {
 
     /// Number of completed rounds.
     pub fn len(&self) -> usize {
-        self.rounds.len()
+        self.len
     }
 
     /// `true` iff no round has completed.
     pub fn is_empty(&self) -> bool {
-        self.rounds.is_empty()
+        self.len == 0
     }
 
-    /// Appends a completed round.
-    pub(crate) fn push(&mut self, record: RoundRecord<M>) {
-        debug_assert_eq!(record.round.trace_index(), self.rounds.len());
-        self.rounds.push(record);
+    /// Whether receive multisets are recorded ([`crate::TraceDetail::Full`]).
+    /// `false` for counts-only traces and for empty traces.
+    pub fn has_receive_multisets(&self) -> bool {
+        self.recv_recorded == Some(true)
     }
 
-    /// The record of round `r`, if completed.
-    pub fn round(&self, r: Round) -> Option<&RoundRecord<M>> {
-        self.rounds.get(r.trace_index())
+    /// Pre-reserves arena capacity for `extra` further rounds in every
+    /// fixed-width column (the message and receive pools are
+    /// data-dependent and keep their amortized growth). Called by
+    /// [`crate::Engine::run`], which knows its horizon, so fixed-length
+    /// traced runs skip most doubling reallocations.
+    pub fn reserve_rounds(&mut self, extra: usize) {
+        self.cm.reserve(extra * self.n);
+        self.cd.reserve(extra * self.n);
+        self.received_counts.reserve(extra * self.n);
+        self.alive.reserve(extra * self.n);
+        self.sender_bits.reserve(extra * self.sender_words);
+        self.msg_offsets.reserve(extra);
+        self.crash_offsets.reserve(extra);
+        // Counts-only traces never touch the receive columns; before the
+        // first round fixes the detail level, stay conservative.
+        if self.recv_recorded == Some(true) {
+            self.recv_offsets.reserve(extra * self.n);
+        }
+    }
+
+    /// Appends a completed round from the engine's round buffers: every
+    /// column is extended in place, so a steady-state traced round costs
+    /// only amortized arena growth — no per-round `Vec`s, no `Multiset`
+    /// clones.
+    ///
+    /// `senders` must list exactly the `Some` positions of `sent`, in
+    /// ascending order (the engine maintains both).
+    #[allow(clippy::too_many_arguments)] // the columns of one round, not a config surface
+    pub(crate) fn append_round(
+        &mut self,
+        round: Round,
+        cm: &[CmAdvice],
+        sent: &[Option<M>],
+        senders: &[ProcessId],
+        cd: &[CdAdvice],
+        received_counts: &[usize],
+        received: Option<&[Multiset<M>]>,
+        crashed: &[ProcessId],
+        alive: &[bool],
+    ) where
+        M: Clone,
+    {
+        self.begin_round(round, cm, cd, received_counts, alive, received.is_some());
+
+        let base = self.sender_bits.len();
+        self.sender_bits.resize(base + self.sender_words, 0);
+        self.msgs.reserve(senders.len());
+        for &s in senders {
+            self.sender_bits[base + s.index() / 64] |= 1u64 << (s.index() % 64);
+            let msg = sent[s.index()]
+                .as_ref()
+                .expect("sender list out of sync with message assignment");
+            self.msgs.push(msg.clone());
+        }
+        self.msg_offsets.push(self.msgs.len());
+
+        if let Some(received) = received {
+            assert_eq!(received.len(), self.n, "received arity");
+            for bucket in received {
+                for (v, c) in bucket.iter() {
+                    self.recv_entries.push((v.clone(), c));
+                }
+                self.recv_offsets.push(self.recv_entries.len());
+            }
+        }
+
+        self.crashed.extend_from_slice(crashed);
+        self.crash_offsets.push(self.crashed.len());
+        self.len += 1;
+    }
+
+    /// Appends an owned per-round snapshot — the hand-assembly path used
+    /// by tests and the [`mod@reference`] oracle. The engine appends through
+    /// the borrowing `ExecutionTrace::append_round` instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's round is not the next round, its columns do
+    /// not all have length `n`, or its receive detail (multisets present
+    /// or absent) differs from previously appended rounds.
+    pub fn push_record(&mut self, record: RoundRecord<M>) {
+        let RoundRecord {
+            round,
+            cm,
+            sent,
+            cd,
+            received_counts,
+            received,
+            crashed,
+            alive,
+        } = record;
+        self.begin_round(
+            round,
+            &cm,
+            &cd,
+            &received_counts,
+            &alive,
+            received.is_some(),
+        );
+
+        assert_eq!(sent.len(), self.n, "sent arity");
+        let base = self.sender_bits.len();
+        self.sender_bits.resize(base + self.sender_words, 0);
+        for (i, msg) in sent.into_iter().enumerate() {
+            if let Some(msg) = msg {
+                self.sender_bits[base + i / 64] |= 1u64 << (i % 64);
+                self.msgs.push(msg);
+            }
+        }
+        self.msg_offsets.push(self.msgs.len());
+
+        if let Some(received) = received {
+            assert_eq!(received.len(), self.n, "received arity");
+            for bucket in received {
+                self.recv_entries.extend(bucket.into_entries());
+                self.recv_offsets.push(self.recv_entries.len());
+            }
+        }
+
+        self.crashed.extend(crashed);
+        self.crash_offsets.push(self.crashed.len());
+        self.len += 1;
+    }
+
+    /// Shared validation + fixed-width column appends of both append paths.
+    fn begin_round(
+        &mut self,
+        round: Round,
+        cm: &[CmAdvice],
+        cd: &[CdAdvice],
+        received_counts: &[usize],
+        alive: &[bool],
+        full: bool,
+    ) {
+        // Hard assert: the arena re-derives round numbers from position,
+        // so an out-of-order append would silently rewrite the record's
+        // round (and diverge from the retained-record oracle) if let
+        // through in release builds.
+        assert_eq!(round.trace_index(), self.len, "rounds append in order");
+        assert_eq!(cm.len(), self.n, "cm arity");
+        assert_eq!(cd.len(), self.n, "cd arity");
+        assert_eq!(received_counts.len(), self.n, "received_counts arity");
+        assert_eq!(alive.len(), self.n, "alive arity");
+        match self.recv_recorded {
+            None => self.recv_recorded = Some(full),
+            Some(prev) => assert_eq!(
+                prev, full,
+                "a trace records receive multisets for all rounds or none"
+            ),
+        }
+        self.cm.extend_from_slice(cm);
+        self.cd.extend_from_slice(cd);
+        self.received_counts.extend_from_slice(received_counts);
+        self.alive.extend_from_slice(alive);
+    }
+
+    /// The view of round `r`, if completed.
+    pub fn round(&self, r: Round) -> Option<RoundView<'_, M>> {
+        (r.trace_index() < self.len).then(|| RoundView {
+            trace: self,
+            index: r.trace_index(),
+        })
     }
 
     /// Iterates over all completed rounds in order.
-    pub fn rounds(&self) -> impl Iterator<Item = &RoundRecord<M>> {
-        self.rounds.iter()
+    pub fn rounds(&self) -> impl Iterator<Item = RoundView<'_, M>> {
+        (0..self.len).map(move |index| RoundView { trace: self, index })
     }
 
     /// The transmission trace (Definition 4) restricted to completed rounds.
     pub fn transmission_trace(&self) -> Vec<TransmissionEntry> {
-        self.rounds.iter().map(|r| r.transmission_entry()).collect()
+        self.rounds().map(|r| r.transmission_entry()).collect()
     }
 
     /// The basic broadcast count sequence (Definition 22) over the first
     /// `k` rounds (or all completed rounds if fewer).
     pub fn broadcast_count_seq(&self, k: usize) -> Vec<BroadcastCount> {
-        self.rounds
-            .iter()
-            .take(k)
-            .map(|r| r.broadcast_count())
-            .collect()
+        self.rounds().take(k).map(|r| r.broadcast_count()).collect()
     }
 
     /// The first round from which, in the recorded prefix, every round has at
@@ -182,10 +410,10 @@ impl<M: Ord> ExecutionTrace<M> {
     /// active processes (or the trace is empty).
     pub fn observed_wakeup_round(&self) -> Option<Round> {
         let mut candidate: Option<Round> = None;
-        for rec in &self.rounds {
-            let actives = rec.cm.iter().filter(|a| a.is_active()).count();
+        for rec in self.rounds() {
+            let actives = rec.cm().iter().filter(|a| a.is_active()).count();
             if actives == 1 {
-                candidate.get_or_insert(rec.round);
+                candidate.get_or_insert(rec.round());
             } else {
                 candidate = None;
             }
@@ -193,28 +421,29 @@ impl<M: Ord> ExecutionTrace<M> {
         candidate
     }
 
-    /// A stable 64-bit content fingerprint of the whole recorded execution:
-    /// every round record — advice, message assignments, receive counts and
-    /// multisets (when recorded), crashes, liveness — streamed through
-    /// [`StableHasher`] in round order, without materializing the debug
-    /// string.
+    /// A stable 64-bit content fingerprint of the whole recorded execution,
+    /// streamed column-by-column through each round's [`RoundView`] debug
+    /// rendering (which reads straight out of the arena — no per-round
+    /// record is materialized) via [`StableHasher`].
     ///
-    /// Two traces fingerprint equal iff their full debug renderings are
-    /// byte-identical, so this is exactly the replay-determinism contract
-    /// the test suite pins, in 8 persistable bytes. The sweep result cache
-    /// uses it as the code-sensitivity lane of its cell keys: any change
-    /// to engine, component, or algorithm behavior that alters what a
-    /// reference cell *does* changes this value and invalidates the cached
-    /// results.
+    /// The stream is byte-for-byte the one the retained-record
+    /// representation produced, so fingerprints are stable across the
+    /// columnar refactor: two traces fingerprint equal iff their full
+    /// debug renderings are byte-identical, which is exactly the
+    /// replay-determinism contract the test suite pins, in 8 persistable
+    /// bytes. The sweep result cache uses it as the code-sensitivity lane
+    /// of its cell keys: any change to engine, component, or algorithm
+    /// behavior that alters what a reference cell *does* changes this
+    /// value and invalidates the cached results.
     pub fn fingerprint(&self) -> u64
     where
         M: fmt::Debug,
     {
         let mut h = StableHasher::new();
         h.write_usize(self.n);
-        h.write_usize(self.rounds.len());
-        for record in &self.rounds {
-            absorb_debug(&mut h, record);
+        h.write_usize(self.len);
+        for view in self.rounds() {
+            absorb_debug(&mut h, &view);
         }
         h.finish()
     }
@@ -227,17 +456,254 @@ impl<M: Ord> ExecutionTrace<M> {
     where
         M: Clone,
     {
-        self.rounds
-            .iter()
+        self.rounds()
             .map(|rec| Observation {
-                round: rec.round,
-                sent: rec.sent[i.index()].clone(),
-                received: rec.received.as_ref().map(|rs| rs[i.index()].clone()),
-                received_count: rec.received_counts[i.index()],
-                cd: rec.cd[i.index()],
-                cm: rec.cm[i.index()],
+                round: rec.round(),
+                sent: rec.sent(i).cloned(),
+                received: rec.received_of(i).map(|v| v.to_multiset()),
+                received_count: rec.received_counts()[i.index()],
+                cd: rec.cd()[i.index()],
+                cm: rec.cm()[i.index()],
             })
             .collect()
+    }
+}
+
+/// Renders exactly like the retained-record representation's derived
+/// `Debug` (`ExecutionTrace { n: …, rounds: [RoundRecord { … }, …] }`), so
+/// debug-rendered traces — and everything hashed from them — are
+/// byte-identical across the columnar refactor.
+impl<M: Ord + fmt::Debug> fmt::Debug for ExecutionTrace<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Rounds<'a, M: Ord>(&'a ExecutionTrace<M>);
+        impl<M: Ord + fmt::Debug> fmt::Debug for Rounds<'_, M> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_list().entries(self.0.rounds()).finish()
+            }
+        }
+        f.debug_struct("ExecutionTrace")
+            .field("n", &self.n)
+            .field("rounds", &Rounds(self))
+            .finish()
+    }
+}
+
+/// A borrowed view of one completed round of an [`ExecutionTrace`]:
+/// the accessor type consumers read instead of owned `RoundRecord`
+/// fields. Cheap to copy (a trace pointer and an index); every accessor
+/// returns a slice or value straight out of the trace's columns.
+pub struct RoundView<'a, M: Ord> {
+    trace: &'a ExecutionTrace<M>,
+    index: usize,
+}
+
+// Manual impls: the derive would demand `M: Clone`/`M: Copy`, but a view
+// is a pointer + index regardless of the message type.
+impl<M: Ord> Clone for RoundView<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M: Ord> Copy for RoundView<'_, M> {}
+
+impl<'a, M: Ord> RoundView<'a, M> {
+    /// The (1-based) round number.
+    pub fn round(self) -> Round {
+        Round(self.index as u64 + 1)
+    }
+
+    /// Number of process indices.
+    pub fn n(self) -> usize {
+        self.trace.n
+    }
+
+    fn col<T>(self, column: &'a [T]) -> &'a [T] {
+        let n = self.trace.n;
+        &column[self.index * n..(self.index + 1) * n]
+    }
+
+    /// Contention manager advice per process (the CM-trace entry, Def. 7).
+    pub fn cm(self) -> &'a [CmAdvice] {
+        self.col(&self.trace.cm)
+    }
+
+    /// Collision detector advice per process (the CD-trace entry, Def. 5).
+    pub fn cd(self) -> &'a [CdAdvice] {
+        self.col(&self.trace.cd)
+    }
+
+    /// `T(i)`: how many messages each process received.
+    pub fn received_counts(self) -> &'a [usize] {
+        self.col(&self.trace.received_counts)
+    }
+
+    /// Liveness after this round's crashes.
+    pub fn alive(self) -> &'a [bool] {
+        self.col(&self.trace.alive)
+    }
+
+    /// Processes that crashed at the start of this round.
+    pub fn crashed(self) -> &'a [ProcessId] {
+        let start = self.trace.crash_offsets[self.index];
+        let end = self.trace.crash_offsets[self.index + 1];
+        &self.trace.crashed[start..end]
+    }
+
+    /// This round's sender-bitset words.
+    fn sender_span(self) -> &'a [u64] {
+        let w = self.trace.sender_words;
+        &self.trace.sender_bits[self.index * w..(self.index + 1) * w]
+    }
+
+    /// Whether process `i` broadcast this round.
+    pub fn is_sender(self, i: ProcessId) -> bool {
+        let (word, bit) = (i.index() / 64, i.index() % 64);
+        self.sender_span()[word] & (1u64 << bit) != 0
+    }
+
+    /// `c`: how many processes broadcast this round.
+    pub fn sent_count(self) -> usize {
+        self.trace.msg_offsets[self.index + 1] - self.trace.msg_offsets[self.index]
+    }
+
+    /// The message process `i` broadcast, if any (the entry `M_r(i)` of the
+    /// round's message assignment).
+    pub fn sent(self, i: ProcessId) -> Option<&'a M> {
+        if !self.is_sender(i) {
+            return None;
+        }
+        let span = self.sender_span();
+        let (word, bit) = (i.index() / 64, i.index() % 64);
+        let mut rank = (span[word] & ((1u64 << bit) - 1)).count_ones() as usize;
+        for w in &span[..word] {
+            rank += w.count_ones() as usize;
+        }
+        Some(&self.sent_messages()[rank])
+    }
+
+    /// The messages broadcast this round, in ascending sender order
+    /// (the round's slice of the trace's message pool).
+    pub fn sent_messages(self) -> &'a [M] {
+        let start = self.trace.msg_offsets[self.index];
+        let end = self.trace.msg_offsets[self.index + 1];
+        &self.trace.msgs[start..end]
+    }
+
+    /// Which processes broadcast this round, in ascending order.
+    pub fn senders(self) -> Vec<ProcessId> {
+        let mut out = Vec::with_capacity(self.sent_count());
+        for (w, &word) in self.sender_span().iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push(ProcessId(w * 64 + bit));
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// Process `i`'s receive multiset `N_r[i]`, when the trace records
+    /// full detail ([`crate::TraceDetail::Full`]); `None` for counts-only
+    /// traces.
+    pub fn received_of(self, i: ProcessId) -> Option<MultisetView<'a, M>> {
+        if !self.trace.has_receive_multisets() {
+            return None;
+        }
+        let slot = self.index * self.trace.n + i.index();
+        let start = self.trace.recv_offsets[slot];
+        let end = self.trace.recv_offsets[slot + 1];
+        Some(MultisetView::over(&self.trace.recv_entries[start..end]))
+    }
+
+    /// The transmission-trace entry `(c, T)` for this round.
+    pub fn transmission_entry(self) -> TransmissionEntry {
+        TransmissionEntry {
+            sent_count: self.sent_count(),
+            received: self.received_counts().to_vec(),
+        }
+    }
+
+    /// The basic broadcast count for this round (Definition 22).
+    pub fn broadcast_count(self) -> BroadcastCount {
+        BroadcastCount::of(self.sent_count())
+    }
+
+    /// Reassembles the owned snapshot of this round — the bridge back to
+    /// the retained representation, used by the [`mod@reference`] oracle and
+    /// by callers that must outlive the trace borrow.
+    pub fn to_record(self) -> RoundRecord<M>
+    where
+        M: Clone,
+    {
+        RoundRecord {
+            round: self.round(),
+            cm: self.cm().to_vec(),
+            sent: (0..self.n())
+                .map(|i| self.sent(ProcessId(i)).cloned())
+                .collect(),
+            cd: self.cd().to_vec(),
+            received_counts: self.received_counts().to_vec(),
+            received: self.trace.has_receive_multisets().then(|| {
+                (0..self.n())
+                    .map(|i| {
+                        self.received_of(ProcessId(i))
+                            .expect("full detail")
+                            .to_multiset()
+                    })
+                    .collect()
+            }),
+            crashed: self.crashed().to_vec(),
+            alive: self.alive().to_vec(),
+        }
+    }
+}
+
+/// Byte-identical to the derived `Debug` of the equivalent [`RoundRecord`]
+/// — the format contract that keeps trace debug strings and fingerprints
+/// stable across the columnar representation (pinned by the
+/// `views_render_like_records` tests and the sweep-cache canaries).
+impl<M: Ord + fmt::Debug> fmt::Debug for RoundView<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Sent<'a, M: Ord>(RoundView<'a, M>);
+        impl<M: Ord + fmt::Debug> fmt::Debug for Sent<'_, M> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_list()
+                    .entries((0..self.0.n()).map(|i| self.0.sent(ProcessId(i))))
+                    .finish()
+            }
+        }
+        struct RecvList<'a, M: Ord>(RoundView<'a, M>);
+        impl<M: Ord + fmt::Debug> fmt::Debug for RecvList<'_, M> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_list()
+                    .entries(
+                        (0..self.0.n())
+                            .map(|i| self.0.received_of(ProcessId(i)).expect("full detail")),
+                    )
+                    .finish()
+            }
+        }
+        struct Recv<'a, M: Ord>(RoundView<'a, M>);
+        impl<M: Ord + fmt::Debug> fmt::Debug for Recv<'_, M> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0.trace.has_receive_multisets() {
+                    f.debug_tuple("Some").field(&RecvList(self.0)).finish()
+                } else {
+                    f.write_str("None")
+                }
+            }
+        }
+        f.debug_struct("RoundRecord")
+            .field("round", &self.round())
+            .field("cm", &self.cm())
+            .field("sent", &Sent(*self))
+            .field("cd", &self.cd())
+            .field("received_counts", &self.received_counts())
+            .field("received", &Recv(*self))
+            .field("crashed", &self.crashed())
+            .field("alive", &self.alive())
+            .finish()
     }
 }
 
@@ -259,8 +725,93 @@ pub struct Observation<M: Ord> {
     pub cm: CmAdvice,
 }
 
+pub mod reference {
+    //! The retained-record reference builder: an [`ExecutionTrace`]
+    //! equivalent that stores one owned [`RoundRecord`] per round, exactly
+    //! as the pre-columnar representation did.
+    //!
+    //! It exists purely as a **test oracle**: property tests push the same
+    //! rounds into a [`ReferenceTrace`] and an arena-backed
+    //! [`ExecutionTrace`] and assert that debug renderings and
+    //! fingerprints agree, which is the contract that keeps sweep-cache
+    //! canaries and replay pins stable. Nothing on a hot path should use
+    //! this type.
+
+    use super::*;
+
+    /// A trace that retains owned [`RoundRecord`]s — the pre-columnar
+    /// representation, kept as the fingerprint/debug oracle.
+    #[derive(Clone)]
+    pub struct ReferenceTrace<M: Ord> {
+        n: usize,
+        rounds: Vec<RoundRecord<M>>,
+    }
+
+    impl<M: Ord> ReferenceTrace<M> {
+        /// An empty reference trace over `n` process indices.
+        pub fn new(n: usize) -> Self {
+            ReferenceTrace {
+                n,
+                rounds: Vec::new(),
+            }
+        }
+
+        /// Appends a completed round.
+        pub fn push(&mut self, record: RoundRecord<M>) {
+            debug_assert_eq!(record.round.trace_index(), self.rounds.len());
+            self.rounds.push(record);
+        }
+
+        /// Rebuilds the retained form of an arena-backed trace, round by
+        /// round through its views.
+        pub fn from_trace(trace: &ExecutionTrace<M>) -> Self
+        where
+            M: Clone,
+        {
+            let mut out = ReferenceTrace::new(trace.n());
+            for view in trace.rounds() {
+                out.push(view.to_record());
+            }
+            out
+        }
+
+        /// The retained records.
+        pub fn rounds(&self) -> &[RoundRecord<M>] {
+            &self.rounds
+        }
+
+        /// The fingerprint algorithm of the retained representation:
+        /// `n`, round count, then each owned record's derived debug
+        /// rendering. [`ExecutionTrace::fingerprint`] must produce the
+        /// same value for the same rounds.
+        pub fn fingerprint(&self) -> u64
+        where
+            M: fmt::Debug,
+        {
+            let mut h = StableHasher::new();
+            h.write_usize(self.n);
+            h.write_usize(self.rounds.len());
+            for record in &self.rounds {
+                absorb_debug(&mut h, record);
+            }
+            h.finish()
+        }
+    }
+
+    /// The derived-debug rendering of the retained representation.
+    impl<M: Ord + fmt::Debug> fmt::Debug for ReferenceTrace<M> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("ExecutionTrace")
+                .field("n", &self.n)
+                .field("rounds", &self.rounds)
+                .finish()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::reference::ReferenceTrace;
     use super::*;
 
     fn record(round: u64, sent: Vec<Option<u8>>, active: usize) -> RoundRecord<u8> {
@@ -281,6 +832,15 @@ mod tests {
         }
     }
 
+    fn full_record(round: u64, sent: Vec<Option<u8>>) -> RoundRecord<u8> {
+        let n = sent.len();
+        let broadcast: Multiset<u8> = sent.iter().flatten().copied().collect();
+        let mut rec = record(round, sent, 1);
+        rec.received_counts = vec![broadcast.total(); n];
+        rec.received = Some(vec![broadcast; n]);
+        rec
+    }
+
     #[test]
     fn broadcast_count_classification() {
         assert_eq!(BroadcastCount::of(0), BroadcastCount::Zero);
@@ -294,9 +854,9 @@ mod tests {
     fn trace_accumulates_and_derives() {
         let mut t: ExecutionTrace<u8> = ExecutionTrace::new(3);
         assert!(t.is_empty());
-        t.push(record(1, vec![Some(1), None, None], 1));
-        t.push(record(2, vec![Some(1), Some(2), None], 2));
-        t.push(record(3, vec![None, None, None], 1));
+        t.push_record(record(1, vec![Some(1), None, None], 1));
+        t.push_record(record(2, vec![Some(1), Some(2), None], 2));
+        t.push_record(record(3, vec![None, None, None], 1));
         assert_eq!(t.len(), 3);
         assert_eq!(
             t.broadcast_count_seq(10),
@@ -315,23 +875,146 @@ mod tests {
     }
 
     #[test]
+    fn view_accessors_read_the_columns() {
+        let mut t: ExecutionTrace<u8> = ExecutionTrace::new(3);
+        t.push_record(record(1, vec![Some(7), None, Some(9)], 2));
+        let v = t.round(Round(1)).unwrap();
+        assert_eq!(v.round(), Round(1));
+        assert_eq!(v.n(), 3);
+        assert_eq!(
+            v.cm(),
+            [CmAdvice::Active, CmAdvice::Active, CmAdvice::Passive]
+        );
+        assert_eq!(v.cd(), [CdAdvice::Null; 3]);
+        assert_eq!(v.received_counts(), [0, 0, 0]);
+        assert_eq!(v.alive(), [true, true, true]);
+        assert_eq!(v.crashed(), []);
+        assert_eq!(v.sent_count(), 2);
+        assert!(v.is_sender(ProcessId(0)) && !v.is_sender(ProcessId(1)));
+        assert_eq!(v.sent(ProcessId(0)), Some(&7));
+        assert_eq!(v.sent(ProcessId(1)), None);
+        assert_eq!(v.sent(ProcessId(2)), Some(&9));
+        assert_eq!(v.sent_messages(), [7, 9]);
+        assert_eq!(v.senders(), vec![ProcessId(0), ProcessId(2)]);
+        assert_eq!(v.broadcast_count(), BroadcastCount::TwoPlus);
+        assert!(v.received_of(ProcessId(0)).is_none(), "counts-only trace");
+    }
+
+    #[test]
+    fn out_of_range_rounds_are_none() {
+        let mut t: ExecutionTrace<u8> = ExecutionTrace::new(2);
+        assert!(t.round(Round(1)).is_none(), "empty trace has no rounds");
+        t.push_record(record(1, vec![None, None], 0));
+        assert!(t.round(Round(1)).is_some());
+        assert!(t.round(Round(2)).is_none());
+        assert!(t.round(Round(99)).is_none());
+    }
+
+    #[test]
+    fn zero_process_trace_is_well_formed() {
+        let mut t: ExecutionTrace<u8> = ExecutionTrace::new(0);
+        assert_eq!(t.n(), 0);
+        t.push_record(RoundRecord {
+            round: Round(1),
+            cm: vec![],
+            sent: vec![],
+            cd: vec![],
+            received_counts: vec![],
+            received: None,
+            crashed: vec![],
+            alive: vec![],
+        });
+        let v = t.round(Round(1)).unwrap();
+        assert_eq!(v.sent_count(), 0);
+        assert_eq!(v.senders(), vec![]);
+        assert_eq!(v.cm(), [] as [CmAdvice; 0]);
+        assert_eq!(v.transmission_entry().n(), 0);
+        assert_eq!(t.fingerprint(), {
+            let mut reference: ReferenceTrace<u8> = ReferenceTrace::new(0);
+            reference.push(v.to_record());
+            reference.fingerprint()
+        });
+    }
+
+    #[test]
+    fn full_detail_views_serve_receive_multisets() {
+        let mut t: ExecutionTrace<u8> = ExecutionTrace::new(2);
+        t.push_record(full_record(1, vec![Some(4), Some(4)]));
+        assert!(t.has_receive_multisets());
+        let v = t.round(Round(1)).unwrap();
+        let m = v.received_of(ProcessId(1)).expect("full detail");
+        assert_eq!(m.total(), 2);
+        assert_eq!(m.count(&4), 2);
+        assert_eq!(m.to_multiset(), vec![4u8, 4].into_iter().collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "all rounds or none")]
+    fn mixed_detail_rejected() {
+        let mut t: ExecutionTrace<u8> = ExecutionTrace::new(2);
+        t.push_record(record(1, vec![None, None], 0));
+        t.push_record(full_record(2, vec![Some(1), None]));
+    }
+
+    #[test]
+    fn views_render_like_records() {
+        // The byte-identity contract: a view's Debug output equals the
+        // derived Debug of the equivalent owned record, for both detail
+        // levels, and whole-trace renderings match the reference builder.
+        let records = vec![
+            full_record(1, vec![Some(3), None, Some(1)]),
+            full_record(2, vec![None, None, None]),
+        ];
+        let mut arena: ExecutionTrace<u8> = ExecutionTrace::new(3);
+        let mut reference: ReferenceTrace<u8> = ReferenceTrace::new(3);
+        for rec in records {
+            arena.push_record(rec.clone());
+            reference.push(rec);
+        }
+        for (view, rec) in arena.rounds().zip(reference.rounds()) {
+            assert_eq!(format!("{view:?}"), format!("{rec:?}"));
+        }
+        assert_eq!(format!("{arena:?}"), format!("{reference:?}"));
+        assert_eq!(arena.fingerprint(), reference.fingerprint());
+
+        let mut counts: ExecutionTrace<u8> = ExecutionTrace::new(2);
+        let mut counts_ref: ReferenceTrace<u8> = ReferenceTrace::new(2);
+        let rec = record(1, vec![Some(9), None], 1);
+        counts.push_record(rec.clone());
+        counts_ref.push(rec);
+        assert_eq!(
+            format!("{:?}", counts.round(Round(1)).unwrap()),
+            format!("{:?}", counts_ref.rounds()[0])
+        );
+        assert_eq!(counts.fingerprint(), counts_ref.fingerprint());
+    }
+
+    #[test]
+    fn round_trip_through_to_record_is_lossless() {
+        let mut t: ExecutionTrace<u8> = ExecutionTrace::new(3);
+        t.push_record(full_record(1, vec![Some(3), None, Some(1)]));
+        let rebuilt = ReferenceTrace::from_trace(&t);
+        assert_eq!(t.fingerprint(), rebuilt.fingerprint());
+    }
+
+    #[test]
     fn observed_wakeup_round_finds_stable_suffix() {
         let mut t: ExecutionTrace<u8> = ExecutionTrace::new(2);
-        t.push(record(1, vec![None, None], 2));
-        t.push(record(2, vec![None, None], 1));
-        t.push(record(3, vec![None, None], 1));
+        t.push_record(record(1, vec![None, None], 2));
+        t.push_record(record(2, vec![None, None], 1));
+        t.push_record(record(3, vec![None, None], 1));
         assert_eq!(t.observed_wakeup_round(), Some(Round(2)));
 
         let mut unstable: ExecutionTrace<u8> = ExecutionTrace::new(2);
-        unstable.push(record(1, vec![None, None], 1));
-        unstable.push(record(2, vec![None, None], 2));
+        unstable.push_record(record(1, vec![None, None], 1));
+        unstable.push_record(record(2, vec![None, None], 2));
         assert_eq!(unstable.observed_wakeup_round(), None);
     }
 
     #[test]
     fn observations_extract_per_process_view() {
         let mut t: ExecutionTrace<u8> = ExecutionTrace::new(2);
-        t.push(record(1, vec![Some(7), None], 1));
+        t.push_record(record(1, vec![Some(7), None], 1));
         let obs = t.observations_of(ProcessId(0));
         assert_eq!(obs.len(), 1);
         assert_eq!(obs[0].sent, Some(7));
@@ -339,5 +1022,27 @@ mod tests {
         let obs1 = t.observations_of(ProcessId(1));
         assert_eq!(obs1[0].sent, None);
         assert_eq!(obs1[0].cm, CmAdvice::Passive);
+    }
+
+    #[test]
+    fn wide_systems_cross_bitset_word_boundaries() {
+        let n = 130;
+        let mut sent: Vec<Option<u8>> = vec![None; n];
+        sent[0] = Some(1);
+        sent[63] = Some(2);
+        sent[64] = Some(3);
+        sent[129] = Some(4);
+        let mut t: ExecutionTrace<u8> = ExecutionTrace::new(n);
+        t.push_record(record(1, sent, 0));
+        let v = t.round(Round(1)).unwrap();
+        assert_eq!(v.sent_count(), 4);
+        assert_eq!(v.sent(ProcessId(63)), Some(&2));
+        assert_eq!(v.sent(ProcessId(64)), Some(&3));
+        assert_eq!(v.sent(ProcessId(129)), Some(&4));
+        assert_eq!(v.sent(ProcessId(128)), None);
+        assert_eq!(
+            v.senders(),
+            vec![ProcessId(0), ProcessId(63), ProcessId(64), ProcessId(129)]
+        );
     }
 }

@@ -7,7 +7,7 @@ use ccwan::cm::{verify_leader_election, verify_wakeup, FairWakeUp, PreStabilizat
 use ccwan::consensus::{alg1, alg2, ConsensusRun, Value, ValueDomain};
 use ccwan::sim::crash::RandomCrashes;
 use ccwan::sim::loss::{Ecf, RandomLoss};
-use ccwan::sim::{Components, Multiset, Round};
+use ccwan::sim::{Components, Multiset, ProcessId, Round};
 
 fn run_alg2(
     seed: u64,
@@ -43,18 +43,13 @@ fn receive_sets_are_submultisets_of_broadcasts() {
     for seed in 0..8u64 {
         let run = run_alg2(seed, 8, 40);
         for rec in run.trace().rounds() {
-            let broadcast: Multiset<_> = rec.sent.iter().flatten().cloned().collect();
-            for (i, received) in rec
-                .received
-                .as_ref()
-                .expect("full trace detail")
-                .iter()
-                .enumerate()
-            {
+            let broadcast: Multiset<_> = rec.sent_messages().iter().cloned().collect();
+            for i in 0..rec.n() {
+                let received = rec.received_of(ProcessId(i)).expect("full trace detail");
                 assert!(
                     received.is_submultiset_of(&broadcast),
                     "seed {seed} {} p{i}: {received:?} ⊄ {broadcast:?}",
-                    rec.round
+                    rec.round()
                 );
             }
         }
@@ -67,15 +62,14 @@ fn broadcasters_receive_their_own_message() {
     for seed in 0..8u64 {
         let run = run_alg2(seed, 8, 40);
         for rec in run.trace().rounds() {
-            for (i, sent) in rec.sent.iter().enumerate() {
-                if let Some(msg) = sent {
-                    let received = &rec.received.as_ref().unwrap()[i];
-                    assert!(
-                        received.count(msg) >= 1,
-                        "seed {seed} {}: p{i} missing its own {msg:?}",
-                        rec.round
-                    );
-                }
+            for s in rec.senders() {
+                let msg = rec.sent(s).expect("sender has a message");
+                let received = rec.received_of(s).expect("full trace detail");
+                assert!(
+                    received.count(msg) >= 1,
+                    "seed {seed} {}: {s} missing its own {msg:?}",
+                    rec.round()
+                );
             }
         }
     }
@@ -92,11 +86,16 @@ fn noise_lemma_holds_on_traces() {
             if c == 0 {
                 continue;
             }
-            for (i, (&t, advice)) in rec.received_counts.iter().zip(rec.cd.iter()).enumerate() {
+            for (i, (&t, advice)) in rec
+                .received_counts()
+                .iter()
+                .zip(rec.cd().iter())
+                .enumerate()
+            {
                 assert!(
                     t > 0 || advice.is_collision(),
                     "seed {seed} {} p{i}: c={c}, T=0, advice=null",
-                    rec.round
+                    rec.round()
                 );
             }
         }
@@ -111,16 +110,16 @@ fn ecf_holds_on_traces() {
         let cst = 8;
         let run = run_alg2(seed, cst, 60);
         for rec in run.trace().rounds() {
-            if rec.round < Round(cst) {
+            if rec.round() < Round(cst) {
                 continue;
             }
             let senders = rec.senders();
             if senders.len() == 1 {
-                for (i, &t) in rec.received_counts.iter().enumerate() {
+                for (i, &t) in rec.received_counts().iter().enumerate() {
                     assert!(
                         t >= 1,
                         "seed {seed} {}: solo broadcast lost at p{i}",
-                        rec.round
+                        rec.round()
                     );
                 }
             }
@@ -170,9 +169,10 @@ fn executions_replay_exactly() {
     let b = run_alg2(5, 8, 50);
     assert_eq!(a.trace().len(), b.trace().len());
     for (ra, rb) in a.trace().rounds().zip(b.trace().rounds()) {
-        assert_eq!(ra.sent, rb.sent);
-        assert_eq!(ra.cd, rb.cd);
-        assert_eq!(ra.cm, rb.cm);
-        assert_eq!(ra.received_counts, rb.received_counts);
+        assert_eq!(ra.senders(), rb.senders());
+        assert_eq!(ra.sent_messages(), rb.sent_messages());
+        assert_eq!(ra.cd(), rb.cd());
+        assert_eq!(ra.cm(), rb.cm());
+        assert_eq!(ra.received_counts(), rb.received_counts());
     }
 }
