@@ -50,6 +50,7 @@ use criterion::{black_box, Criterion};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use wan_bench::sweep::{CellEnd, MetricRow, ProbeManifest, ProbeSet};
 use wan_cd::{CdClass, ClassDetector, FreedomPolicy};
 use wan_cm::FairWakeUp;
 use wan_phy::{PhyConfig, PhyRound, RadioChannel};
@@ -512,6 +513,81 @@ fn main() {
         let _ = writeln!(json, "      \"allocs_per_call\": {allocs:.3},");
         let _ = writeln!(json, "      \"bytes_per_call\": {bytes:.1},");
         let _ = writeln!(json, "      \"ns_per_call\": {ns_per_call:.1}");
+        let _ = writeln!(json, "    }}{}", if i + 1 < count { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+
+    // The probe path: the full built-in probe set observing recorded
+    // rounds (the traced-by-default sweep's per-round analysis cost). The
+    // set and the metric row are reused across cells, exactly as the
+    // sweep reuses them, so steady-state observation — including the
+    // per-cell reset/finish — must be *exactly* zero-allocation.
+    let _ = writeln!(json, "  \"probe_path\": [");
+    let probe_cells: [(&str, usize); 2] = [("storm", 4), ("ecf", 50)];
+    let count = probe_cells.len();
+    for (i, (stack, n)) in probe_cells.into_iter().enumerate() {
+        let components = match stack {
+            "storm" => Components {
+                detector: Box::new(AlwaysNull),
+                manager: Box::new(AllActive),
+                loss: Box::new(NoLoss),
+                crash: Box::new(NoCrashes),
+            },
+            _ => {
+                let (cd, cm, loss, crash) = ecf_parts(7);
+                Components {
+                    detector: Box::new(cd),
+                    manager: Box::new(cm),
+                    loss: Box::new(loss),
+                    crash: Box::new(crash),
+                }
+            }
+        };
+        let trace = {
+            let mut e = Simulation::new(beacons(n), components).with_detail(TraceDetail::Counts);
+            e.run(ROUNDS);
+            e.into_parts().1
+        };
+        let mut probes: ProbeSet<u64> = ProbeSet::from_manifest(&ProbeManifest::standard());
+        let mut row = MetricRow::new();
+        let end = CellEnd {
+            reference: 8,
+            last_decision: Some(ROUNDS),
+            terminated: true,
+            safe: true,
+            rounds_executed: ROUNDS,
+        };
+        let mut observe_rounds = |count: u64| {
+            let mut remaining = count;
+            while remaining > 0 {
+                probes.reset();
+                for view in trace.rounds() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    probes.observe(&view);
+                    remaining -= 1;
+                }
+                probes.finish(&end, &mut row);
+                black_box(row.len());
+            }
+        };
+        let (allocs, bytes) = steady_state_allocs(&mut observe_rounds);
+        println!(
+            "probes {stack:<6} n={n:<3} full set        {allocs:>10.3} allocs/round  \
+             {bytes:>12.1} bytes/round"
+        );
+        if allocs != 0.0 {
+            alloc_violations.push(format!(
+                "probe path {stack}/n{n}: {allocs} allocs/round — \
+                 steady-state probe observation must not allocate"
+            ));
+        }
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"stack\": \"{stack}\",");
+        let _ = writeln!(json, "      \"processes\": {n},");
+        let _ = writeln!(json, "      \"allocs_per_round\": {allocs:.3},");
+        let _ = writeln!(json, "      \"bytes_per_round\": {bytes:.1}");
         let _ = writeln!(json, "    }}{}", if i + 1 < count { "," } else { "" });
     }
     let _ = writeln!(json, "  ]");

@@ -3,6 +3,8 @@
 //! ```text
 //! run_experiments [--quick] [--only eN] [--cache | --no-cache]
 //! run_experiments --check [--quick] [--bless] [--no-cache] [--traced]
+//! run_experiments --metrics <glob> [--quick] [--cache | --no-cache]
+//! run_experiments --help
 //! ```
 //!
 //! * Sweeps consult the persistent result cache (`target/sweep-cache/`,
@@ -14,17 +16,26 @@
 //! * `--check` replays the standard scenario registry against the
 //!   committed golden summary (`golden/sweeps/`, override with
 //!   `CCWAN_GOLDEN_DIR`) and exits nonzero on any drift — the CI
-//!   regression gate. `--bless` rewrites the golden file after an
-//!   intentional behavior change. Either way the observed summary is also
-//!   written under `target/sweep-summaries/` for CI artifact upload.
-//! * `--traced` (with `--check`) runs every registry cell on the engine's
-//!   *traced* path, freshly executed, and diffs the per-spec summaries
-//!   against the same golden files. Traced and untraced executions are
-//!   identical by construction, so any drift here is a
-//!   trace-representation regression the untraced gate cannot see.
+//!   regression gate, covering the per-spec frame summaries (probe
+//!   metrics included) since golden format v2. `--bless` rewrites the
+//!   golden file after an intentional behavior change. Either way the
+//!   observed summary is also written under `target/sweep-summaries/` for
+//!   CI artifact upload.
+//! * `--traced` (with `--check`) forces every registry cell onto the
+//!   engine's *traced* path — including specs whose outcome-only probe
+//!   manifest normally opts out — freshly executed, and diffs the
+//!   per-spec summaries against the same golden files. Traced and
+//!   untraced executions are identical by construction, so any drift here
+//!   is a trace-representation or probe-path regression.
+//! * `--metrics <glob>` runs the standard registry sweep (cache-assisted)
+//!   and prints a per-spec summary table of every probe metric whose name
+//!   matches the glob (`*` and `?` wildcards, e.g. `cd_*` or
+//!   `*_rounds`). Ordering is stable — registry order, then canonical
+//!   metric order — and the table is a pure function of the results
+//!   frame, so cold and warm invocations print byte-identical stdout.
 
 use std::path::PathBuf;
-use wan_bench::sweep::{cache, golden, SweepSummary};
+use wan_bench::sweep::{cache, golden, MetricId, Registry, ResultsFrame, SweepSummary};
 use wan_bench::{experiments, Scale, SweepRunner, Table};
 
 type Experiment = fn(Scale) -> Table;
@@ -53,14 +64,38 @@ const EXPERIMENTS: [(&str, Experiment); 16] = [
     ("e16", experiments::extensions::e16_counting_separation),
 ];
 
+const USAGE: &str = "\
+usage: run_experiments [--quick] [--only eN] [--cache | --no-cache]
+       run_experiments --check [--quick] [--bless] [--no-cache] [--traced]
+       run_experiments --metrics <glob> [--quick] [--cache | --no-cache]
+       run_experiments --help
+
+  --quick           CI-sized sweeps (5 seeds/spec) instead of paper-sized
+  --only eN         run a single experiment (e1..e16)
+  --cache           consult the persistent sweep result cache (default)
+  --no-cache        force fresh execution of every cell
+  --check           gate the standard registry against golden/sweeps/
+  --bless           (with --check) regenerate the golden summary
+  --traced          (with --check) force every cell onto the traced path
+  --metrics <glob>  print a per-spec summary of every probe metric whose
+                    name matches the glob (`*`/`?` wildcards, e.g.
+                    'cd_*', 'decision_latency'); stable ordering,
+                    byte-identical stdout across cold and warm runs
+  --help            this text";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let mut only: Option<String> = None;
+    let mut metrics: Option<String> = None;
     let (mut quick, mut use_cache, mut check, mut bless, mut traced) =
         (false, true, false, false, false);
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             "--quick" => quick = true,
             "--cache" => use_cache = true,
             "--no-cache" => use_cache = false,
@@ -69,6 +104,16 @@ fn main() {
             "--bless" => {
                 check = true;
                 bless = true;
+            }
+            "--metrics" => {
+                i += 1;
+                match args.get(i) {
+                    Some(glob) => metrics = Some(glob.clone()),
+                    None => {
+                        eprintln!("--metrics requires a glob (e.g. 'cd_*'); see --help");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--only" => {
                 i += 1;
@@ -84,10 +129,7 @@ fn main() {
                 }
             }
             other => {
-                eprintln!(
-                    "unknown argument {other:?}; usage: run_experiments [--quick] [--only eN] \
-                     [--cache | --no-cache] [--check [--bless] [--traced]]"
-                );
+                eprintln!("unknown argument {other:?}\n{USAGE}");
                 std::process::exit(2);
             }
         }
@@ -104,6 +146,11 @@ fn main() {
 
     if traced && !check {
         eprintln!("--traced only applies to --check (the traced registry gate)");
+        std::process::exit(2);
+    }
+
+    if metrics.is_some() && (check || only.is_some()) {
+        eprintln!("--metrics is its own mode; it cannot be combined with --check or --only");
         std::process::exit(2);
     }
 
@@ -125,6 +172,8 @@ fn main() {
 
     let code = if check {
         run_check(scale, bless, traced)
+    } else if let Some(glob) = metrics {
+        run_metrics(scale, &glob)
     } else {
         run_suite(scale, only.as_deref())
     };
@@ -146,6 +195,73 @@ fn run_suite(scale: Scale, only: Option<&str>) -> i32 {
         }
         println!("{}", experiment(scale));
     }
+    0
+}
+
+/// Minimal glob matching (`*` = any run, `?` = any one character) for
+/// `--metrics` selection.
+fn glob_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[u8], t: &[u8]) -> bool {
+        match (p.first(), t.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => inner(&p[1..], t) || (!t.is_empty() && inner(p, &t[1..])),
+            (Some(b'?'), Some(_)) => inner(&p[1..], &t[1..]),
+            (Some(a), Some(b)) if a == b => inner(&p[1..], &t[1..]),
+            _ => false,
+        }
+    }
+    inner(pattern.as_bytes(), text.as_bytes())
+}
+
+/// `--metrics <glob>`: one row per (registry spec, selected metric), with
+/// exact summary statistics from the results frame. Pure function of the
+/// frame, so cold (executed) and warm (cache-served) runs are
+/// byte-identical on stdout.
+fn run_metrics(scale: Scale, glob: &str) -> i32 {
+    let selected: Vec<MetricId> = MetricId::ALL
+        .into_iter()
+        .filter(|id| glob_match(glob, id.name()))
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "--metrics {glob:?} matches no metric; known metrics: {}",
+            MetricId::ALL.map(|id| id.name()).join(", ")
+        );
+        return 2;
+    }
+    let registry = Registry::standard(scale);
+    let frame: ResultsFrame = SweepRunner::parallel().run(registry.specs());
+    let mut table = Table::new(
+        format!("Probe metrics matching {glob:?} over the standard registry ({scale:?})"),
+        &[
+            "spec", "metric", "cells", "present", "min", "p50", "max", "sum",
+        ],
+    );
+    let fmt_opt = |v: Option<i128>| v.map_or_else(|| "—".to_string(), |v| v.to_string());
+    for (i, spec) in registry.specs().iter().enumerate() {
+        let spec_frame = frame.spec(i);
+        for &id in &selected {
+            let Some(column) = spec_frame.column(id) else {
+                continue; // this spec's manifest does not emit the metric
+            };
+            table.row(vec![
+                spec.name.clone(),
+                id.name().to_string(),
+                column.len().to_string(),
+                column.count_present().to_string(),
+                fmt_opt(column.min()),
+                fmt_opt(column.percentile(50)),
+                fmt_opt(column.max()),
+                column.sum().to_string(),
+            ]);
+        }
+    }
+    table.note(format!(
+        "{} metric(s) selected; optional metrics count `present` of `cells`; \
+         specs whose probe manifest omits a metric are skipped.",
+        selected.len()
+    ));
+    println!("{table}");
     0
 }
 

@@ -1,7 +1,7 @@
 //! E1: Figure 1 — the collision-detector class lattice, with measured
 //! solvability and round complexity per class (ECF setting).
 
-use crate::sweep::{spec::lattice_specs, Algorithm, SweepRunner};
+use crate::sweep::{spec::lattice_specs, Algorithm, MetricId, SweepRunner};
 use crate::{Scale, Table};
 use ccwan_core::{alg1, ConsensusRun, Value, ValueDomain};
 use wan_cd::NoCdDetector;
@@ -11,11 +11,16 @@ use wan_sim::loss::NoLoss;
 use wan_sim::{Components, Round};
 
 /// One row per Figure 1 class plus `NoCD` and `NoACC`: which algorithm
-/// solves consensus with it (if any), the paper's round bound, and the
-/// measured worst-case rounds past CST across seeds.
+/// solves consensus with it (if any), the paper's round bound, the
+/// measured worst-case rounds past CST across seeds, and the probe-metric
+/// columns the sweep records for free now that cells run traced by
+/// default — mean broadcasts per cell (the Newport abstract-MAC-layer
+/// broadcast complexity) and the detector's accuracy-violation count.
 ///
 /// The per-class measurements run as one parallel scenario sweep (one
-/// spec per class, [`crate::sweep::spec::lattice_specs`]).
+/// spec per class, [`crate::sweep::spec::lattice_specs`]); the extra
+/// columns read the [`crate::sweep::ResultsFrame`]'s metric columns
+/// instead of any hand-rolled re-run.
 pub fn e1_figure1_lattice(scale: Scale) -> Table {
     let mut t = Table::new(
         "E1 (Figure 1): collision detector classes — solvability and measured rounds past CST",
@@ -25,6 +30,8 @@ pub fn e1_figure1_lattice(scale: Scale) -> Table {
             "algorithm",
             "paper bound",
             "measured worst rounds past CST",
+            "mean broadcasts/cell",
+            "CD false positives",
         ],
     );
     let domain = ValueDomain::new(16);
@@ -35,6 +42,14 @@ pub fn e1_figure1_lattice(scale: Scale) -> Table {
     let results = SweepRunner::parallel().run(&specs);
     for (i, spec) in specs.iter().enumerate() {
         let worst = results.worst_rounds_past(i);
+        let frame = results.spec(i);
+        let mean_broadcasts = frame
+            .column(MetricId::BroadcastsTotal)
+            .and_then(|col| col.mean())
+            .map_or_else(|| "—".to_string(), |m| format!("{m:.1}"));
+        let false_positives = frame
+            .column(MetricId::CdFalsePositives)
+            .map_or_else(|| "—".to_string(), |col| col.sum().to_string());
         let (alg_name, bound) = match spec.algorithm {
             Algorithm::Alg1 => ("Algorithm 1", "CST + 2".to_string()),
             _ => (
@@ -48,6 +63,8 @@ pub fn e1_figure1_lattice(scale: Scale) -> Table {
             alg_name.into(),
             bound,
             worst.to_string(),
+            mean_broadcasts,
+            false_positives,
         ]);
     }
 
@@ -70,6 +87,8 @@ pub fn e1_figure1_lattice(scale: Scale) -> Table {
         "—".into(),
         "impossible".into(),
         format!("no decision in {horizon} rounds: {}", !out.terminated),
+        "—".into(),
+        "—".into(),
     ]);
     t.row(vec![
         "NoACC".into(),
@@ -77,6 +96,8 @@ pub fn e1_figure1_lattice(scale: Scale) -> Table {
         "—".into(),
         "impossible".into(),
         "see E6".into(),
+        "—".into(),
+        "—".into(),
     ]);
     t.note(format!(
         "n = {n}, |V| = {}, chaotic prefix with CST = 6, detector noise up to r_acc, {} seeds; \

@@ -1,13 +1,8 @@
 //! E11–E13: the physical-layer claims behind the model, measured.
 
+use crate::sweep::{spec::phy_e2e_specs, MetricId, MetricValue, SweepRunner};
 use crate::{Scale, Table};
-use ccwan_core::{alg2, ConsensusRun, Cst, Value, ValueDomain};
-use wan_cd::{CdClass, CheckedDetector};
-use wan_cm::BackoffCm;
-use wan_phy::{measure_properties, phy_components, simulate_sync, PhyConfig, SyncConfig};
-use wan_sim::crash::NoCrashes;
-use wan_sim::loss::Ecf;
-use wan_sim::{Components, Round};
+use wan_phy::{measure_properties, simulate_sync, PhyConfig, SyncConfig};
 
 /// E11 (Section 1.3 claim): how often each completeness/accuracy property
 /// holds for the carrier-sensing detector, per offered load.
@@ -74,7 +69,12 @@ pub fn e12_loss_under_load(scale: Scale) -> Table {
 }
 
 /// E13 (Section 4 encapsulation): the backoff contention manager's
-/// measured stabilization, and consensus end-to-end over the real radio.
+/// measured stabilization, and consensus end-to-end over the real radio —
+/// as a scenario sweep over the registry's `phy/` family. What the
+/// pre-probe version hand-rolled (a serial seed loop retaining full
+/// traces to fish out the wake-up round) is now four cached, parallel,
+/// golden-gated specs whose wake-up/latency/CD measurements are probe
+/// metric columns.
 pub fn e13_backoff_and_end_to_end(scale: Scale) -> Table {
     let mut t = Table::new(
         "E13: backoff contention manager stabilization and end-to-end consensus over the radio",
@@ -83,62 +83,66 @@ pub fn e13_backoff_and_end_to_end(scale: Scale) -> Table {
             "mean r_wake (measured)",
             "max r_wake",
             "mean decision round",
+            "CD misses/process-round",
             "success",
         ],
     );
-    let domain = ValueDomain::new(16);
-    for n in [2usize, 4, 8, 16] {
-        let mut wakes = Vec::new();
-        let mut decisions = Vec::new();
+    let specs = phy_e2e_specs(scale);
+    let results = SweepRunner::parallel().run(&specs);
+    for (i, spec) in specs.iter().enumerate() {
+        let frame = results.spec(i);
+        // Like the pre-probe loop: the stabilization statistics cover
+        // *successful* cells only, so a capped or unsafe run cannot skew
+        // the wake/decision columns while the success column flags it.
+        let mut wakes: Vec<u64> = Vec::new();
+        let mut decisions: Vec<u64> = Vec::new();
         let mut successes = 0u64;
-        for seed in 0..scale.seeds() {
-            let (loss, detector) = phy_components(PhyConfig::new(n, seed * 11 + 1));
-            let components = Components {
-                detector: Box::new(CheckedDetector::new(detector, CdClass::ZERO_EV_AC)),
-                manager: Box::new(BackoffCm::new(seed ^ 0xBAC0)),
-                // The radio gives ECF only statistically; the wrapper makes
-                // r_cf explicit so CST is well-defined.
-                loss: Box::new(Ecf::new(loss, Round(1))),
-                crash: Box::new(NoCrashes),
-            };
-            let values: Vec<Value> = (0..n)
-                .map(|i| Value((seed + i as u64) % domain.size()))
-                .collect();
-            let mut run = ConsensusRun::new(alg2::processes(domain, &values), components);
-            let cst_decl = run.cst();
-            let outcome = run.run_to_completion(Round(3000));
-            let measured_wake = run.trace().observed_wakeup_round();
-            let _ = Cst {
-                r_wake: measured_wake,
-                ..cst_decl
-            };
-            if outcome.terminated && outcome.is_safe() {
-                successes += 1;
-                if let Some(w) = measured_wake {
-                    wakes.push(w.0);
-                }
-                decisions.push(outcome.last_decision().unwrap().0);
+        for idx in 0..frame.len() {
+            let cell = results.cell_result(i, idx);
+            if !(cell.terminated && cell.safe) {
+                continue;
+            }
+            successes += 1;
+            let row = frame.row(idx);
+            if let Some(MetricValue::OptU64(Some(wake))) = row.get(MetricId::ObservedWakeupRound) {
+                wakes.push(wake);
+            }
+            if let Some(decided) = cell.last_decision {
+                decisions.push(decided);
             }
         }
         let mean = |v: &[u64]| {
             if v.is_empty() {
-                0.0
+                "—".to_string()
             } else {
-                v.iter().sum::<u64>() as f64 / v.len() as f64
+                format!("{:.1}", v.iter().sum::<u64>() as f64 / v.len() as f64)
             }
         };
+        let miss_rate = frame
+            .column(MetricId::CdMissedDetections)
+            .zip(frame.column(MetricId::CdProcessRounds))
+            .map_or_else(
+                || "—".to_string(),
+                |(miss, total)| format!("{:.4}", miss.sum() as f64 / total.sum().max(1) as f64),
+            );
         t.row(vec![
-            n.to_string(),
-            format!("{:.1}", mean(&wakes)),
-            wakes.iter().max().copied().unwrap_or(0).to_string(),
-            format!("{:.1}", mean(&decisions)),
-            format!("{successes}/{}", scale.seeds()),
+            spec.n.to_string(),
+            mean(&wakes),
+            wakes
+                .iter()
+                .max()
+                .map_or_else(|| "—".to_string(), |m| m.to_string()),
+            mean(&decisions),
+            miss_rate,
+            format!("{successes}/{}", frame.len()),
         ]);
     }
     t.note(
         "Algorithm 2 over the slotted SINR radio with the carrier-sensing detector and the \
          window-doubling backoff manager: the full stack, no formal-model shortcuts. \
-         r_wake is measured from the trace (first round of the stable single-active suffix).",
+         r_wake is the wakeup-stabilization probe's metric (first round of the stable \
+         single-active suffix); CD misses are the accuracy probe's completeness-miss count — \
+         all columns of the same cached sweep the --check gate covers.",
     );
     t
 }

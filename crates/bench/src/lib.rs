@@ -11,7 +11,9 @@ pub mod experiments;
 pub mod sweep;
 pub mod table;
 
-pub use sweep::{Registry, ScenarioSpec, SweepResults, SweepRunner};
+pub use sweep::{
+    MetricId, Probe, ProbeManifest, ProbeSet, Registry, ResultsFrame, ScenarioSpec, SweepRunner,
+};
 pub use table::Table;
 
 /// How big to run the sweeps.

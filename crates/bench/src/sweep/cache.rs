@@ -2,7 +2,8 @@
 //!
 //! Every scenario cell is a pure function of `(spec, case)` — that is the
 //! determinism contract `tests/determinism.rs` pins. This module turns
-//! that contract into *incremental re-runs*: executed [`CellResult`]s are
+//! that contract into *incremental re-runs*: executed [`CellRow`]s (the
+//! cell's full typed [`super::probe::MetricRow`], since schema v2) are
 //! persisted to disk under a key derived from the cell's **content**, and
 //! [`super::SweepRunner::run`] consults the store before executing
 //! anything. A warm run of the full experiment registry executes zero
@@ -18,7 +19,7 @@
 //!   class, environment, crash schedule, `n`, `|V|`, value profile, cap;
 //!   deliberately *not* the cell count, so scaling `Quick` → `Full`
 //!   reuses the cached prefix),
-//! * the case index and its derived RNG seed, and
+//! * the case index and its derived RNG seed,
 //! * the spec's **canary fingerprint**
 //!   ([`super::ScenarioSpec::canary_fingerprint`]): traced reference
 //!   executions of cells 0 and 1, hashed. The canary is re-run once per
@@ -27,21 +28,36 @@
 //!   invalidate stale results even though no spec parameter moved. It is
 //!   a sentinel, not a proof: a code change observable in neither
 //!   reference cell keeps the old keys (use `--no-cache`, or bump
-//!   [`FORMAT_VERSION`], when that certainty matters).
+//!   [`FORMAT_VERSION`], when that certainty matters), and
+//! * the spec's **probe-manifest fingerprint**
+//!   ([`super::probe::ProbeManifest::fingerprint`]): which probes
+//!   observed the cell, plus [`super::probe::PROBE_SCHEMA_VERSION`]. Its
+//!   own lane so that adding a probe to one spec invalidates exactly
+//!   that spec's cached cells — every other spec's keys (and stored
+//!   rows) survive untouched. The schema version matters because probe
+//!   *code* is invisible to the canary (probes read traces, they don't
+//!   shape them): a change to what a built-in probe counts must bump the
+//!   version to retire rows the old code computed.
 //!
 //! ## On-disk format
 //!
 //! JSON lines at `<dir>/cells.jsonl` (default `target/sweep-cache/`): a
 //! versioned header object, then one object per cell, each carrying a
-//! per-line FNV checksum. Loading is corruption-tolerant: a bad or
-//! truncated line is skipped (the cell just re-runs), an unknown header
-//! version ignores the whole file, and the file is rewritten on the next
-//! flush. Appends are atomic enough for the single-writer use this has;
-//! the keys are content-addressed, so a stale or shared file can cause
+//! per-line FNV checksum and the cell's metric row in the compact
+//! `name=token;…` encoding of [`super::probe::MetricRow::encode`].
+//! Loading is corruption-tolerant: a bad or truncated line is skipped
+//! (the cell just re-runs), an unknown header version — including a **v1
+//! store** from before the probe redesign — ignores the whole file, and
+//! the file is rewritten on the next flush (the v1→v2 migration is
+//! exactly this reject-and-rebuild: old lines are discarded without
+//! error, `tests/sweep_cache.rs` pins it against a real v1 fixture).
+//! Appends are atomic enough for the single-writer use this has; the keys
+//! are content-addressed, so a stale or shared file can cause
 //! re-execution but never a wrong result.
 
-use super::json::{escape, field_bool, field_opt_u64, field_str, field_u64, opt_u64_token};
-use super::spec::CellResult;
+use super::json::{escape, field_str, field_u64};
+use super::probe::MetricRow;
+use super::spec::CellRow;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
@@ -51,8 +67,9 @@ use std::sync::Mutex;
 use wan_sim::fingerprint::StableHasher;
 
 /// Bumped whenever the key derivation or line schema changes; a mismatch
-/// ignores the whole file.
-pub const FORMAT_VERSION: u32 = 1;
+/// ignores the whole file. v2: cells store full metric rows, and the
+/// probe-manifest fingerprint joined the key derivation.
+pub const FORMAT_VERSION: u32 = 2;
 const HEADER_TAG: &str = "ccwan-sweep-cache";
 const FILE_NAME: &str = "cells.jsonl";
 
@@ -67,16 +84,23 @@ pub struct CellKey {
 }
 
 impl CellKey {
-    /// Derives the key of one cell from the four content lanes. Changing
+    /// Derives the key of one cell from the five content lanes. Changing
     /// any input changes the key (with overwhelming probability), which is
     /// what the cache-invalidation tests pin down.
-    pub fn derive(params_fp: u64, case: u64, cell_seed: u64, canary_fp: u64) -> CellKey {
+    pub fn derive(
+        params_fp: u64,
+        case: u64,
+        cell_seed: u64,
+        canary_fp: u64,
+        probes_fp: u64,
+    ) -> CellKey {
         let lane = |salt: u64| {
             let mut h = StableHasher::with_salt(salt);
             h.write_u64(params_fp);
             h.write_u64(case);
             h.write_u64(cell_seed);
             h.write_u64(canary_fp);
+            h.write_u64(probes_fp);
             h.finish()
         };
         CellKey {
@@ -102,7 +126,7 @@ impl CellKey {
     }
 }
 
-/// One stored cell: a [`CellResult`] minus `spec_index` (which is the
+/// One stored cell: a [`CellRow`] minus `spec_index` (which is the
 /// position of the spec in the *caller's* slice, not cell content — the
 /// same cell can be row 0 of one sweep and row 7 of another).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,40 +138,28 @@ pub struct CachedCell {
     pub case: u64,
     /// The derived RNG seed the cell ran with.
     pub cell_seed: u64,
-    /// Measurement reference round.
-    pub reference: u64,
-    /// Last decision round, if all correct processes decided.
-    pub last_decision: Option<u64>,
-    /// Whether the run terminated within the cap.
-    pub terminated: bool,
-    /// Whether agreement/validity held.
-    pub safe: bool,
+    /// The cell's full probe measurements.
+    pub metrics: MetricRow,
 }
 
 impl CachedCell {
-    fn from_result(spec_name: &str, result: &CellResult) -> CachedCell {
+    fn from_row(spec_name: &str, row: &CellRow) -> CachedCell {
         CachedCell {
             spec_name: spec_name.to_string(),
-            case: result.case,
-            cell_seed: result.cell_seed,
-            reference: result.reference,
-            last_decision: result.last_decision,
-            terminated: result.terminated,
-            safe: result.safe,
+            case: row.case,
+            cell_seed: row.cell_seed,
+            metrics: row.metrics.clone(),
         }
     }
 
-    /// Reconstitutes the [`CellResult`] exactly as a fresh execution would
+    /// Reconstitutes the [`CellRow`] exactly as a fresh execution would
     /// have produced it, re-anchored at the caller's `spec_index`.
-    pub fn to_result(&self, spec_index: usize) -> CellResult {
-        CellResult {
+    pub fn to_row(&self, spec_index: usize) -> CellRow {
+        CellRow {
             spec_index,
             case: self.case,
             cell_seed: self.cell_seed,
-            reference: self.reference,
-            last_decision: self.last_decision,
-            terminated: self.terminated,
-            safe: self.safe,
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -191,8 +203,8 @@ pub struct SweepCache {
     /// `true` only once a valid format header has been seen on disk (or
     /// written by us). While `false`, the next flush *rewrites* the file —
     /// appending to an empty, truncated-at-birth, unreadable (non-UTF-8),
-    /// or alien-versioned file would produce headerless lines the next
-    /// load rejects wholesale.
+    /// or alien-versioned (e.g. v1) file would produce headerless lines
+    /// the next load rejects wholesale.
     disk_header_ok: bool,
     /// Lifetime counters (pub so the runner can account hits/misses).
     pub stats: CacheStats,
@@ -229,8 +241,9 @@ impl SweepCache {
                 self.disk_header_ok = true;
             }
             Some(_) => {
-                // Alien or corrupted header: nothing in this file can be
-                // trusted to be ours. Skip it all; the next flush rewrites.
+                // Alien, outdated (v1), or corrupted header: nothing in
+                // this file matches this binary's schema. Skip it all; the
+                // next flush rewrites the store from scratch.
                 self.stats.skipped_lines += text.lines().count() as u64;
                 return;
             }
@@ -267,20 +280,14 @@ impl SweepCache {
     /// Looks a cell up. The stored case/seed must match the request (a
     /// 128-bit key collision or hand-edited file otherwise silently
     /// misattributes a result); mismatches are treated as misses.
-    pub fn lookup(
-        &self,
-        key: CellKey,
-        spec_index: usize,
-        case: u64,
-        seed: u64,
-    ) -> Option<CellResult> {
+    pub fn lookup(&self, key: CellKey, spec_index: usize, case: u64, seed: u64) -> Option<CellRow> {
         let cell = self.entries.get(&key)?;
-        (cell.case == case && cell.cell_seed == seed).then(|| cell.to_result(spec_index))
+        (cell.case == case && cell.cell_seed == seed).then(|| cell.to_row(spec_index))
     }
 
     /// Indexes a freshly-executed cell and queues it for the next flush.
-    pub fn record(&mut self, key: CellKey, spec_name: &str, result: &CellResult) {
-        let cell = CachedCell::from_result(spec_name, result);
+    pub fn record(&mut self, key: CellKey, spec_name: &str, row: &CellRow) {
+        let cell = CachedCell::from_row(spec_name, row);
         self.pending.push(encode_line(key, &cell));
         self.entries.insert(key, cell);
     }
@@ -298,8 +305,9 @@ impl SweepCache {
     /// Appends pending entries to disk (creating directory, file, and
     /// header as needed). Unless a valid header was confirmed on disk at
     /// load time, the file is **rewritten**, not appended to — an empty,
-    /// unreadable, or alien-versioned store is replaced rather than grown
-    /// into something the next load would reject.
+    /// unreadable, or alien-versioned store (including a v1 store) is
+    /// replaced rather than grown into something the next load would
+    /// reject.
     pub fn flush(&mut self) -> io::Result<()> {
         if self.pending.is_empty() {
             return Ok(());
@@ -335,15 +343,12 @@ fn header_version(line: &str) -> Option<u32> {
 
 fn encode_line(key: CellKey, cell: &CachedCell) -> String {
     let mut line = format!(
-        "{{\"key\":\"{}\",\"spec\":\"{}\",\"case\":{},\"seed\":{},\"ref\":{},\"decided\":{},\"terminated\":{},\"safe\":{}",
+        "{{\"key\":\"{}\",\"spec\":\"{}\",\"case\":{},\"seed\":{},\"metrics\":\"{}\"",
         key.to_hex(),
         escape(&cell.spec_name),
         cell.case,
         cell.cell_seed,
-        cell.reference,
-        opt_u64_token(cell.last_decision),
-        cell.terminated,
-        cell.safe,
+        escape(&cell.metrics.encode()),
     );
     let crc = StableHasher::hash_str(&line);
     line.push_str(&format!(",\"crc\":\"{crc:016x}\"}}"));
@@ -366,10 +371,7 @@ fn decode_line(line: &str) -> Option<(CellKey, CachedCell)> {
         spec_name: field_str(payload, "spec")?,
         case: field_u64(payload, "case")?,
         cell_seed: field_u64(payload, "seed")?,
-        reference: field_u64(payload, "ref")?,
-        last_decision: field_opt_u64(payload, "decided")?,
-        terminated: field_bool(payload, "terminated")?,
-        safe: field_bool(payload, "safe")?,
+        metrics: MetricRow::decode(&field_str(payload, "metrics")?)?,
     };
     Some((key, cell))
 }
@@ -424,42 +426,50 @@ pub(crate) fn put_global(cache: SweepCache) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::probe::{MetricId, MetricValue};
 
-    fn result(case: u64) -> CellResult {
-        CellResult {
+    fn row(case: u64) -> CellRow {
+        let mut metrics = MetricRow::new();
+        metrics.set(MetricId::Reference, MetricValue::U64(6));
+        metrics.set(
+            MetricId::LastDecision,
+            MetricValue::OptU64(case.is_multiple_of(2).then_some(8 + case)),
+        );
+        metrics.set(MetricId::Terminated, MetricValue::Bool(true));
+        metrics.set(MetricId::Safe, MetricValue::Bool(true));
+        metrics.set(MetricId::BroadcastsTotal, MetricValue::U64(40 + case));
+        CellRow {
             spec_index: 3,
             case,
             cell_seed: 0xABCD + case,
-            reference: 6,
-            last_decision: case.is_multiple_of(2).then_some(8 + case),
-            terminated: true,
-            safe: true,
+            metrics,
         }
     }
 
     #[test]
     fn encode_decode_roundtrips() {
-        let key = CellKey::derive(1, 2, 3, 4);
-        let cell = CachedCell::from_result("lattice/maj-AC", &result(2));
+        let key = CellKey::derive(1, 2, 3, 4, 5);
+        let cell = CachedCell::from_row("lattice/maj-AC", &row(2));
         let line = encode_line(key, &cell);
         let (k, c) = decode_line(&line).expect("own lines decode");
         assert_eq!(k, key);
         assert_eq!(c, cell);
         // spec_index is re-anchored by the caller, not stored.
-        assert_eq!(c.to_result(9).spec_index, 9);
-        assert_eq!(c.to_result(3), result(2));
+        assert_eq!(c.to_row(9).spec_index, 9);
+        assert_eq!(c.to_row(3), row(2));
     }
 
     #[test]
     fn key_hex_roundtrips_and_lanes_are_independent() {
-        let key = CellKey::derive(10, 20, 30, 40);
+        let key = CellKey::derive(10, 20, 30, 40, 50);
         assert_eq!(CellKey::from_hex(&key.to_hex()), Some(key));
         assert_eq!(CellKey::from_hex("short"), None);
         for (a, b) in [
-            (CellKey::derive(11, 20, 30, 40), key),
-            (CellKey::derive(10, 21, 30, 40), key),
-            (CellKey::derive(10, 20, 31, 40), key),
-            (CellKey::derive(10, 20, 30, 41), key),
+            (CellKey::derive(11, 20, 30, 40, 50), key),
+            (CellKey::derive(10, 21, 30, 40, 50), key),
+            (CellKey::derive(10, 20, 31, 40, 50), key),
+            (CellKey::derive(10, 20, 30, 41, 50), key),
+            (CellKey::derive(10, 20, 30, 40, 51), key),
         ] {
             assert_ne!(a, b, "every content lane must feed the key");
         }
@@ -467,13 +477,13 @@ mod tests {
 
     #[test]
     fn absorb_skips_corrupt_lines_and_keeps_good_ones() {
-        let key_a = CellKey::derive(1, 0, 7, 9);
-        let key_b = CellKey::derive(1, 1, 8, 9);
-        let good_a = encode_line(key_a, &CachedCell::from_result("s", &result(0)));
-        let good_b = encode_line(key_b, &CachedCell::from_result("s", &result(1)));
+        let key_a = CellKey::derive(1, 0, 7, 9, 2);
+        let key_b = CellKey::derive(1, 1, 8, 9, 2);
+        let good_a = encode_line(key_a, &CachedCell::from_row("s", &row(0)));
+        let good_b = encode_line(key_b, &CachedCell::from_row("s", &row(1)));
         let mut flipped = good_b.clone();
         // Flip one digit inside the payload: the crc must reject it.
-        let pos = flipped.find("\"ref\":6").unwrap() + 6;
+        let pos = flipped.find("reference=u6").unwrap() + 11;
         flipped.replace_range(pos..pos + 1, "7");
         let text = format!(
             "{{\"{HEADER_TAG}\":{FORMAT_VERSION}}}\n{good_a}\nnot json at all\n{flipped}\n{}\n",
@@ -490,8 +500,8 @@ mod tests {
     #[test]
     fn alien_header_ignores_whole_file() {
         let line = encode_line(
-            CellKey::derive(1, 0, 7, 9),
-            &CachedCell::from_result("s", &result(0)),
+            CellKey::derive(1, 0, 7, 9, 2),
+            &CachedCell::from_row("s", &row(0)),
         );
         let mut cache = SweepCache::open("/nonexistent-dir-for-test");
         cache.absorb(&format!("{{\"{HEADER_TAG}\":999}}\n{line}\n"));
@@ -503,6 +513,45 @@ mod tests {
         );
     }
 
+    /// The v1→v2 migration: a store written by the pre-probe schema (v1
+    /// header, `ref`/`decided`/`terminated`/`safe` fields) is rejected
+    /// wholesale without error — its lines are discarded, nothing is
+    /// served from it, and the next flush rewrites the file under the v2
+    /// header.
+    #[test]
+    fn v1_store_is_rejected_and_rebuilt() {
+        // A faithful v1 fixture: the exact header and line shape PR 3
+        // wrote (crc computed the way v1 computed it, over the payload).
+        let payload = "{\"key\":\"00000000000000010000000000000002\",\"spec\":\"lattice/maj-AC\",\
+                       \"case\":0,\"seed\":43981,\"ref\":6,\"decided\":8,\"terminated\":true,\"safe\":true";
+        let crc = StableHasher::hash_str(payload);
+        let v1_text = format!("{{\"{HEADER_TAG}\":1}}\n{payload},\"crc\":\"{crc:016x}\"}}\n");
+
+        let dir = std::env::temp_dir().join(format!("ccwan-cache-v1v2-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(FILE_NAME), &v1_text).unwrap();
+
+        let mut cache = SweepCache::open(&dir);
+        assert!(cache.is_empty(), "no v1 line may be served");
+        assert_eq!(cache.stats.loaded, 0);
+        assert_eq!(cache.stats.skipped_lines, 2, "header + line both discarded");
+        assert!(!cache.disk_header_ok, "v1 stores must be rewritten");
+
+        // Recording and flushing rebuilds a clean v2 store.
+        let key = CellKey::derive(1, 0, 7, 9, 2);
+        cache.record(key, "s", &row(0));
+        cache.flush().unwrap();
+        let rebuilt = fs::read_to_string(dir.join(FILE_NAME)).unwrap();
+        assert!(rebuilt.starts_with(&format!("{{\"{HEADER_TAG}\":{FORMAT_VERSION}}}")));
+        assert!(!rebuilt.contains("\"decided\""), "no v1 line survives");
+        let reloaded = SweepCache::open(&dir);
+        assert_eq!(reloaded.stats.loaded, 1);
+        assert_eq!(reloaded.stats.skipped_lines, 0);
+        assert!(reloaded.lookup(key, 0, 0, 0xABCD).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
     /// Regression: an existing-but-headerless store (empty file from an
     /// interrupted first write, or unreadable/alien content) must be
     /// rewritten with a header on flush — appending would produce a file
@@ -512,12 +561,12 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ccwan-cache-header-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
-        let key = CellKey::derive(1, 2, 3, 4);
+        let key = CellKey::derive(1, 2, 3, 4, 5);
         for seed_content in [b"".to_vec(), b"\xFF\xFEnot utf8".to_vec()] {
             fs::write(dir.join(FILE_NAME), &seed_content).unwrap();
             let mut cache = SweepCache::open(&dir);
             assert!(!cache.disk_header_ok);
-            cache.record(key, "s", &result(2));
+            cache.record(key, "s", &row(2));
             cache.flush().unwrap();
             let reloaded = SweepCache::open(&dir);
             assert!(reloaded.disk_header_ok);
@@ -531,7 +580,7 @@ mod tests {
         // And a valid store keeps append semantics: a second flush must
         // not drop previously flushed entries.
         let mut cache = SweepCache::open(&dir);
-        cache.record(CellKey::derive(9, 0, 1, 2), "s", &result(0));
+        cache.record(CellKey::derive(9, 0, 1, 2, 3), "s", &row(0));
         cache.flush().unwrap();
         assert_eq!(SweepCache::open(&dir).stats.loaded, 2);
         let _ = fs::remove_dir_all(&dir);
@@ -539,9 +588,9 @@ mod tests {
 
     #[test]
     fn lookup_rejects_case_or_seed_mismatch() {
-        let key = CellKey::derive(1, 2, 3, 4);
+        let key = CellKey::derive(1, 2, 3, 4, 5);
         let mut cache = SweepCache::open("/nonexistent-dir-for-test");
-        cache.record(key, "s", &result(2));
+        cache.record(key, "s", &row(2));
         assert!(cache.lookup(key, 0, 2, 0xABCF).is_some());
         assert!(cache.lookup(key, 0, 3, 0xABCF).is_none());
         assert!(cache.lookup(key, 0, 2, 0xFFFF).is_none());

@@ -1,0 +1,435 @@
+//! The columnar sweep result frame: struct-of-arrays metric columns per
+//! spec, mirroring the trace arena's representation discipline.
+//!
+//! A sweep used to produce a `Vec<CellResult>` — one owned struct per
+//! cell, four hard-coded fields. A [`ResultsFrame`] instead holds, per
+//! spec, one typed column per [`MetricId`] the spec's probe manifest
+//! emitted ([`MetricColumn`] — `Vec<u64>`, `Vec<Option<u64>>`, …), plus
+//! the cell coordinate columns (case, derived seed). Summary and
+//! percentile accessors on the columns replace the ad-hoc aggregation the
+//! golden gate and the experiment tables used to hand-roll; the legacy
+//! [`CellResult`] remains available through the bit-compatible
+//! [`ResultsFrame::cell_result`] accessor, derived from the core columns.
+//!
+//! Frames are deterministic down to the byte: columns are in ascending
+//! [`MetricId`] order, rows in cell order, and every value is an exact
+//! integer/bool — [`ResultsFrame::render`] and
+//! [`ResultsFrame::fingerprint`] are what the determinism suite pins
+//! across serial/parallel runs and across processes.
+
+use super::probe::{MetricId, MetricRow, MetricValue};
+use super::spec::{CellResult, CellRow, ScenarioSpec};
+use wan_sim::fingerprint::{absorb_debug, StableHasher};
+
+/// One metric across all cells of a spec, stored as a typed array. The
+/// variant is fixed by the first cell's value (every cell of a spec emits
+/// the same metric set with the same types — the probes are deterministic
+/// per manifest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricColumn {
+    /// Unsigned counts / round numbers.
+    U64(Vec<u64>),
+    /// Signed quantities.
+    I64(Vec<i64>),
+    /// Flags.
+    Bool(Vec<bool>),
+    /// Optional round numbers.
+    OptU64(Vec<Option<u64>>),
+    /// Optional signed quantities.
+    OptI64(Vec<Option<i64>>),
+}
+
+impl MetricColumn {
+    fn for_value(value: MetricValue) -> MetricColumn {
+        match value {
+            MetricValue::U64(_) => MetricColumn::U64(Vec::new()),
+            MetricValue::I64(_) => MetricColumn::I64(Vec::new()),
+            MetricValue::Bool(_) => MetricColumn::Bool(Vec::new()),
+            MetricValue::OptU64(_) => MetricColumn::OptU64(Vec::new()),
+            MetricValue::OptI64(_) => MetricColumn::OptI64(Vec::new()),
+        }
+    }
+
+    fn push(&mut self, value: MetricValue) {
+        match (self, value) {
+            (MetricColumn::U64(col), MetricValue::U64(v)) => col.push(v),
+            (MetricColumn::I64(col), MetricValue::I64(v)) => col.push(v),
+            (MetricColumn::Bool(col), MetricValue::Bool(v)) => col.push(v),
+            (MetricColumn::OptU64(col), MetricValue::OptU64(v)) => col.push(v),
+            (MetricColumn::OptI64(col), MetricValue::OptI64(v)) => col.push(v),
+            _ => panic!("metric changed type across cells of one spec"),
+        }
+    }
+
+    /// Number of cells in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            MetricColumn::U64(col) => col.len(),
+            MetricColumn::I64(col) => col.len(),
+            MetricColumn::Bool(col) => col.len(),
+            MetricColumn::OptU64(col) => col.len(),
+            MetricColumn::OptI64(col) => col.len(),
+        }
+    }
+
+    /// Whether the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value of cell `idx`, back in row form.
+    pub fn value(&self, idx: usize) -> MetricValue {
+        match self {
+            MetricColumn::U64(col) => MetricValue::U64(col[idx]),
+            MetricColumn::I64(col) => MetricValue::I64(col[idx]),
+            MetricColumn::Bool(col) => MetricValue::Bool(col[idx]),
+            MetricColumn::OptU64(col) => MetricValue::OptU64(col[idx]),
+            MetricColumn::OptI64(col) => MetricValue::OptI64(col[idx]),
+        }
+    }
+
+    /// The present (non-`None`) values as exact signed integers
+    /// (`true` = 1), in cell order.
+    pub fn present(&self) -> impl Iterator<Item = i128> + '_ {
+        (0..self.len()).filter_map(move |i| self.value(i).as_i128())
+    }
+
+    /// Number of present values.
+    pub fn count_present(&self) -> u64 {
+        self.present().count() as u64
+    }
+
+    /// Sum of the present values.
+    pub fn sum(&self) -> i128 {
+        self.present().sum()
+    }
+
+    /// Minimum present value, if any.
+    pub fn min(&self) -> Option<i128> {
+        self.present().min()
+    }
+
+    /// Maximum present value, if any.
+    pub fn max(&self) -> Option<i128> {
+        self.present().max()
+    }
+
+    /// Mean of the present values, if any.
+    pub fn mean(&self) -> Option<f64> {
+        let count = self.count_present();
+        (count > 0).then(|| self.sum() as f64 / count as f64)
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100) over the present values.
+    /// `p = 50` is the median; `p = 100` the maximum.
+    pub fn percentile(&self, p: u32) -> Option<i128> {
+        assert!(p <= 100, "percentile out of range");
+        let mut values: Vec<i128> = self.present().collect();
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_unstable();
+        let rank = ((p as usize) * values.len()).div_ceil(100).max(1) - 1;
+        Some(values[rank.min(values.len() - 1)])
+    }
+}
+
+/// All cells of one spec, as columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecFrame {
+    /// The spec's registry name.
+    name: String,
+    /// Case indices, in cell order.
+    cases: Vec<u64>,
+    /// Derived RNG seeds, in cell order.
+    seeds: Vec<u64>,
+    /// Metric columns, ascending [`MetricId`].
+    columns: Vec<(MetricId, MetricColumn)>,
+}
+
+impl SpecFrame {
+    fn new(name: &str) -> SpecFrame {
+        SpecFrame {
+            name: name.to_string(),
+            cases: Vec::new(),
+            seeds: Vec::new(),
+            columns: Vec::new(),
+        }
+    }
+
+    fn push_row(&mut self, row: &CellRow) {
+        if self.cases.is_empty() {
+            self.columns = row
+                .metrics
+                .iter()
+                .map(|(id, value)| (id, MetricColumn::for_value(value)))
+                .collect();
+        } else {
+            assert_eq!(
+                self.columns.len(),
+                row.metrics.len(),
+                "{}: cells emitted different metric sets",
+                self.name
+            );
+        }
+        self.cases.push(row.case);
+        self.seeds.push(row.cell_seed);
+        for ((col_id, column), (row_id, value)) in self.columns.iter_mut().zip(row.metrics.iter()) {
+            assert_eq!(*col_id, row_id, "{}: metric ids diverged", self.name);
+            column.push(value);
+        }
+    }
+
+    /// The spec's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Whether the spec contributed no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Case indices, in cell order.
+    pub fn cases(&self) -> &[u64] {
+        &self.cases
+    }
+
+    /// Derived RNG seeds, in cell order.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// The metric ids this spec's cells emitted, ascending.
+    pub fn metric_ids(&self) -> impl Iterator<Item = MetricId> + '_ {
+        self.columns.iter().map(|&(id, _)| id)
+    }
+
+    /// The column of `id`, if the spec's manifest emitted it.
+    pub fn column(&self, id: MetricId) -> Option<&MetricColumn> {
+        self.columns
+            .iter()
+            .find(|(col_id, _)| *col_id == id)
+            .map(|(_, col)| col)
+    }
+
+    /// Cell `idx`'s metrics, reassembled into a row.
+    pub fn row(&self, idx: usize) -> MetricRow {
+        let mut row = MetricRow::new();
+        for (id, column) in &self.columns {
+            row.set(*id, column.value(idx));
+        }
+        row
+    }
+
+    /// A stable digest over every cell of the spec: coordinates plus the
+    /// full metric columns. Independent of the spec's position in the
+    /// sweep; sensitive to any single value.
+    pub fn digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_usize(self.cases.len());
+        for (&case, &seed) in self.cases.iter().zip(&self.seeds) {
+            h.write_u64(case);
+            h.write_u64(seed);
+        }
+        h.write_usize(self.columns.len());
+        for (id, column) in &self.columns {
+            h.write_bytes(id.name().as_bytes());
+            absorb_debug(&mut h, column);
+        }
+        h.finish()
+    }
+}
+
+/// The outcome of a sweep: one [`SpecFrame`] per input spec, in spec
+/// order. Replaces the flat `Vec<CellResult>` of the pre-probe API; the
+/// legacy view is served by [`ResultsFrame::cell_result`] /
+/// [`ResultsFrame::cell_results`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultsFrame {
+    specs: Vec<SpecFrame>,
+}
+
+impl ResultsFrame {
+    /// Assembles a frame from executed cell rows in canonical cell order
+    /// (spec-major, then case) — the shape every sweep produces.
+    pub fn from_rows(specs: &[ScenarioSpec], rows: Vec<CellRow>) -> ResultsFrame {
+        let mut frames: Vec<SpecFrame> = specs.iter().map(|s| SpecFrame::new(&s.name)).collect();
+        for row in &rows {
+            frames[row.spec_index].push_row(row);
+        }
+        ResultsFrame { specs: frames }
+    }
+
+    /// The per-spec frames, in spec order.
+    pub fn specs(&self) -> &[SpecFrame] {
+        &self.specs
+    }
+
+    /// The frame of spec `spec_index`.
+    pub fn spec(&self, spec_index: usize) -> &SpecFrame {
+        &self.specs[spec_index]
+    }
+
+    /// Total cells across all specs.
+    pub fn cell_count(&self) -> usize {
+        self.specs.iter().map(SpecFrame::len).sum()
+    }
+
+    /// The legacy [`CellResult`] of one cell, bit-compatible with what
+    /// `run_cell` returned before the probe redesign — derived from the
+    /// core metric columns.
+    pub fn cell_result(&self, spec_index: usize, idx: usize) -> CellResult {
+        let spec = &self.specs[spec_index];
+        let u64_of = |id: MetricId| match spec.column(id) {
+            Some(MetricColumn::U64(col)) => col[idx],
+            _ => panic!("core metric {} missing from spec {}", id, spec.name),
+        };
+        let bool_of = |id: MetricId| match spec.column(id) {
+            Some(MetricColumn::Bool(col)) => col[idx],
+            _ => panic!("core metric {} missing from spec {}", id, spec.name),
+        };
+        let last_decision = match spec.column(MetricId::LastDecision) {
+            Some(MetricColumn::OptU64(col)) => col[idx],
+            _ => panic!("core metric last_decision missing from spec {}", spec.name),
+        };
+        CellResult {
+            spec_index,
+            case: spec.cases[idx],
+            cell_seed: spec.seeds[idx],
+            reference: u64_of(MetricId::Reference),
+            last_decision,
+            terminated: bool_of(MetricId::Terminated),
+            safe: bool_of(MetricId::Safe),
+        }
+    }
+
+    /// Every cell's legacy result, in canonical cell order.
+    pub fn cell_results(&self) -> Vec<CellResult> {
+        (0..self.specs.len())
+            .flat_map(|s| (0..self.specs[s].len()).map(move |i| (s, i)))
+            .map(|(s, i)| self.cell_result(s, i))
+            .collect()
+    }
+
+    /// The worst (max) rounds past the measurement reference across a
+    /// spec's cells; panics on any safety violation or non-termination so
+    /// experiment tables can't silently hide broken runs. (The saturating
+    /// legacy statistic — see [`MetricId::DecisionLatency`] for the
+    /// signed distance.)
+    pub fn worst_rounds_past(&self, spec_index: usize) -> u64 {
+        let spec = &self.specs[spec_index];
+        assert!(!spec.is_empty(), "spec {spec_index} has no cells");
+        let mut worst = 0;
+        for idx in 0..spec.len() {
+            let cell = self.cell_result(spec_index, idx);
+            assert!(
+                cell.safe,
+                "safety violation in spec {spec_index} cell {} (seed {})",
+                cell.case, cell.cell_seed
+            );
+            assert!(
+                cell.terminated,
+                "non-termination in spec {spec_index} cell {} (seed {})",
+                cell.case, cell.cell_seed
+            );
+            worst = worst.max(cell.rounds_past_reference().unwrap_or(0));
+        }
+        worst
+    }
+
+    /// A stable textual rendering of every cell and metric (for equality
+    /// assertions and byte-level determinism tests).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (spec_index, spec) in self.specs.iter().enumerate() {
+            for idx in 0..spec.len() {
+                out.push_str(&format!(
+                    "spec={} name={} case={} seed={:#018x} {}\n",
+                    spec_index,
+                    spec.name,
+                    spec.cases[idx],
+                    spec.seeds[idx],
+                    spec.row(idx).encode(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// A stable 64-bit fingerprint of the whole frame (all specs, all
+    /// columns) — what the cross-process determinism tests compare.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_usize(self.specs.len());
+        for spec in &self.specs {
+            h.write_bytes(spec.name.as_bytes());
+            h.write_u64(spec.digest());
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::spec::lattice_specs;
+    use crate::sweep::SweepRunner;
+    use crate::Scale;
+
+    #[test]
+    fn column_summaries() {
+        let col = MetricColumn::OptU64(vec![Some(4), None, Some(10), Some(6)]);
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.count_present(), 3);
+        assert_eq!(col.sum(), 20);
+        assert_eq!(col.min(), Some(4));
+        assert_eq!(col.max(), Some(10));
+        assert_eq!(col.mean(), Some(20.0 / 3.0));
+        assert_eq!(col.percentile(0), Some(4));
+        assert_eq!(col.percentile(50), Some(6));
+        assert_eq!(col.percentile(100), Some(10));
+        let empty = MetricColumn::OptU64(vec![None, None]);
+        assert_eq!(empty.percentile(50), None);
+        assert_eq!(empty.mean(), None);
+        let signed = MetricColumn::I64(vec![-3, 5, 1]);
+        assert_eq!(signed.min(), Some(-3));
+        assert_eq!(signed.percentile(50), Some(1));
+        let flags = MetricColumn::Bool(vec![true, false, true]);
+        assert_eq!(flags.sum(), 2);
+    }
+
+    #[test]
+    fn frame_round_trips_cells_and_digests_move() {
+        let specs = &lattice_specs(Scale::Quick)[..2];
+        let frame = SweepRunner::serial().run_fresh(specs);
+        assert_eq!(frame.specs().len(), 2);
+        assert_eq!(
+            frame.cell_count(),
+            specs.iter().map(|s| s.seeds as usize).sum::<usize>()
+        );
+        // Row/column round trip.
+        let spec = frame.spec(0);
+        let row = spec.row(1);
+        for (id, value) in row.iter() {
+            assert_eq!(spec.column(id).unwrap().value(1), value);
+        }
+        // The compat accessor matches the legacy accessor's semantics.
+        let cell = frame.cell_result(0, 1);
+        assert_eq!(cell.case, spec.cases()[1]);
+        assert_eq!(cell.cell_seed, spec.seeds()[1]);
+        assert!(cell.safe && cell.terminated);
+        // Digest sensitivity: the same sweep re-run digests identically...
+        let again = SweepRunner::serial().run_fresh(specs);
+        assert_eq!(frame, again);
+        assert_eq!(frame.fingerprint(), again.fingerprint());
+        assert_eq!(frame.render(), again.render());
+        // ...and distinct specs digest differently.
+        assert_ne!(frame.spec(0).digest(), frame.spec(1).digest());
+    }
+}

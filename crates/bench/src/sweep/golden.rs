@@ -1,27 +1,32 @@
 //! Golden sweep summaries: the experiment matrix as a CI regression gate.
 //!
 //! `run_experiments --check` re-executes the standard scenario registry
-//! (through the result cache, so a warm run is I/O-bound), summarizes it
-//! per spec, and compares against the committed golden file under
-//! `golden/sweeps/` — any drift (a changed worst-case bound, a safety or
-//! termination flip, or any cell-level change via the per-spec digest)
-//! exits nonzero. `--bless` regenerates the golden file after an
-//! *intentional* behavior change.
+//! (through the result cache, so a warm run is I/O-bound), summarizes the
+//! resulting [`ResultsFrame`] per spec, and compares against the committed
+//! golden file under `golden/sweeps/` — any drift (a changed worst-case
+//! bound, a safety or termination flip, a moved probe metric, or any
+//! cell-level change via the per-spec digests) exits nonzero. `--bless`
+//! regenerates the golden file after an *intentional* behavior change.
 //!
-//! The summary is deliberately cell-exact: each spec row carries a stable
-//! FNV digest over every cell's full result, so the gate catches drift
-//! that aggregate statistics would hide, while the committed file stays a
-//! reviewable handful of lines per spec.
+//! The summary is deliberately cell-exact at two depths: each spec row
+//! carries the legacy stable FNV digest over every cell's core result
+//! (continuity with the pre-probe gate) **and** a frame digest over every
+//! metric column the spec's probe manifest emitted — so the gate catches
+//! drift in any probe measurement, not just the four legacy fields, while
+//! the committed file stays a reviewable handful of lines per spec.
 
-use super::json::{escape, field_opt_u64, field_str, field_u64, opt_u64_token};
-use super::runner::{SweepResults, SweepRunner};
+use super::frame::ResultsFrame;
+use super::json::{escape, field_opt, field_str, field_u64, opt_token};
+use super::probe::MetricId;
+use super::runner::SweepRunner;
 use super::spec::{Registry, ScenarioSpec};
 use crate::Scale;
 use wan_sim::fingerprint::StableHasher;
 
 /// Bumped when the summary schema changes; a mismatch fails `--check`
-/// with a regeneration hint.
-pub const FORMAT_VERSION: u32 = 1;
+/// with a regeneration hint. v2: frame digests and probe summary fields
+/// joined the per-spec rows.
+pub const FORMAT_VERSION: u32 = 2;
 const HEADER_TAG: &str = "ccwan-golden-sweep";
 
 /// The committed file name for a scale's registry summary.
@@ -50,11 +55,23 @@ pub struct SpecSummary {
     pub safe: u64,
     /// How many cells terminated within the cap.
     pub terminated: u64,
-    /// Worst rounds past the measurement reference, over deciding cells.
+    /// Worst rounds past the measurement reference, over deciding cells
+    /// (the saturating legacy statistic).
     pub worst_rounds_past: Option<u64>,
-    /// Stable digest over every cell's full result (order-sensitive,
-    /// independent of the spec's position in the registry).
+    /// Worst *signed* decision latency (`max` of the `decision_latency`
+    /// metric over deciding cells — can be negative when every decision
+    /// beat the reference).
+    pub worst_latency: Option<i64>,
+    /// Total broadcasts across the spec's cells (`None` for outcome-only
+    /// manifests, which record no round-derived metrics).
+    pub broadcasts: Option<u64>,
+    /// Stable digest over every cell's core result (order-sensitive,
+    /// independent of the spec's position in the registry) — the legacy
+    /// lane.
     pub digest: u64,
+    /// Stable digest over the spec's full metric columns
+    /// (`SpecFrame::digest`) — catches drift in any probe measurement.
+    pub frame_digest: u64,
 }
 
 /// A full registry summary at one scale.
@@ -76,38 +93,43 @@ impl SweepSummary {
     }
 
     /// As [`SweepSummary::measure`], but every cell runs on the engine's
-    /// *traced* path, always freshly executed (the cache stores untraced
+    /// *traced* path — including outcome-only specs that would normally
+    /// opt out — always freshly executed (the cache stores default-path
     /// measurements; serving them here would defeat the point). Since
     /// traced and untraced executions are identical, the summary must
     /// equal the committed golden file — any difference is
-    /// trace-representation drift.
+    /// trace-representation or probe-path drift.
     pub fn measure_traced(scale: Scale, runner: &SweepRunner) -> SweepSummary {
         let registry = Registry::standard(scale);
         let results = runner.run_fresh_traced(registry.specs());
         SweepSummary::from_results(scale, registry.specs(), &results)
     }
 
-    /// Summarizes already-executed sweep results.
+    /// Summarizes an already-assembled results frame.
     pub fn from_results(
         scale: Scale,
         specs: &[ScenarioSpec],
-        results: &SweepResults,
+        results: &ResultsFrame,
     ) -> SweepSummary {
         let specs = specs
             .iter()
             .enumerate()
             .map(|(i, spec)| {
+                let frame = results.spec(i);
                 let mut row = SpecSummary {
                     name: spec.name.clone(),
-                    cells: 0,
+                    cells: frame.len() as u64,
                     safe: 0,
                     terminated: 0,
                     worst_rounds_past: None,
+                    worst_latency: None,
+                    broadcasts: None,
                     digest: 0,
+                    frame_digest: frame.digest(),
                 };
                 let mut h = StableHasher::new();
-                for cell in results.for_spec(i) {
-                    row.cells += 1;
+                for idx in 0..frame.len() {
+                    let cell = results.cell_result(i, idx);
                     row.safe += u64::from(cell.safe);
                     row.terminated += u64::from(cell.terminated);
                     if let Some(past) = cell.rounds_past_reference() {
@@ -122,6 +144,13 @@ impl SweepSummary {
                     h.write_u64(u64::from(cell.safe));
                 }
                 row.digest = h.finish();
+                row.worst_latency = frame
+                    .column(MetricId::DecisionLatency)
+                    .and_then(|col| col.max())
+                    .map(|v| v as i64);
+                row.broadcasts = frame
+                    .column(MetricId::BroadcastsTotal)
+                    .map(|col| col.sum() as u64);
                 row
             })
             .collect();
@@ -141,13 +170,16 @@ impl SweepSummary {
         for (i, spec) in self.specs.iter().enumerate() {
             let comma = if i + 1 == self.specs.len() { "" } else { "," };
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"cells\":{},\"safe\":{},\"terminated\":{},\"worst\":{},\"digest\":\"{:016x}\"}}{comma}\n",
+                "{{\"name\":\"{}\",\"cells\":{},\"safe\":{},\"terminated\":{},\"worst\":{},\"latency\":{},\"broadcasts\":{},\"digest\":\"{:016x}\",\"frame\":\"{:016x}\"}}{comma}\n",
                 escape(&spec.name),
                 spec.cells,
                 spec.safe,
                 spec.terminated,
-                opt_u64_token(spec.worst_rounds_past),
+                opt_token(spec.worst_rounds_past),
+                opt_token(spec.worst_latency),
+                opt_token(spec.broadcasts),
                 spec.digest,
+                spec.frame_digest,
             ));
         }
         out.push_str("]}\n");
@@ -181,8 +213,11 @@ impl SweepSummary {
                     cells: field_u64(line, "cells")?,
                     safe: field_u64(line, "safe")?,
                     terminated: field_u64(line, "terminated")?,
-                    worst_rounds_past: field_opt_u64(line, "worst")?,
+                    worst_rounds_past: field_opt(line, "worst")?,
+                    worst_latency: field_opt(line, "latency")?,
+                    broadcasts: field_opt(line, "broadcasts")?,
                     digest: u64::from_str_radix(&field_str(line, "digest")?, 16).ok()?,
+                    frame_digest: u64::from_str_radix(&field_str(line, "frame")?, 16).ok()?,
                 })
             };
             specs.push(parse().ok_or_else(|| format!("malformed spec row: {line}"))?);
@@ -226,9 +261,24 @@ impl SweepSummary {
                     format!("{:?}", actual.worst_rounds_past),
                 ),
                 (
+                    "worst_latency",
+                    format!("{:?}", expected.worst_latency),
+                    format!("{:?}", actual.worst_latency),
+                ),
+                (
+                    "broadcasts",
+                    format!("{:?}", expected.broadcasts),
+                    format!("{:?}", actual.broadcasts),
+                ),
+                (
                     "digest",
                     format!("{:016x}", expected.digest),
                     format!("{:016x}", actual.digest),
+                ),
+                (
+                    "frame_digest",
+                    format!("{:016x}", expected.frame_digest),
+                    format!("{:016x}", actual.frame_digest),
                 ),
             ];
             for (field, want, got) in fields {
@@ -269,6 +319,9 @@ mod tests {
         let parsed = SweepSummary::parse(&s.to_json()).expect("own rendering parses");
         assert_eq!(parsed, s);
         assert!(s.diff(&parsed).is_empty());
+        // The probe columns flow into the summary.
+        assert!(s.specs[0].broadcasts.is_some());
+        assert!(s.specs[0].worst_latency.is_some());
     }
 
     #[test]
@@ -277,16 +330,31 @@ mod tests {
         let mut observed = golden.clone();
         observed.specs[0].worst_rounds_past = Some(999);
         observed.specs[1].digest ^= 1;
+        observed.specs[1].frame_digest ^= 1;
         let renamed = observed.specs[1].name.clone() + "-renamed";
         observed.specs.push(SpecSummary {
             name: renamed,
             ..observed.specs[1].clone()
         });
         let drift = golden.diff(&observed);
-        assert_eq!(drift.len(), 3, "{drift:#?}");
+        assert_eq!(drift.len(), 4, "{drift:#?}");
         assert!(drift[0].contains("worst_rounds_past"));
         assert!(drift[1].contains("digest"));
-        assert!(drift[2].contains("absent from the golden"));
+        assert!(drift[2].contains("frame_digest"));
+        assert!(drift[3].contains("absent from the golden"));
+    }
+
+    #[test]
+    fn frame_digest_moves_with_probe_metrics_the_core_digest_ignores() {
+        // Two summaries of the same specs where only a round-derived
+        // metric differs would agree on the legacy digest but disagree on
+        // the frame digest — simulate by perturbing the frame lane only.
+        let golden = summary();
+        let mut observed = golden.clone();
+        observed.specs[0].frame_digest ^= 0xDEAD;
+        let drift = golden.diff(&observed);
+        assert_eq!(drift.len(), 1, "{drift:#?}");
+        assert!(drift[0].contains("frame_digest"));
     }
 
     #[test]
@@ -299,6 +367,18 @@ mod tests {
             1,
         );
         let err = SweepSummary::parse(&future).unwrap_err();
+        assert!(err.contains("--bless"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_v1_summaries_with_a_bless_hint() {
+        // The pre-probe (v1) golden format: no latency/broadcasts/frame
+        // fields. The version gate must fail it cleanly.
+        let v1 = format!(
+            "{{\"{HEADER_TAG}\":1,\"scale\":\"quick\",\"specs\":[\n\
+             {{\"name\":\"x\",\"cells\":5,\"safe\":5,\"terminated\":5,\"worst\":2,\"digest\":\"00000000000000aa\"}}\n]}}\n"
+        );
+        let err = SweepSummary::parse(&v1).unwrap_err();
         assert!(err.contains("--bless"), "{err}");
     }
 }

@@ -81,26 +81,17 @@ pub(crate) fn field_u64(line: &str, name: &str) -> Option<u64> {
     field_raw(line, name)?.parse().ok()
 }
 
-/// A boolean field.
-pub(crate) fn field_bool(line: &str, name: &str) -> Option<bool> {
-    match field_raw(line, name)? {
-        "true" => Some(true),
-        "false" => Some(false),
-        _ => None,
-    }
-}
-
-/// An unsigned integer field that may be `null`. Outer `None` = malformed
-/// or absent; `Some(None)` = present and `null`.
-pub(crate) fn field_opt_u64(line: &str, name: &str) -> Option<Option<u64>> {
+/// An integer field (either signedness) that may be `null`. Outer `None`
+/// = malformed or absent; `Some(None)` = present and `null`.
+pub(crate) fn field_opt<T: std::str::FromStr>(line: &str, name: &str) -> Option<Option<T>> {
     match field_raw(line, name)? {
         "null" => Some(None),
         raw => raw.parse().ok().map(Some),
     }
 }
 
-/// Renders an optional integer as a JSON token.
-pub(crate) fn opt_u64_token(value: Option<u64>) -> String {
+/// Renders an optional integer (either signedness) as a JSON token.
+pub(crate) fn opt_token<T: std::fmt::Display>(value: Option<T>) -> String {
     value.map_or_else(|| "null".to_string(), |v| v.to_string())
 }
 
@@ -123,14 +114,16 @@ mod tests {
 
     #[test]
     fn field_extraction() {
-        let line = r#"{"name":"a/b \"c\"","case":3,"decided":null,"safe":true,"worst":17}"#;
+        let line = r#"{"name":"a/b \"c\"","case":3,"decided":null,"worst":17,"lat":-9}"#;
         assert_eq!(field_str(line, "name").as_deref(), Some(r#"a/b "c""#));
         assert_eq!(field_u64(line, "case"), Some(3));
-        assert_eq!(field_opt_u64(line, "decided"), Some(None));
-        assert_eq!(field_opt_u64(line, "worst"), Some(Some(17)));
-        assert_eq!(field_bool(line, "safe"), Some(true));
+        assert_eq!(field_opt::<u64>(line, "decided"), Some(None));
+        assert_eq!(field_opt::<u64>(line, "worst"), Some(Some(17)));
+        assert_eq!(field_opt::<i64>(line, "decided"), Some(None));
+        assert_eq!(field_opt::<i64>(line, "lat"), Some(Some(-9)));
+        assert_eq!(opt_token(Some(-3i64)), "-3");
+        assert_eq!(opt_token::<u64>(None), "null");
         assert_eq!(field_u64(line, "missing"), None);
-        assert_eq!(field_bool(line, "case"), None);
     }
 
     #[test]

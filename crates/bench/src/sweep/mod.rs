@@ -15,36 +15,59 @@
 //!   (the Figure 1 lattice, the Theorem 1/2 scaling grids, the Section 7.3
 //!   crossover, the Theorem 3 NOCF runs, the ablation arms), shared by the
 //!   experiment tables, the determinism tests, and the benches.
+//! * [`probe`] — the composable observation API: a [`Probe`] is one
+//!   measurement over an execution (fed [`wan_sim::RoundView`]s, emitting
+//!   typed [`MetricId`]/[`MetricValue`] pairs into a reusable
+//!   [`MetricRow`]); a [`ProbeManifest`] is the data form of a spec's
+//!   probe selection (it fingerprints into the cache keys and decides
+//!   whether cells run traced). Cells run **traced by default**;
+//!   outcome-only manifests are the explicit untraced opt-out.
+//! * [`frame`] — the columnar [`ResultsFrame`]: struct-of-arrays metric
+//!   columns per spec (mirroring the trace arena), with
+//!   summary/percentile accessors replacing ad-hoc aggregation in the
+//!   golden gate and the experiment tables. The legacy [`CellResult`]
+//!   survives as a bit-compatible accessor derived from the core columns.
 //! * [`SweepRunner`] — a work-stealing fan-out over OS threads
 //!   (`std::thread::scope`; the environment is offline so rayon is not
 //!   available, and the dependency-free pool below is all the sweep
 //!   needs). Results arrive in deterministic cell order regardless of
 //!   thread count: [`SweepRunner::serial`] and [`SweepRunner::parallel`]
-//!   produce byte-identical [`SweepResults`].
+//!   produce byte-identical [`ResultsFrame`]s.
 //! * [`cache`] — the persistent, content-addressed result cache. Because
-//!   a cell is a pure function of `(spec, index)`, its result can be
-//!   stored under a fingerprint of the spec parameters, the derived seed,
-//!   and a canary trace fingerprint of the engine's reference execution
-//!   (so code changes invalidate correctly); [`SweepRunner::run`]
-//!   consults the store transparently when `run_experiments` installs
-//!   one, making repeat invocations incremental: a warm run executes
-//!   zero cells and prints byte-identical tables.
+//!   a cell is a pure function of `(spec, index)`, its full metric row
+//!   can be stored (schema v2) under a fingerprint of the spec
+//!   parameters, the derived seed, a canary trace fingerprint of the
+//!   engine's reference execution (so code changes invalidate
+//!   correctly), and the probe-manifest fingerprint (so adding a probe
+//!   invalidates only the affected specs); [`SweepRunner::run`] consults
+//!   the store transparently when `run_experiments` installs one, making
+//!   repeat invocations incremental: a warm run executes zero cells and
+//!   prints byte-identical tables.
 //! * [`golden`] — registry summaries as a CI regression gate:
 //!   `run_experiments --check` compares a (cache-assisted) run of the
 //!   standard registry against the committed `golden/sweeps/*.json` and
 //!   exits nonzero on any drift, down to single-cell changes via
-//!   per-spec digests.
+//!   per-spec digests over both the core results and the full frame
+//!   columns.
 //!
 //! The experiment functions in [`crate::experiments`] are thin table
 //! renderers over this subsystem.
 
 pub mod cache;
+pub mod frame;
 pub mod golden;
 mod json;
+pub mod probe;
 pub mod runner;
 pub mod spec;
 
 pub use cache::{CacheStats, CellKey, SweepCache};
+pub use frame::{MetricColumn, ResultsFrame, SpecFrame};
 pub use golden::SweepSummary;
-pub use runner::{SweepResults, SweepRunner};
-pub use spec::{Algorithm, CellResult, CrashPlan, EnvironmentPlan, Registry, ScenarioSpec};
+pub use probe::{
+    CellEnd, MetricId, MetricRow, MetricValue, Probe, ProbeKind, ProbeManifest, ProbeSet,
+};
+pub use runner::SweepRunner;
+pub use spec::{
+    Algorithm, CellResult, CellRow, CrashPlan, EnvironmentPlan, Registry, ScenarioSpec,
+};

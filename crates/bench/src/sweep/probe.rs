@@ -1,0 +1,989 @@
+//! The composable observation API of the sweep subsystem: [`Probe`]s,
+//! the typed [`MetricId`]/[`MetricValue`] vocabulary, and the
+//! zero-steady-state-allocation [`ProbeSet`] that drives them.
+//!
+//! Every claim the paper makes is a *measurement over executions* —
+//! decision rounds past the stabilization reference, broadcast and
+//! contention counts, collision-detector accuracy, crash impact. Before
+//! this module, the sweep substrate could only report the four hard-coded
+//! fields of the legacy `CellResult`, so every richer experiment
+//! hand-rolled its own loops outside the cached/gated sweep path. A
+//! [`Probe`] turns one such measurement into a reusable component:
+//!
+//! * [`Probe::observe`] is called once per recorded round with the
+//!   borrowed [`RoundView`] — the same accessor every trace consumer
+//!   reads — and must not allocate (the `engine_dispatch` bench gates the
+//!   whole probe path at 0 allocs/round in steady state);
+//! * [`Probe::finish`] folds the accumulated state, plus the end-of-cell
+//!   context ([`CellEnd`]: judged outcome and the measurement reference
+//!   round), into typed metrics on a reusable [`MetricRow`];
+//! * [`Probe::reset`] clears the scratch so one probe instance can be
+//!   reused across cells (same discipline as the engine's `RoundBuffers`).
+//!
+//! A [`ProbeManifest`] is the *data* form of a probe selection — it lives
+//! on the `ScenarioSpec`, participates in the sweep-cache cell keys via
+//! [`ProbeManifest::fingerprint`] (so adding a probe to a spec invalidates
+//! exactly that spec's cached cells), and decides whether a cell needs the
+//! traced engine path at all ([`ProbeManifest::needs_trace`] — outcome-only
+//! manifests are the explicit opt-out that keeps pure-throughput sweeps on
+//! the untraced fast path). [`ProbeSet::from_manifest`] instantiates the
+//! built-in probes; ad-hoc consumers (examples, one-off analyses) can
+//! [`ProbeSet::push`] custom [`Probe`] implementations alongside them.
+
+use std::fmt;
+use wan_sim::fingerprint::StableHasher;
+use wan_sim::trace::ExecutionTrace;
+use wan_sim::{Round, RoundView};
+
+/// Bumped whenever a built-in probe's *semantics* change (what a metric
+/// counts, not just which metrics exist). Folded into every
+/// [`ProbeManifest::fingerprint`], so the bump invalidates cached metric
+/// rows that were computed by the old probe code — the invalidation the
+/// canary lane structurally cannot provide, since probe implementations
+/// never alter the traced execution the canary hashes.
+pub const PROBE_SCHEMA_VERSION: u32 = 1;
+
+/// The typed vocabulary of metrics the built-in probes emit. Ordered
+/// (`Ord`) so metric columns and serialized rows have one canonical
+/// order; named ([`MetricId::name`]) so rows persist to the sweep cache
+/// and `--metrics` globs can select them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricId {
+    /// The measurement reference round (declared CST under ECF, the round
+    /// failures cease under NOCF, the collision-freedom wrap round on the
+    /// radio).
+    Reference,
+    /// The last decision round, if every correct process decided.
+    LastDecision,
+    /// Whether every correct process decided within the cap.
+    Terminated,
+    /// Whether agreement/validity held.
+    Safe,
+    /// Signed distance `last_decision − reference`: negative when the
+    /// decision landed *before* the reference round — the value the
+    /// legacy saturating `CellResult::rounds_past_reference` cannot
+    /// express.
+    DecisionLatency,
+    /// Rounds the engine executed (equals the cap for non-terminating
+    /// cells).
+    RoundsExecuted,
+    /// Rounds the probe set observed (the recorded trace length; absent
+    /// column on untraced cells).
+    RoundsObserved,
+    /// Total broadcasts across all observed rounds.
+    BroadcastsTotal,
+    /// Rounds in which no process broadcast (Definition 22's `0`).
+    SilentRounds,
+    /// Rounds in which exactly one process broadcast (`1` — the
+    /// collision-free case).
+    SoloRounds,
+    /// Rounds in which two or more processes broadcast (`2+`).
+    ContendedRounds,
+    /// Alive process-rounds where the detector reported `±` although the
+    /// process received every message sent (an accuracy violation).
+    CdFalsePositives,
+    /// Alive process-rounds where the detector stayed `null` although the
+    /// process lost at least one message (a completeness miss).
+    CdMissedDetections,
+    /// Alive process-rounds observed (the denominator of the two counts
+    /// above).
+    CdProcessRounds,
+    /// Processes that crashed during the run.
+    CrashCount,
+    /// Round of the first crash, if any.
+    FirstCrashRound,
+    /// Process-rounds spent crashed (per-round dead-process count,
+    /// summed).
+    DeadProcessRounds,
+    /// First round of the stable suffix in which exactly one process was
+    /// advised active — the *observed* wake-up stabilization point
+    /// (mirrors `ExecutionTrace::observed_wakeup_round`).
+    ObservedWakeupRound,
+    /// An ad-hoc metric minted by a custom [`Probe`] (see the README's
+    /// worked example and `examples/quickstart.rs`). Sorts after every
+    /// built-in id; not in [`MetricId::ALL`] and not reconstructible by
+    /// [`MetricId::from_name`], so custom metrics flow through frames and
+    /// renders but never through the persistent sweep cache (the registry
+    /// only runs built-in manifests).
+    Custom(&'static str),
+}
+
+impl MetricId {
+    /// Every metric id, in canonical (`Ord`) order.
+    pub const ALL: [MetricId; 18] = [
+        MetricId::Reference,
+        MetricId::LastDecision,
+        MetricId::Terminated,
+        MetricId::Safe,
+        MetricId::DecisionLatency,
+        MetricId::RoundsExecuted,
+        MetricId::RoundsObserved,
+        MetricId::BroadcastsTotal,
+        MetricId::SilentRounds,
+        MetricId::SoloRounds,
+        MetricId::ContendedRounds,
+        MetricId::CdFalsePositives,
+        MetricId::CdMissedDetections,
+        MetricId::CdProcessRounds,
+        MetricId::CrashCount,
+        MetricId::FirstCrashRound,
+        MetricId::DeadProcessRounds,
+        MetricId::ObservedWakeupRound,
+    ];
+
+    /// The stable snake_case name used on disk and in `--metrics` globs.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricId::Reference => "reference",
+            MetricId::LastDecision => "last_decision",
+            MetricId::Terminated => "terminated",
+            MetricId::Safe => "safe",
+            MetricId::DecisionLatency => "decision_latency",
+            MetricId::RoundsExecuted => "rounds_executed",
+            MetricId::RoundsObserved => "rounds_observed",
+            MetricId::BroadcastsTotal => "broadcasts_total",
+            MetricId::SilentRounds => "silent_rounds",
+            MetricId::SoloRounds => "solo_rounds",
+            MetricId::ContendedRounds => "contended_rounds",
+            MetricId::CdFalsePositives => "cd_false_positives",
+            MetricId::CdMissedDetections => "cd_missed_detections",
+            MetricId::CdProcessRounds => "cd_process_rounds",
+            MetricId::CrashCount => "crash_count",
+            MetricId::FirstCrashRound => "first_crash_round",
+            MetricId::DeadProcessRounds => "dead_process_rounds",
+            MetricId::ObservedWakeupRound => "observed_wakeup_round",
+            MetricId::Custom(name) => name,
+        }
+    }
+
+    /// Reverses [`MetricId::name`] for the built-in vocabulary
+    /// ([`MetricId::Custom`] ids are not reconstructible — see its docs).
+    pub fn from_name(name: &str) -> Option<MetricId> {
+        MetricId::ALL.into_iter().find(|id| id.name() == name)
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.name())
+    }
+}
+
+/// One typed metric value. Deliberately integer/bool only — no floats —
+/// so rows hash, compare, and serialize deterministically; derived
+/// statistics (means, fractions) are computed at render time from exact
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricValue {
+    /// An unsigned count or round number.
+    U64(u64),
+    /// A signed quantity (e.g. [`MetricId::DecisionLatency`]).
+    I64(i64),
+    /// A flag.
+    Bool(bool),
+    /// An optional round number (`None` = "did not happen").
+    OptU64(Option<u64>),
+    /// An optional signed quantity.
+    OptI64(Option<i64>),
+}
+
+impl MetricValue {
+    /// The value as a signed 128-bit integer for aggregation (`true` = 1),
+    /// or `None` for an absent optional.
+    pub fn as_i128(self) -> Option<i128> {
+        match self {
+            MetricValue::U64(v) => Some(i128::from(v)),
+            MetricValue::I64(v) => Some(i128::from(v)),
+            MetricValue::Bool(b) => Some(i128::from(b)),
+            MetricValue::OptU64(v) => v.map(i128::from),
+            MetricValue::OptI64(v) => v.map(i128::from),
+        }
+    }
+
+    /// The compact on-disk token (`u6`, `i-2`, `b1`, `o8`/`o-`, `s-2`/`s-`):
+    /// one tag character carrying the variant, then the payload.
+    pub fn encode(self) -> String {
+        match self {
+            MetricValue::U64(v) => format!("u{v}"),
+            MetricValue::I64(v) => format!("i{v}"),
+            MetricValue::Bool(b) => format!("b{}", u8::from(b)),
+            MetricValue::OptU64(Some(v)) => format!("o{v}"),
+            MetricValue::OptU64(None) => "o-".to_string(),
+            MetricValue::OptI64(Some(v)) => format!("s{v}"),
+            MetricValue::OptI64(None) => "s-".to_string(),
+        }
+    }
+
+    /// Reverses [`MetricValue::encode`]. `None` on any malformed token.
+    pub fn decode(token: &str) -> Option<MetricValue> {
+        let payload = token.get(1..)?;
+        match token.as_bytes().first()? {
+            b'u' => payload.parse().ok().map(MetricValue::U64),
+            b'i' => payload.parse().ok().map(MetricValue::I64),
+            b'b' => match payload {
+                "0" => Some(MetricValue::Bool(false)),
+                "1" => Some(MetricValue::Bool(true)),
+                _ => None,
+            },
+            b'o' if payload == "-" => Some(MetricValue::OptU64(None)),
+            b'o' => payload.parse().ok().map(|v| MetricValue::OptU64(Some(v))),
+            b's' if payload == "-" => Some(MetricValue::OptI64(None)),
+            b's' => payload.parse().ok().map(|v| MetricValue::OptI64(Some(v))),
+            _ => None,
+        }
+    }
+}
+
+/// One cell's metrics: `(MetricId, MetricValue)` pairs in ascending id
+/// order (sealed by [`ProbeSet::finish`]). Reusable — [`MetricRow::clear`]
+/// keeps capacity, so filling a row in steady state allocates nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricRow {
+    entries: Vec<(MetricId, MetricValue)>,
+}
+
+impl MetricRow {
+    /// An empty row.
+    pub fn new() -> MetricRow {
+        MetricRow::default()
+    }
+
+    /// Empties the row, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Appends a metric. Each id may appear at most once per row
+    /// (checked when [`ProbeSet::finish`] seals the row).
+    pub fn set(&mut self, id: MetricId, value: MetricValue) {
+        self.entries.push((id, value));
+    }
+
+    /// The value of `id`, if present.
+    pub fn get(&self, id: MetricId) -> Option<MetricValue> {
+        self.entries
+            .iter()
+            .find(|(entry, _)| *entry == id)
+            .map(|&(_, value)| value)
+    }
+
+    /// The entries in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (MetricId, MetricValue)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of metrics in the row.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the row holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorts by id and asserts uniqueness — the canonical form every
+    /// consumer (frame columns, cache lines, renders) relies on.
+    fn seal(&mut self) {
+        self.entries.sort_unstable_by_key(|&(id, _)| id);
+        debug_assert!(
+            self.entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "two probes emitted the same metric id"
+        );
+    }
+
+    /// The on-disk rendering: `name=token` pairs joined by `;`
+    /// (e.g. `reference=u6;last_decision=o8;safe=b1`).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (i, (id, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            out.push_str(id.name());
+            out.push('=');
+            out.push_str(&value.encode());
+        }
+        out
+    }
+
+    /// Reverses [`MetricRow::encode`]. `None` on any malformed pair,
+    /// unknown metric name, or out-of-order/duplicate ids.
+    pub fn decode(text: &str) -> Option<MetricRow> {
+        let mut row = MetricRow::new();
+        if text.is_empty() {
+            return Some(row);
+        }
+        for pair in text.split(';') {
+            let (name, token) = pair.split_once('=')?;
+            let id = MetricId::from_name(name)?;
+            if let Some(&(last, _)) = row.entries.last() {
+                if last >= id {
+                    return None;
+                }
+            }
+            row.set(id, MetricValue::decode(token)?);
+        }
+        Some(row)
+    }
+}
+
+/// End-of-cell context handed to [`Probe::finish`]: the judged outcome of
+/// the run plus the cell's measurement reference round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellEnd {
+    /// The measurement reference round.
+    pub reference: u64,
+    /// The last decision round, if every correct process decided.
+    pub last_decision: Option<u64>,
+    /// Whether every correct process decided within the cap.
+    pub terminated: bool,
+    /// Whether agreement/validity held.
+    pub safe: bool,
+    /// Rounds the engine executed.
+    pub rounds_executed: u64,
+}
+
+/// One measurement over an execution, fed round views during the run and
+/// asked for typed metrics at the end. Generic over the algorithm's
+/// message type `M` because [`RoundView`] is; the built-in probes read
+/// only message-independent columns (advice, counts, senders, liveness)
+/// and therefore implement `Probe<M>` for every `M`.
+///
+/// The contract that keeps traced-by-default sweeps affordable:
+/// [`Probe::observe`] must not allocate — accumulate into plain counters
+/// or fixed scratch reset by [`Probe::reset`]. The `engine_dispatch` bench
+/// measures the built-in set and CI gates it at 0 allocs/round.
+pub trait Probe<M: Ord> {
+    /// Clears accumulated state so the probe can observe a new cell.
+    fn reset(&mut self);
+    /// Observes one recorded round.
+    fn observe(&mut self, view: &RoundView<'_, M>);
+    /// Folds the accumulated state and the end-of-cell context into
+    /// metrics. Called exactly once per cell, after every round was
+    /// observed.
+    fn finish(&mut self, end: &CellEnd, out: &mut MetricRow);
+}
+
+/// The built-in probe selection, as *data*: which probes a scenario runs
+/// with. Lives on `ScenarioSpec`, fingerprints into the sweep-cache cell
+/// keys, and decides the engine path (traced iff any selected probe needs
+/// per-round views).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProbeKind {
+    /// The legacy `CellResult` fields: reference, last decision,
+    /// termination, safety, rounds executed. Outcome-only (no trace
+    /// needed).
+    Core,
+    /// Signed `last_decision − reference` distance. Outcome-only.
+    DecisionLatency,
+    /// Broadcast complexity: total broadcasts plus the Definition 22
+    /// zero/one/two-plus round classification.
+    BroadcastCount,
+    /// Collision-detector accuracy/completeness violation counts.
+    CdAccuracy,
+    /// Crash schedule impact: crash count, first crash round, dead
+    /// process-rounds.
+    CrashExposure,
+    /// The observed wake-up stabilization round.
+    WakeupStabilization,
+}
+
+impl ProbeKind {
+    /// Every built-in kind, in canonical order.
+    pub const ALL: [ProbeKind; 6] = [
+        ProbeKind::Core,
+        ProbeKind::DecisionLatency,
+        ProbeKind::BroadcastCount,
+        ProbeKind::CdAccuracy,
+        ProbeKind::CrashExposure,
+        ProbeKind::WakeupStabilization,
+    ];
+
+    /// Stable name (participates in manifest fingerprints).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeKind::Core => "core",
+            ProbeKind::DecisionLatency => "decision_latency",
+            ProbeKind::BroadcastCount => "broadcast_count",
+            ProbeKind::CdAccuracy => "cd_accuracy",
+            ProbeKind::CrashExposure => "crash_exposure",
+            ProbeKind::WakeupStabilization => "wakeup_stabilization",
+        }
+    }
+
+    /// Whether this probe reads per-round views (and therefore needs the
+    /// traced engine path).
+    pub fn needs_trace(self) -> bool {
+        !matches!(self, ProbeKind::Core | ProbeKind::DecisionLatency)
+    }
+
+    /// Instantiates the probe for message type `M`.
+    fn build<M: Ord>(self) -> Box<dyn Probe<M>> {
+        match self {
+            ProbeKind::Core => Box::new(CoreOutcome),
+            ProbeKind::DecisionLatency => Box::new(DecisionLatency),
+            ProbeKind::BroadcastCount => Box::new(BroadcastCountProbe::default()),
+            ProbeKind::CdAccuracy => Box::new(CdAccuracy::default()),
+            ProbeKind::CrashExposure => Box::new(CrashExposure::default()),
+            ProbeKind::WakeupStabilization => Box::new(WakeupStabilization::default()),
+        }
+    }
+}
+
+/// A spec's probe selection. The kinds are kept sorted and deduplicated,
+/// so two manifests selecting the same probes are equal (and fingerprint
+/// equal) regardless of construction order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeManifest {
+    kinds: Vec<ProbeKind>,
+}
+
+impl ProbeManifest {
+    /// The default traced-by-default selection: every built-in probe.
+    pub fn standard() -> ProbeManifest {
+        ProbeManifest {
+            kinds: ProbeKind::ALL.to_vec(),
+        }
+    }
+
+    /// The explicit untraced opt-out for pure-throughput sweeps: only the
+    /// outcome-level probes ([`ProbeKind::Core`],
+    /// [`ProbeKind::DecisionLatency`]), so cells stay on the engine's
+    /// zero-allocation untraced fast path.
+    pub fn outcome_only() -> ProbeManifest {
+        ProbeManifest {
+            kinds: vec![ProbeKind::Core, ProbeKind::DecisionLatency],
+        }
+    }
+
+    /// An explicit selection. [`ProbeKind::Core`] is always included —
+    /// the legacy `CellResult` compatibility accessor needs its metrics.
+    pub fn of(kinds: &[ProbeKind]) -> ProbeManifest {
+        let mut kinds = kinds.to_vec();
+        kinds.push(ProbeKind::Core);
+        kinds.sort_unstable();
+        kinds.dedup();
+        ProbeManifest { kinds }
+    }
+
+    /// The selected kinds, in canonical order.
+    pub fn kinds(&self) -> &[ProbeKind] {
+        &self.kinds
+    }
+
+    /// Whether any selected probe needs the traced engine path.
+    pub fn needs_trace(&self) -> bool {
+        self.kinds.iter().any(|k| k.needs_trace())
+    }
+
+    /// A stable fingerprint of the selection — the probe lane of the
+    /// sweep-cache cell keys: adding or removing a probe changes exactly
+    /// the keys of the specs whose manifest changed.
+    ///
+    /// [`PROBE_SCHEMA_VERSION`] is folded in, because this lane is the
+    /// *only* key input probe code can reach: the canary lane hashes the
+    /// traced execution, which probe implementations never affect, so a
+    /// changed counting rule inside a probe would otherwise keep serving
+    /// stale cached rows forever. Bump the version constant whenever a
+    /// built-in probe's semantics change.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(u64::from(PROBE_SCHEMA_VERSION));
+        h.write_usize(self.kinds.len());
+        for kind in &self.kinds {
+            h.write_bytes(kind.name().as_bytes());
+            h.write_u64(0x3B);
+        }
+        h.finish()
+    }
+}
+
+impl Default for ProbeManifest {
+    fn default() -> Self {
+        ProbeManifest::standard()
+    }
+}
+
+/// A composed set of probes driven over one cell's execution. Build it
+/// once ([`ProbeSet::from_manifest`], plus [`ProbeSet::push`] for custom
+/// probes), then per cell: [`ProbeSet::reset`] → [`ProbeSet::observe`]
+/// each round (or [`ProbeSet::observe_trace`] over a recorded trace) →
+/// [`ProbeSet::finish`]. Steady-state observation performs zero
+/// allocations; the boxes are the build-time cost.
+pub struct ProbeSet<M: Ord> {
+    probes: Vec<Box<dyn Probe<M>>>,
+}
+
+impl<M: Ord> ProbeSet<M> {
+    /// Instantiates the manifest's built-in probes.
+    pub fn from_manifest(manifest: &ProbeManifest) -> ProbeSet<M> {
+        ProbeSet {
+            probes: manifest.kinds().iter().map(|k| k.build()).collect(),
+        }
+    }
+
+    /// An empty set (compose with [`ProbeSet::push`]).
+    pub fn new() -> ProbeSet<M> {
+        ProbeSet { probes: Vec::new() }
+    }
+
+    /// Adds a custom probe alongside the built-ins. Its metrics join the
+    /// same row; ids must not collide with another selected probe's.
+    pub fn push(&mut self, probe: Box<dyn Probe<M>>) {
+        self.probes.push(probe);
+    }
+
+    /// Number of composed probes.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Resets every probe for a new cell.
+    pub fn reset(&mut self) {
+        for probe in &mut self.probes {
+            probe.reset();
+        }
+    }
+
+    /// Feeds one round view to every probe.
+    pub fn observe(&mut self, view: &RoundView<'_, M>) {
+        for probe in &mut self.probes {
+            probe.observe(view);
+        }
+    }
+
+    /// Drives the whole recorded trace through [`ProbeSet::observe`].
+    pub fn observe_trace(&mut self, trace: &ExecutionTrace<M>) {
+        for view in trace.rounds() {
+            self.observe(&view);
+        }
+    }
+
+    /// Clears `out`, collects every probe's metrics into it, and seals it
+    /// into canonical (ascending-id) order.
+    pub fn finish(&mut self, end: &CellEnd, out: &mut MetricRow) {
+        out.clear();
+        for probe in &mut self.probes {
+            probe.finish(end, out);
+        }
+        out.seal();
+    }
+}
+
+impl<M: Ord> Default for ProbeSet<M> {
+    fn default() -> Self {
+        ProbeSet::new()
+    }
+}
+
+impl<M: Ord> fmt::Debug for ProbeSet<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProbeSet")
+            .field("probes", &self.probes.len())
+            .finish()
+    }
+}
+
+/// [`ProbeKind::Core`]: the legacy `CellResult` fields as metrics.
+struct CoreOutcome;
+
+impl<M: Ord> Probe<M> for CoreOutcome {
+    fn reset(&mut self) {}
+    fn observe(&mut self, _view: &RoundView<'_, M>) {}
+    fn finish(&mut self, end: &CellEnd, out: &mut MetricRow) {
+        out.set(MetricId::Reference, MetricValue::U64(end.reference));
+        out.set(
+            MetricId::LastDecision,
+            MetricValue::OptU64(end.last_decision),
+        );
+        out.set(MetricId::Terminated, MetricValue::Bool(end.terminated));
+        out.set(MetricId::Safe, MetricValue::Bool(end.safe));
+        out.set(
+            MetricId::RoundsExecuted,
+            MetricValue::U64(end.rounds_executed),
+        );
+    }
+}
+
+/// [`ProbeKind::DecisionLatency`]: the signed decision distance.
+struct DecisionLatency;
+
+impl<M: Ord> Probe<M> for DecisionLatency {
+    fn reset(&mut self) {}
+    fn observe(&mut self, _view: &RoundView<'_, M>) {}
+    fn finish(&mut self, end: &CellEnd, out: &mut MetricRow) {
+        let latency = end.last_decision.map(|d| d as i64 - end.reference as i64);
+        out.set(MetricId::DecisionLatency, MetricValue::OptI64(latency));
+    }
+}
+
+/// [`ProbeKind::BroadcastCount`]: Definition 22 round classification and
+/// total broadcast complexity.
+#[derive(Default)]
+struct BroadcastCountProbe {
+    total: u64,
+    silent: u64,
+    solo: u64,
+    contended: u64,
+}
+
+impl<M: Ord> Probe<M> for BroadcastCountProbe {
+    fn reset(&mut self) {
+        *self = BroadcastCountProbe::default();
+    }
+    fn observe(&mut self, view: &RoundView<'_, M>) {
+        let sent = view.sent_count();
+        self.total += sent as u64;
+        match sent {
+            0 => self.silent += 1,
+            1 => self.solo += 1,
+            _ => self.contended += 1,
+        }
+    }
+    fn finish(&mut self, _end: &CellEnd, out: &mut MetricRow) {
+        out.set(MetricId::BroadcastsTotal, MetricValue::U64(self.total));
+        out.set(MetricId::SilentRounds, MetricValue::U64(self.silent));
+        out.set(MetricId::SoloRounds, MetricValue::U64(self.solo));
+        out.set(MetricId::ContendedRounds, MetricValue::U64(self.contended));
+        out.set(
+            MetricId::RoundsObserved,
+            MetricValue::U64(self.silent + self.solo + self.contended),
+        );
+    }
+}
+
+/// [`ProbeKind::CdAccuracy`]: per-process-round accuracy violations
+/// (advice `±` with nothing lost) and completeness misses (advice `null`
+/// with messages lost), over alive processes.
+#[derive(Default)]
+struct CdAccuracy {
+    false_positives: u64,
+    missed: u64,
+    process_rounds: u64,
+}
+
+impl<M: Ord> Probe<M> for CdAccuracy {
+    fn reset(&mut self) {
+        *self = CdAccuracy::default();
+    }
+    fn observe(&mut self, view: &RoundView<'_, M>) {
+        let sent = view.sent_count();
+        let cd = view.cd();
+        let counts = view.received_counts();
+        for (i, &alive) in view.alive().iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            self.process_rounds += 1;
+            let lost = counts[i] < sent;
+            if cd[i].is_collision() && !lost {
+                self.false_positives += 1;
+            }
+            if !cd[i].is_collision() && lost {
+                self.missed += 1;
+            }
+        }
+    }
+    fn finish(&mut self, _end: &CellEnd, out: &mut MetricRow) {
+        out.set(
+            MetricId::CdFalsePositives,
+            MetricValue::U64(self.false_positives),
+        );
+        out.set(MetricId::CdMissedDetections, MetricValue::U64(self.missed));
+        out.set(
+            MetricId::CdProcessRounds,
+            MetricValue::U64(self.process_rounds),
+        );
+    }
+}
+
+/// [`ProbeKind::CrashExposure`]: crash count, first crash round, and
+/// dead process-rounds.
+#[derive(Default)]
+struct CrashExposure {
+    crashes: u64,
+    first_crash: Option<u64>,
+    dead_process_rounds: u64,
+}
+
+impl<M: Ord> Probe<M> for CrashExposure {
+    fn reset(&mut self) {
+        *self = CrashExposure::default();
+    }
+    fn observe(&mut self, view: &RoundView<'_, M>) {
+        let crashed = view.crashed().len() as u64;
+        self.crashes += crashed;
+        if crashed > 0 && self.first_crash.is_none() {
+            self.first_crash = Some(view.round().0);
+        }
+        self.dead_process_rounds += (view.n() - view.alive_count()) as u64;
+    }
+    fn finish(&mut self, _end: &CellEnd, out: &mut MetricRow) {
+        out.set(MetricId::CrashCount, MetricValue::U64(self.crashes));
+        out.set(
+            MetricId::FirstCrashRound,
+            MetricValue::OptU64(self.first_crash),
+        );
+        out.set(
+            MetricId::DeadProcessRounds,
+            MetricValue::U64(self.dead_process_rounds),
+        );
+    }
+}
+
+/// [`ProbeKind::WakeupStabilization`]: the first round of the stable
+/// suffix with exactly one active advice — the same fold as
+/// `ExecutionTrace::observed_wakeup_round`, as a streaming probe.
+#[derive(Default)]
+struct WakeupStabilization {
+    candidate: Option<Round>,
+}
+
+impl<M: Ord> Probe<M> for WakeupStabilization {
+    fn reset(&mut self) {
+        self.candidate = None;
+    }
+    fn observe(&mut self, view: &RoundView<'_, M>) {
+        if view.active_count() == 1 {
+            if self.candidate.is_none() {
+                self.candidate = Some(view.round());
+            }
+        } else {
+            self.candidate = None;
+        }
+    }
+    fn finish(&mut self, _end: &CellEnd, out: &mut MetricRow) {
+        out.set(
+            MetricId::ObservedWakeupRound,
+            MetricValue::OptU64(self.candidate.map(|r| r.0)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wan_sim::trace::RoundRecord;
+    use wan_sim::{CdAdvice, CmAdvice, ProcessId};
+
+    fn record(round: u64, sent: Vec<Option<u8>>, active: usize) -> RoundRecord<u8> {
+        let n = sent.len();
+        let mut cm = vec![CmAdvice::Passive; n];
+        for a in cm.iter_mut().take(active) {
+            *a = CmAdvice::Active;
+        }
+        RoundRecord {
+            round: Round(round),
+            cm,
+            cd: vec![CdAdvice::Null; n],
+            received_counts: vec![sent.iter().flatten().count(); n],
+            received: None,
+            crashed: vec![],
+            alive: vec![true; n],
+            sent,
+        }
+    }
+
+    fn end() -> CellEnd {
+        CellEnd {
+            reference: 6,
+            last_decision: Some(8),
+            terminated: true,
+            safe: true,
+            rounds_executed: 8,
+        }
+    }
+
+    #[test]
+    fn metric_names_roundtrip_and_are_unique() {
+        let mut names: Vec<&str> = MetricId::ALL.iter().map(|id| id.name()).collect();
+        for id in MetricId::ALL {
+            assert_eq!(MetricId::from_name(id.name()), Some(id));
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), MetricId::ALL.len());
+        assert_eq!(MetricId::from_name("no_such_metric"), None);
+    }
+
+    #[test]
+    fn values_encode_decode() {
+        for value in [
+            MetricValue::U64(17),
+            MetricValue::I64(-4),
+            MetricValue::Bool(true),
+            MetricValue::Bool(false),
+            MetricValue::OptU64(Some(9)),
+            MetricValue::OptU64(None),
+            MetricValue::OptI64(Some(-2)),
+            MetricValue::OptI64(None),
+        ] {
+            assert_eq!(MetricValue::decode(&value.encode()), Some(value));
+        }
+        assert_eq!(MetricValue::decode(""), None);
+        assert_eq!(MetricValue::decode("x9"), None);
+        assert_eq!(MetricValue::decode("b7"), None);
+        assert_eq!(MetricValue::decode("unope"), None);
+    }
+
+    #[test]
+    fn rows_encode_decode_and_reject_malformed() {
+        let mut row = MetricRow::new();
+        row.set(MetricId::Reference, MetricValue::U64(6));
+        row.set(MetricId::LastDecision, MetricValue::OptU64(None));
+        row.set(MetricId::DecisionLatency, MetricValue::OptI64(Some(-3)));
+        row.seal();
+        let text = row.encode();
+        assert_eq!(MetricRow::decode(&text), Some(row.clone()));
+        assert_eq!(MetricRow::decode(""), Some(MetricRow::new()));
+        assert_eq!(MetricRow::decode("reference=zz"), None);
+        assert_eq!(MetricRow::decode("bogus=u1"), None);
+        // Out-of-order / duplicate ids are rejected (canonical form only).
+        assert_eq!(MetricRow::decode("last_decision=o-;reference=u6"), None);
+        assert_eq!(MetricRow::decode("reference=u6;reference=u7"), None);
+    }
+
+    #[test]
+    fn manifest_fingerprints_move_with_the_selection() {
+        let standard = ProbeManifest::standard();
+        let outcome = ProbeManifest::outcome_only();
+        assert!(standard.needs_trace());
+        assert!(!outcome.needs_trace());
+        assert_ne!(standard.fingerprint(), outcome.fingerprint());
+        // Construction order does not matter; Core is always included.
+        assert_eq!(
+            ProbeManifest::of(&[ProbeKind::CdAccuracy, ProbeKind::BroadcastCount]),
+            ProbeManifest::of(&[
+                ProbeKind::BroadcastCount,
+                ProbeKind::Core,
+                ProbeKind::CdAccuracy
+            ]),
+        );
+    }
+
+    #[test]
+    fn builtin_probes_fold_views_into_metrics() {
+        let mut trace: ExecutionTrace<u8> = ExecutionTrace::new(3);
+        trace.push_record(record(1, vec![None, None, None], 3));
+        trace.push_record(record(2, vec![Some(1), Some(2), None], 2));
+        trace.push_record(record(3, vec![Some(1), None, None], 1));
+        let mut probes: ProbeSet<u8> = ProbeSet::from_manifest(&ProbeManifest::standard());
+        let mut row = MetricRow::new();
+        probes.reset();
+        probes.observe_trace(&trace);
+        probes.finish(&end(), &mut row);
+
+        assert_eq!(row.get(MetricId::Reference), Some(MetricValue::U64(6)));
+        assert_eq!(
+            row.get(MetricId::DecisionLatency),
+            Some(MetricValue::OptI64(Some(2)))
+        );
+        assert_eq!(
+            row.get(MetricId::BroadcastsTotal),
+            Some(MetricValue::U64(3))
+        );
+        assert_eq!(row.get(MetricId::SilentRounds), Some(MetricValue::U64(1)));
+        assert_eq!(row.get(MetricId::SoloRounds), Some(MetricValue::U64(1)));
+        assert_eq!(
+            row.get(MetricId::ContendedRounds),
+            Some(MetricValue::U64(1))
+        );
+        assert_eq!(row.get(MetricId::RoundsObserved), Some(MetricValue::U64(3)));
+        assert_eq!(row.get(MetricId::CrashCount), Some(MetricValue::U64(0)));
+        assert_eq!(
+            row.get(MetricId::ObservedWakeupRound),
+            Some(MetricValue::OptU64(Some(3)))
+        );
+        // Reuse: a second cell through the same set starts clean.
+        probes.reset();
+        probes.finish(&end(), &mut row);
+        assert_eq!(
+            row.get(MetricId::BroadcastsTotal),
+            Some(MetricValue::U64(0))
+        );
+    }
+
+    #[test]
+    fn decision_latency_is_signed() {
+        let mut probes: ProbeSet<u8> = ProbeSet::from_manifest(&ProbeManifest::outcome_only());
+        let mut row = MetricRow::new();
+        let early = CellEnd {
+            reference: 10,
+            last_decision: Some(4),
+            ..end()
+        };
+        probes.reset();
+        probes.finish(&early, &mut row);
+        assert_eq!(
+            row.get(MetricId::DecisionLatency),
+            Some(MetricValue::OptI64(Some(-6))),
+            "a decision before the reference must come out negative, not saturated"
+        );
+    }
+
+    #[test]
+    fn cd_accuracy_counts_violations() {
+        // Two senders, process 0 hears both (no loss), process 1 hears one
+        // (lost one), process 2 is dead.
+        let mut rec = record(1, vec![Some(1), Some(2), None], 1);
+        rec.received_counts = vec![2, 1, 0];
+        rec.cd = vec![CdAdvice::Collision, CdAdvice::Null, CdAdvice::Collision];
+        rec.alive = vec![true, true, false];
+        let mut trace: ExecutionTrace<u8> = ExecutionTrace::new(3);
+        trace.push_record(rec);
+        let mut probes: ProbeSet<u8> =
+            ProbeSet::from_manifest(&ProbeManifest::of(&[ProbeKind::CdAccuracy]));
+        let mut row = MetricRow::new();
+        probes.reset();
+        probes.observe_trace(&trace);
+        probes.finish(&end(), &mut row);
+        assert_eq!(
+            row.get(MetricId::CdFalsePositives),
+            Some(MetricValue::U64(1)),
+            "process 0: ± with nothing lost"
+        );
+        assert_eq!(
+            row.get(MetricId::CdMissedDetections),
+            Some(MetricValue::U64(1)),
+            "process 1: null with a loss"
+        );
+        assert_eq!(
+            row.get(MetricId::CdProcessRounds),
+            Some(MetricValue::U64(2)),
+            "the dead process does not count"
+        );
+    }
+
+    #[test]
+    fn crash_exposure_tracks_crashes() {
+        let mut rec = record(1, vec![None, None, None], 1);
+        rec.crashed = vec![ProcessId(2)];
+        rec.alive = vec![true, true, false];
+        let mut trace: ExecutionTrace<u8> = ExecutionTrace::new(3);
+        trace.push_record(rec);
+        let mut second = record(2, vec![None, None, None], 1);
+        second.alive = vec![true, true, false];
+        trace.push_record(second);
+        let mut probes: ProbeSet<u8> =
+            ProbeSet::from_manifest(&ProbeManifest::of(&[ProbeKind::CrashExposure]));
+        let mut row = MetricRow::new();
+        probes.reset();
+        probes.observe_trace(&trace);
+        probes.finish(&end(), &mut row);
+        assert_eq!(row.get(MetricId::CrashCount), Some(MetricValue::U64(1)));
+        assert_eq!(
+            row.get(MetricId::FirstCrashRound),
+            Some(MetricValue::OptU64(Some(1)))
+        );
+        assert_eq!(
+            row.get(MetricId::DeadProcessRounds),
+            Some(MetricValue::U64(2))
+        );
+    }
+}

@@ -1,7 +1,8 @@
 //! The parallel sweep runner: fans independent cells across OS threads.
 
 use super::cache::{self, CellKey, SweepCache};
-use super::spec::{CellResult, ScenarioSpec};
+use super::frame::ResultsFrame;
+use super::spec::{CellRow, ScenarioSpec};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Executes scenario sweeps, fanning `(spec, case)` cells across a fixed
@@ -10,10 +11,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Cells are claimed from a shared atomic counter (work stealing at cell
 /// granularity — cells are far from uniform in cost, so static chunking
 /// would leave cores idle), and every result carries its cell index, so
-/// the assembled [`SweepResults`] is in deterministic cell order no matter
+/// the assembled [`ResultsFrame`] is in deterministic cell order no matter
 /// how the OS schedules the workers. Combined with per-cell seeding
-/// ([`ScenarioSpec::cell_seed`]), serial and parallel sweeps are
-/// *identical*, which `tests/determinism.rs` pins down.
+/// ([`ScenarioSpec::cell_seed`]) and deterministic probes, serial and
+/// parallel sweeps are *byte-identical*, which `tests/determinism.rs` and
+/// `tests/probe_determinism.rs` pin down.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepRunner {
     threads: usize,
@@ -49,15 +51,17 @@ impl SweepRunner {
         self.threads
     }
 
-    /// Runs every cell of every spec and returns the results in cell order
-    /// (spec-major, then case).
+    /// Runs every cell of every spec and returns the assembled columnar
+    /// frame. Cells run traced by default, driving each spec's probe
+    /// manifest over the recorded rounds ([`ScenarioSpec::run_cell`]);
+    /// outcome-only manifests stay on the untraced fast path.
     ///
     /// When a process-wide cache is installed
     /// ([`cache::install_global`] — `run_experiments` does this unless
     /// `--no-cache`), cached cells are answered from the store and only
     /// misses execute; results are identical either way. With no cache
     /// installed every cell executes, exactly as before the cache existed.
-    pub fn run(&self, specs: &[ScenarioSpec]) -> SweepResults {
+    pub fn run(&self, specs: &[ScenarioSpec]) -> ResultsFrame {
         match cache::take_global() {
             Some(mut cache) => {
                 let results = self.run_with_cache(specs, &mut cache);
@@ -76,27 +80,29 @@ impl SweepRunner {
 
     /// Runs every cell unconditionally, consulting no cache — the
     /// reference execution path.
-    pub fn run_fresh(&self, specs: &[ScenarioSpec]) -> SweepResults {
+    pub fn run_fresh(&self, specs: &[ScenarioSpec]) -> ResultsFrame {
         let cells: Vec<(usize, u64)> = expand(specs);
-        let results = self.map(cells.len(), |idx| {
+        let rows = self.map(cells.len(), |idx| {
             let (spec_index, case) = cells[idx];
             specs[spec_index].run_cell(spec_index, case)
         });
-        SweepResults { cells: results }
+        ResultsFrame::from_rows(specs, rows)
     }
 
-    /// As [`SweepRunner::run_fresh`], but every cell records a full trace
-    /// while it runs ([`ScenarioSpec::run_cell_traced`]). The measurements
-    /// must be identical to the untraced sweep — the CI traced-registry
-    /// gate runs this against the committed golden summaries, catching
-    /// trace-representation drift the untraced cache canary can't see.
-    pub fn run_fresh_traced(&self, specs: &[ScenarioSpec]) -> SweepResults {
+    /// As [`SweepRunner::run_fresh`], but forcing the *traced* engine path
+    /// for every cell — including specs whose outcome-only manifest would
+    /// normally opt out ([`ScenarioSpec::run_cell_traced`]). Traced and
+    /// untraced executions are identical by construction, so the frame
+    /// must equal the default one — the CI traced-registry gate runs this
+    /// against the committed golden summaries, catching traced/untraced
+    /// divergence the default path can no longer see.
+    pub fn run_fresh_traced(&self, specs: &[ScenarioSpec]) -> ResultsFrame {
         let cells: Vec<(usize, u64)> = expand(specs);
-        let results = self.map(cells.len(), |idx| {
+        let rows = self.map(cells.len(), |idx| {
             let (spec_index, case) = cells[idx];
             specs[spec_index].run_cell_traced(spec_index, case)
         });
-        SweepResults { cells: results }
+        ResultsFrame::from_rows(specs, rows)
     }
 
     /// Runs a sweep through an explicit cache: canaries first (two traced
@@ -106,7 +112,7 @@ impl SweepRunner {
     /// to [`SweepRunner::run_fresh`] — `tests/sweep_cache.rs` pins that —
     /// and misses are queued on the cache for its next
     /// [`SweepCache::flush`].
-    pub fn run_with_cache(&self, specs: &[ScenarioSpec], cache: &mut SweepCache) -> SweepResults {
+    pub fn run_with_cache(&self, specs: &[ScenarioSpec], cache: &mut SweepCache) -> ResultsFrame {
         // 1. Canary fingerprints: the code-sensitivity lane of every key.
         //    Computed once per distinct spec per process, in parallel.
         let params: Vec<u64> = specs.iter().map(ScenarioSpec::params_fingerprint).collect();
@@ -123,17 +129,26 @@ impl SweepRunner {
         cache.stats.canary_runs += need.len() as u64;
 
         // 2. Partition cells into hits (answered from the store) and
-        //    misses (executed in parallel).
+        //    misses (executed in parallel). The probe-manifest fingerprint
+        //    is its own key lane: changing a spec's probes invalidates
+        //    exactly that spec's cells.
         let cells: Vec<(usize, u64)> = expand(specs);
-        let mut out: Vec<Option<CellResult>> = Vec::with_capacity(cells.len());
+        let mut out: Vec<Option<CellRow>> = Vec::with_capacity(cells.len());
         let mut keys: Vec<CellKey> = Vec::with_capacity(cells.len());
         let mut miss: Vec<usize> = Vec::new();
         for (idx, &(spec_index, case)) in cells.iter().enumerate() {
-            let seed = specs[spec_index].cell_seed(case);
+            let spec = &specs[spec_index];
+            let seed = spec.cell_seed(case);
             let canary = cache
                 .canary(params[spec_index])
                 .expect("canaries memoized above");
-            let key = CellKey::derive(params[spec_index], case, seed, canary);
+            let key = CellKey::derive(
+                params[spec_index],
+                case,
+                seed,
+                canary,
+                spec.probes.fingerprint(),
+            );
             keys.push(key);
             let hit = cache.lookup(key, spec_index, case, seed);
             if hit.is_none() {
@@ -147,17 +162,16 @@ impl SweepRunner {
             let (spec_index, case) = cells[miss[j]];
             specs[spec_index].run_cell(spec_index, case)
         });
-        for (idx, result) in miss.into_iter().zip(ran) {
+        for (idx, row) in miss.into_iter().zip(ran) {
             let (spec_index, _) = cells[idx];
-            cache.record(keys[idx], &specs[spec_index].name, &result);
-            out[idx] = Some(result);
+            cache.record(keys[idx], &specs[spec_index].name, &row);
+            out[idx] = Some(row);
         }
-        SweepResults {
-            cells: out
-                .into_iter()
-                .collect::<Option<Vec<_>>>()
-                .expect("every cell is a hit or an executed miss"),
-        }
+        let rows = out
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .expect("every cell is a hit or an executed miss");
+        ResultsFrame::from_rows(specs, rows)
     }
 
     /// Parallel deterministic map: applies `job` to `0..count` across the
@@ -209,65 +223,6 @@ fn expand(specs: &[ScenarioSpec]) -> Vec<(usize, u64)> {
         .collect()
 }
 
-/// The outcome of a sweep, in deterministic cell order.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SweepResults {
-    /// Every executed cell, spec-major then case order.
-    pub cells: Vec<CellResult>,
-}
-
-impl SweepResults {
-    /// The cells of one spec.
-    pub fn for_spec(&self, spec_index: usize) -> impl Iterator<Item = &CellResult> {
-        self.cells
-            .iter()
-            .filter(move |c| c.spec_index == spec_index)
-    }
-
-    /// The worst (max) rounds past the measurement reference across a
-    /// spec's cells; panics on any safety violation or non-termination so
-    /// experiment tables can't silently hide broken runs.
-    pub fn worst_rounds_past(&self, spec_index: usize) -> u64 {
-        let mut worst = 0;
-        let mut cells = 0;
-        for cell in self.for_spec(spec_index) {
-            assert!(
-                cell.safe,
-                "safety violation in spec {spec_index} cell {} (seed {})",
-                cell.case, cell.cell_seed
-            );
-            assert!(
-                cell.terminated,
-                "non-termination in spec {spec_index} cell {} (seed {})",
-                cell.case, cell.cell_seed
-            );
-            worst = worst.max(cell.rounds_past_reference().unwrap_or(0));
-            cells += 1;
-        }
-        assert!(cells > 0, "spec {spec_index} has no cells");
-        worst
-    }
-
-    /// A stable textual rendering of every cell (for equality assertions
-    /// and golden files).
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        for c in &self.cells {
-            out.push_str(&format!(
-                "spec={} case={} seed={:#018x} ref={} decided={:?} terminated={} safe={}\n",
-                c.spec_index,
-                c.case,
-                c.cell_seed,
-                c.reference,
-                c.last_decision,
-                c.terminated,
-                c.safe
-            ));
-        }
-        out
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,7 +246,7 @@ mod tests {
         assert_eq!(serial, parallel);
         assert_eq!(serial.render(), parallel.render());
         assert_eq!(
-            serial.cells.len(),
+            serial.cell_count(),
             specs.iter().map(|s| s.seeds as usize).sum::<usize>()
         );
     }

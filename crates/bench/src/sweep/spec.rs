@@ -1,15 +1,17 @@
 //! Scenario specifications and the standard registry.
 
+use super::probe::{CellEnd, MetricId, MetricRow, MetricValue, ProbeManifest, ProbeSet};
 use crate::experiments::helpers::EnvPlan;
 use crate::Scale;
 use ccwan_core::{
     alg1, alg2, alg3, alg4, ConsensusAutomaton, ConsensusRun, Cst, IdSpace, Uid, Value, ValueDomain,
 };
-use wan_cd::{CdClass, ClassDetector, FreedomPolicy};
-use wan_cm::NoCm;
+use wan_cd::{CdClass, CheckedDetector, ClassDetector, FreedomPolicy};
+use wan_cm::{BackoffCm, NoCm};
+use wan_phy::{phy_components, PhyConfig};
 use wan_sim::crash::{NoCrashes, ScheduledCrashes};
 use wan_sim::fingerprint::{absorb_debug, StableHasher};
-use wan_sim::loss::RandomLoss;
+use wan_sim::loss::{Ecf, RandomLoss};
 use wan_sim::{Components, CrashAdversary, ProcessId, Round};
 
 /// SplitMix64 finalizer: the spec/cell seed mixer. Deterministic, stateless,
@@ -50,6 +52,14 @@ pub enum EnvironmentPlan {
     /// manager, quiet in-class detector (Theorem 3's setting). The
     /// measurement reference is the round failures cease.
     Nocf,
+    /// The slotted SINR radio, end to end: carrier-sensing detector
+    /// (class-certified, non-strict), window-doubling backoff manager,
+    /// SINR decodes as the loss adversary wrapped in an explicit `r_cf = 1`
+    /// ECF declaration (the radio gives collision freedom only
+    /// statistically; the wrapper makes the measurement reference
+    /// well-defined). The backoff manager declares no `r_wake` — the
+    /// wake-up stabilization probe measures it from the trace instead.
+    Phy,
 }
 
 /// A scheduled crash of one process (Definition 13 resolved).
@@ -87,9 +97,22 @@ pub struct ScenarioSpec {
     pub seeds: u64,
     /// Round cap per run.
     pub cap: u64,
+    /// Which probes observe each cell ([`ProbeManifest`]). Decides the
+    /// engine path: cells run *traced by default* and drive the manifest's
+    /// probes over the recorded rounds; a manifest whose probes are all
+    /// outcome-level ([`ProbeManifest::outcome_only`]) is the explicit
+    /// opt-out that keeps pure-throughput sweeps untraced. Fingerprints
+    /// into the cell keys as its own lane, so changing a spec's probes
+    /// invalidates exactly that spec's cached cells.
+    pub probes: ProbeManifest,
 }
 
-/// The outcome of one executed cell.
+/// The legacy fixed-field view of one executed cell, kept as a
+/// compatibility accessor: cells now produce typed [`MetricRow`]s
+/// ([`CellRow`]), and a `CellResult` is derived from the core metrics
+/// ([`CellRow::to_cell_result`], `ResultsFrame::cell_result`) —
+/// bit-compatible with what `run_cell` returned before the probe
+/// redesign.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CellResult {
     /// Index of the spec in the sweep's spec list.
@@ -111,8 +134,65 @@ pub struct CellResult {
 
 impl CellResult {
     /// Rounds past the measurement reference at the last decision.
+    ///
+    /// **Saturating:** a decision that lands *before* the reference round
+    /// comes out as `Some(0)`, indistinguishable from a decision exactly
+    /// at the reference — this legacy accessor cannot go negative. The
+    /// [`MetricId::DecisionLatency`] metric carries the signed distance
+    /// (`last_decision − reference` as `i64`); use it whenever "how early"
+    /// matters.
     pub fn rounds_past_reference(&self) -> Option<u64> {
         self.last_decision.map(|d| d.saturating_sub(self.reference))
+    }
+}
+
+/// The outcome of one executed cell: its coordinates plus the typed
+/// metrics its probe manifest emitted, in canonical (ascending
+/// [`MetricId`]) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRow {
+    /// Index of the spec in the sweep's spec list.
+    pub spec_index: usize,
+    /// Cell (seed) index within the spec.
+    pub case: u64,
+    /// The derived RNG seed the cell ran with.
+    pub cell_seed: u64,
+    /// The probe measurements.
+    pub metrics: MetricRow,
+}
+
+impl CellRow {
+    /// The legacy fixed-field view, derived from the core metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is missing a core metric (every manifest includes
+    /// [`super::probe::ProbeKind::Core`], so rows produced by the sweep
+    /// always have them).
+    pub fn to_cell_result(&self) -> CellResult {
+        let missing = |name: &str| -> ! { panic!("cell row missing core metric {name}") };
+        let Some(MetricValue::U64(reference)) = self.metrics.get(MetricId::Reference) else {
+            missing("reference")
+        };
+        let Some(MetricValue::OptU64(last_decision)) = self.metrics.get(MetricId::LastDecision)
+        else {
+            missing("last_decision")
+        };
+        let Some(MetricValue::Bool(terminated)) = self.metrics.get(MetricId::Terminated) else {
+            missing("terminated")
+        };
+        let Some(MetricValue::Bool(safe)) = self.metrics.get(MetricId::Safe) else {
+            missing("safe")
+        };
+        CellResult {
+            spec_index: self.spec_index,
+            case: self.case,
+            cell_seed: self.cell_seed,
+            reference,
+            last_decision,
+            terminated,
+            safe,
+        }
     }
 }
 
@@ -167,34 +247,58 @@ impl ScenarioSpec {
                 let reference = self.crash.map_or(0, |plan| plan.round);
                 (components, reference)
             }
+            EnvironmentPlan::Phy => {
+                let (loss, detector) = phy_components(PhyConfig::new(self.n, seed));
+                let components = Components {
+                    detector: Box::new(CheckedDetector::new(detector, self.class)),
+                    manager: Box::new(BackoffCm::new(seed ^ 0xBAC0)),
+                    // The radio gives ECF only statistically; the wrapper
+                    // makes r_cf explicit so the reference is well-defined.
+                    loss: Box::new(Ecf::new(loss, Round(1))),
+                    crash,
+                };
+                (components, 1)
+            }
         }
     }
 
-    /// Executes cell `case` and returns its measurement. Runs on the
-    /// engine's untraced fast path; [`ScenarioSpec::run_cell_traced`] is
-    /// the traced reference execution the test suite compares against.
-    pub fn run_cell(&self, spec_index: usize, case: u64) -> CellResult {
-        self.execute(spec_index, case, false)
+    /// Executes cell `case` and returns its probe measurements. Cells run
+    /// **traced by default** — the engine records a counts-detail trace
+    /// and the spec's [`ProbeManifest`] is driven over the recorded
+    /// rounds — unless the manifest is outcome-only
+    /// ([`ProbeManifest::needs_trace`] is `false`), in which case the
+    /// cell stays on the engine's zero-allocation untraced fast path.
+    pub fn run_cell(&self, spec_index: usize, case: u64) -> CellRow {
+        self.execute(spec_index, case, self.probes.needs_trace())
     }
 
-    /// As [`ScenarioSpec::run_cell`], but recording a full trace along the
-    /// way. Exists so `tests/determinism.rs` can pin that the untraced
-    /// fast path and the traced path execute identically; sweeps use the
-    /// untraced form.
-    pub fn run_cell_traced(&self, spec_index: usize, case: u64) -> CellResult {
+    /// As [`ScenarioSpec::run_cell`], but forcing the traced engine path
+    /// even for outcome-only manifests. Traced and untraced executions are
+    /// identical by construction, so the returned metrics must equal
+    /// [`ScenarioSpec::run_cell`]'s — the contract `tests/determinism.rs`
+    /// and the CI `--check --traced` gate pin down.
+    pub fn run_cell_traced(&self, spec_index: usize, case: u64) -> CellRow {
         self.execute(spec_index, case, true)
     }
 
-    fn execute(&self, spec_index: usize, case: u64, traced: bool) -> CellResult {
-        let (outcome, reference) = self.with_cell(case, RunCounted { traced });
-        CellResult {
+    fn execute(&self, spec_index: usize, case: u64, traced: bool) -> CellRow {
+        assert!(
+            traced || !self.probes.needs_trace(),
+            "{}: a manifest with trace-reading probes cannot run untraced",
+            self.name
+        );
+        let (metrics, _) = self.with_cell(
+            case,
+            RunProbed {
+                manifest: &self.probes,
+                traced,
+            },
+        );
+        CellRow {
             spec_index,
             case,
             cell_seed: self.cell_seed(case),
-            reference,
-            last_decision: outcome.0,
-            terminated: outcome.1,
-            safe: outcome.2,
+            metrics,
         }
     }
 
@@ -212,12 +316,18 @@ impl ScenarioSpec {
         let values = self.initial_values(case);
         let domain = ValueDomain::new(self.v_size);
         let out = match self.algorithm {
-            Algorithm::Alg1 => {
-                visitor.visit(alg1::processes(domain, &values), components, self.cap)
-            }
-            Algorithm::Alg2 => {
-                visitor.visit(alg2::processes(domain, &values), components, self.cap)
-            }
+            Algorithm::Alg1 => visitor.visit(
+                alg1::processes(domain, &values),
+                components,
+                self.cap,
+                reference,
+            ),
+            Algorithm::Alg2 => visitor.visit(
+                alg2::processes(domain, &values),
+                components,
+                self.cap,
+                reference,
+            ),
             Algorithm::Alg3 { id_bits } => {
                 let ids = IdSpace::new(1 << id_bits);
                 let assignments = unique_assignments(&values, ids, seed);
@@ -225,11 +335,15 @@ impl ScenarioSpec {
                     alg3::processes(ids, domain, &assignments, seed),
                     components,
                     self.cap,
+                    reference,
                 )
             }
-            Algorithm::Alg4 => {
-                visitor.visit(alg4::processes(domain, &values), components, self.cap)
-            }
+            Algorithm::Alg4 => visitor.visit(
+                alg4::processes(domain, &values),
+                components,
+                self.cap,
+                reference,
+            ),
         };
         (out, reference)
     }
@@ -318,23 +432,50 @@ trait CellVisitor {
         procs: Vec<A>,
         components: Components,
         cap: u64,
+        reference: u64,
     ) -> Self::Out;
 }
 
-/// [`ScenarioSpec::run_cell`] / [`ScenarioSpec::run_cell_traced`].
-struct RunCounted {
+/// [`ScenarioSpec::run_cell`] / [`ScenarioSpec::run_cell_traced`]: runs
+/// the cell (traced with counts detail, or on the untraced fast path),
+/// drives the manifest's probes over the recorded rounds, and folds the
+/// outcome into a sealed [`MetricRow`].
+struct RunProbed<'a> {
+    manifest: &'a ProbeManifest,
     traced: bool,
 }
 
-impl CellVisitor for RunCounted {
-    type Out = (Option<u64>, bool, bool);
+impl CellVisitor for RunProbed<'_> {
+    type Out = MetricRow;
     fn visit<A: ConsensusAutomaton>(
         self,
         procs: Vec<A>,
         components: Components,
         cap: u64,
+        reference: u64,
     ) -> Self::Out {
-        run_counted(procs, components, cap, self.traced)
+        let mut run = ConsensusRun::new(procs, components).with_counts_only();
+        let outcome = if self.traced {
+            run.run_to_completion(Round(cap))
+        } else {
+            run.run_to_completion_untraced(Round(cap))
+        };
+        let end = CellEnd {
+            reference,
+            last_decision: outcome.last_decision().map(|r| r.0),
+            terminated: outcome.terminated,
+            safe: outcome.is_safe(),
+            rounds_executed: outcome.rounds_executed.0,
+        };
+        let mut probes: ProbeSet<A::Msg> = ProbeSet::from_manifest(self.manifest);
+        let mut row = MetricRow::new();
+        probes.reset();
+        if self.traced {
+            let (_, trace) = run.into_parts();
+            probes.observe_trace(&trace);
+        }
+        probes.finish(&end, &mut row);
+        row
     }
 }
 
@@ -348,6 +489,7 @@ impl CellVisitor for TraceOf {
         procs: Vec<A>,
         components: Components,
         cap: u64,
+        _reference: u64,
     ) -> Self::Out {
         trace_of(procs, components, cap)
     }
@@ -363,6 +505,7 @@ impl CellVisitor for FingerprintPairOf {
         procs: Vec<A>,
         components: Components,
         cap: u64,
+        _reference: u64,
     ) -> Self::Out {
         let mut run = ConsensusRun::new(procs, components);
         run.run_to_completion(Round(cap));
@@ -382,6 +525,7 @@ impl CellVisitor for CanaryOf {
         procs: Vec<A>,
         components: Components,
         cap: u64,
+        _reference: u64,
     ) -> Self::Out {
         canary_of(procs, components, cap)
     }
@@ -402,28 +546,6 @@ fn unique_assignments(values: &[Value], ids: IdSpace, seed: u64) -> Vec<(Uid, Va
             (u, v)
         })
         .collect()
-}
-
-fn run_counted<A: ConsensusAutomaton>(
-    procs: Vec<A>,
-    components: Components,
-    cap: u64,
-    traced: bool,
-) -> (Option<u64>, bool, bool) {
-    // Sweeps consume the outcome only, so they skip trace recording
-    // entirely (traced = false); the traced arm is the reference execution
-    // `tests/determinism.rs` compares the fast path against.
-    let mut run = ConsensusRun::new(procs, components);
-    let outcome = if traced {
-        run.run_to_completion(Round(cap))
-    } else {
-        run.run_to_completion_untraced(Round(cap))
-    };
-    (
-        outcome.last_decision().map(|r| r.0),
-        outcome.terminated,
-        outcome.is_safe(),
-    )
 }
 
 fn trace_of<A: ConsensusAutomaton>(procs: Vec<A>, components: Components, cap: u64) -> String {
@@ -455,7 +577,8 @@ pub struct Registry {
 impl Registry {
     /// Every standard scenario at the given scale: the Figure 1 lattice,
     /// the Theorem 1/2 scaling grids, the Section 7.3 crossover, the
-    /// Theorem 3 NOCF family, and the ablation arms.
+    /// Theorem 3 NOCF family, the end-to-end radio family, and the
+    /// ablation arms.
     pub fn standard(scale: Scale) -> Self {
         let mut specs = Vec::new();
         specs.extend(lattice_specs(scale));
@@ -463,6 +586,7 @@ impl Registry {
         specs.extend(alg2_staircase_specs(scale));
         specs.extend(alg3_crossover_specs(scale));
         specs.extend(bst_nocf_specs(scale));
+        specs.extend(phy_e2e_specs(scale));
         specs.extend(ablation_specs(scale));
         let registry = Registry { specs };
         let mut names: Vec<&str> = registry.specs.iter().map(|s| s.name.as_str()).collect();
@@ -514,6 +638,7 @@ pub fn lattice_specs(scale: Scale) -> Vec<ScenarioSpec> {
                 fixed_values: None,
                 seeds: scale.seeds(),
                 cap: 500,
+                probes: ProbeManifest::standard(),
             }
         })
         .collect()
@@ -535,6 +660,10 @@ pub fn alg1_grid_specs(scale: Scale) -> Vec<ScenarioSpec> {
                 fixed_values: None,
                 seeds: scale.seeds(),
                 cap: 600,
+                // The explicit untraced opt-out: the constant-round grid is a
+                // pure-throughput family, so it stays on the engine's
+                // zero-allocation untraced fast path (outcome metrics only).
+                probes: ProbeManifest::outcome_only(),
             });
         }
     }
@@ -556,6 +685,7 @@ pub fn alg2_staircase_specs(scale: Scale) -> Vec<ScenarioSpec> {
             fixed_values: None,
             seeds: scale.seeds(),
             cap: 800,
+            probes: ProbeManifest::standard(),
         })
         .collect()
 }
@@ -576,6 +706,7 @@ pub fn alg3_crossover_specs(scale: Scale) -> Vec<ScenarioSpec> {
                 fixed_values: None,
                 seeds: scale.seeds(),
                 cap: 4000,
+                probes: ProbeManifest::standard(),
             });
         }
     }
@@ -601,6 +732,7 @@ pub fn bst_nocf_specs(scale: Scale) -> Vec<ScenarioSpec> {
             fixed_values: None,
             seeds: scale.seeds(),
             cap: 10 * bound,
+            probes: ProbeManifest::standard(),
         });
 
         // The adversarial schedule: process 0 holds the deepest-left value
@@ -630,6 +762,7 @@ pub fn bst_nocf_specs(scale: Scale) -> Vec<ScenarioSpec> {
             fixed_values: Some(fixed),
             seeds: scale.seeds(),
             cap: 20 * bound,
+            probes: ProbeManifest::standard(),
         });
     }
     specs
@@ -637,6 +770,30 @@ pub fn bst_nocf_specs(scale: Scale) -> Vec<ScenarioSpec> {
 
 /// E14's sweep arms: Algorithms 1 and 2 run inside their classes under
 /// arbitrary loss, with the fixed value profile the bespoke rows use.
+/// E13's sweep arms: Algorithm 2 end to end over the slotted SINR radio —
+/// carrier-sensing detector, window-doubling backoff, SINR decodes as the
+/// loss adversary — one spec per system size. The wake-up stabilization
+/// and CD-accuracy probes carry the measurements the bespoke E13 loop used
+/// to hand-roll from retained traces.
+pub fn phy_e2e_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    [2usize, 4, 8, 16]
+        .into_iter()
+        .map(|n| ScenarioSpec {
+            name: format!("phy/n{n}"),
+            algorithm: Algorithm::Alg2,
+            class: CdClass::ZERO_EV_AC,
+            env: EnvironmentPlan::Phy,
+            crash: None,
+            n,
+            v_size: 16,
+            fixed_values: None,
+            seeds: scale.seeds(),
+            cap: 3000,
+            probes: ProbeManifest::standard(),
+        })
+        .collect()
+}
+
 pub fn ablation_specs(scale: Scale) -> Vec<ScenarioSpec> {
     let plan = EnvironmentPlan::Ecf(EnvPlan::chaos(6));
     vec![
@@ -651,6 +808,7 @@ pub fn ablation_specs(scale: Scale) -> Vec<ScenarioSpec> {
             fixed_values: Some(vec![3, 7, 7]),
             seeds: scale.seeds(),
             cap: 400,
+            probes: ProbeManifest::standard(),
         },
         ScenarioSpec {
             name: "ablation/alg2-zero".into(),
@@ -663,6 +821,7 @@ pub fn ablation_specs(scale: Scale) -> Vec<ScenarioSpec> {
             fixed_values: Some(vec![3, 7, 7]),
             seeds: scale.seeds(),
             cap: 400,
+            probes: ProbeManifest::standard(),
         },
     ]
 }
@@ -702,7 +861,45 @@ mod tests {
         let one = spec.run_cell(0, 2);
         let two = spec.run_cell(0, 2);
         assert_eq!(one, two);
-        assert!(one.safe);
-        assert!(one.terminated);
+        let result = one.to_cell_result();
+        assert!(result.safe);
+        assert!(result.terminated);
+        // A traced-by-default cell carries round-derived metrics.
+        assert!(one.metrics.get(MetricId::BroadcastsTotal).is_some());
+    }
+
+    #[test]
+    fn outcome_only_cells_run_untraced_and_match_the_traced_path() {
+        let mut spec = lattice_specs(Scale::Quick).swap_remove(0);
+        spec.probes = ProbeManifest::outcome_only();
+        let untraced = spec.run_cell(0, 1);
+        let traced = spec.run_cell_traced(0, 1);
+        assert_eq!(
+            untraced, traced,
+            "untraced fast path diverged from traced reference"
+        );
+        assert!(
+            untraced.metrics.get(MetricId::BroadcastsTotal).is_none(),
+            "outcome-only manifests emit no round-derived metrics"
+        );
+    }
+
+    #[test]
+    fn phy_cells_ride_the_sweep_substrate() {
+        let spec = &phy_e2e_specs(Scale::Quick)[0];
+        let row = spec.run_cell(0, 0);
+        let result = row.to_cell_result();
+        assert_eq!(
+            result.reference, 1,
+            "the radio's ECF wrap declares r_cf = 1"
+        );
+        assert!(
+            result.safe,
+            "Algorithm 2 in class must stay safe on the radio"
+        );
+        assert!(
+            row.metrics.get(MetricId::ObservedWakeupRound).is_some(),
+            "the backoff manager's r_wake is measured, not declared"
+        );
     }
 }

@@ -4,7 +4,11 @@
 //! * a warm second invocation executes zero scenario cells and prints
 //!   byte-identical tables,
 //! * `--check` passes against a freshly `--bless`ed golden summary and
-//!   exits nonzero once the golden file is perturbed.
+//!   exits nonzero once the golden file is perturbed,
+//! * `--metrics` prints the same bytes from three separate processes —
+//!   cold (executing), warm (cache-served), and `--no-cache` (fresh) —
+//!   which is the cross-process half of the probe-purity contract: a
+//!   probe's output is a function of `(spec, case)` alone.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -48,6 +52,47 @@ fn warm_invocation_executes_zero_cells_with_identical_stdout() {
         cold_err.contains("0 hits") && cold_err.contains("cells executed"),
         "cold run must report its misses on stderr: {cold_err}"
     );
+}
+
+#[test]
+fn metrics_tables_are_byte_identical_across_processes() {
+    let dir = scratch("metrics");
+    // Cold: executes every cell and populates the cache.
+    let cold = run_experiments(&dir, &["--quick", "--metrics", "decision_latency"]);
+    assert!(cold.status.success(), "{cold:?}");
+    // Warm: a separate process, served from the store.
+    let warm = run_experiments(&dir, &["--quick", "--metrics", "decision_latency"]);
+    assert!(warm.status.success(), "{warm:?}");
+    assert!(
+        String::from_utf8_lossy(&warm.stderr).contains("0 misses (0 cells executed)"),
+        "warm metrics run must execute zero cells"
+    );
+    // Fresh: a third process, cache bypassed entirely.
+    let fresh = run_experiments(
+        &dir,
+        &["--quick", "--metrics", "decision_latency", "--no-cache"],
+    );
+    assert!(fresh.status.success(), "{fresh:?}");
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "cold and warm --metrics stdout must be byte-identical"
+    );
+    assert_eq!(
+        cold.stdout, fresh.stdout,
+        "probe output must be a pure function of (spec, case) across processes"
+    );
+    let table = String::from_utf8_lossy(&cold.stdout);
+    assert!(table.contains("decision_latency"), "{table}");
+
+    // A glob that matches nothing is a usage error naming the metrics.
+    let none = run_experiments(&dir, &["--quick", "--metrics", "zz_*"]);
+    assert!(!none.status.success());
+    assert!(String::from_utf8_lossy(&none.stderr).contains("known metrics"));
+
+    // --help documents the flag.
+    let help = run_experiments(&dir, &["--help"]);
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("--metrics <glob>"));
 }
 
 #[test]

@@ -411,8 +411,7 @@ impl<M: Ord> ExecutionTrace<M> {
     pub fn observed_wakeup_round(&self) -> Option<Round> {
         let mut candidate: Option<Round> = None;
         for rec in self.rounds() {
-            let actives = rec.cm().iter().filter(|a| a.is_active()).count();
-            if actives == 1 {
+            if rec.active_count() == 1 {
                 candidate.get_or_insert(rec.round());
             } else {
                 candidate = None;
@@ -540,6 +539,17 @@ impl<'a, M: Ord> RoundView<'a, M> {
     /// Liveness after this round's crashes.
     pub fn alive(self) -> &'a [bool] {
         self.col(&self.trace.alive)
+    }
+
+    /// How many processes were alive after this round's crashes.
+    pub fn alive_count(self) -> usize {
+        self.alive().iter().filter(|&&a| a).count()
+    }
+
+    /// How many processes were advised [`CmAdvice::Active`] this round —
+    /// the quantity the wake-up stabilization analyses fold over.
+    pub fn active_count(self) -> usize {
+        self.cm().iter().filter(|a| a.is_active()).count()
     }
 
     /// Processes that crashed at the start of this round.

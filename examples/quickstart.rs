@@ -1,17 +1,47 @@
 //! Quickstart: four crash-prone wireless nodes agree on a value in two
 //! rounds past stabilization, using Algorithm 1 (Newport '05, Section 7.1)
-//! with a majority-complete, eventually-accurate collision detector.
+//! with a majority-complete, eventually-accurate collision detector —
+//! then the run is *measured* with the probe API: the built-in probe set
+//! plus a custom probe, all driven over the recorded trace.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
+use ccwan::bench::sweep::{
+    CellEnd, MetricId, MetricRow, MetricValue, Probe, ProbeManifest, ProbeSet,
+};
 use ccwan::cd::{CdClass, ClassDetector, FreedomPolicy};
 use ccwan::cm::{FairWakeUp, PreStabilization};
 use ccwan::consensus::{alg1, ConsensusRun, Value, ValueDomain};
 use ccwan::sim::crash::NoCrashes;
 use ccwan::sim::loss::{Ecf, RandomLoss};
-use ccwan::sim::{Components, Round};
+use ccwan::sim::{Components, Round, RoundView};
+
+/// A custom probe in ~15 lines: how many rounds *after* the declared CST
+/// still saw two or more broadcasters (the contention the stabilized
+/// wake-up service is supposed to have eliminated).
+struct PostCstContention {
+    cst: u64,
+    contended: u64,
+}
+
+impl<M: Ord> Probe<M> for PostCstContention {
+    fn reset(&mut self) {
+        self.contended = 0;
+    }
+    fn observe(&mut self, view: &RoundView<'_, M>) {
+        if view.round().0 > self.cst && view.sent_count() >= 2 {
+            self.contended += 1;
+        }
+    }
+    fn finish(&mut self, _end: &CellEnd, out: &mut MetricRow) {
+        out.set(
+            MetricId::Custom("post_cst_contention"),
+            MetricValue::U64(self.contended),
+        );
+    }
+}
 
 fn main() {
     // Four sensors propose calibration profile ids from V = {0..7}.
@@ -48,11 +78,39 @@ fn main() {
     // broadcast, `±` = collision advice, digits = messages received.
     println!("{}", ccwan::sim::timeline::timeline(run.trace()));
 
+    // Measure the run: the built-in probe set (broadcast counts, CD
+    // accuracy, crash exposure, wake-up stabilization, decision latency)
+    // plus the custom probe above, driven over the recorded trace.
+    let mut probes = ProbeSet::from_manifest(&ProbeManifest::standard());
+    probes.push(Box::new(PostCstContention {
+        cst: cst.0,
+        contended: 0,
+    }));
+    let mut metrics = MetricRow::new();
+    probes.reset();
+    probes.observe_trace(run.trace());
+    probes.finish(
+        &CellEnd {
+            reference: cst.0,
+            last_decision: outcome.last_decision().map(|r| r.0),
+            terminated: outcome.terminated,
+            safe: outcome.is_safe(),
+            rounds_executed: outcome.rounds_executed.0,
+        },
+        &mut metrics,
+    );
+    println!("probe metrics:");
+    for (id, value) in metrics.iter() {
+        println!("  {id:<22} {value:?}");
+    }
+
     println!(
-        "\ndecided {} at round {} ({} rounds past CST; Theorem 1 bound: 2)",
+        "\ndecided {} at round {} ({} rounds past CST; Theorem 1 bound: 2; \
+         signed latency metric: {:?})",
         outcome.agreed_value().expect("agreement"),
         outcome.last_decision().unwrap(),
         outcome.last_decision().unwrap().since(cst),
+        metrics.get(MetricId::DecisionLatency),
     );
     assert!(outcome.is_safe() && outcome.terminated);
 }

@@ -1,11 +1,13 @@
 //! The sweep result cache's contracts: cache hits are byte-identical to
 //! fresh execution, a warm cache executes zero cells, corrupted stores
-//! degrade to fresh runs (never to wrong results), and cell keys move
-//! with every content lane — spec parameters, seed, and the engine's
-//! canary trace fingerprint.
+//! degrade to fresh runs (never to wrong results), v1 (pre-probe) stores
+//! are rejected and rebuilt cleanly, and cell keys move with every
+//! content lane — spec parameters, seed, the engine's canary trace
+//! fingerprint, and the probe-manifest fingerprint.
 
 use ccwan::bench::sweep::cache::{CellKey, SweepCache};
 use ccwan::bench::sweep::spec::lattice_specs;
+use ccwan::bench::sweep::{ProbeKind, ProbeManifest};
 use ccwan::bench::{Scale, SweepRunner};
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -36,7 +38,7 @@ fn cold_and_warm_cached_sweeps_match_fresh_byte_for_byte() {
     cache.flush().expect("flush");
 
     // Warm, in a new process-equivalent (fresh open): zero cells execute,
-    // results still byte-identical.
+    // results still byte-identical — full metric rows served from disk.
     let mut warm_cache = SweepCache::open(&dir);
     assert_eq!(warm_cache.stats.loaded, cell_count);
     let warm = runner.run_with_cache(&specs, &mut warm_cache);
@@ -79,24 +81,60 @@ fn cell_keys_move_with_every_content_lane() {
     let canary = spec.canary_fingerprint();
     // Canary is itself deterministic (it is a traced reference run).
     assert_eq!(canary, spec.canary_fingerprint());
+    let probes = spec.probes.fingerprint();
 
-    let base = CellKey::derive(spec.params_fingerprint(), 1, spec.cell_seed(1), canary);
+    let base = CellKey::derive(
+        spec.params_fingerprint(),
+        1,
+        spec.cell_seed(1),
+        canary,
+        probes,
+    );
 
     // Different case / seed.
     assert_ne!(
         base,
-        CellKey::derive(spec.params_fingerprint(), 2, spec.cell_seed(2), canary)
+        CellKey::derive(
+            spec.params_fingerprint(),
+            2,
+            spec.cell_seed(2),
+            canary,
+            probes
+        )
     );
     // Same params, synthetic different seed (as if the seed derivation
     // changed).
     assert_ne!(
         base,
-        CellKey::derive(spec.params_fingerprint(), 1, spec.cell_seed(1) ^ 1, canary)
+        CellKey::derive(
+            spec.params_fingerprint(),
+            1,
+            spec.cell_seed(1) ^ 1,
+            canary,
+            probes
+        )
     );
     // A changed engine/algorithm behavior shows up as a changed canary.
     assert_ne!(
         base,
-        CellKey::derive(spec.params_fingerprint(), 1, spec.cell_seed(1), canary ^ 1)
+        CellKey::derive(
+            spec.params_fingerprint(),
+            1,
+            spec.cell_seed(1),
+            canary ^ 1,
+            probes
+        )
+    );
+    // A changed probe selection moves the key through its own lane.
+    assert_ne!(
+        base,
+        CellKey::derive(
+            spec.params_fingerprint(),
+            1,
+            spec.cell_seed(1),
+            canary,
+            ProbeManifest::outcome_only().fingerprint()
+        )
     );
     // Every spec parameter participates in the params fingerprint.
     for mutate in [
@@ -115,7 +153,13 @@ fn cell_keys_move_with_every_content_lane() {
         );
         assert_ne!(
             base,
-            CellKey::derive(changed.params_fingerprint(), 1, spec.cell_seed(1), canary)
+            CellKey::derive(
+                changed.params_fingerprint(),
+                1,
+                spec.cell_seed(1),
+                canary,
+                probes
+            )
         );
     }
     // And distinct registry specs never share keys for the same case.
@@ -125,9 +169,77 @@ fn cell_keys_move_with_every_content_lane() {
             specs[1].params_fingerprint(),
             1,
             specs[1].cell_seed(1),
-            canary
+            canary,
+            probes
         )
     );
+}
+
+/// Changing one spec's probe manifest invalidates exactly that spec's
+/// cached cells; every other spec's cells stay warm.
+#[test]
+fn adding_a_probe_invalidates_only_the_affected_spec() {
+    let dir = scratch("probe-lane");
+    let runner = SweepRunner::serial();
+    let mut specs: Vec<_> = lattice_specs(Scale::Quick).into_iter().take(2).collect();
+    let per_spec: u64 = specs[0].seeds;
+
+    let mut cache = SweepCache::open(&dir);
+    runner.run_with_cache(&specs, &mut cache);
+    assert_eq!(cache.stats.misses, 2 * per_spec);
+
+    // Drop spec 0 to an outcome-only manifest: only its cells re-run.
+    specs[0].probes = ProbeManifest::outcome_only();
+    let results = runner.run_with_cache(&specs, &mut cache);
+    assert_eq!(
+        cache.stats.hits, per_spec,
+        "the untouched spec must stay warm"
+    );
+    assert_eq!(
+        cache.stats.misses,
+        3 * per_spec,
+        "only the changed spec's cells re-execute"
+    );
+    assert_eq!(results, runner.run_fresh(&specs));
+
+    // Restoring a richer manifest (one extra probe over outcome-only)
+    // misses again — a third distinct key set.
+    specs[0].probes = ProbeManifest::of(&[ProbeKind::BroadcastCount]);
+    runner.run_with_cache(&specs, &mut cache);
+    assert_eq!(cache.stats.misses, 4 * per_spec);
+}
+
+/// A v1 (pre-probe) store on disk is discarded wholesale — loaded
+/// entries 0, no error — and the sweep re-executes and rebuilds a v2
+/// store that a fresh open then serves warm.
+#[test]
+fn v1_store_is_discarded_and_rebuilt_by_a_sweep() {
+    let dir = scratch("v1-migration");
+    // A faithful v1 file: v1 header plus the old line schema.
+    let v1 = "{\"ccwan-sweep-cache\":1}\n\
+              {\"key\":\"0123456789abcdef0123456789abcdef\",\"spec\":\"lattice/maj-AC\",\
+              \"case\":0,\"seed\":123,\"ref\":6,\"decided\":8,\"terminated\":true,\"safe\":true,\
+              \"crc\":\"0000000000000000\"}\n";
+    std::fs::write(dir.join("cells.jsonl"), v1).expect("write v1 store");
+
+    let specs = &lattice_specs(Scale::Quick)[..1];
+    let runner = SweepRunner::serial();
+    let mut cache = SweepCache::open(&dir);
+    assert_eq!(cache.stats.loaded, 0, "no v1 entry may load");
+    assert_eq!(cache.stats.skipped_lines, 2, "header + line discarded");
+
+    let results = runner.run_with_cache(specs, &mut cache);
+    assert_eq!(cache.stats.hits, 0, "nothing can hit against a v1 store");
+    assert_eq!(results, runner.run_fresh(specs));
+    cache.flush().expect("flush");
+
+    let rebuilt = std::fs::read_to_string(dir.join("cells.jsonl")).expect("read rebuilt");
+    assert!(rebuilt.starts_with("{\"ccwan-sweep-cache\":2}"));
+    assert!(!rebuilt.contains("\"decided\""), "no v1 line survives");
+    let mut warm = SweepCache::open(&dir);
+    assert_eq!(warm.stats.loaded, specs[0].seeds);
+    runner.run_with_cache(specs, &mut warm);
+    assert_eq!(warm.stats.misses, 0, "the rebuilt v2 store serves warm");
 }
 
 proptest! {
