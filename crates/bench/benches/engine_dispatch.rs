@@ -220,6 +220,32 @@ fn run_static_storm_traced<const N: usize>() -> u64 {
     checksum(engine.processes())
 }
 
+/// Broadcasts in one `ROUNDS`-round run of the storm stack (for the
+/// messages/sec figure): counted off a recorded trace, not assumed.
+fn broadcasts_storm<const N: usize>() -> u64 {
+    let mut engine = Engine::from_parts(beacons(N), AlwaysNull, AllActive, NoLoss, NoCrashes)
+        .with_detail(TraceDetail::Counts);
+    engine.run(ROUNDS);
+    engine
+        .trace()
+        .rounds()
+        .map(|v| v.senders().len() as u64)
+        .sum()
+}
+
+/// Broadcasts in one `ROUNDS`-round run of the ECF stack.
+fn broadcasts_ecf<const N: usize>() -> u64 {
+    let (cd, cm, loss, crash) = ecf_parts(7);
+    let mut engine =
+        Engine::from_parts(beacons(N), cd, cm, loss, crash).with_detail(TraceDetail::Counts);
+    engine.run(ROUNDS);
+    engine
+        .trace()
+        .rounds()
+        .map(|v| v.senders().len() as u64)
+        .sum()
+}
+
 /// Nanoseconds per run, over `iters` back-to-back runs under one timer.
 fn time_ns(f: fn() -> u64, iters: u64) -> f64 {
     let start = std::time::Instant::now();
@@ -362,6 +388,48 @@ fn main() {
     }
     let _ = writeln!(json, "  ],");
 
+    // Throughput of the untraced static engine — the figure sweep scaling
+    // actually buys rounds with: simulated rounds/sec and delivered-side
+    // messages (broadcasts)/sec per stack. Message counts come off one
+    // recorded trace of the identical run, not an assumption about the
+    // contention manager.
+    type ThroughputCell = (&'static str, usize, fn() -> u64, fn() -> u64);
+    let throughput_cells: [ThroughputCell; 4] = [
+        ("storm", 4, run_static_storm::<4>, broadcasts_storm::<4>),
+        ("ecf", 4, run_static_ecf::<4>, broadcasts_ecf::<4>),
+        ("storm", 50, run_static_storm::<50>, broadcasts_storm::<50>),
+        ("ecf", 50, run_static_ecf::<50>, broadcasts_ecf::<50>),
+    ];
+    let quick = std::env::var_os("CCWAN_BENCH_QUICK").is_some();
+    let _ = writeln!(json, "  \"throughput\": [");
+    let count = throughput_cells.len();
+    for (i, (stack, n, run_f, broadcasts_f)) in throughput_cells.into_iter().enumerate() {
+        let messages = broadcasts_f();
+        // Calibrate to ~40 ms per sample, take the median of several.
+        let once = time_ns(run_f, 1);
+        let iters = ((40_000_000.0 / once) as u64).max(1);
+        time_ns(run_f, iters); // warm
+        let samples = if quick { 5 } else { 11 };
+        let mut ns: Vec<f64> = (0..samples).map(|_| time_ns(run_f, iters)).collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let ns_per_run = ns[ns.len() / 2];
+        let rounds_per_sec = ROUNDS as f64 * 1e9 / ns_per_run;
+        let messages_per_sec = messages as f64 * 1e9 / ns_per_run;
+        println!(
+            "thru   {stack:<6} n={n:<3} {rounds_per_sec:>14.0} rounds/sec  \
+             {messages_per_sec:>14.0} messages/sec  ({messages} msgs/run)"
+        );
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"stack\": \"{stack}\",");
+        let _ = writeln!(json, "      \"processes\": {n},");
+        let _ = writeln!(json, "      \"ns_per_run\": {ns_per_run:.1},");
+        let _ = writeln!(json, "      \"messages_per_run\": {messages},");
+        let _ = writeln!(json, "      \"rounds_per_sec\": {rounds_per_sec:.0},");
+        let _ = writeln!(json, "      \"messages_per_sec\": {messages_per_sec:.0}");
+        let _ = writeln!(json, "    }}{}", if i + 1 < count { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+
     // Steady-state allocator pressure per round, via the counting global
     // allocator: the zero-allocation property of the untraced hot path
     // (asserted below — this is the CI gate), with the traced cost
@@ -478,9 +546,10 @@ fn main() {
 
     // The SINR radio: `resolve_into` into a reused `PhyRound` must be
     // allocation-free in steady state (the scratch buffers and the round's
-    // output buffers all keep their storage).
+    // output buffers all keep their storage). Every batched lane — up to
+    // the n = 128 wide-system cell — is gated at exactly 0 allocs/call.
     let _ = writeln!(json, "  \"phy_resolve\": [");
-    let phy_cells: [(usize, usize); 2] = [(8, 4), (32, 16)];
+    let phy_cells: [(usize, usize); 4] = [(8, 4), (32, 16), (64, 32), (128, 64)];
     let count = phy_cells.len();
     for (i, (n, contenders)) in phy_cells.into_iter().enumerate() {
         let channel = RadioChannel::new(PhyConfig::new(n, 11));
@@ -494,10 +563,19 @@ fn main() {
             }
         };
         let (allocs, bytes) = steady_state_allocs(&mut resolve_rounds);
-        let timed = 200u64;
-        let start = std::time::Instant::now();
-        resolve_rounds(timed);
-        let ns_per_call = start.elapsed().as_nanos() as f64 / timed as f64;
+        // Median of calibrated samples (like the throughput section): a
+        // single short window is too noisy to gate a speedup target on.
+        let mut sample_ns = |iters: u64| {
+            let start = std::time::Instant::now();
+            resolve_rounds(iters);
+            start.elapsed().as_nanos() as f64 / iters as f64
+        };
+        let once = sample_ns(20);
+        let iters = ((30_000_000.0 / once) as u64).clamp(50, 20_000);
+        let samples = if quick { 5 } else { 9 };
+        let mut ns: Vec<f64> = (0..samples).map(|_| sample_ns(iters)).collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let ns_per_call = ns[ns.len() / 2];
         println!(
             "phy    n={n:<3} senders={contenders:<3} {allocs:>10.3} allocs/call  \
              {bytes:>12.1} bytes/call  {ns_per_call:>10.1} ns/call"

@@ -4,6 +4,7 @@
 //! run_experiments [--quick] [--only eN] [--cache | --no-cache]
 //! run_experiments --check [--quick] [--bless] [--no-cache] [--traced]
 //! run_experiments --metrics <glob> [--quick] [--cache | --no-cache]
+//! run_experiments --throughput [--quick]
 //! run_experiments --help
 //! ```
 //!
@@ -33,6 +34,13 @@
 //!   `*_rounds`). Ordering is stable — registry order, then canonical
 //!   metric order — and the table is a pure function of the results
 //!   frame, so cold and warm invocations print byte-identical stdout.
+//! * `--throughput` times a *fresh* (never cached) execution of every
+//!   registry spec and prints a per-spec wall-clock summary — simulated
+//!   rounds/sec, plus messages/sec where the spec's probe manifest
+//!   records broadcasts — to **stderr**. This is the sweep-scale view of
+//!   the batched delivery kernels: the `engine_dispatch` bench measures
+//!   single engines in isolation, this measures the real work-stealing
+//!   sweep stack end to end.
 
 use std::path::PathBuf;
 use wan_bench::sweep::{cache, golden, MetricId, Registry, ResultsFrame, SweepSummary};
@@ -68,6 +76,7 @@ const USAGE: &str = "\
 usage: run_experiments [--quick] [--only eN] [--cache | --no-cache]
        run_experiments --check [--quick] [--bless] [--no-cache] [--traced]
        run_experiments --metrics <glob> [--quick] [--cache | --no-cache]
+       run_experiments --throughput [--quick]
        run_experiments --help
 
   --quick           CI-sized sweeps (5 seeds/spec) instead of paper-sized
@@ -81,6 +90,8 @@ usage: run_experiments [--quick] [--only eN] [--cache | --no-cache]
                     name matches the glob (`*`/`?` wildcards, e.g.
                     'cd_*', 'decision_latency'); stable ordering,
                     byte-identical stdout across cold and warm runs
+  --throughput      time a fresh execution of every registry spec and
+                    print rounds/sec + messages/sec per spec to stderr
   --help            this text";
 
 fn main() {
@@ -88,8 +99,8 @@ fn main() {
     let mut i = 0;
     let mut only: Option<String> = None;
     let mut metrics: Option<String> = None;
-    let (mut quick, mut use_cache, mut check, mut bless, mut traced) =
-        (false, true, false, false, false);
+    let (mut quick, mut use_cache, mut check, mut bless, mut traced, mut throughput) =
+        (false, true, false, false, false, false);
     while i < args.len() {
         match args[i].as_str() {
             "--help" | "-h" => {
@@ -101,6 +112,7 @@ fn main() {
             "--no-cache" => use_cache = false,
             "--check" => check = true,
             "--traced" => traced = true,
+            "--throughput" => throughput = true,
             "--bless" => {
                 check = true;
                 bless = true;
@@ -154,6 +166,18 @@ fn main() {
         std::process::exit(2);
     }
 
+    if throughput && (check || metrics.is_some() || only.is_some()) {
+        eprintln!(
+            "--throughput is its own mode; it cannot be combined with --check, --metrics, or --only"
+        );
+        std::process::exit(2);
+    }
+    if throughput {
+        // Timing a cache hit would measure file I/O, not the engine;
+        // every cell must execute, so the cache never engages.
+        use_cache = false;
+    }
+
     if let Some(filter) = &only {
         if !EXPERIMENTS.iter().any(|(id, _)| id == filter) {
             eprintln!(
@@ -174,6 +198,8 @@ fn main() {
         run_check(scale, bless, traced)
     } else if let Some(glob) = metrics {
         run_metrics(scale, &glob)
+    } else if throughput {
+        run_throughput(scale)
     } else {
         run_suite(scale, only.as_deref())
     };
@@ -262,6 +288,65 @@ fn run_metrics(scale: Scale, glob: &str) -> i32 {
         selected.len()
     ));
     println!("{table}");
+    0
+}
+
+/// `--throughput`: wall-clock every registry spec through a fresh
+/// work-stealing sweep and report simulated rounds/sec (from the
+/// `rounds_executed` column every manifest emits) and messages/sec (from
+/// `broadcasts_total`, where the manifest records it). Everything goes to
+/// stderr: throughput numbers are machine-dependent and must never leak
+/// into the byte-comparable stdout channel the other modes maintain.
+fn run_throughput(scale: Scale) -> i32 {
+    let registry = Registry::standard(scale);
+    let runner = SweepRunner::parallel();
+    eprintln!(
+        "# sweep throughput ({scale:?}, {} worker thread(s), fresh execution)",
+        runner.threads()
+    );
+    eprintln!(
+        "{:<24} {:>6} {:>10} {:>9} {:>12} {:>12}",
+        "spec", "cells", "rounds", "ms", "rounds/sec", "msgs/sec"
+    );
+    let (mut cells, mut rounds, mut messages, mut nanos) = (0u64, 0i128, 0i128, 0u128);
+    let mut messaged_nanos = 0u128; // denominator for specs that count broadcasts
+    for spec in registry.specs() {
+        let start = std::time::Instant::now();
+        let frame = runner.run_fresh(std::slice::from_ref(spec));
+        let elapsed = start.elapsed().as_nanos().max(1);
+        let spec_frame = frame.spec(0);
+        let spec_cells = spec_frame.cases().len() as u64;
+        let spec_rounds = spec_frame
+            .column(MetricId::RoundsExecuted)
+            .map_or(0, |column| column.sum());
+        let spec_messages = spec_frame
+            .column(MetricId::BroadcastsTotal)
+            .map(|column| column.sum());
+        let per_sec = |count: i128| count as f64 * 1e9 / elapsed as f64;
+        eprintln!(
+            "{:<24} {:>6} {:>10} {:>9.1} {:>12.0} {:>12}",
+            spec.name,
+            spec_cells,
+            spec_rounds,
+            elapsed as f64 / 1e6,
+            per_sec(spec_rounds),
+            spec_messages.map_or_else(|| "—".to_string(), |m| format!("{:.0}", per_sec(m))),
+        );
+        cells += spec_cells;
+        rounds += spec_rounds;
+        nanos += elapsed;
+        if let Some(m) = spec_messages {
+            messages += m;
+            messaged_nanos += elapsed;
+        }
+    }
+    eprintln!(
+        "total: {cells} cells, {rounds} rounds in {:.1} ms — {:.0} rounds/sec, \
+         {:.0} msgs/sec (over broadcast-counting specs)",
+        nanos as f64 / 1e6,
+        rounds as f64 * 1e9 / nanos.max(1) as f64,
+        messages as f64 * 1e9 / messaged_nanos.max(1) as f64,
+    );
     0
 }
 

@@ -83,9 +83,25 @@ struct ResolveScratch {
     sender_slot: Vec<usize>,
     /// Each process's own transmit slot, or `NO_SLOT` for non-senders.
     own_slot: Vec<usize>,
-    /// `(sender index, received power)` of the transmitters in the slot
-    /// currently being decoded.
-    txs: Vec<(usize, f64)>,
+    /// Per-sender fading-hash prefix over `(seed, salt, round, tx)`;
+    /// the receiver index is folded in last (see [`hash::extend`]).
+    fading_prefix: Vec<u64>,
+    /// Counting-sort offsets: senders of slot `k` occupy
+    /// `slot_senders[slot_start[k]..slot_start[k + 1]]`.
+    slot_start: Vec<usize>,
+    /// Write cursors used while building the counting sort.
+    slot_cursor: Vec<usize>,
+    /// Sender indices grouped by slot, ascending within each group (the
+    /// counting sort is stable), so per-receiver power sums visit the
+    /// same terms in the same order as the scalar reference.
+    slot_senders: Vec<usize>,
+    /// Received powers of the current slot: `power[k * n + rx]` for the
+    /// `k`-th sender of the group.
+    power: Vec<f64>,
+    /// Per-receiver running power totals for the current slot.
+    acc: Vec<f64>,
+    /// Per-receiver "decoded someone this slot" flags.
+    decoded: Vec<bool>,
 }
 
 /// Sentinel for "not transmitting" in `ResolveScratch::own_slot` (a real
@@ -169,7 +185,11 @@ impl RadioChannel {
             % self.cfg.slots_per_round as u64) as usize
     }
 
-    /// Rayleigh power fading for (round, tx, rx).
+    /// Rayleigh power fading for (round, tx, rx). The hot kernel inlines
+    /// this via a hoisted [`hash::hash_tuple`] prefix plus
+    /// [`hash::exponential_extend`]; the scalar reference keeps calling
+    /// it whole so the oracle stays byte-for-byte the seed-era code.
+    #[cfg(test)]
     fn fading(&self, round: Round, tx: ProcessId, rx: ProcessId) -> f64 {
         hash::exponential(&[
             self.cfg.seed,
@@ -209,6 +229,21 @@ impl RadioChannel {
     /// capture, carrier sensing — into `out`, whose previous contents are
     /// discarded and whose storage is reused. After warm-up (buffers at
     /// steady-state capacity) a call performs no heap allocation.
+    ///
+    /// # Summation-order invariant
+    ///
+    /// Golden summaries, sweep-cache canary fingerprints, and the
+    /// serial-vs-parallel byte-identity tests all hash the delivered
+    /// bits this function produces, and those bits come from `f64`
+    /// comparisons against non-associative floating-point sums. The
+    /// per-receiver slot power total MUST therefore accumulate the
+    /// senders of a slot **in ascending sender-list order** — the order
+    /// the original per-(rx, slot) scalar loop used — or rounding
+    /// differences flip marginal SINR decisions and every golden
+    /// changes. The slot-major kernel below preserves this by grouping
+    /// senders with a *stable* counting sort and streaming each group in
+    /// order; `resolve_scalar_reference` plus a proptest in the test
+    /// module pin the equivalence bit-for-bit.
     pub fn resolve_into(&self, round: Round, senders: &[ProcessId], out: &mut PhyRound) {
         let n = self.cfg.n;
         let slots = self.cfg.slots_per_round;
@@ -221,27 +256,217 @@ impl RadioChannel {
         let ResolveScratch {
             sender_slot,
             own_slot,
-            txs,
+            fading_prefix,
+            slot_start,
+            slot_cursor,
+            slot_senders,
+            power,
+            acc,
+            decoded,
         } = &mut *scratch;
+
+        // Per-sender precomputation, hoisted out of the slot sweep: the
+        // slot choice, the half-duplex mask, and the fading-hash prefix
+        // (4 of the 5 splitmix rounds per (round, tx, rx) draw).
         sender_slot.clear();
         sender_slot.extend(senders.iter().map(|&s| self.slot_of(round, s)));
         own_slot.clear();
         own_slot.resize(n, NO_SLOT);
+        fading_prefix.clear();
+        for (si, &s) in senders.iter().enumerate() {
+            own_slot[s.index()] = sender_slot[si];
+            fading_prefix.push(hash::hash_tuple(&[
+                self.cfg.seed,
+                0xFAD3,
+                round.0,
+                s.index() as u64,
+            ]));
+        }
+
+        // Stable counting sort of sender indices by slot: ascending
+        // within each group, as the summation-order invariant requires.
+        slot_start.clear();
+        slot_start.resize(slots + 1, 0);
+        for &sl in sender_slot.iter() {
+            slot_start[sl + 1] += 1;
+        }
+        for k in 0..slots {
+            slot_start[k + 1] += slot_start[k];
+        }
+        slot_cursor.clear();
+        slot_cursor.extend_from_slice(&slot_start[..slots]);
+        slot_senders.clear();
+        slot_senders.resize(senders.len(), 0);
+        for (si, &sl) in sender_slot.iter().enumerate() {
+            slot_senders[slot_cursor[sl]] = si;
+            slot_cursor[sl] += 1;
+        }
+
+        let ns = senders.len();
+        if power.len() < ns * n {
+            power.resize(ns * n, 0.0);
+        }
+        acc.clear();
+        acc.resize(n, 0.0);
+        decoded.clear();
+        decoded.resize(n, false);
+
+        out.clear_and_resize(senders, n);
+
+        // Fixed-length reslices: one bounds check each here buys
+        // check-free (and vectorizable, where `ln` permits) inner loops.
+        let own_slot = &own_slot[..n];
+        let acc = &mut acc[..n];
+        let decoded = &mut decoded[..n];
+        let delivered = &mut out.delivered[..ns * n];
+        let collision = &mut out.collision[..n];
+
+        // Bit-identity notes for the specializations below. All powers
+        // are finite and non-negative (`p_tx > 0`, gains ≥ 0, fading
+        // draws are finite and positive), so for every value `x` in
+        // play: `x + 0.0 == x`, `x - 0.0 == x`, and `x - x == +0.0`
+        // exactly. A zero gain (the diagonal) forces `p = +0.0`
+        // regardless of the fading draw, so the draw may be skipped.
+        // `interference_mw` returns literal `0.0` on quiet slots, which
+        // lets the quiet-channel kernels drop the interference terms
+        // from the seed-era expression without changing one bit.
+        for slot in 0..slots {
+            let group = &slot_senders[slot_start[slot]..slot_start[slot + 1]];
+            let interference = self.interference_mw(round, slot);
+
+            if group.is_empty() {
+                // No transmitters: the slot total is pure interference,
+                // sensed as a collision by everyone when above threshold
+                // (nobody transmits here, so half-duplex never masks it).
+                if interference >= sense {
+                    collision.fill(true);
+                }
+                continue;
+            }
+
+            // Fused single-sender quiet-slot kernel: `total == p`, the
+            // SINR denominator collapses to `noise + (p - p) == noise`
+            // (exact — see above), so one pass decodes and senses.
+            if interference == 0.0 {
+                if let &[si] = group {
+                    let tx = senders[si].index();
+                    let prefix = fading_prefix[si];
+                    let gain_row = &self.gain[tx * n..(tx + 1) * n];
+                    let delivered_row = &mut delivered[si * n..(si + 1) * n];
+                    for rx in 0..n {
+                        let g = gain_row[rx];
+                        let p = if g > 0.0 {
+                            p_tx * g * hash::exponential_extend(prefix, rx as u64)
+                        } else {
+                            0.0
+                        };
+                        let ok = own_slot[rx] != slot;
+                        let del = (p / noise >= beta) & ok;
+                        delivered_row[rx] = del;
+                        collision[rx] |= ok & !del & (p >= sense);
+                    }
+                    continue;
+                }
+            }
+
+            // Pass 1: stream each sender's contiguous gain row into the
+            // per-receiver accumulators, in group (= sender-list) order.
+            // A sender's own entry is the zero diagonal gain, so its
+            // accumulator contribution is an exact `+0.0` (and the
+            // column is masked out below anyway).
+            acc.fill(0.0);
+            for (k, &si) in group.iter().enumerate() {
+                let tx = senders[si].index();
+                let prefix = fading_prefix[si];
+                let gain_row = &self.gain[tx * n..(tx + 1) * n];
+                let power_row = &mut power[k * n..(k + 1) * n];
+                for rx in 0..n {
+                    let g = gain_row[rx];
+                    let p = if g > 0.0 {
+                        p_tx * g * hash::exponential_extend(prefix, rx as u64)
+                    } else {
+                        0.0
+                    };
+                    power_row[rx] = p;
+                    acc[rx] += p;
+                }
+            }
+
+            // Pass 2: decode every receiver of the slot in one
+            // branch-light sweep. Half-duplex is a hoisted mask: a node
+            // neither decodes nor senses during its own transmit slot.
+            decoded.fill(false);
+            if interference == 0.0 {
+                // Quiet channel: `total == acc[rx]` exactly, so the
+                // denominator is `noise + (acc[rx] - p)`.
+                for (k, &si) in group.iter().enumerate() {
+                    let power_row = &power[k * n..(k + 1) * n];
+                    let delivered_row = &mut delivered[si * n..(si + 1) * n];
+                    for rx in 0..n {
+                        let p = power_row[rx];
+                        let sinr = p / (noise + (acc[rx] - p));
+                        let del = (sinr >= beta) & (own_slot[rx] != slot);
+                        delivered_row[rx] = del;
+                        decoded[rx] |= del;
+                    }
+                }
+                for rx in 0..n {
+                    collision[rx] |= (own_slot[rx] != slot) & !decoded[rx] & (acc[rx] >= sense);
+                }
+            } else {
+                // `noise + interference` is slot-constant; the rest of
+                // the seed-era expression is kept verbatim (its
+                // parenthesization is `(noise + interference) +
+                // ((total - interference) - p)`).
+                let ni = noise + interference;
+                for (k, &si) in group.iter().enumerate() {
+                    let power_row = &power[k * n..(k + 1) * n];
+                    let delivered_row = &mut delivered[si * n..(si + 1) * n];
+                    for rx in 0..n {
+                        let p = power_row[rx];
+                        let total = acc[rx] + interference;
+                        let sinr = p / (ni + (total - interference - p));
+                        let del = (sinr >= beta) & (own_slot[rx] != slot);
+                        delivered_row[rx] = del;
+                        decoded[rx] |= del;
+                    }
+                }
+                for rx in 0..n {
+                    collision[rx] |=
+                        (own_slot[rx] != slot) & !decoded[rx] & (acc[rx] + interference >= sense);
+                }
+            }
+        }
+    }
+
+    /// The seed-era per-(receiver, slot) scalar resolver, retained
+    /// verbatim as the bit-identity oracle for the slot-major kernel
+    /// (see the proptest in the test module).
+    #[cfg(test)]
+    fn resolve_scalar_reference(&self, round: Round, senders: &[ProcessId]) -> PhyRound {
+        let n = self.cfg.n;
+        let slots = self.cfg.slots_per_round;
+        let p_tx = PhyConfig::dbm_to_mw(self.cfg.tx_power_dbm);
+        let noise = PhyConfig::dbm_to_mw(self.cfg.noise_floor_dbm);
+        let beta = PhyConfig::db_to_linear(self.cfg.sinr_threshold_db);
+        let sense = PhyConfig::dbm_to_mw(self.cfg.sense_threshold_dbm);
+
+        let sender_slot: Vec<usize> = senders.iter().map(|&s| self.slot_of(round, s)).collect();
+        let mut own_slot = vec![NO_SLOT; n];
         for (si, &s) in senders.iter().enumerate() {
             own_slot[s.index()] = sender_slot[si];
         }
 
+        let mut out = PhyRound::new();
         out.clear_and_resize(senders, n);
+        let mut txs: Vec<(usize, f64)> = Vec::new();
 
         #[allow(clippy::needless_range_loop)] // `rx` indexes own_slot, gains, and out
         for rx in 0..n {
             for slot in 0..slots {
-                // Half-duplex: a node neither decodes nor senses during its
-                // own transmit slot (it knows its own packet anyway).
                 if own_slot[rx] == slot {
                     continue;
                 }
-                // Received powers of all transmitters in this slot.
                 txs.clear();
                 for (si, &s) in senders.iter().enumerate() {
                     if sender_slot[si] == slot {
@@ -267,15 +492,63 @@ impl RadioChannel {
                 }
             }
         }
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn channel(n: usize, seed: u64) -> RadioChannel {
         RadioChannel::new(PhyConfig::new(n, seed))
+    }
+
+    #[test]
+    fn slot_major_matches_scalar_reference_exhaustively() {
+        // Dense deterministic sweep: every sender-count from silence to
+        // all-n, across rounds, on a channel with interference bursts in
+        // play — the batched kernel must be bit-for-bit the scalar loop.
+        let cfg = PhyConfig::new(6, 21).with_interference(0.5, Some(Round(30)));
+        let ch = RadioChannel::new(cfg);
+        let mut out = PhyRound::new();
+        for r in 1..40u64 {
+            for k in 0..=6usize {
+                let senders: Vec<ProcessId> = (0..k).map(ProcessId).collect();
+                ch.resolve_into(Round(r), &senders, &mut out);
+                let reference = ch.resolve_scalar_reference(Round(r), &senders);
+                assert_eq!(out.delivered, reference.delivered, "round {r}, {k} senders");
+                assert_eq!(out.collision, reference.collision, "round {r}, {k} senders");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn slot_major_matches_scalar_reference(
+            n in 1usize..20,
+            slots in 1usize..12,
+            seed in 0u64..1000,
+            round in 1u64..500,
+            sender_bits in 0u32..(1 << 20),
+        ) {
+            let mut cfg = PhyConfig::new(n, seed);
+            cfg.slots_per_round = slots;
+            if seed % 3 == 0 {
+                cfg = cfg.with_interference(0.4, Some(Round(250)));
+            }
+            let ch = RadioChannel::new(cfg);
+            let senders: Vec<ProcessId> = (0..n)
+                .filter(|&i| sender_bits & (1 << i) != 0)
+                .map(ProcessId)
+                .collect();
+            let batched = ch.resolve(Round(round), &senders);
+            let reference = ch.resolve_scalar_reference(Round(round), &senders);
+            prop_assert_eq!(&batched.delivered, &reference.delivered);
+            prop_assert_eq!(&batched.collision, &reference.collision);
+        }
     }
 
     #[test]

@@ -22,6 +22,35 @@ pub fn hash_tuple(parts: &[u64]) -> u64 {
     acc
 }
 
+/// Extends a [`hash_tuple`] accumulator by one more part.
+///
+/// Because `hash_tuple` folds its parts strictly left-to-right,
+/// `extend(hash_tuple(&parts[..k]), parts[k])` equals
+/// `hash_tuple(&parts[..=k])` bit-for-bit. Hot loops use this to hoist
+/// the shared prefix of a tuple (e.g. `(seed, salt, round, tx)`) out of
+/// an inner loop that varies only the last part.
+#[inline]
+pub fn extend(acc: u64, part: u64) -> u64 {
+    splitmix64(acc ^ part)
+}
+
+/// The `[0, 1)` uniform encoded by a finished hash word (53-bit
+/// mantissa) — the same construction [`uniform`] applies to
+/// `hash_tuple`'s output.
+#[inline]
+fn unit_from(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// An exponential(1) draw from a prefix accumulator plus final part:
+/// bit-identical to `exponential(&[..prefix parts.., last])`.
+#[inline]
+pub fn exponential_extend(prefix: u64, last: u64) -> f64 {
+    let u = unit_from(extend(prefix, last));
+    let u = if u <= 0.0 { f64::MIN_POSITIVE } else { u };
+    -u.ln()
+}
+
 /// A uniform draw in `[0, 1)` from hashed inputs (53-bit mantissa).
 pub fn uniform(parts: &[u64]) -> f64 {
     (hash_tuple(parts) >> 11) as f64 / (1u64 << 53) as f64
@@ -62,6 +91,24 @@ mod tests {
         assert_eq!(hash_tuple(&[1, 2, 3]), hash_tuple(&[1, 2, 3]));
         assert_ne!(hash_tuple(&[1, 2, 3]), hash_tuple(&[1, 2, 4]));
         assert_eq!(uniform(&[9, 9]), uniform(&[9, 9]));
+    }
+
+    #[test]
+    fn prefix_extension_is_bit_identical() {
+        // The whole point of the prefix helpers: hoisting the shared
+        // tuple prefix must not change a single bit of any draw.
+        for round in 0..50u64 {
+            for rx in 0..16u64 {
+                let parts = [42, 0xFAD3, round, 7, rx];
+                let prefix = hash_tuple(&parts[..4]);
+                assert_eq!(extend(prefix, rx), hash_tuple(&parts));
+                assert_eq!(
+                    exponential_extend(prefix, rx).to_bits(),
+                    exponential(&parts).to_bits(),
+                    "round {round} rx {rx}"
+                );
+            }
+        }
     }
 
     #[test]

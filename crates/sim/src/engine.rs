@@ -367,24 +367,32 @@ where
         assert_eq!(buf.matrix.n(), n, "loss adversary returned wrong arity");
         buf.matrix.force_self_delivery();
 
+        // Receive assembly is word-wise: walk each receiver's delivery
+        // row via the trailing-zeros bit loop instead of probing every
+        // sender bit, so empty words (the common case on sparse rounds)
+        // cost one comparison.
+        let sent = &buf.sent;
         for (r, bucket) in buf.received.iter_mut().enumerate() {
             bucket.clear();
-            for s in buf.matrix.delivered_to(ProcessId(r)) {
-                let msg = buf.sent[s.index()]
+            buf.matrix.for_each_delivered_to(ProcessId(r), |s| {
+                let msg = sent[s.index()]
                     .as_ref()
                     .expect("delivery matrix may only deliver from this round's senders");
                 bucket.insert(msg.clone());
-            }
+            });
         }
 
         // 5. Collision detection from the transmission entry (c, T). The
         // counts live inside the entry until the record is assembled, so
-        // the hot path builds them exactly once.
+        // the hot path builds them exactly once. Each receive multiset's
+        // total is by construction its delivery-row popcount (one insert
+        // per set sender bit), so the counts come straight off the matrix
+        // words.
         buf.tx.sent_count = buf.senders.len();
         buf.tx.received.clear();
         buf.tx
             .received
-            .extend(buf.received.iter().map(|m| m.total()));
+            .extend((0..n).map(|r| buf.matrix.received_count(ProcessId(r))));
         // Pre-filled like the Vec-form wrapper's default (see step 2).
         buf.cd.fill(CdAdvice::Null);
         detector.advise_into(now, &buf.tx, &mut buf.cd);

@@ -90,7 +90,7 @@ pub enum IntraGroupRule {
 ///
 /// This is the workhorse of the Section 8 constructions: two groups that
 /// cannot hear each other behave exactly like two independent executions.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PartitionLoss {
     group_of: Vec<usize>,
     intra: IntraGroupRule,
@@ -98,6 +98,24 @@ pub struct PartitionLoss {
     /// every broadcast is delivered to everyone. `None` = partitioned
     /// forever.
     heal_from: Option<Round>,
+    /// Reusable per-round scratch: the per-group delivering-sender bitmasks
+    /// (flattened `groups × words_per_row`) and per-group broadcaster
+    /// counts. Excluded from `Debug` (see the manual impl) so the rendered
+    /// adversary stays byte-identical to the seed-era derive.
+    group_masks: Vec<u64>,
+    group_sender_counts: Vec<usize>,
+}
+
+impl std::fmt::Debug for PartitionLoss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Scratch buffers are representation, not identity: render exactly
+        // the fields the seed-era `#[derive(Debug)]` rendered.
+        f.debug_struct("PartitionLoss")
+            .field("group_of", &self.group_of)
+            .field("intra", &self.intra)
+            .field("heal_from", &self.heal_from)
+            .finish()
+    }
 }
 
 impl PartitionLoss {
@@ -108,6 +126,8 @@ impl PartitionLoss {
             group_of,
             intra,
             heal_from: None,
+            group_masks: Vec::new(),
+            group_sender_counts: Vec::new(),
         }
     }
 
@@ -150,24 +170,34 @@ impl LossAdversary for PartitionLoss {
             out.deliver_all();
             return;
         }
+        // Word-wise: build one delivering-sender bitmask per group, then
+        // OR each receiver's group mask into its row in whole words —
+        // O(groups · words + n · words) instead of a per-(sender,
+        // receiver) branch. No RNG is involved, so the delivery bits are
+        // trivially identical to the scalar loop this replaces.
+        let words = n.div_ceil(64);
+        let groups = self.group_of.iter().max().map_or(0, |&g| g + 1);
+        self.group_masks.clear();
+        self.group_masks.resize(groups * words, 0);
+        self.group_sender_counts.clear();
+        self.group_sender_counts.resize(groups, 0);
+        for &s in senders {
+            let g = self.group_of(s);
+            self.group_sender_counts[g] += 1;
+        }
         for &s in senders {
             let g = self.group_of(s);
             let deliver_in_group = match self.intra {
                 IntraGroupRule::Full => true,
-                // The Solo rule needs the group's broadcaster count;
-                // senders are few, so counting inline beats building a
-                // per-group map every round.
-                IntraGroupRule::Solo => {
-                    senders.iter().filter(|&&x| self.group_of(x) == g).count() == 1
-                }
+                IntraGroupRule::Solo => self.group_sender_counts[g] == 1,
             };
             if deliver_in_group {
-                for r in 0..n {
-                    if self.group_of[r] == g {
-                        out.set(s, ProcessId(r), true);
-                    }
-                }
+                self.group_masks[g * words + s.index() / 64] |= 1u64 << (s.index() % 64);
             }
+        }
+        for r in 0..n {
+            let g = self.group_of[r];
+            out.deliver_row_mask(ProcessId(r), &self.group_masks[g * words..(g + 1) * words]);
         }
     }
 
@@ -211,13 +241,25 @@ impl LossAdversary for RandomLoss {
     ) {
         out.clear_and_resize(senders, n);
         // One draw per (sender, receiver) pair in this exact order: the
-        // RNG stream is pinned by the determinism tests.
-        for &s in senders {
-            for r in 0..n {
-                if !self.rng.random_bool(self.p_loss) {
-                    out.set(s, ProcessId(r), true);
-                }
+        // RNG stream is pinned by the determinism tests. The degenerate
+        // regimes (`random_bool(0.0)` is always false, `random_bool(1.0)`
+        // always true — each still one `next_u64`) deliver in whole-word
+        // masks and just advance the stream, so later rounds see the
+        // exact same draws as the scalar loop.
+        if self.p_loss == 0.0 || self.p_loss == 1.0 {
+            if self.p_loss == 0.0 {
+                out.deliver_all();
             }
+            for _ in 0..senders.len() * n {
+                self.rng.next_u64();
+            }
+            return;
+        }
+        for &s in senders {
+            // `deliver_from_where` probes receivers in ascending index
+            // order, one predicate call (= one draw) per process: the
+            // stream stays bit-for-bit the nested scalar loop's.
+            out.deliver_from_where(s, |_| !self.rng.random_bool(self.p_loss));
         }
     }
 }
@@ -253,11 +295,7 @@ impl LossAdversary for ScriptedLoss {
             None => out.deliver_all(),
             Some(pred) => {
                 for &s in senders {
-                    for r in 0..n {
-                        if pred(s, ProcessId(r)) {
-                            out.set(s, ProcessId(r), true);
-                        }
-                    }
+                    out.deliver_from_where(s, |r| pred(s, r));
                 }
             }
         }
@@ -394,6 +432,95 @@ mod tests {
         let mut lossy = RandomLoss::new(1.0, 1);
         let m = lossy.deliver(Round(1), &pids(&[0]), 3);
         assert!((0..3).all(|r| !m.delivered(ProcessId(0), ProcessId(r))));
+    }
+
+    #[test]
+    fn random_loss_general_path_preserves_rng_stream() {
+        // The masked delivery path must consume exactly one draw per
+        // (sender, receiver) pair in sender-then-ascending-receiver
+        // order — across rounds, so stream position carries over exactly
+        // like the seed-era nested loop.
+        let mut adv = RandomLoss::new(0.4, 77);
+        let mut reference = StdRng::seed_from_u64(77);
+        let n = 70; // multi-word rows
+        let senders = pids(&[1, 3, 64]);
+        for round in 1..10u64 {
+            let m = adv.deliver(Round(round), &senders, n);
+            for &s in &senders {
+                for r in 0..n {
+                    let expect = !reference.random_bool(0.4);
+                    assert_eq!(
+                        m.delivered(s, ProcessId(r)),
+                        expect,
+                        "round {round}, sender {s}, receiver {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_loss_degenerate_p_advances_stream_like_scalar_loop() {
+        // The whole-word p ∈ {0, 1} regimes skip the per-pair draws but
+        // must leave the generator exactly where the scalar loop would.
+        for p in [0.0, 1.0] {
+            let mut adv = RandomLoss::new(p, 9);
+            let _ = adv.deliver(Round(1), &pids(&[0, 2]), 5);
+            let _ = adv.deliver(Round(2), &pids(&[1]), 5);
+            let mut reference = StdRng::seed_from_u64(9);
+            for _ in 0..(2 + 1) * 5 {
+                reference.next_u64();
+            }
+            assert!(
+                format!("{adv:?}").contains(&format!("{reference:?}")),
+                "p = {p}: stream not advanced like the scalar loop"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_word_masks_match_scalar_reference() {
+        // The per-group mask path against the seed-era per-(sender,
+        // receiver) branch, across group shapes, intra rules, and
+        // multi-word widths.
+        for n in [1usize, 5, 64, 70] {
+            for split in [0, n / 2, n] {
+                for intra in [IntraGroupRule::Full, IntraGroupRule::Solo] {
+                    let senders: Vec<ProcessId> = (0..n).step_by(3).map(ProcessId).collect();
+                    let mut adv = PartitionLoss::two_groups(n, split, intra);
+                    let fast = adv.deliver(Round(1), &senders, n);
+                    let mut reference = DeliveryMatrix::none(&senders, n);
+                    for &s in &senders {
+                        let g = adv.group_of(s);
+                        let deliver_in_group = match intra {
+                            IntraGroupRule::Full => true,
+                            IntraGroupRule::Solo => {
+                                senders.iter().filter(|&&x| adv.group_of(x) == g).count() == 1
+                            }
+                        };
+                        if deliver_in_group {
+                            for r in 0..n {
+                                if adv.group_of(ProcessId(r)) == g {
+                                    reference.set(s, ProcessId(r), true);
+                                }
+                            }
+                        }
+                    }
+                    assert_eq!(fast, reference, "n = {n}, split = {split}, {intra:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_debug_hides_scratch() {
+        // Canary-adjacent: the rendered adversary must stay the seed-era
+        // derive output (scratch buffers are representation, not identity).
+        let adv = PartitionLoss::two_groups(3, 1, IntraGroupRule::Full).healing_from(Round(4));
+        assert_eq!(
+            format!("{adv:?}"),
+            "PartitionLoss { group_of: [0, 1, 1], intra: Full, heal_from: Some(Round(4)) }"
+        );
     }
 
     #[test]

@@ -187,6 +187,68 @@ impl DeliveryMatrix {
     pub fn delivered_to(&self, r: ProcessId) -> impl Iterator<Item = ProcessId> + '_ {
         bits(self.row(r)).map(ProcessId)
     }
+
+    /// Receiver `r`'s raw delivery words (`⌈n/64⌉` of them; bit `s` of
+    /// word `s / 64` means sender `s` delivers to `r`). Only sender bits
+    /// are ever set, so a popcount of this slice equals
+    /// [`DeliveryMatrix::received_count`]. Exposed for word-wise batch
+    /// consumers (the engine's receive assembly, masked adversaries).
+    pub fn row_words(&self, r: ProcessId) -> &[u64] {
+        self.row(r)
+    }
+
+    /// Calls `f` with each sender delivering to `r`, in ascending order —
+    /// the batched (trailing-zeros word walk) form of
+    /// [`DeliveryMatrix::delivered_to`]. Visits whole empty words in one
+    /// comparison instead of one probe per sender, which is what makes
+    /// sparse receive assembly cheap on wide rounds.
+    #[inline]
+    pub fn for_each_delivered_to(&self, r: ProcessId, mut f: impl FnMut(ProcessId)) {
+        for (wi, &w) in self.row(r).iter().enumerate() {
+            let mut rest = w;
+            while rest != 0 {
+                f(ProcessId(wi * 64 + rest.trailing_zeros() as usize));
+                rest &= rest - 1;
+            }
+        }
+    }
+
+    /// Delivers sender `s`'s message to exactly the receivers `pred`
+    /// accepts, probing every process in ascending index order (`0..n`).
+    /// The strict probe order is load-bearing for adversaries whose
+    /// predicate consumes an RNG stream: one call per process, in index
+    /// order, keeps the stream — and therefore the delivery bits —
+    /// identical to a hand-written per-receiver loop. The sender's word
+    /// and bit are hoisted out of the probe loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a sender in this matrix.
+    pub fn deliver_from_where(&mut self, s: ProcessId, mut pred: impl FnMut(ProcessId) -> bool) {
+        assert!(
+            self.is_sender(s),
+            "deliver_from_where() on a non-sender row"
+        );
+        let (word, bit) = (s.index() / 64, 1u64 << (s.index() % 64));
+        for r in 0..self.n {
+            self.rows[r * self.words_per_row + word] |= bit * u64::from(pred(ProcessId(r)));
+        }
+    }
+
+    /// ORs a sender mask into receiver `r`'s row in one pass of word-wise
+    /// operations: every sender whose bit is set in `mask` delivers to
+    /// `r`. Bits of non-senders are ignored (masked against the sender
+    /// set), preserving the invariant that only sender bits are ever set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` is shorter than the row width.
+    pub fn deliver_row_mask(&mut self, r: ProcessId, mask: &[u64]) {
+        let row = &mut self.rows[r.index() * self.words_per_row..][..self.words_per_row];
+        for (w, word) in row.iter_mut().enumerate() {
+            *word |= mask[w] & self.senders[w];
+        }
+    }
 }
 
 /// Ascending indices of the set bits of a word slice.
@@ -440,6 +502,100 @@ mod tests {
                     bitset.delivered_to(ProcessId(r)).count(),
                     bitset.received_count(ProcessId(r))
                 );
+            }
+        }
+
+        /// Word-wise consumers agree with the per-bit reference on random
+        /// matrices: the trailing-zeros walk visits exactly the senders
+        /// `delivered_to` yields (in the same ascending order), row-word
+        /// popcounts equal `received_count`, and the masked row OR equals
+        /// bit-by-bit sets.
+        #[test]
+        fn word_wise_paths_match_per_bit_reference(
+            n in 1usize..150,
+            sender_picks in proptest::collection::vec(0usize..150, 0..12),
+            ops in proptest::collection::vec(arb_op(), 0..40),
+            mask_rx in 0usize..150,
+            mask_seed in 0u64..1_000_000,
+        ) {
+            let mut senders: Vec<ProcessId> =
+                sender_picks.into_iter().map(|s| ProcessId(s % n)).collect();
+            senders.sort_unstable();
+            senders.dedup();
+            let mut m = DeliveryMatrix::none(&senders, n);
+            for op in ops {
+                match op {
+                    Op::Set { s, r, delivered } => {
+                        let s = ProcessId(s % n);
+                        if m.is_sender(s) {
+                            m.set(s, ProcessId(r % n), delivered);
+                        }
+                    }
+                    Op::DeliverAllFrom { s } => {
+                        let s = ProcessId(s % n);
+                        if m.is_sender(s) {
+                            m.deliver_all_from(s);
+                        }
+                    }
+                    Op::ForceSelfDelivery => m.force_self_delivery(),
+                }
+            }
+            for r in 0..n {
+                let r = ProcessId(r);
+                let mut walked = Vec::new();
+                m.for_each_delivered_to(r, |s| walked.push(s));
+                prop_assert_eq!(&walked, &m.delivered_to(r).collect::<Vec<_>>());
+                let popcount: usize =
+                    m.row_words(r).iter().map(|w| w.count_ones() as usize).sum();
+                prop_assert_eq!(popcount, m.received_count(r));
+                prop_assert_eq!(popcount, walked.len());
+            }
+            // deliver_row_mask == per-bit sets of the mask ∩ senders.
+            let rx = ProcessId(mask_rx % n);
+            let words = n.div_ceil(64);
+            let mask: Vec<u64> = (0..words)
+                .map(|w| {
+                    // Cheap deterministic word salad, bits above n cleared
+                    // by the sender mask inside deliver_row_mask anyway.
+                    mask_seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(w as u64)
+                        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                })
+                .collect();
+            let mut masked = m.clone();
+            masked.deliver_row_mask(rx, &mask);
+            let mut bit_by_bit = m.clone();
+            for s in 0..n {
+                let s = ProcessId(s);
+                if bit_by_bit.is_sender(s) && mask[s.index() / 64] & (1 << (s.index() % 64)) != 0 {
+                    bit_by_bit.set(s, rx, true);
+                }
+            }
+            prop_assert_eq!(&masked, &bit_by_bit);
+        }
+
+        /// `deliver_from_where` probes every process exactly once in
+        /// ascending order and sets exactly the accepted bits — the
+        /// RNG-stream contract masked adversaries rely on.
+        #[test]
+        fn deliver_from_where_probes_in_order(
+            n in 1usize..150,
+            s in 0usize..150,
+            accept_seed in 0u64..1_000_000,
+        ) {
+            let s = ProcessId(s % n);
+            let mut m = DeliveryMatrix::none(&[s], n);
+            let mut probed = Vec::new();
+            m.deliver_from_where(s, |r| {
+                probed.push(r);
+                accept_seed.wrapping_add(r.index() as u64).wrapping_mul(0x9E37) % 3 == 0
+            });
+            prop_assert_eq!(&probed, &(0..n).map(ProcessId).collect::<Vec<_>>());
+            for r in 0..n {
+                let expect =
+                    accept_seed.wrapping_add(r as u64).wrapping_mul(0x9E37) % 3 == 0;
+                prop_assert_eq!(m.delivered(s, ProcessId(r)), expect, "receiver {}", r);
             }
         }
 
