@@ -51,15 +51,15 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use wan_bench::sweep::{CellEnd, MetricRow, ProbeManifest, ProbeSet};
-use wan_cd::{CdClass, ClassDetector, FreedomPolicy};
+use wan_cd::{CdClass, ClassDetector, Degrading, FreedomPolicy};
 use wan_cm::FairWakeUp;
 use wan_phy::{PhyConfig, PhyRound, RadioChannel};
-use wan_sim::crash::NoCrashes;
-use wan_sim::loss::{Ecf, NoLoss, RandomLoss};
+use wan_sim::crash::{NoCrashes, TimelineCrashes};
+use wan_sim::loss::{Ecf, NoLoss, RandomLoss, TimelineLoss};
 use wan_sim::ProcessId;
 use wan_sim::{
-    AllActive, AlwaysNull, Automaton, CmAdvice, Components, Engine, Round, RoundInput, Simulation,
-    TraceDetail,
+    AllActive, AlwaysNull, Automaton, CmAdvice, Components, Engine, Round, RoundInput,
+    ScenarioEvent, ScenarioTimeline, Simulation, StaggeredJoin, TraceDetail,
 };
 
 const ROUNDS: u64 = 1000;
@@ -483,6 +483,39 @@ fn main() {
                 }),
             )
             .with_detail(TraceDetail::Counts);
+            Box::new(move |r| e.run_untraced(r))
+        }),
+        // The full churn stack with a compiled scenario schedule
+        // installed: the per-round timeline hook, the timeline-aware
+        // components, *and* mid-window event application (`SetLossRate` /
+        // `CdSwitch` fire inside the measured steady state, after the
+        // crash burst and wake wave land during warm-up) must all stay on
+        // the zero-allocation untraced path.
+        ("churn", 50, "static", "untraced", {
+            let timeline = ScenarioTimeline::new()
+                .at_round(Round(4), ScenarioEvent::WakeWave { count: 25 })
+                .at_round(Round(10), ScenarioEvent::CrashBurst { count: 1 })
+                .at_round(Round(12), ScenarioEvent::SetLossRate { p: 0.6 })
+                .at_round(Round(12), ScenarioEvent::CdSwitch { slot: 1 })
+                .at_round(Round(450), ScenarioEvent::CdSwitch { slot: 0 })
+                .at_round(Round(600), ScenarioEvent::SetLossRate { p: 0.3 });
+            let detector = Degrading::new(vec![
+                ClassDetector::new(CdClass::MAJ_EV_AC, FreedomPolicy::Quiet, 7)
+                    .accurate_from(Round(8)),
+                ClassDetector::new(CdClass::ZERO_EV_AC, FreedomPolicy::Quiet, 8)
+                    .accurate_from(Round(8)),
+            ]);
+            let manager = StaggeredJoin::new(FairWakeUp::immediate(), 25);
+            let loss = Ecf::new(TimelineLoss::new(0.3, 7), Round(8));
+            let mut e = Engine::from_parts(
+                beacons(50),
+                detector,
+                manager,
+                loss,
+                TimelineCrashes::over(NoCrashes),
+            )
+            .with_detail(TraceDetail::Counts)
+            .with_schedule(timeline.compile());
             Box::new(move |r| e.run_untraced(r))
         }),
         ("storm", 4, "static", "traced", {

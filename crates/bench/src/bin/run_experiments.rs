@@ -352,13 +352,32 @@ fn run_throughput(scale: Scale) -> i32 {
 
 /// The registry regression gate: summarize a (cache-assisted) run of the
 /// standard registry — or, with `traced`, a fresh fully-traced run —
-/// record the observed summary for artifact upload, then bless or compare.
+/// apply the sweep-wide safety gate, record the observed summary for
+/// artifact upload, then bless or compare.
 fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
-    let observed = if traced {
-        SweepSummary::measure_traced(scale, &SweepRunner::parallel())
+    let (observed, violations) = if traced {
+        SweepSummary::measure_traced_gated(scale, &SweepRunner::parallel())
     } else {
-        SweepSummary::measure(scale, &SweepRunner::parallel())
+        SweepSummary::measure_gated(scale, &SweepRunner::parallel())
     };
+
+    // Safety gate first, and unconditionally: every registry environment
+    // (fault-injection timelines included) is constructed so consensus
+    // safety holds, so a violated cell is a bug — it must fail the gate
+    // loudly and must never be blessed into a golden file.
+    if !violations.is_empty() {
+        eprintln!(
+            "--check: {} cell(s) violated consensus safety (agreement/validity):",
+            violations.len()
+        );
+        for violation in &violations {
+            eprintln!("  {violation}");
+        }
+        eprintln!(
+            "(reproduce a cell with its seed; the cell-key locates any poisoned sweep-cache entry)"
+        );
+        return 1;
+    }
     let golden_dir = PathBuf::from(
         std::env::var("CCWAN_GOLDEN_DIR").unwrap_or_else(|_| "golden/sweeps".to_string()),
     );

@@ -15,6 +15,7 @@
 //! drift in any probe measurement, not just the four legacy fields, while
 //! the committed file stays a reviewable handful of lines per spec.
 
+use super::cache::CellKey;
 use super::frame::ResultsFrame;
 use super::json::{escape, field_opt, field_str, field_u64, opt_token};
 use super::probe::MetricId;
@@ -42,6 +43,69 @@ fn scale_name(scale: Scale) -> &'static str {
         Scale::Quick => "quick",
         Scale::Full => "full",
     }
+}
+
+/// One agreement/validity violation surfaced by a sweep — the unit of the
+/// sweep-wide safety gate. Every registry environment (including every
+/// fault-injection timeline in the `churn/*` family) is constructed so
+/// that consensus safety holds; a cell whose outcome checker flags
+/// disagreement or an invalid decision is therefore always a bug, never
+/// an expected measurement, and `run_experiments --check` fails loudly
+/// with these coordinates on stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyViolation {
+    /// The registry spec name.
+    pub spec: String,
+    /// The cell's case index within the spec.
+    pub case: u64,
+    /// The cell's derived RNG seed (reproduce with a single-cell run).
+    pub cell_seed: u64,
+    /// The cell's content-addressed cache key, hex-rendered — locates the
+    /// poisoned entry in `target/sweep-cache/` for eviction or inspection.
+    pub cell_key: String,
+}
+
+impl std::fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spec `{}` case {} seed {:#018x} cell-key {}",
+            self.spec, self.case, self.cell_seed, self.cell_key
+        )
+    }
+}
+
+/// Scans every cell of an executed sweep for safety violations
+/// (`safe == false`: broken agreement or validity). Cell keys are derived
+/// lazily — the canary fingerprint costs two traced reference runs per
+/// spec, so only offending specs pay it; a clean sweep scans for free.
+pub fn scan_safety(specs: &[ScenarioSpec], results: &ResultsFrame) -> Vec<SafetyViolation> {
+    let mut violations = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let frame = results.spec(i);
+        let mut canary = None;
+        for idx in 0..frame.len() {
+            let cell = results.cell_result(i, idx);
+            if cell.safe {
+                continue;
+            }
+            let canary = *canary.get_or_insert_with(|| spec.canary_fingerprint());
+            let key = CellKey::derive(
+                spec.params_fingerprint(),
+                cell.case,
+                cell.cell_seed,
+                canary,
+                spec.probes.fingerprint(),
+            );
+            violations.push(SafetyViolation {
+                spec: spec.name.clone(),
+                case: cell.case,
+                cell_seed: cell.cell_seed,
+                cell_key: key.to_hex(),
+            });
+        }
+    }
+    violations
 }
 
 /// One spec's row in a summary.
@@ -87,9 +151,22 @@ impl SweepSummary {
     /// Runs the standard registry at `scale` through `runner` (which
     /// consults the installed result cache, if any) and summarizes it.
     pub fn measure(scale: Scale, runner: &SweepRunner) -> SweepSummary {
+        SweepSummary::measure_gated(scale, runner).0
+    }
+
+    /// As [`SweepSummary::measure`], additionally scanning every cell for
+    /// safety violations ([`scan_safety`]) — the pair `--check` consumes,
+    /// so the gate sees the exact frame the summary was computed from.
+    pub fn measure_gated(
+        scale: Scale,
+        runner: &SweepRunner,
+    ) -> (SweepSummary, Vec<SafetyViolation>) {
         let registry = Registry::standard(scale);
         let results = runner.run(registry.specs());
-        SweepSummary::from_results(scale, registry.specs(), &results)
+        (
+            SweepSummary::from_results(scale, registry.specs(), &results),
+            scan_safety(registry.specs(), &results),
+        )
     }
 
     /// As [`SweepSummary::measure`], but every cell runs on the engine's
@@ -100,9 +177,21 @@ impl SweepSummary {
     /// equal the committed golden file — any difference is
     /// trace-representation or probe-path drift.
     pub fn measure_traced(scale: Scale, runner: &SweepRunner) -> SweepSummary {
+        SweepSummary::measure_traced_gated(scale, runner).0
+    }
+
+    /// As [`SweepSummary::measure_traced`], with the safety scan of
+    /// [`SweepSummary::measure_gated`].
+    pub fn measure_traced_gated(
+        scale: Scale,
+        runner: &SweepRunner,
+    ) -> (SweepSummary, Vec<SafetyViolation>) {
         let registry = Registry::standard(scale);
         let results = runner.run_fresh_traced(registry.specs());
-        SweepSummary::from_results(scale, registry.specs(), &results)
+        (
+            SweepSummary::from_results(scale, registry.specs(), &results),
+            scan_safety(registry.specs(), &results),
+        )
     }
 
     /// Summarizes an already-assembled results frame.
@@ -305,12 +394,61 @@ impl SweepSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::spec::lattice_specs;
+    use crate::sweep::probe::{MetricRow, MetricValue};
+    use crate::sweep::spec::{lattice_specs, CellRow};
 
     fn summary() -> SweepSummary {
         let specs = &lattice_specs(Scale::Quick)[..2];
         let results = SweepRunner::with_threads(2).run_fresh(specs);
         SweepSummary::from_results(Scale::Quick, specs, &results)
+    }
+
+    #[test]
+    fn scan_safety_reports_only_unsafe_cells_under_their_cache_keys() {
+        let specs = &lattice_specs(Scale::Quick)[..1];
+        let spec = &specs[0];
+        let rows: Vec<CellRow> = (0..3).map(|case| spec.run_cell(0, case)).collect();
+        let clean = ResultsFrame::from_rows(specs, rows.clone());
+        assert!(
+            scan_safety(specs, &clean).is_empty(),
+            "clean sweeps scan clean"
+        );
+
+        // Forge a safety flip in cell 1 only (rebuild the row — MetricRow
+        // is append-only and a duplicate `safe` entry would not column-ize).
+        let mut rows = rows;
+        let mut forged = MetricRow::new();
+        for (id, value) in rows[1].metrics.iter() {
+            forged.set(
+                id,
+                if id == MetricId::Safe {
+                    MetricValue::Bool(false)
+                } else {
+                    value
+                },
+            );
+        }
+        rows[1].metrics = forged;
+        let poisoned = ResultsFrame::from_rows(specs, rows);
+        let violations = scan_safety(specs, &poisoned);
+        assert_eq!(violations.len(), 1, "{violations:#?}");
+        let v = &violations[0];
+        assert_eq!(v.spec, spec.name);
+        assert_eq!(v.case, 1);
+        assert_eq!(v.cell_seed, spec.cell_seed(1));
+        // The reported key is exactly the key the sweep cache stores the
+        // cell under, so the poisoned entry can be located directly.
+        let expected = CellKey::derive(
+            spec.params_fingerprint(),
+            1,
+            spec.cell_seed(1),
+            spec.canary_fingerprint(),
+            spec.probes.fingerprint(),
+        );
+        assert_eq!(v.cell_key, expected.to_hex());
+        let line = v.to_string();
+        assert!(line.contains(&spec.name), "{line}");
+        assert!(line.contains("cell-key"), "{line}");
     }
 
     #[test]

@@ -63,11 +63,11 @@ pub mod spec;
 
 pub use cache::{CacheStats, CellKey, SweepCache};
 pub use frame::{MetricColumn, ResultsFrame, SpecFrame};
-pub use golden::SweepSummary;
+pub use golden::{scan_safety, SafetyViolation, SweepSummary};
 pub use probe::{
     CellEnd, MetricId, MetricRow, MetricValue, Probe, ProbeKind, ProbeManifest, ProbeSet,
 };
 pub use runner::SweepRunner;
 pub use spec::{
-    Algorithm, CellResult, CellRow, CrashPlan, EnvironmentPlan, Registry, ScenarioSpec,
+    Algorithm, CellResult, CellRow, ChurnPlan, CrashPlan, EnvironmentPlan, Registry, ScenarioSpec,
 };

@@ -99,6 +99,21 @@ pub enum MetricId {
     /// advised active — the *observed* wake-up stabilization point
     /// (mirrors `ExecutionTrace::observed_wakeup_round`).
     ObservedWakeupRound,
+    /// Scenario-timeline event boundaries the run actually reached
+    /// (checkpoints configured past the executed horizon don't count).
+    CheckpointCount,
+    /// Minimum alive-process count sampled across the reached checkpoints
+    /// (absent when the run reached none) — the depth of the injected
+    /// churn as the run experienced it.
+    CheckpointAliveMin,
+    /// Cumulative CD accuracy violations + completeness misses observed up
+    /// to the *last* reached checkpoint — detector quality at the moment
+    /// the environment stopped changing.
+    CheckpointCdViolations,
+    /// The earliest configured checkpoint round at which every correct
+    /// process had already decided (absent if the run never fully decided,
+    /// or only decided after the final event boundary).
+    CheckpointDecidedFrom,
     /// An ad-hoc metric minted by a custom [`Probe`] (see the README's
     /// worked example and `examples/quickstart.rs`). Sorts after every
     /// built-in id; not in [`MetricId::ALL`] and not reconstructible by
@@ -110,7 +125,7 @@ pub enum MetricId {
 
 impl MetricId {
     /// Every metric id, in canonical (`Ord`) order.
-    pub const ALL: [MetricId; 18] = [
+    pub const ALL: [MetricId; 22] = [
         MetricId::Reference,
         MetricId::LastDecision,
         MetricId::Terminated,
@@ -129,6 +144,10 @@ impl MetricId {
         MetricId::FirstCrashRound,
         MetricId::DeadProcessRounds,
         MetricId::ObservedWakeupRound,
+        MetricId::CheckpointCount,
+        MetricId::CheckpointAliveMin,
+        MetricId::CheckpointCdViolations,
+        MetricId::CheckpointDecidedFrom,
     ];
 
     /// The stable snake_case name used on disk and in `--metrics` globs.
@@ -152,6 +171,10 @@ impl MetricId {
             MetricId::FirstCrashRound => "first_crash_round",
             MetricId::DeadProcessRounds => "dead_process_rounds",
             MetricId::ObservedWakeupRound => "observed_wakeup_round",
+            MetricId::CheckpointCount => "checkpoint_count",
+            MetricId::CheckpointAliveMin => "checkpoint_alive_min",
+            MetricId::CheckpointCdViolations => "checkpoint_cd_violations",
+            MetricId::CheckpointDecidedFrom => "checkpoint_decided_from",
             MetricId::Custom(name) => name,
         }
     }
@@ -387,17 +410,25 @@ pub enum ProbeKind {
     CrashExposure,
     /// The observed wake-up stabilization round.
     WakeupStabilization,
+    /// Mid-run samples at scenario-timeline event boundaries: alive
+    /// counts, cumulative CD violations, and the decided-by-checkpoint
+    /// round. Only meaningful on specs with a non-empty timeline (the
+    /// checkpoint rounds come from the spec via
+    /// [`ProbeSet::from_manifest_at`]); with no checkpoints it emits the
+    /// absent-sample row.
+    CheckpointStats,
 }
 
 impl ProbeKind {
     /// Every built-in kind, in canonical order.
-    pub const ALL: [ProbeKind; 6] = [
+    pub const ALL: [ProbeKind; 7] = [
         ProbeKind::Core,
         ProbeKind::DecisionLatency,
         ProbeKind::BroadcastCount,
         ProbeKind::CdAccuracy,
         ProbeKind::CrashExposure,
         ProbeKind::WakeupStabilization,
+        ProbeKind::CheckpointStats,
     ];
 
     /// Stable name (participates in manifest fingerprints).
@@ -409,6 +440,7 @@ impl ProbeKind {
             ProbeKind::CdAccuracy => "cd_accuracy",
             ProbeKind::CrashExposure => "crash_exposure",
             ProbeKind::WakeupStabilization => "wakeup_stabilization",
+            ProbeKind::CheckpointStats => "checkpoint_stats",
         }
     }
 
@@ -418,8 +450,11 @@ impl ProbeKind {
         !matches!(self, ProbeKind::Core | ProbeKind::DecisionLatency)
     }
 
-    /// Instantiates the probe for message type `M`.
-    fn build<M: Ord>(self) -> Box<dyn Probe<M>> {
+    /// Instantiates the probe for message type `M`. `checkpoints` are the
+    /// sorted scenario-timeline event rounds the spec's
+    /// [`ProbeKind::CheckpointStats`] probe samples at; every other kind
+    /// ignores them.
+    fn build_at<M: Ord>(self, checkpoints: &[u64]) -> Box<dyn Probe<M>> {
         match self {
             ProbeKind::Core => Box::new(CoreOutcome),
             ProbeKind::DecisionLatency => Box::new(DecisionLatency),
@@ -427,6 +462,7 @@ impl ProbeKind {
             ProbeKind::CdAccuracy => Box::new(CdAccuracy::default()),
             ProbeKind::CrashExposure => Box::new(CrashExposure::default()),
             ProbeKind::WakeupStabilization => Box::new(WakeupStabilization::default()),
+            ProbeKind::CheckpointStats => Box::new(CheckpointStats::at(checkpoints)),
         }
     }
 }
@@ -440,10 +476,22 @@ pub struct ProbeManifest {
 }
 
 impl ProbeManifest {
-    /// The default traced-by-default selection: every built-in probe.
+    /// The default traced-by-default selection. Deliberately the *original*
+    /// six probes, not [`ProbeKind::ALL`]: [`ProbeKind::CheckpointStats`]
+    /// only says something on specs with a scenario timeline, and folding
+    /// it in here would move every standard manifest's fingerprint (and
+    /// therefore every cached cell key and golden) for no information.
+    /// Timeline specs opt in via [`ProbeManifest::of`].
     pub fn standard() -> ProbeManifest {
         ProbeManifest {
-            kinds: ProbeKind::ALL.to_vec(),
+            kinds: vec![
+                ProbeKind::Core,
+                ProbeKind::DecisionLatency,
+                ProbeKind::BroadcastCount,
+                ProbeKind::CdAccuracy,
+                ProbeKind::CrashExposure,
+                ProbeKind::WakeupStabilization,
+            ],
         }
     }
 
@@ -516,10 +564,22 @@ pub struct ProbeSet<M: Ord> {
 }
 
 impl<M: Ord> ProbeSet<M> {
-    /// Instantiates the manifest's built-in probes.
+    /// Instantiates the manifest's built-in probes (with no timeline
+    /// checkpoints — see [`ProbeSet::from_manifest_at`]).
     pub fn from_manifest(manifest: &ProbeManifest) -> ProbeSet<M> {
+        ProbeSet::from_manifest_at(manifest, &[])
+    }
+
+    /// Instantiates the manifest's built-in probes, handing the spec's
+    /// scenario-timeline event rounds to [`ProbeKind::CheckpointStats`]
+    /// so it samples at exactly the rounds the environment changed.
+    pub fn from_manifest_at(manifest: &ProbeManifest, checkpoints: &[u64]) -> ProbeSet<M> {
         ProbeSet {
-            probes: manifest.kinds().iter().map(|k| k.build()).collect(),
+            probes: manifest
+                .kinds()
+                .iter()
+                .map(|k| k.build_at(checkpoints))
+                .collect(),
         }
     }
 
@@ -766,6 +826,93 @@ impl<M: Ord> Probe<M> for WakeupStabilization {
     }
 }
 
+/// [`ProbeKind::CheckpointStats`]: mid-run sampling at scenario-timeline
+/// event boundaries. At each configured checkpoint round the run reaches,
+/// it records the alive count and the cumulative CD violation count
+/// (accuracy false positives + completeness misses, the same per-round
+/// fold as [`CdAccuracy`]); at the end it reports how many checkpoints
+/// were reached, the minimum alive count across them, the violation count
+/// at the last one, and the earliest checkpoint by which every correct
+/// process had decided ([`CellEnd::last_decision`]).
+///
+/// The checkpoint list is fixed at construction
+/// ([`ProbeSet::from_manifest_at`]) and survives [`Probe::reset`] —
+/// membership tests are a binary search on the sorted list, so observing
+/// stays allocation-free.
+struct CheckpointStats {
+    checkpoints: Vec<u64>,
+    reached: u64,
+    alive_min: Option<u64>,
+    cd_violations: u64,
+    cd_at_last: u64,
+}
+
+impl CheckpointStats {
+    fn at(checkpoints: &[u64]) -> CheckpointStats {
+        debug_assert!(
+            checkpoints.windows(2).all(|w| w[0] < w[1]),
+            "checkpoint rounds must be sorted and deduplicated"
+        );
+        CheckpointStats {
+            checkpoints: checkpoints.to_vec(),
+            reached: 0,
+            alive_min: None,
+            cd_violations: 0,
+            cd_at_last: 0,
+        }
+    }
+}
+
+impl<M: Ord> Probe<M> for CheckpointStats {
+    fn reset(&mut self) {
+        self.reached = 0;
+        self.alive_min = None;
+        self.cd_violations = 0;
+        self.cd_at_last = 0;
+    }
+    fn observe(&mut self, view: &RoundView<'_, M>) {
+        let sent = view.sent_count();
+        let cd = view.cd();
+        let counts = view.received_counts();
+        for (i, &alive) in view.alive().iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            let lost = counts[i] < sent;
+            if cd[i].is_collision() != lost {
+                self.cd_violations += 1;
+            }
+        }
+        if self.checkpoints.binary_search(&view.round().0).is_ok() {
+            self.reached += 1;
+            let alive = view.alive_count() as u64;
+            self.alive_min = Some(self.alive_min.map_or(alive, |m| m.min(alive)));
+            self.cd_at_last = self.cd_violations;
+        }
+    }
+    fn finish(&mut self, end: &CellEnd, out: &mut MetricRow) {
+        out.set(MetricId::CheckpointCount, MetricValue::U64(self.reached));
+        out.set(
+            MetricId::CheckpointAliveMin,
+            MetricValue::OptU64(self.alive_min),
+        );
+        out.set(
+            MetricId::CheckpointCdViolations,
+            MetricValue::U64(self.cd_at_last),
+        );
+        let decided_from = end.last_decision.and_then(|d| {
+            self.checkpoints
+                .iter()
+                .copied()
+                .find(|&c| c >= d && c <= end.rounds_executed)
+        });
+        out.set(
+            MetricId::CheckpointDecidedFrom,
+            MetricValue::OptU64(decided_from),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -957,6 +1104,74 @@ mod tests {
             row.get(MetricId::CdProcessRounds),
             Some(MetricValue::U64(2)),
             "the dead process does not count"
+        );
+    }
+
+    #[test]
+    fn standard_manifest_excludes_checkpoint_stats() {
+        // The default selection must not move when timeline probes are
+        // added to the vocabulary — that would shift every standard
+        // spec's manifest fingerprint and invalidate goldens for nothing.
+        assert!(!ProbeManifest::standard()
+            .kinds()
+            .contains(&ProbeKind::CheckpointStats));
+        let with = ProbeManifest::of(&[ProbeKind::CheckpointStats]);
+        assert!(with.kinds().contains(&ProbeKind::CheckpointStats));
+        assert!(with.needs_trace());
+        assert_ne!(with.fingerprint(), ProbeManifest::standard().fingerprint());
+    }
+
+    #[test]
+    fn checkpoint_stats_samples_at_event_boundaries() {
+        let mut trace: ExecutionTrace<u8> = ExecutionTrace::new(3);
+        trace.push_record(record(1, vec![Some(1), Some(2), None], 2));
+        // Round 2: one process crashed, one alive process misses a loss.
+        let mut rec = record(2, vec![Some(1), None, None], 1);
+        rec.received_counts = vec![1, 0, 1];
+        rec.alive = vec![true, true, false];
+        trace.push_record(rec);
+        trace.push_record(record(3, vec![None, None, None], 1));
+        let mut probes: ProbeSet<u8> =
+            ProbeSet::from_manifest_at(&ProbeManifest::of(&[ProbeKind::CheckpointStats]), &[2, 5]);
+        let mut row = MetricRow::new();
+        let end = CellEnd {
+            reference: 1,
+            last_decision: Some(2),
+            terminated: true,
+            safe: true,
+            rounds_executed: 3,
+        };
+        probes.reset();
+        probes.observe_trace(&trace);
+        probes.finish(&end, &mut row);
+        // Checkpoint 5 is past the executed horizon: only round 2 counts.
+        assert_eq!(
+            row.get(MetricId::CheckpointCount),
+            Some(MetricValue::U64(1))
+        );
+        assert_eq!(
+            row.get(MetricId::CheckpointAliveMin),
+            Some(MetricValue::OptU64(Some(2)))
+        );
+        assert_eq!(
+            row.get(MetricId::CheckpointCdViolations),
+            Some(MetricValue::U64(1)),
+            "the round-2 completeness miss is visible at the boundary"
+        );
+        assert_eq!(
+            row.get(MetricId::CheckpointDecidedFrom),
+            Some(MetricValue::OptU64(Some(2)))
+        );
+        // Reset clears the samples but keeps the checkpoint list.
+        probes.reset();
+        probes.finish(&end, &mut row);
+        assert_eq!(
+            row.get(MetricId::CheckpointCount),
+            Some(MetricValue::U64(0))
+        );
+        assert_eq!(
+            row.get(MetricId::CheckpointAliveMin),
+            Some(MetricValue::OptU64(None))
         );
     }
 

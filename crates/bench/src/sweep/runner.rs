@@ -3,7 +3,9 @@
 use super::cache::{self, CellKey, SweepCache};
 use super::frame::ResultsFrame;
 use super::spec::{CellRow, ScenarioSpec};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Executes scenario sweeps, fanning `(spec, case)` cells across a fixed
 /// number of worker threads.
@@ -82,10 +84,14 @@ impl SweepRunner {
     /// reference execution path.
     pub fn run_fresh(&self, specs: &[ScenarioSpec]) -> ResultsFrame {
         let cells: Vec<(usize, u64)> = expand(specs);
-        let rows = self.map(cells.len(), |idx| {
-            let (spec_index, case) = cells[idx];
-            specs[spec_index].run_cell(spec_index, case)
-        });
+        let rows = self.map_described(
+            cells.len(),
+            |idx| {
+                let (spec_index, case) = cells[idx];
+                specs[spec_index].run_cell(spec_index, case)
+            },
+            |idx| describe_cell(specs, cells[idx]),
+        );
         ResultsFrame::from_rows(specs, rows)
     }
 
@@ -98,10 +104,14 @@ impl SweepRunner {
     /// divergence the default path can no longer see.
     pub fn run_fresh_traced(&self, specs: &[ScenarioSpec]) -> ResultsFrame {
         let cells: Vec<(usize, u64)> = expand(specs);
-        let rows = self.map(cells.len(), |idx| {
-            let (spec_index, case) = cells[idx];
-            specs[spec_index].run_cell_traced(spec_index, case)
-        });
+        let rows = self.map_described(
+            cells.len(),
+            |idx| {
+                let (spec_index, case) = cells[idx];
+                specs[spec_index].run_cell_traced(spec_index, case)
+            },
+            |idx| describe_cell(specs, cells[idx]),
+        );
         ResultsFrame::from_rows(specs, rows)
     }
 
@@ -122,7 +132,11 @@ impl SweepRunner {
                 need.push(i);
             }
         }
-        let computed = self.map(need.len(), |k| specs[need[k]].canary_fingerprint());
+        let computed = self.map_described(
+            need.len(),
+            |k| specs[need[k]].canary_fingerprint(),
+            |k| format!("canary of spec `{}`", specs[need[k]].name),
+        );
         for (&i, canary) in need.iter().zip(computed) {
             cache.set_canary(params[i], canary);
         }
@@ -158,10 +172,20 @@ impl SweepRunner {
         }
         cache.stats.hits += (cells.len() - miss.len()) as u64;
         cache.stats.misses += miss.len() as u64;
-        let ran = self.map(miss.len(), |j| {
-            let (spec_index, case) = cells[miss[j]];
-            specs[spec_index].run_cell(spec_index, case)
-        });
+        let ran = self.map_described(
+            miss.len(),
+            |j| {
+                let (spec_index, case) = cells[miss[j]];
+                specs[spec_index].run_cell(spec_index, case)
+            },
+            |j| {
+                format!(
+                    "{} cell-key {}",
+                    describe_cell(specs, cells[miss[j]]),
+                    keys[miss[j]].to_hex()
+                )
+            },
+        );
         for (idx, row) in miss.into_iter().zip(ran) {
             let (spec_index, _) = cells[idx];
             cache.record(keys[idx], &specs[spec_index].name, &row);
@@ -177,16 +201,47 @@ impl SweepRunner {
     /// Parallel deterministic map: applies `job` to `0..count` across the
     /// worker threads and returns the results in index order. The generic
     /// escape hatch for work that is not a consensus cell (e.g. the
-    /// Section 8 theorem drivers).
+    /// Section 8 theorem drivers). Panics are hardened as in
+    /// [`SweepRunner::map_described`], with the bare task index as the
+    /// context.
     pub fn map<T, F>(&self, count: usize, job: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.map_described(count, job, |idx| format!("task {idx}"))
+    }
+
+    /// [`SweepRunner::map`] with a failure label: `describe(idx)` is
+    /// evaluated only when task `idx` panicked, and its rendering joins
+    /// the re-raised panic message (the sweep entry points pass the spec
+    /// name, case, seed, and — on the cached path — the cell key).
+    ///
+    /// A panicking task cannot poison or hang the pool: the panic is
+    /// caught on the worker, the remaining workers stop claiming work,
+    /// every thread is joined cleanly, and the *lowest-indexed* failure is
+    /// re-raised on the caller's thread with its context attached —
+    /// deterministic no matter which worker hit it first.
+    pub fn map_described<T, F, D>(&self, count: usize, job: F, describe: D) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        D: Fn(usize) -> String,
+    {
+        let run = |idx: usize| {
+            catch_unwind(AssertUnwindSafe(|| job(idx))).map_err(|payload| panic_message(&*payload))
+        };
         if self.threads == 1 || count <= 1 {
-            return (0..count).map(job).collect();
+            return (0..count)
+                .map(|idx| match run(idx) {
+                    Ok(value) => value,
+                    Err(msg) => panic!("sweep cell panicked: {}: {msg}", describe(idx)),
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
         let workers = self.threads.min(count);
         let mut indexed: Vec<(usize, T)> = Vec::with_capacity(count);
         std::thread::scope(|scope| {
@@ -195,22 +250,62 @@ impl SweepRunner {
                     scope.spawn(|| {
                         let mut local = Vec::new();
                         loop {
+                            if abort.load(Ordering::Relaxed) {
+                                return local;
+                            }
                             let idx = next.fetch_add(1, Ordering::Relaxed);
                             if idx >= count {
                                 return local;
                             }
-                            local.push((idx, job(idx)));
+                            match run(idx) {
+                                Ok(value) => local.push((idx, value)),
+                                Err(msg) => {
+                                    let mut slot =
+                                        failure.lock().unwrap_or_else(|e| e.into_inner());
+                                    if slot.as_ref().is_none_or(|&(first, _)| idx < first) {
+                                        *slot = Some((idx, msg));
+                                    }
+                                    abort.store(true, Ordering::Relaxed);
+                                }
+                            }
                         }
                     })
                 })
                 .collect();
             for handle in handles {
-                indexed.extend(handle.join().expect("sweep worker panicked"));
+                // Workers return normally even on task panics (caught
+                // above); a dead thread here is a harness bug, not a cell
+                // failure.
+                indexed.extend(handle.join().expect("sweep worker thread died"));
             }
         });
+        if let Some((idx, msg)) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            panic!("sweep cell panicked: {}: {msg}", describe(idx));
+        }
         indexed.sort_by_key(|&(idx, _)| idx);
         debug_assert_eq!(indexed.len(), count);
         indexed.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+/// The panic-facing rendering of one `(spec, case)` cell.
+fn describe_cell(specs: &[ScenarioSpec], (spec_index, case): (usize, u64)) -> String {
+    let spec = &specs[spec_index];
+    format!(
+        "spec `{}` case {case} seed {:#018x}",
+        spec.name,
+        spec.cell_seed(case)
+    )
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -249,6 +344,52 @@ mod tests {
             serial.cell_count(),
             specs.iter().map(|s| s.seeds as usize).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn worker_panic_is_caught_reported_and_does_not_hang() {
+        for threads in [1, 4] {
+            let runner = SweepRunner::with_threads(threads);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                runner.map_described(
+                    64,
+                    |i| {
+                        if i == 13 {
+                            panic!("boom at {i}");
+                        }
+                        i
+                    },
+                    |i| format!("cell #{i}"),
+                )
+            }));
+            let payload = caught.expect_err("the worker panic must propagate to the caller");
+            let msg = panic_message(&*payload);
+            assert!(
+                msg.contains("cell #13") && msg.contains("boom at 13"),
+                "panic context missing from: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_indexed_failure_wins() {
+        // Several failing tasks: the re-raised failure must be the
+        // lowest-indexed one, independent of worker scheduling.
+        let runner = SweepRunner::with_threads(8);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            runner.map_described(
+                32,
+                |i| {
+                    if i % 7 == 3 {
+                        panic!("bad task");
+                    }
+                    i
+                },
+                |i| format!("task-{i}"),
+            )
+        }));
+        let msg = panic_message(&*caught.expect_err("must propagate"));
+        assert!(msg.contains("task-3"), "expected task-3 first, got: {msg}");
     }
 
     #[test]

@@ -6,13 +6,16 @@ use crate::Scale;
 use ccwan_core::{
     alg1, alg2, alg3, alg4, ConsensusAutomaton, ConsensusRun, Cst, IdSpace, Uid, Value, ValueDomain,
 };
-use wan_cd::{CdClass, CheckedDetector, ClassDetector, FreedomPolicy};
-use wan_cm::{BackoffCm, NoCm};
+use wan_cd::{CdClass, CheckedDetector, ClassDetector, Degrading, FreedomPolicy};
+use wan_cm::{BackoffCm, FairWakeUp, NoCm, PreStabilization};
 use wan_phy::{phy_components, PhyConfig};
-use wan_sim::crash::{NoCrashes, ScheduledCrashes};
+use wan_sim::crash::{NoCrashes, ScheduledCrashes, TimelineCrashes};
 use wan_sim::fingerprint::{absorb_debug, StableHasher};
-use wan_sim::loss::{Ecf, RandomLoss};
-use wan_sim::{Components, CrashAdversary, ProcessId, Round};
+use wan_sim::loss::{Ecf, RandomLoss, TimelineLoss};
+use wan_sim::{
+    CompiledSchedule, Components, CrashAdversary, ProcessId, Round, ScenarioEvent,
+    ScenarioTimeline, StaggeredJoin,
+};
 
 /// SplitMix64 finalizer: the spec/cell seed mixer. Deterministic, stateless,
 /// and independent of execution order — the heart of the "same cell, same
@@ -60,6 +63,40 @@ pub enum EnvironmentPlan {
     /// well-defined). The backoff manager declares no `r_wake` — the
     /// wake-up stabilization probe measures it from the trace instead.
     Phy,
+    /// The fault-injection setting: every service is the timeline-aware
+    /// variant, so the spec's [`ScenarioTimeline`] can change the
+    /// environment mid-run — a [`Degrading`] detector switching between
+    /// the spec's class and [`ChurnPlan::degraded`], a [`StaggeredJoin`]
+    /// gate over the fair wake-up service, ECF-wrapped [`TimelineLoss`]
+    /// (rate swaps, partition split/heal), and [`TimelineCrashes`] over
+    /// the spec's crash schedule. The declared CST is the measurement
+    /// reference, exactly as under [`EnvironmentPlan::Ecf`].
+    Churn(ChurnPlan),
+}
+
+/// Parameters of the [`EnvironmentPlan::Churn`] environment. The static
+/// fields mirror [`EnvPlan`]; the churn-specific ones configure the
+/// timeline-aware services (what the scheduled events switch *between*).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnPlan {
+    /// Collision-freedom round `r_cf`.
+    pub r_cf: u64,
+    /// Detector accuracy round `r_acc` (both detector stages declare it).
+    pub r_acc: u64,
+    /// Wake-up stabilization round `r_wake`.
+    pub r_wake: u64,
+    /// Initial loss probability (a scheduled
+    /// [`ScenarioEvent::SetLossRate`] replaces it mid-run).
+    pub loss: f64,
+    /// Detector freedom-slack false-positive probability before `r_acc`.
+    pub noise: f64,
+    /// The stage-1 detector class a [`ScenarioEvent::CdSwitch`] degrades
+    /// to (stage 0 is the spec's own class).
+    pub degraded: CdClass,
+    /// Processes admitted by the [`StaggeredJoin`] gate at round 1
+    /// (clamped to `n`); scheduled [`ScenarioEvent::WakeWave`]s admit the
+    /// rest.
+    pub join_admit: usize,
 }
 
 /// A scheduled crash of one process (Definition 13 resolved).
@@ -86,6 +123,14 @@ pub struct ScenarioSpec {
     pub env: EnvironmentPlan,
     /// The crash schedule, if any.
     pub crash: Option<CrashPlan>,
+    /// The fault-injection timeline: scheduled mid-run environment
+    /// changes, as plain data ([`ScenarioTimeline`]). Compiled once per
+    /// cell into a [`CompiledSchedule`] the engine applies between steps.
+    /// Empty for every static spec — and an empty timeline is structurally
+    /// absent: it is skipped by [`ScenarioSpec::params_fingerprint`] and
+    /// compiles to no schedule, so pre-timeline specs keep their
+    /// fingerprints, cached cells, goldens, and bit-identical executions.
+    pub timeline: ScenarioTimeline,
     /// Number of processes.
     pub n: usize,
     /// Value-domain size `|V|`.
@@ -259,6 +304,46 @@ impl ScenarioSpec {
                 };
                 (components, 1)
             }
+            EnvironmentPlan::Churn(plan) => {
+                let policy = if plan.noise > 0.0 {
+                    FreedomPolicy::Random { p: plan.noise }
+                } else {
+                    FreedomPolicy::Quiet
+                };
+                // Stage 0 is the spec's class, stage 1 the degraded one.
+                // No strict CheckedDetector wrap here: the two stages have
+                // *different* class obligations, so no single class is the
+                // right certification target mid-switch — safety under
+                // churn is judged at the consensus level (the sweep-wide
+                // safety gate), not per-advice.
+                let stages = vec![
+                    ClassDetector::new(self.class, policy, seed ^ 0xCD)
+                        .accurate_from(Round(plan.r_acc)),
+                    ClassDetector::new(plan.degraded, policy, seed ^ 0xDE)
+                        .accurate_from(Round(plan.r_acc)),
+                ];
+                let components = Components {
+                    detector: Box::new(Degrading::new(stages)),
+                    manager: Box::new(StaggeredJoin::new(
+                        FairWakeUp::new(
+                            Round(plan.r_wake),
+                            PreStabilization::Random { p: 0.4 },
+                            seed ^ 0xC3,
+                        ),
+                        plan.join_admit.min(self.n),
+                    )),
+                    loss: Box::new(Ecf::new(
+                        TimelineLoss::new(plan.loss, seed ^ 0x10),
+                        Round(plan.r_cf),
+                    )),
+                    crash: Box::new(TimelineCrashes::over(crash)),
+                };
+                let reference = Cst::from_components(&components)
+                    .value()
+                    .expect("a churn scenario's components declare a CST")
+                    .0;
+                (components, reference)
+            }
         }
     }
 
@@ -287,11 +372,13 @@ impl ScenarioSpec {
             "{}: a manifest with trace-reading probes cannot run untraced",
             self.name
         );
+        let checkpoints = self.timeline.event_rounds();
         let (metrics, _) = self.with_cell(
             case,
             RunProbed {
                 manifest: &self.probes,
                 traced,
+                checkpoints: &checkpoints,
             },
         );
         CellRow {
@@ -313,18 +400,24 @@ impl ScenarioSpec {
     fn with_cell<V: CellVisitor>(&self, case: u64, visitor: V) -> (V::Out, u64) {
         let seed = self.cell_seed(case);
         let (components, reference) = self.components(seed);
+        // One compilation per cell; an empty timeline compiles to no
+        // schedule at all, keeping static specs on the exact pre-timeline
+        // engine path.
+        let schedule = (!self.timeline.is_empty()).then(|| self.timeline.compile());
         let values = self.initial_values(case);
         let domain = ValueDomain::new(self.v_size);
         let out = match self.algorithm {
             Algorithm::Alg1 => visitor.visit(
                 alg1::processes(domain, &values),
                 components,
+                schedule,
                 self.cap,
                 reference,
             ),
             Algorithm::Alg2 => visitor.visit(
                 alg2::processes(domain, &values),
                 components,
+                schedule,
                 self.cap,
                 reference,
             ),
@@ -334,6 +427,7 @@ impl ScenarioSpec {
                 visitor.visit(
                     alg3::processes(ids, domain, &assignments, seed),
                     components,
+                    schedule,
                     self.cap,
                     reference,
                 )
@@ -341,6 +435,7 @@ impl ScenarioSpec {
             Algorithm::Alg4 => visitor.visit(
                 alg4::processes(domain, &values),
                 components,
+                schedule,
                 self.cap,
                 reference,
             ),
@@ -357,6 +452,12 @@ impl ScenarioSpec {
     /// pure function of `(spec, k)` regardless of how many siblings it
     /// has, so scaling a spec from `Quick` to `Full` reuses the cached
     /// prefix instead of invalidating it.
+    ///
+    /// The scenario timeline is absorbed **only when non-empty**: an empty
+    /// timeline is structurally absent (it compiles to no schedule and
+    /// changes nothing about the execution), so every pre-timeline spec
+    /// keeps the fingerprint — and the cached cells and goldens — it had
+    /// before the field existed.
     pub fn params_fingerprint(&self) -> u64 {
         let mut h = StableHasher::new();
         h.write_usize(self.name.len());
@@ -369,6 +470,14 @@ impl ScenarioSpec {
         h.write_u64(self.v_size);
         absorb_debug(&mut h, &self.fixed_values);
         h.write_u64(self.cap);
+        if !self.timeline.is_empty() {
+            h.write_u64(0x7113_0CA1); // timeline-lane tag
+            h.write_usize(self.timeline.entries().len());
+            for &(round, event) in self.timeline.entries() {
+                h.write_u64(round.0);
+                absorb_debug(&mut h, &event);
+            }
+        }
         h.finish()
     }
 
@@ -431,6 +540,7 @@ trait CellVisitor {
         self,
         procs: Vec<A>,
         components: Components,
+        schedule: Option<CompiledSchedule>,
         cap: u64,
         reference: u64,
     ) -> Self::Out;
@@ -443,6 +553,9 @@ trait CellVisitor {
 struct RunProbed<'a> {
     manifest: &'a ProbeManifest,
     traced: bool,
+    /// The spec's timeline event rounds — the sample points of
+    /// [`super::probe::ProbeKind::CheckpointStats`].
+    checkpoints: &'a [u64],
 }
 
 impl CellVisitor for RunProbed<'_> {
@@ -451,10 +564,13 @@ impl CellVisitor for RunProbed<'_> {
         self,
         procs: Vec<A>,
         components: Components,
+        schedule: Option<CompiledSchedule>,
         cap: u64,
         reference: u64,
     ) -> Self::Out {
-        let mut run = ConsensusRun::new(procs, components).with_counts_only();
+        let mut run = ConsensusRun::new(procs, components)
+            .with_counts_only()
+            .with_schedule(schedule);
         let outcome = if self.traced {
             run.run_to_completion(Round(cap))
         } else {
@@ -467,7 +583,8 @@ impl CellVisitor for RunProbed<'_> {
             safe: outcome.is_safe(),
             rounds_executed: outcome.rounds_executed.0,
         };
-        let mut probes: ProbeSet<A::Msg> = ProbeSet::from_manifest(self.manifest);
+        let mut probes: ProbeSet<A::Msg> =
+            ProbeSet::from_manifest_at(self.manifest, self.checkpoints);
         let mut row = MetricRow::new();
         probes.reset();
         if self.traced {
@@ -488,10 +605,11 @@ impl CellVisitor for TraceOf {
         self,
         procs: Vec<A>,
         components: Components,
+        schedule: Option<CompiledSchedule>,
         cap: u64,
         _reference: u64,
     ) -> Self::Out {
-        trace_of(procs, components, cap)
+        trace_of(procs, components, schedule, cap)
     }
 }
 
@@ -504,10 +622,11 @@ impl CellVisitor for FingerprintPairOf {
         self,
         procs: Vec<A>,
         components: Components,
+        schedule: Option<CompiledSchedule>,
         cap: u64,
         _reference: u64,
     ) -> Self::Out {
-        let mut run = ConsensusRun::new(procs, components);
+        let mut run = ConsensusRun::new(procs, components).with_schedule(schedule);
         run.run_to_completion(Round(cap));
         let (_, trace) = run.into_parts();
         let rebuilt = wan_sim::trace::reference::ReferenceTrace::from_trace(&trace);
@@ -524,10 +643,11 @@ impl CellVisitor for CanaryOf {
         self,
         procs: Vec<A>,
         components: Components,
+        schedule: Option<CompiledSchedule>,
         cap: u64,
         _reference: u64,
     ) -> Self::Out {
-        canary_of(procs, components, cap)
+        canary_of(procs, components, schedule, cap)
     }
 }
 
@@ -548,8 +668,13 @@ fn unique_assignments(values: &[Value], ids: IdSpace, seed: u64) -> Vec<(Uid, Va
         .collect()
 }
 
-fn trace_of<A: ConsensusAutomaton>(procs: Vec<A>, components: Components, cap: u64) -> String {
-    let mut run = ConsensusRun::new(procs, components);
+fn trace_of<A: ConsensusAutomaton>(
+    procs: Vec<A>,
+    components: Components,
+    schedule: Option<CompiledSchedule>,
+    cap: u64,
+) -> String {
+    let mut run = ConsensusRun::new(procs, components).with_schedule(schedule);
     let outcome = run.run_to_completion(Round(cap));
     let (_, trace) = run.into_parts();
     format!("{outcome:?}\n{trace:?}")
@@ -558,8 +683,13 @@ fn trace_of<A: ConsensusAutomaton>(procs: Vec<A>, components: Components, cap: u
 /// The canary digest of one traced reference execution: the judged outcome
 /// plus the trace content fingerprint, streamed — no trace-sized string is
 /// built.
-fn canary_of<A: ConsensusAutomaton>(procs: Vec<A>, components: Components, cap: u64) -> u64 {
-    let mut run = ConsensusRun::new(procs, components);
+fn canary_of<A: ConsensusAutomaton>(
+    procs: Vec<A>,
+    components: Components,
+    schedule: Option<CompiledSchedule>,
+    cap: u64,
+) -> u64 {
+    let mut run = ConsensusRun::new(procs, components).with_schedule(schedule);
     let outcome = run.run_to_completion(Round(cap));
     let (_, trace) = run.into_parts();
     let mut h = StableHasher::new();
@@ -588,6 +718,7 @@ impl Registry {
         specs.extend(bst_nocf_specs(scale));
         specs.extend(phy_e2e_specs(scale));
         specs.extend(ablation_specs(scale));
+        specs.extend(churn_specs(scale));
         let registry = Registry { specs };
         let mut names: Vec<&str> = registry.specs.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
@@ -633,6 +764,7 @@ pub fn lattice_specs(scale: Scale) -> Vec<ScenarioSpec> {
                 class,
                 env: EnvironmentPlan::Ecf(EnvPlan::chaos(6)),
                 crash: None,
+                timeline: ScenarioTimeline::new(),
                 n: 4,
                 v_size: 16,
                 fixed_values: None,
@@ -655,6 +787,7 @@ pub fn alg1_grid_specs(scale: Scale) -> Vec<ScenarioSpec> {
                 class: CdClass::MAJ_EV_AC,
                 env: EnvironmentPlan::Ecf(EnvPlan::chaos(8)),
                 crash: None,
+                timeline: ScenarioTimeline::new(),
                 n,
                 v_size,
                 fixed_values: None,
@@ -680,6 +813,7 @@ pub fn alg2_staircase_specs(scale: Scale) -> Vec<ScenarioSpec> {
             class: CdClass::ZERO_EV_AC,
             env: EnvironmentPlan::Ecf(EnvPlan::chaos(8)),
             crash: None,
+            timeline: ScenarioTimeline::new(),
             n: 4,
             v_size,
             fixed_values: None,
@@ -701,6 +835,7 @@ pub fn alg3_crossover_specs(scale: Scale) -> Vec<ScenarioSpec> {
                 class: CdClass::ZERO_EV_AC,
                 env: EnvironmentPlan::Ecf(EnvPlan::chaos(4)),
                 crash: None,
+                timeline: ScenarioTimeline::new(),
                 n: 3,
                 v_size: 1 << v_bits,
                 fixed_values: None,
@@ -727,6 +862,7 @@ pub fn bst_nocf_specs(scale: Scale) -> Vec<ScenarioSpec> {
             class: CdClass::ZERO_AC,
             env: EnvironmentPlan::Nocf,
             crash: None,
+            timeline: ScenarioTimeline::new(),
             n: 3,
             v_size,
             fixed_values: None,
@@ -757,6 +893,7 @@ pub fn bst_nocf_specs(scale: Scale) -> Vec<ScenarioSpec> {
                 process: 0,
                 round: crash_round,
             }),
+            timeline: ScenarioTimeline::new(),
             n: 3,
             v_size,
             fixed_values: Some(fixed),
@@ -784,6 +921,7 @@ pub fn phy_e2e_specs(scale: Scale) -> Vec<ScenarioSpec> {
             class: CdClass::ZERO_EV_AC,
             env: EnvironmentPlan::Phy,
             crash: None,
+            timeline: ScenarioTimeline::new(),
             n,
             v_size: 16,
             fixed_values: None,
@@ -803,6 +941,7 @@ pub fn ablation_specs(scale: Scale) -> Vec<ScenarioSpec> {
             class: CdClass::MAJ_EV_AC,
             env: plan,
             crash: None,
+            timeline: ScenarioTimeline::new(),
             n: 3,
             v_size: 16,
             fixed_values: Some(vec![3, 7, 7]),
@@ -816,6 +955,7 @@ pub fn ablation_specs(scale: Scale) -> Vec<ScenarioSpec> {
             class: CdClass::ZERO_EV_AC,
             env: plan,
             crash: None,
+            timeline: ScenarioTimeline::new(),
             n: 3,
             v_size: 16,
             fixed_values: Some(vec![3, 7, 7]),
@@ -824,6 +964,107 @@ pub fn ablation_specs(scale: Scale) -> Vec<ScenarioSpec> {
             probes: ProbeManifest::standard(),
         },
     ]
+}
+
+/// E-churn: the fault-injection family. Algorithm 2 (whose agreement and
+/// validity hold under *any* loss/crash behaviour — exactly why it can be
+/// safety-gated under injected faults) runs in a [`EnvironmentPlan::Churn`]
+/// environment whose timeline changes mid-run:
+///
+/// * a burst-size × burst-round × shift-magnitude grid — at the burst
+///   round, `burst` processes crash, the loss regime swaps, and the
+///   detector degrades from the spec's maj-⋄AC stage to the zero-⋄AC
+///   stage (a *mild* shift eases loss and upgrades the detector back six
+///   rounds later; a *harsh* shift spikes loss and opens a network
+///   partition that heals six rounds later);
+/// * a staggered-join arm (`churn/join-wave`): only one process admitted
+///   at round 1, wake waves admitting the rest before `r_wake`, plus a
+///   contention-regime shift;
+/// * `churn/static-baseline`: identical parameters, empty timeline — the
+///   graceful-degradation reference every churn metric is read against.
+///
+/// All events land before the declared CST (`max(r_cf, r_acc, r_wake)` =
+/// 32), so the Theorem 2 termination bound still applies to the settled
+/// suffix; safety is checked unconditionally by the sweep-wide gate.
+pub fn churn_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let n = 5usize;
+    let plan = ChurnPlan {
+        r_cf: 32,
+        r_acc: 32,
+        r_wake: 8,
+        loss: 0.6,
+        noise: 0.3,
+        degraded: CdClass::ZERO_EV_AC,
+        join_admit: n,
+    };
+    let probes = ProbeManifest::of(&[
+        super::probe::ProbeKind::DecisionLatency,
+        super::probe::ProbeKind::BroadcastCount,
+        super::probe::ProbeKind::CdAccuracy,
+        super::probe::ProbeKind::CrashExposure,
+        super::probe::ProbeKind::WakeupStabilization,
+        super::probe::ProbeKind::CheckpointStats,
+    ]);
+    let spec = |name: String, env: ChurnPlan, timeline: ScenarioTimeline| ScenarioSpec {
+        name,
+        algorithm: Algorithm::Alg2,
+        class: CdClass::MAJ_EV_AC,
+        env: EnvironmentPlan::Churn(env),
+        crash: None,
+        timeline,
+        n,
+        v_size: 16,
+        fixed_values: None,
+        seeds: scale.seeds(),
+        cap: 1500,
+        probes: probes.clone(),
+    };
+    let mut specs = Vec::new();
+    for burst in [1u32, 2] {
+        for burst_round in [6u64, 12] {
+            let mild = ScenarioTimeline::new()
+                .at_round(
+                    Round(burst_round),
+                    ScenarioEvent::CrashBurst { count: burst },
+                )
+                .at_round(Round(burst_round), ScenarioEvent::SetLossRate { p: 0.3 })
+                .at_round(Round(burst_round), ScenarioEvent::CdSwitch { slot: 1 })
+                .at_round(Round(burst_round + 6), ScenarioEvent::CdSwitch { slot: 0 });
+            let harsh = ScenarioTimeline::new()
+                .at_round(
+                    Round(burst_round),
+                    ScenarioEvent::CrashBurst { count: burst },
+                )
+                .at_round(Round(burst_round), ScenarioEvent::SetLossRate { p: 0.85 })
+                .at_round(Round(burst_round), ScenarioEvent::CdSwitch { slot: 1 })
+                .at_round(Round(burst_round + 2), ScenarioEvent::Split { boundary: 2 })
+                .at_round(Round(burst_round + 6), ScenarioEvent::Heal);
+            for (shift, timeline) in [("mild", mild), ("harsh", harsh)] {
+                specs.push(spec(
+                    format!("churn/b{burst}-r{burst_round}-{shift}"),
+                    plan,
+                    timeline,
+                ));
+            }
+        }
+    }
+    specs.push(spec(
+        "churn/join-wave".into(),
+        ChurnPlan {
+            join_admit: 1,
+            ..plan
+        },
+        ScenarioTimeline::new()
+            .at_round(Round(2), ScenarioEvent::WakeWave { count: 2 })
+            .at_round(Round(4), ScenarioEvent::WakeWave { count: 2 })
+            .at_round(Round(5), ScenarioEvent::ContentionShift { p: 0.7 }),
+    ));
+    specs.push(spec(
+        "churn/static-baseline".into(),
+        plan,
+        ScenarioTimeline::new(),
+    ));
+    specs
 }
 
 #[cfg(test)]
@@ -900,6 +1141,89 @@ mod tests {
         assert!(
             row.metrics.get(MetricId::ObservedWakeupRound).is_some(),
             "the backoff manager's r_wake is measured, not declared"
+        );
+    }
+
+    #[test]
+    fn churn_cells_inject_faults_and_stay_safe() {
+        let specs = churn_specs(Scale::Quick);
+        let burst = specs
+            .iter()
+            .find(|s| s.name == "churn/b2-r6-mild")
+            .expect("the burst grid registers");
+        let row = burst.run_cell(0, 0);
+        let result = row.to_cell_result();
+        assert!(
+            result.safe,
+            "agreement/validity must survive the injected schedule"
+        );
+        assert!(result.terminated, "the settled suffix still decides");
+        assert_eq!(
+            row.metrics.get(MetricId::CrashCount),
+            Some(MetricValue::U64(2)),
+            "the scheduled burst crashes exactly two processes"
+        );
+        assert_eq!(
+            row.metrics.get(MetricId::FirstCrashRound),
+            Some(MetricValue::OptU64(Some(6)))
+        );
+        // The checkpoint probe sampled the event boundaries.
+        let Some(MetricValue::U64(reached)) = row.metrics.get(MetricId::CheckpointCount) else {
+            panic!("churn specs carry checkpoint stats");
+        };
+        assert!(reached >= 1, "at least the burst-round boundary is reached");
+        let Some(MetricValue::OptU64(Some(alive_min))) =
+            row.metrics.get(MetricId::CheckpointAliveMin)
+        else {
+            panic!("a reached checkpoint samples the alive count");
+        };
+        assert_eq!(alive_min, 3, "5 processes minus the burst of 2");
+    }
+
+    #[test]
+    fn static_baseline_rides_the_same_environment_without_events() {
+        let specs = churn_specs(Scale::Quick);
+        let baseline = specs
+            .iter()
+            .find(|s| s.name == "churn/static-baseline")
+            .expect("the baseline registers");
+        assert!(baseline.timeline.is_empty());
+        let row = baseline.run_cell(0, 0);
+        let result = row.to_cell_result();
+        assert!(result.safe && result.terminated);
+        assert_eq!(
+            row.metrics.get(MetricId::CrashCount),
+            Some(MetricValue::U64(0)),
+            "no events, no crashes"
+        );
+        assert_eq!(
+            row.metrics.get(MetricId::CheckpointCount),
+            Some(MetricValue::U64(0)),
+            "no event boundaries to sample"
+        );
+    }
+
+    #[test]
+    fn timeline_is_a_fingerprint_lane_only_when_present() {
+        let specs = churn_specs(Scale::Quick);
+        let churn = specs
+            .iter()
+            .find(|s| !s.timeline.is_empty())
+            .expect("the grid has timelines");
+        let mut cleared = churn.clone();
+        cleared.timeline = ScenarioTimeline::new();
+        assert_ne!(
+            churn.params_fingerprint(),
+            cleared.params_fingerprint(),
+            "a non-empty timeline is part of the cell identity"
+        );
+        let mut shifted = churn.clone();
+        shifted.timeline =
+            ScenarioTimeline::new().at_round(Round(7), ScenarioEvent::CrashBurst { count: 1 });
+        assert_ne!(
+            churn.params_fingerprint(),
+            shifted.params_fingerprint(),
+            "different schedules, different fingerprints"
         );
     }
 }

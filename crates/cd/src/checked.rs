@@ -142,6 +142,10 @@ impl<D: CollisionDetector> CollisionDetector for CheckedDetector<D> {
     fn accuracy_from(&self) -> Option<Round> {
         self.inner.accuracy_from()
     }
+
+    fn apply_event(&mut self, round: Round, event: wan_sim::ScenarioEvent) {
+        self.inner.apply_event(round, event);
+    }
 }
 
 impl<D> fmt::Debug for CheckedDetector<D> {

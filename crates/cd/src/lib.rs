@@ -34,6 +34,7 @@
 
 pub mod checked;
 pub mod class;
+pub mod degrading;
 pub mod detector;
 pub mod occasional;
 pub mod scripted;
@@ -41,6 +42,7 @@ pub mod trivial;
 
 pub use checked::{CheckedDetector, Violation, ViolationKind};
 pub use class::{Accuracy, CdClass, Completeness};
+pub use degrading::Degrading;
 pub use detector::{ClassDetector, FreedomPolicy};
 pub use occasional::OccasionalDetector;
 pub use scripted::ScriptedDetector;

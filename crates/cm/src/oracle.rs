@@ -3,7 +3,7 @@
 use crate::schedule::PreStabilization;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use wan_sim::{CmAdvice, CmView, ContentionManager, Round};
+use wan_sim::{CmAdvice, CmView, ContentionManager, Round, ScenarioEvent};
 
 /// A *fair* wake-up service: before `r_wake`, [`PreStabilization`] chaos;
 /// from `r_wake` on, the unique active process is the lowest-indexed process
@@ -58,6 +58,17 @@ impl ContentionManager for FairWakeUp {
 
     fn stabilized_from(&self) -> Option<Round> {
         Some(self.r_wake)
+    }
+
+    /// A scheduled [`ScenarioEvent::ContentionShift`] swaps the
+    /// pre-stabilization chaos for `Random { p }` at the new probability —
+    /// a mid-run contention-regime change. The post-`r_wake` behaviour
+    /// (and therefore the declared stabilization) is untouched.
+    fn apply_event(&mut self, _round: Round, event: ScenarioEvent) {
+        if let ScenarioEvent::ContentionShift { p } = event {
+            assert!((0.0..=1.0).contains(&p), "activation probability in [0,1]");
+            self.pre = PreStabilization::Random { p };
+        }
     }
 }
 

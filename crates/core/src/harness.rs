@@ -5,8 +5,8 @@ use crate::checker::ConsensusOutcome;
 use crate::consensus::ConsensusAutomaton;
 use crate::cst::Cst;
 use wan_sim::{
-    CollisionDetector, Components, ContentionManager, CrashAdversary, DynCrash, DynDetector,
-    DynLoss, DynManager, Engine, ExecutionTrace, LossAdversary, Round, TraceDetail,
+    CollisionDetector, CompiledSchedule, Components, ContentionManager, CrashAdversary, DynCrash,
+    DynDetector, DynLoss, DynManager, Engine, ExecutionTrace, LossAdversary, Round, TraceDetail,
 };
 
 /// A consensus run: an [`Engine`] plus decision-round bookkeeping and the
@@ -73,6 +73,19 @@ where
     #[must_use]
     pub fn with_counts_only(mut self) -> Self {
         self.sim = self.sim.with_detail(TraceDetail::Counts);
+        self
+    }
+
+    /// Installs a compiled fault-injection schedule on the underlying
+    /// engine ([`Engine::with_schedule`]): scheduled scenario events fire
+    /// at the start of their rounds, before the components act. `None` is
+    /// a no-op, so callers can thread an optional timeline through without
+    /// branching. Must be applied before the first step.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Option<CompiledSchedule>) -> Self {
+        if let Some(schedule) = schedule {
+            self.sim.set_schedule(schedule);
+        }
         self
     }
 

@@ -2,6 +2,7 @@
 //! any time, permanently.
 
 use crate::ids::{ProcessId, Round};
+use crate::scenario::ScenarioEvent;
 use crate::traits::CrashAdversary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,6 +111,69 @@ impl CrashAdversary for RandomCrashes {
     }
 }
 
+/// A timeline-driven crash adversary: crashes happen only when a scheduled
+/// [`ScenarioEvent::CrashBurst`] fires (see [`crate::scenario`]). A burst of
+/// `count` takes down the `count` lowest-indexed processes still alive at
+/// the start of the event round — deterministic, no RNG, so the burst is a
+/// pure function of the timeline and the execution so far.
+///
+/// Wraps an inner adversary (default [`NoCrashes`]) whose crashes compose
+/// with the bursts; a process is never reported twice in one round.
+#[derive(Debug, Clone)]
+pub struct TimelineCrashes<C = NoCrashes> {
+    inner: C,
+    pending: u32,
+}
+
+impl TimelineCrashes<NoCrashes> {
+    /// Burst-only crashes: nothing fails unless the timeline says so.
+    pub fn new() -> Self {
+        TimelineCrashes::over(NoCrashes)
+    }
+}
+
+impl Default for TimelineCrashes<NoCrashes> {
+    fn default() -> Self {
+        TimelineCrashes::new()
+    }
+}
+
+impl<C> TimelineCrashes<C> {
+    /// Composes scheduled bursts with an inner crash adversary.
+    pub fn over(inner: C) -> Self {
+        TimelineCrashes { inner, pending: 0 }
+    }
+}
+
+impl<C: CrashAdversary> CrashAdversary for TimelineCrashes<C> {
+    fn crashes_into(&mut self, round: Round, alive: &[bool], out: &mut Vec<ProcessId>) {
+        self.inner.crashes_into(round, alive, out);
+        if self.pending == 0 {
+            return;
+        }
+        let mut remaining = self.pending;
+        self.pending = 0;
+        for (i, &a) in alive.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            if a && !out.contains(&ProcessId(i)) {
+                out.push(ProcessId(i));
+                remaining -= 1;
+            }
+        }
+    }
+
+    fn apply_event(&mut self, round: Round, event: ScenarioEvent) {
+        match event {
+            ScenarioEvent::CrashBurst { count } => {
+                self.pending = self.pending.saturating_add(count);
+            }
+            other => self.inner.apply_event(round, other),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +216,36 @@ mod tests {
     #[test]
     fn no_crashes_is_empty() {
         assert!(NoCrashes.crashes(Round(1), &[true; 3]).is_empty());
+    }
+
+    #[test]
+    fn timeline_bursts_take_the_lowest_alive_indices() {
+        let mut adv = TimelineCrashes::new();
+        assert!(
+            adv.crashes(Round(1), &[true; 4]).is_empty(),
+            "no event, no crash"
+        );
+        adv.apply_event(Round(2), ScenarioEvent::CrashBurst { count: 2 });
+        assert_eq!(
+            adv.crashes(Round(2), &[false, true, true, true]),
+            vec![ProcessId(1), ProcessId(2)],
+            "burst skips already-dead processes"
+        );
+        assert!(
+            adv.crashes(Round(3), &[true; 4]).is_empty(),
+            "burst fires once"
+        );
+    }
+
+    #[test]
+    fn timeline_bursts_compose_with_inner_crashes_without_duplicates() {
+        let inner = ScheduledCrashes::new().crash(ProcessId(0), Round(2));
+        let mut adv = TimelineCrashes::over(inner);
+        adv.apply_event(Round(2), ScenarioEvent::CrashBurst { count: 1 });
+        assert_eq!(
+            adv.crashes(Round(2), &[true; 3]),
+            vec![ProcessId(0), ProcessId(1)],
+            "the burst must not re-report the scheduled crash"
+        );
     }
 }

@@ -13,6 +13,7 @@ use crate::advice::{CdAdvice, CmAdvice};
 use crate::automaton::{Automaton, RoundInput};
 use crate::ids::{ProcessId, Round};
 use crate::multiset::Multiset;
+use crate::scenario::{CompiledSchedule, EventTarget};
 use crate::trace::{ExecutionTrace, RoundView, TransmissionEntry};
 use crate::traits::{
     CmView, CollisionDetector, ContentionManager, CrashAdversary, DeliveryMatrix, LossAdversary,
@@ -98,6 +99,7 @@ pub struct Engine<A: Automaton, CD, CM, L, C> {
     round: Round,
     trace: ExecutionTrace<A::Msg>,
     detail: TraceDetail,
+    schedule: Option<CompiledSchedule>,
     buffers: RoundBuffers<A::Msg>,
 }
 
@@ -196,8 +198,32 @@ where
             round: Round::ZERO,
             trace: ExecutionTrace::new(n),
             detail: TraceDetail::Full,
+            schedule: None,
             buffers: RoundBuffers::for_n(n),
         }
+    }
+
+    /// Installs a compiled fault-injection schedule
+    /// ([`crate::scenario::ScenarioTimeline::compile`]): at the start of
+    /// each round, before crashes are selected, every event scheduled for
+    /// that round is routed to its target component's `apply_event` hook.
+    /// An empty schedule (or none) leaves the execution bit-identical to
+    /// an unscheduled engine.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: CompiledSchedule) -> Self {
+        self.set_schedule(schedule);
+        self
+    }
+
+    /// In-place form of [`Engine::with_schedule`]. Must be called before
+    /// the first step — events for already-executed rounds never fire.
+    pub fn set_schedule(&mut self, schedule: CompiledSchedule) {
+        assert_eq!(
+            self.round,
+            Round::ZERO,
+            "a scenario schedule must be installed before the first round"
+        );
+        self.schedule = Some(schedule);
     }
 
     /// Selects how much trace to record (default: [`TraceDetail::Full`]).
@@ -319,10 +345,27 @@ where
             round,
             trace,
             detail,
+            schedule,
             buffers: buf,
         } = self;
         let n = procs.len();
         let now = round.next();
+
+        // 0. Scheduled scenario events fire at the start of the round,
+        // before any component acts: each event is routed to the component
+        // family it targets. No schedule (the common case) is one branch;
+        // `events_at` is an O(1) slice lookup, so the hot path stays
+        // allocation-free either way.
+        if let Some(schedule) = schedule {
+            for &event in schedule.events_at(now) {
+                match event.target() {
+                    EventTarget::Crash => crash.apply_event(now, event),
+                    EventTarget::Loss => loss.apply_event(now, event),
+                    EventTarget::Detector => detector.apply_event(now, event),
+                    EventTarget::Manager => manager.apply_event(now, event),
+                }
+            }
+        }
 
         // 1. Crashes take effect at the start of the round.
         buf.crashed.clear();
@@ -757,5 +800,56 @@ mod tests {
             NoLoss,
             NoCrashes,
         );
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_no_schedule() {
+        use crate::scenario::ScenarioTimeline;
+        let mut plain = Engine::from_parts(chatters(3), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        let mut scheduled =
+            Engine::from_parts(chatters(3), AlwaysNull, AllActive, NoLoss, NoCrashes)
+                .with_schedule(ScenarioTimeline::new().compile());
+        plain.run(5);
+        scheduled.run(5);
+        assert_eq!(
+            format!("{:?}", plain.trace()),
+            format!("{:?}", scheduled.trace()),
+            "an empty schedule must not perturb the execution"
+        );
+    }
+
+    #[test]
+    fn scheduled_crash_burst_fires_through_the_engine() {
+        use crate::crash::TimelineCrashes;
+        use crate::scenario::{ScenarioEvent, ScenarioTimeline};
+        let timeline =
+            ScenarioTimeline::new().at_round(Round(3), ScenarioEvent::CrashBurst { count: 2 });
+        let mut sim = Engine::from_parts(
+            chatters(4),
+            AlwaysNull,
+            AllActive,
+            NoLoss,
+            TimelineCrashes::new(),
+        )
+        .with_schedule(timeline.compile());
+        sim.run(2);
+        assert_eq!(sim.alive(), &[true; 4], "nothing fails before the event");
+        sim.run(1);
+        assert_eq!(
+            sim.alive(),
+            &[false, false, true, true],
+            "the burst takes the two lowest-indexed alive processes at its round"
+        );
+        sim.run(2);
+        assert_eq!(sim.alive(), &[false, false, true, true], "bursts fire once");
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first round")]
+    fn late_schedule_install_rejected() {
+        use crate::scenario::ScenarioTimeline;
+        let mut sim = Engine::from_parts(chatters(2), AlwaysNull, AllActive, NoLoss, NoCrashes);
+        sim.step();
+        sim.set_schedule(ScenarioTimeline::new().compile());
     }
 }

@@ -70,6 +70,7 @@ pub mod ids;
 pub mod loss;
 pub mod matrix;
 pub mod multiset;
+pub mod scenario;
 pub mod timeline;
 pub mod trace;
 pub mod traits;
@@ -82,6 +83,7 @@ pub use engine::{
 pub use fingerprint::StableHasher;
 pub use ids::{ProcessId, Round};
 pub use multiset::{Multiset, MultisetView};
+pub use scenario::{CompiledSchedule, EventTarget, ScenarioEvent, ScenarioTimeline, StaggeredJoin};
 pub use trace::{BroadcastCount, ExecutionTrace, RoundRecord, RoundView, TransmissionEntry};
 pub use traits::{
     CmView, CollisionDetector, ContentionManager, CrashAdversary, DeliveryMatrix, LossAdversary,

@@ -21,6 +21,7 @@
 //!   (Property 1) to any inner adversary from a given round on.
 
 use crate::ids::{ProcessId, Round};
+use crate::scenario::ScenarioEvent;
 use crate::traits::{DeliveryMatrix, LossAdversary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -264,6 +265,83 @@ impl LossAdversary for RandomLoss {
     }
 }
 
+/// A timeline-driven loss adversary: i.i.d. per-(sender, receiver) loss
+/// like [`RandomLoss`], whose regime shifts when scheduled scenario events
+/// fire (see [`crate::scenario`]): [`ScenarioEvent::SetLossRate`] swaps the
+/// loss probability, [`ScenarioEvent::Split`] partitions the system at an
+/// index boundary (cross-boundary messages are lost outright), and
+/// [`ScenarioEvent::Heal`] removes the partition.
+///
+/// The RNG stream discipline is [`RandomLoss`]'s, *regime-independent*: one
+/// draw per (sender, receiver) pair, sender order then ascending receiver
+/// order, every round — so shifting the regime mid-run never re-aligns the
+/// stream, and a `TimelineLoss` that receives no events behaves exactly
+/// like a `RandomLoss` with the same seed and probability.
+#[derive(Debug, Clone)]
+pub struct TimelineLoss {
+    p_loss: f64,
+    boundary: Option<usize>,
+    rng: StdRng,
+}
+
+impl TimelineLoss {
+    /// Creates a timeline-aware loss adversary starting at `p_loss`,
+    /// unpartitioned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_loss` is not within `[0, 1]`.
+    pub fn new(p_loss: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_loss), "p_loss must be in [0,1]");
+        TimelineLoss {
+            p_loss,
+            boundary: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl LossAdversary for TimelineLoss {
+    fn deliver_into(
+        &mut self,
+        _round: Round,
+        senders: &[ProcessId],
+        n: usize,
+        out: &mut DeliveryMatrix,
+    ) {
+        out.clear_and_resize(senders, n);
+        // One draw per pair regardless of regime (even at p ∈ {0, 1}, where
+        // `random_bool` still consumes one `next_u64`): the stream is a
+        // pure function of the round's sender set, never of the current
+        // loss rate or partition state.
+        let p = self.p_loss;
+        let boundary = self.boundary;
+        let rng = &mut self.rng;
+        for &s in senders {
+            out.deliver_from_where(s, |r| {
+                let delivered = !rng.random_bool(p);
+                let same_side = match boundary {
+                    None => true,
+                    Some(b) => (s.index() < b) == (r.index() < b),
+                };
+                delivered && same_side
+            });
+        }
+    }
+
+    fn apply_event(&mut self, _round: Round, event: ScenarioEvent) {
+        match event {
+            ScenarioEvent::SetLossRate { p } => {
+                assert!((0.0..=1.0).contains(&p), "p_loss must be in [0,1]");
+                self.p_loss = p;
+            }
+            ScenarioEvent::Split { boundary } => self.boundary = Some(boundary),
+            ScenarioEvent::Heal => self.boundary = None,
+            _ => {}
+        }
+    }
+}
+
 /// Replays an explicit delivery schedule; rounds beyond the script fall back
 /// to full delivery. Used to build hand-crafted worst-case executions in
 /// tests and lower bounds.
@@ -361,6 +439,10 @@ impl<A: LossAdversary> LossAdversary for Ecf<A> {
             Some(inner) if inner < self.r_cf => Some(inner),
             _ => Some(self.r_cf),
         }
+    }
+
+    fn apply_event(&mut self, round: Round, event: ScenarioEvent) {
+        self.inner.apply_event(round, event);
     }
 }
 
@@ -574,5 +656,88 @@ mod tests {
                 prop_assert!(!m.delivered(ProcessId(1), ProcessId(r)));
             }
         }
+
+        /// With no events applied, `TimelineLoss` is bit-identical to
+        /// `RandomLoss` — same seed, same probability, same deliveries,
+        /// same RNG stream, round after round.
+        #[test]
+        fn timeline_loss_without_events_matches_random_loss(
+            seed in 0u64..500, permille in 0u64..=1000, n in 1usize..7, rounds in 1u64..6,
+        ) {
+            let p = permille as f64 / 1000.0;
+            let mut random = RandomLoss::new(p, seed);
+            let mut timeline = TimelineLoss::new(p, seed);
+            let senders: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+            for round in 1..=rounds {
+                let a = random.deliver(Round(round), &senders, n);
+                let b = timeline.deliver(Round(round), &senders, n);
+                for s in 0..n {
+                    for r in 0..n {
+                        prop_assert_eq!(
+                            a.delivered(ProcessId(s), ProcessId(r)),
+                            b.delivered(ProcessId(s), ProcessId(r))
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_loss_split_blocks_cross_boundary_and_heals() {
+        let mut adv = TimelineLoss::new(0.0, 7);
+        let senders = [ProcessId(0), ProcessId(2)];
+        adv.apply_event(Round(1), ScenarioEvent::Split { boundary: 2 });
+        let m = adv.deliver(Round(1), &senders, 4);
+        assert!(
+            m.delivered(ProcessId(0), ProcessId(1)),
+            "intra-group survives"
+        );
+        assert!(
+            m.delivered(ProcessId(2), ProcessId(3)),
+            "intra-group survives"
+        );
+        assert!(
+            !m.delivered(ProcessId(0), ProcessId(2)),
+            "cross-boundary lost"
+        );
+        assert!(
+            !m.delivered(ProcessId(2), ProcessId(1)),
+            "cross-boundary lost"
+        );
+        adv.apply_event(Round(2), ScenarioEvent::Heal);
+        let healed = adv.deliver(Round(2), &senders, 4);
+        assert!(
+            healed.delivered(ProcessId(0), ProcessId(3)),
+            "heal restores delivery"
+        );
+    }
+
+    #[test]
+    fn timeline_loss_rate_swap_takes_effect() {
+        let mut adv = TimelineLoss::new(0.0, 3);
+        let senders = [ProcessId(0)];
+        assert!(adv
+            .deliver(Round(1), &senders, 3)
+            .delivered(ProcessId(0), ProcessId(2)));
+        adv.apply_event(Round(2), ScenarioEvent::SetLossRate { p: 1.0 });
+        let m = adv.deliver(Round(2), &senders, 3);
+        assert!(
+            !m.delivered(ProcessId(0), ProcessId(1)),
+            "p = 1 loses everything"
+        );
+        assert!(!m.delivered(ProcessId(0), ProcessId(2)));
+    }
+
+    #[test]
+    fn ecf_forwards_events_to_its_inner_adversary() {
+        let mut adv = Ecf::new(TimelineLoss::new(0.0, 3), Round(50));
+        adv.apply_event(Round(1), ScenarioEvent::SetLossRate { p: 1.0 });
+        // Two senders: ECF's solo guarantee does not apply, so the swapped
+        // rate must show through.
+        let senders = [ProcessId(0), ProcessId(1)];
+        let m = adv.deliver(Round(1), &senders, 3);
+        assert!(!m.delivered(ProcessId(0), ProcessId(2)));
+        assert!(!m.delivered(ProcessId(1), ProcessId(2)));
     }
 }

@@ -23,6 +23,7 @@
 
 use crate::advice::{CdAdvice, CmAdvice};
 use crate::ids::{ProcessId, Round};
+use crate::scenario::ScenarioEvent;
 use crate::trace::TransmissionEntry;
 
 pub use crate::matrix::DeliveryMatrix;
@@ -68,6 +69,13 @@ pub trait CollisionDetector {
     fn accuracy_from(&self) -> Option<Round> {
         None
     }
+
+    /// A scheduled scenario event addressed to the detector (see
+    /// [`crate::scenario`]), applied at the start of its round, before any
+    /// advice is produced. Detectors that do not understand the event
+    /// ignore it (the default). Must not allocate — the untraced round
+    /// path is gated at zero allocations.
+    fn apply_event(&mut self, _round: Round, _event: ScenarioEvent) {}
 }
 
 impl CollisionDetector for Box<dyn CollisionDetector> {
@@ -79,6 +87,9 @@ impl CollisionDetector for Box<dyn CollisionDetector> {
     }
     fn accuracy_from(&self) -> Option<Round> {
         (**self).accuracy_from()
+    }
+    fn apply_event(&mut self, round: Round, event: ScenarioEvent) {
+        (**self).apply_event(round, event)
     }
 }
 
@@ -143,6 +154,11 @@ pub trait ContentionManager {
     fn stabilized_from(&self) -> Option<Round> {
         None
     }
+
+    /// A scheduled scenario event addressed to the manager (see
+    /// [`crate::scenario`]), applied at the start of its round, before
+    /// advice. Ignored by default; must not allocate.
+    fn apply_event(&mut self, _round: Round, _event: ScenarioEvent) {}
 }
 
 impl ContentionManager for Box<dyn ContentionManager> {
@@ -157,6 +173,9 @@ impl ContentionManager for Box<dyn ContentionManager> {
     }
     fn stabilized_from(&self) -> Option<Round> {
         (**self).stabilized_from()
+    }
+    fn apply_event(&mut self, round: Round, event: ScenarioEvent) {
+        (**self).apply_event(round, event)
     }
 }
 
@@ -203,6 +222,11 @@ pub trait LossAdversary {
     fn collision_free_from(&self) -> Option<Round> {
         None
     }
+
+    /// A scheduled scenario event addressed to the loss adversary (see
+    /// [`crate::scenario`]), applied at the start of its round, before
+    /// deliveries are resolved. Ignored by default; must not allocate.
+    fn apply_event(&mut self, _round: Round, _event: ScenarioEvent) {}
 }
 
 impl LossAdversary for Box<dyn LossAdversary> {
@@ -220,6 +244,9 @@ impl LossAdversary for Box<dyn LossAdversary> {
     }
     fn collision_free_from(&self) -> Option<Round> {
         (**self).collision_free_from()
+    }
+    fn apply_event(&mut self, round: Round, event: ScenarioEvent) {
+        (**self).apply_event(round, event)
     }
 }
 
@@ -249,6 +276,11 @@ pub trait CrashAdversary {
         let crashes = self.crashes(round, alive);
         out.extend(crashes);
     }
+
+    /// A scheduled scenario event addressed to the crash adversary (see
+    /// [`crate::scenario`]), applied at the start of its round, before the
+    /// round's crashes are selected. Ignored by default; must not allocate.
+    fn apply_event(&mut self, _round: Round, _event: ScenarioEvent) {}
 }
 
 impl CrashAdversary for Box<dyn CrashAdversary> {
@@ -257,6 +289,9 @@ impl CrashAdversary for Box<dyn CrashAdversary> {
     }
     fn crashes_into(&mut self, round: Round, alive: &[bool], out: &mut Vec<ProcessId>) {
         (**self).crashes_into(round, alive, out)
+    }
+    fn apply_event(&mut self, round: Round, event: ScenarioEvent) {
+        (**self).apply_event(round, event)
     }
 }
 
