@@ -1,50 +1,74 @@
-//! Runs the experiment suite and prints every table.
+//! Runs the experiment suite and its sweep-farm tooling.
 //!
 //! ```text
-//! run_experiments [--quick] [--only eN] [--cache | --no-cache]
-//! run_experiments --check [--quick] [--bless] [--no-cache] [--traced]
-//! run_experiments --metrics <glob> [--quick] [--cache | --no-cache]
-//! run_experiments --throughput [--quick]
-//! run_experiments --help
+//! run_experiments run            [--quick] [--only eN] [--cache | --no-cache]
+//! run_experiments check          [--quick] [--no-cache] [--traced]
+//! run_experiments bless          [--quick] [--no-cache]
+//! run_experiments metrics <glob> [--quick] [--cache | --no-cache]
+//! run_experiments throughput     [--quick]
+//! run_experiments shard <i/m>    [--quick]
+//! run_experiments merge <dest-dir> <shard-dir>...
+//! run_experiments farm           [--quick] [--shards M] [--check | --bless]
+//! run_experiments help
 //! ```
 //!
-//! * Sweeps consult the persistent result cache (`target/sweep-cache/`,
+//! * `run` prints every experiment table (`--only eN` narrows to one).
+//!   Sweeps consult the persistent result cache (`target/sweep-cache/`,
 //!   override with `CCWAN_SWEEP_CACHE_DIR`) by default; a warm invocation
 //!   executes zero scenario cells and prints byte-identical tables.
 //!   `--no-cache` forces fresh execution; `--cache` states the default
 //!   explicitly. The hit/miss summary goes to **stderr**, so stdout stays
 //!   comparable across cold and warm runs.
-//! * `--check` replays the standard scenario registry against the
-//!   committed golden summary (`golden/sweeps/`, override with
-//!   `CCWAN_GOLDEN_DIR`) and exits nonzero on any drift — the CI
-//!   regression gate, covering the per-spec frame summaries (probe
-//!   metrics included) since golden format v2. `--bless` rewrites the
-//!   golden file after an intentional behavior change. Either way the
-//!   observed summary is also written under `target/sweep-summaries/` for
-//!   CI artifact upload.
-//! * `--traced` (with `--check`) forces every registry cell onto the
-//!   engine's *traced* path — including specs whose outcome-only probe
-//!   manifest normally opts out — freshly executed, and diffs the
-//!   per-spec summaries against the same golden files. Traced and
-//!   untraced executions are identical by construction, so any drift here
-//!   is a trace-representation or probe-path regression.
-//! * `--metrics <glob>` runs the standard registry sweep (cache-assisted)
+//! * `check` replays the standard scenario registry against the committed
+//!   golden summary (`golden/sweeps/`, override with `CCWAN_GOLDEN_DIR`)
+//!   and exits nonzero on any drift — the CI regression gate, covering
+//!   the per-spec frame summaries (probe metrics included) since golden
+//!   format v2. `bless` rewrites the golden file after an intentional
+//!   behavior change. Either way the observed summary is also written
+//!   under `target/sweep-summaries/` for CI artifact upload.
+//! * `check --traced` forces every registry cell onto the engine's
+//!   *traced* path — including specs whose outcome-only probe manifest
+//!   normally opts out — freshly executed, and diffs the per-spec
+//!   summaries against the same golden files. Traced and untraced
+//!   executions are identical by construction, so any drift here is a
+//!   trace-representation or probe-path regression.
+//! * `metrics <glob>` runs the standard registry sweep (cache-assisted)
 //!   and prints a per-spec summary table of every probe metric whose name
 //!   matches the glob (`*` and `?` wildcards, e.g. `cd_*` or
 //!   `*_rounds`). Ordering is stable — registry order, then canonical
 //!   metric order — and the table is a pure function of the results
 //!   frame, so cold and warm invocations print byte-identical stdout.
-//! * `--throughput` times a *fresh* (never cached) execution of every
+//! * `throughput` times a *fresh* (never cached) execution of every
 //!   registry spec and prints a per-spec wall-clock summary — simulated
 //!   rounds/sec, plus messages/sec where the spec's probe manifest
 //!   records broadcasts — to **stderr**. This is the sweep-scale view of
 //!   the batched delivery kernels: the `engine_dispatch` bench measures
 //!   single engines in isolation, this measures the real work-stealing
 //!   sweep stack end to end.
+//! * `shard <i/m>` runs exactly the registry cells that shard `i` of `m`
+//!   owns under the content-addressed `CellKey` partition, into this
+//!   process's own store (point `CCWAN_SWEEP_CACHE_DIR` somewhere
+//!   per-shard). The partition is a pure function of each cell's content,
+//!   so the `m` workers coordinate through nothing at all.
+//! * `merge <dest-dir> <shard-dir>...` folds the shard stores into one at
+//!   `dest-dir` — a checked set union: byte-identical duplicate rows
+//!   collapse, a *divergent* row for the same key aborts the merge (a
+//!   determinism violation, never silently resolved). The merged store is
+//!   written in canonical key-sorted form, so its bytes depend only on
+//!   the cell set.
+//! * `farm` is shard + merge + assemble in one command: it fans `--shards
+//!   M` (default 4) `shard i/M` subprocesses across cores, each with its
+//!   own store under the cache dir, relays their stderr progress
+//!   prefixed, merges the shard stores, then replays the suite (or, with
+//!   `--check`/`--bless`, the golden gate) entirely from the merged store
+//!   — stdout byte-identical to the serial unsharded run.
 
-use std::path::PathBuf;
-use wan_bench::sweep::{cache, golden, MetricId, Registry, ResultsFrame, SweepSummary};
-use wan_bench::{experiments, Scale, SweepRunner, Table};
+use std::path::{Path, PathBuf};
+use wan_bench::sweep::{
+    cache, golden, merge_stores, MetricId, Registry, ResultsFrame, ShardSpec, SweepCache,
+    SweepRunner, SweepSummary,
+};
+use wan_bench::{experiments, Scale, Table};
 
 type Experiment = fn(Scale) -> Table;
 
@@ -73,135 +97,103 @@ const EXPERIMENTS: [(&str, Experiment); 16] = [
 ];
 
 const USAGE: &str = "\
-usage: run_experiments [--quick] [--only eN] [--cache | --no-cache]
-       run_experiments --check [--quick] [--bless] [--no-cache] [--traced]
-       run_experiments --metrics <glob> [--quick] [--cache | --no-cache]
-       run_experiments --throughput [--quick]
-       run_experiments --help
+usage: run_experiments <command> [options]
 
-  --quick           CI-sized sweeps (5 seeds/spec) instead of paper-sized
-  --only eN         run a single experiment (e1..e16)
-  --cache           consult the persistent sweep result cache (default)
-  --no-cache        force fresh execution of every cell
-  --check           gate the standard registry against golden/sweeps/
-  --bless           (with --check) regenerate the golden summary
-  --traced          (with --check) force every cell onto the traced path
-  --metrics <glob>  print a per-spec summary of every probe metric whose
-                    name matches the glob (`*`/`?` wildcards, e.g.
-                    'cd_*', 'decision_latency'); stable ordering,
-                    byte-identical stdout across cold and warm runs
-  --throughput      time a fresh execution of every registry spec and
-                    print rounds/sec + messages/sec per spec to stderr
-  --help            this text";
+commands:
+  run            print every experiment table (the default command)
+  check          gate the standard registry against golden/sweeps/
+  bless          regenerate the golden summary after an intended change
+  metrics <glob> per-spec summary of probe metrics matching the glob
+  throughput     time a fresh execution of every registry spec (stderr)
+  shard <i/m>    run the registry cells shard i of m owns into this
+                 process's own store (set CCWAN_SWEEP_CACHE_DIR per shard)
+  merge <dest-dir> <shard-dir>...
+                 fold shard stores into one (checked set union; divergent
+                 rows abort), written in canonical key-sorted form
+  farm           fan `--shards M` shard subprocesses across cores, merge
+                 their stores, then replay the suite (or the golden gate,
+                 with --check / --bless) from the merged store — stdout
+                 byte-identical to the serial unsharded run
+  help           this text
+
+options:
+  --quick           CI-sized sweeps instead of paper-sized
+  --only eN         (run) a single experiment (e1..e16)
+  --cache           (run/metrics) consult the sweep result cache (default)
+  --no-cache        (run/check/bless/metrics) force fresh execution
+  --traced          (check) force every cell onto the traced path
+  --shards M        (farm) subprocess count (default 4)
+  --check / --bless (farm) follow the merge with the golden gate
+  --help            this text
+
+Legacy flag-style invocations (`--check`, `--bless`, `--metrics <glob>`,
+`--throughput` with no command word) are deprecated aliases and keep
+working; they print a pointer to the command form on stderr.";
+
+/// What `main` dispatches on once the command line is understood.
+enum Command {
+    Run {
+        only: Option<String>,
+    },
+    Check {
+        traced: bool,
+    },
+    Bless,
+    Metrics {
+        glob: String,
+    },
+    Throughput,
+    Shard {
+        shard: ShardSpec,
+    },
+    Merge {
+        dest: PathBuf,
+        sources: Vec<PathBuf>,
+    },
+    Farm {
+        shards: u32,
+        follow: FarmFollow,
+    },
+}
+
+/// What `farm` runs over the merged store once the shards land.
+enum FarmFollow {
+    Suite,
+    Check,
+    Bless,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    let mut only: Option<String> = None;
-    let mut metrics: Option<String> = None;
-    let (mut quick, mut use_cache, mut check, mut bless, mut traced, mut throughput) =
-        (false, true, false, false, false, false);
-    while i < args.len() {
-        match args[i].as_str() {
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return;
-            }
-            "--quick" => quick = true,
-            "--cache" => use_cache = true,
-            "--no-cache" => use_cache = false,
-            "--check" => check = true,
-            "--traced" => traced = true,
-            "--throughput" => throughput = true,
-            "--bless" => {
-                check = true;
-                bless = true;
-            }
-            "--metrics" => {
-                i += 1;
-                match args.get(i) {
-                    Some(glob) => metrics = Some(glob.clone()),
-                    None => {
-                        eprintln!("--metrics requires a glob (e.g. 'cd_*'); see --help");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--only" => {
-                i += 1;
-                match args.get(i) {
-                    Some(id) => only = Some(id.to_lowercase()),
-                    None => {
-                        eprintln!(
-                            "--only requires an experiment id (e1..e{})",
-                            EXPERIMENTS.len()
-                        );
-                        std::process::exit(2);
-                    }
-                }
-            }
-            other => {
-                eprintln!("unknown argument {other:?}\n{USAGE}");
-                std::process::exit(2);
-            }
-        }
-        i += 1;
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{USAGE}");
+        return;
     }
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-
-    if check && only.is_some() {
-        // --check always gates the whole registry; silently ignoring the
-        // filter would let "checked e1" mean "checked everything".
-        eprintln!("--only cannot be combined with --check (the gate covers the full registry)");
-        std::process::exit(2);
-    }
-
-    if traced && !check {
-        eprintln!("--traced only applies to --check (the traced registry gate)");
-        std::process::exit(2);
-    }
-
-    if metrics.is_some() && (check || only.is_some()) {
-        eprintln!("--metrics is its own mode; it cannot be combined with --check or --only");
-        std::process::exit(2);
-    }
-
-    if throughput && (check || metrics.is_some() || only.is_some()) {
-        eprintln!(
-            "--throughput is its own mode; it cannot be combined with --check, --metrics, or --only"
-        );
-        std::process::exit(2);
-    }
-    if throughput {
-        // Timing a cache hit would measure file I/O, not the engine;
-        // every cell must execute, so the cache never engages.
-        use_cache = false;
-    }
-
-    if let Some(filter) = &only {
-        if !EXPERIMENTS.iter().any(|(id, _)| id == filter) {
-            eprintln!(
-                "unknown experiment {filter:?}; expected one of e1..e{}",
-                EXPERIMENTS.len()
-            );
+    let (command, quick, use_cache) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}\n\nrun `run_experiments help` for usage");
             std::process::exit(2);
         }
-    }
+    };
+    let scale = if quick { Scale::Quick } else { Scale::Full };
 
     if use_cache {
-        let dir = std::env::var("CCWAN_SWEEP_CACHE_DIR")
-            .unwrap_or_else(|_| cache::DEFAULT_DIR.to_string());
-        cache::install_global(&dir);
+        cache::install_global(cache_dir());
     }
 
-    let code = if check {
-        run_check(scale, bless, traced)
-    } else if let Some(glob) = metrics {
-        run_metrics(scale, &glob)
-    } else if throughput {
-        run_throughput(scale)
-    } else {
-        run_suite(scale, only.as_deref())
+    let code = match command {
+        Command::Run { only } => run_suite(scale, only.as_deref()),
+        Command::Check { traced } => run_check(scale, false, traced),
+        Command::Bless => run_check(scale, true, false),
+        Command::Metrics { glob } => run_metrics(scale, &glob),
+        Command::Throughput => run_throughput(scale),
+        Command::Shard { shard } => run_shard(scale, shard),
+        Command::Merge { dest, sources } => run_merge(&dest, &sources),
+        Command::Farm { shards, follow } => run_farm(scale, shards, follow),
     };
 
     if use_cache {
@@ -211,6 +203,294 @@ fn main() {
         }
     }
     std::process::exit(code);
+}
+
+/// The sweep-cache directory this invocation targets.
+fn cache_dir() -> String {
+    std::env::var("CCWAN_SWEEP_CACHE_DIR").unwrap_or_else(|_| cache::DEFAULT_DIR.to_string())
+}
+
+/// Parses the command line into `(command, quick, install_global_cache)`.
+///
+/// The first non-flag argument selects the command; an invocation that
+/// leads with flags is the legacy grammar, mapped to the equivalent
+/// command with a deprecation note on stderr.
+fn parse(args: &[String]) -> Result<(Command, bool, bool), String> {
+    let mut rest = args;
+    let word = match args.first() {
+        Some(first) if !first.starts_with('-') => {
+            rest = &args[1..];
+            Some(first.as_str())
+        }
+        _ => None,
+    };
+
+    // Shared options; command-specific positionals/flags below.
+    let mut quick = false;
+    let mut cache_flag: Option<bool> = None;
+    let mut only: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut traced = false;
+    let mut check = false;
+    let mut bless = false;
+    let mut throughput = false;
+    let mut shards: Option<u32> = None;
+    let mut positional: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--quick" => quick = true,
+            "--cache" => cache_flag = Some(true),
+            "--no-cache" => cache_flag = Some(false),
+            "--traced" => traced = true,
+            "--check" => check = true,
+            "--bless" => bless = true,
+            "--throughput" => throughput = true,
+            "--only" => {
+                i += 1;
+                only = Some(
+                    rest.get(i)
+                        .ok_or("--only requires an experiment id (e1..e16)")?
+                        .to_lowercase(),
+                );
+            }
+            "--metrics" => {
+                i += 1;
+                metrics = Some(
+                    rest.get(i)
+                        .ok_or("--metrics requires a glob (e.g. 'cd_*')")?
+                        .clone(),
+                );
+            }
+            "--shards" => {
+                i += 1;
+                let count = rest
+                    .get(i)
+                    .ok_or("--shards requires a count (e.g. 4)")?
+                    .parse::<u32>()
+                    .map_err(|_| "--shards requires a positive number".to_string())?;
+                if count == 0 {
+                    return Err("--shards requires at least 1".into());
+                }
+                shards = Some(count);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            value => positional.push(value.to_string()),
+        }
+        i += 1;
+    }
+
+    let reject = |flag: &str, cmd: &str| -> String { format!("{flag} does not apply to `{cmd}`") };
+    let no_positionals = |cmd: &str| -> Result<(), String> {
+        match positional.first() {
+            Some(extra) => Err(format!("`{cmd}` takes no positional argument {extra:?}")),
+            None => Ok(()),
+        }
+    };
+
+    let command = match word {
+        Some("run") => {
+            no_positionals("run")?;
+            if check || bless || traced || throughput || metrics.is_some() || shards.is_some() {
+                return Err(reject(
+                    "--check/--bless/--traced/--throughput/--metrics/--shards",
+                    "run",
+                ));
+            }
+            if let Some(filter) = &only {
+                if !EXPERIMENTS.iter().any(|(id, _)| id == filter) {
+                    return Err(format!(
+                        "unknown experiment {filter:?}; expected one of e1..e{}",
+                        EXPERIMENTS.len()
+                    ));
+                }
+            }
+            Command::Run { only }
+        }
+        Some("check") => {
+            no_positionals("check")?;
+            if only.is_some() || metrics.is_some() || throughput || shards.is_some() {
+                return Err(reject("--only/--metrics/--throughput/--shards", "check"));
+            }
+            if bless {
+                return Err("use the `bless` command instead of `check --bless`".into());
+            }
+            Command::Check { traced }
+        }
+        Some("bless") => {
+            no_positionals("bless")?;
+            if only.is_some() || metrics.is_some() || throughput || traced || shards.is_some() {
+                return Err(reject(
+                    "--only/--metrics/--throughput/--traced/--shards",
+                    "bless",
+                ));
+            }
+            Command::Bless
+        }
+        Some("metrics") => {
+            if check || bless || traced || throughput || only.is_some() || shards.is_some() {
+                return Err(reject(
+                    "--check/--bless/--traced/--throughput/--only/--shards",
+                    "metrics",
+                ));
+            }
+            let glob = match (metrics, positional.as_slice()) {
+                (Some(glob), []) => glob,
+                (None, [glob]) => glob.clone(),
+                (None, []) => return Err("`metrics` requires a glob (e.g. 'cd_*')".into()),
+                _ => return Err("`metrics` takes exactly one glob".into()),
+            };
+            Command::Metrics { glob }
+        }
+        Some("throughput") => {
+            no_positionals("throughput")?;
+            if check || bless || traced || only.is_some() || metrics.is_some() || shards.is_some() {
+                return Err(reject(
+                    "--check/--bless/--traced/--only/--metrics/--shards",
+                    "throughput",
+                ));
+            }
+            Command::Throughput
+        }
+        Some("shard") => {
+            if check || bless || traced || throughput || only.is_some() || metrics.is_some() {
+                return Err(reject(
+                    "--check/--bless/--traced/--throughput/--only/--metrics",
+                    "shard",
+                ));
+            }
+            let spec = match positional.as_slice() {
+                [spec] => ShardSpec::parse(spec)?,
+                [] => return Err("`shard` requires an identity `i/m` (e.g. 0/4)".into()),
+                _ => return Err("`shard` takes exactly one identity `i/m`".into()),
+            };
+            if let Some(count) = shards {
+                if count != spec.count {
+                    return Err(format!(
+                        "--shards {count} contradicts the shard identity {spec}"
+                    ));
+                }
+            }
+            Command::Shard { shard: spec }
+        }
+        Some("merge") => {
+            if check || bless || traced || throughput || only.is_some() || metrics.is_some() {
+                return Err(reject(
+                    "--check/--bless/--traced/--throughput/--only/--metrics",
+                    "merge",
+                ));
+            }
+            if positional.len() < 2 {
+                return Err("`merge` requires a destination and at least one shard dir".into());
+            }
+            let mut dirs = positional.iter().map(PathBuf::from);
+            Command::Merge {
+                dest: dirs.next().expect("checked above"),
+                sources: dirs.collect(),
+            }
+        }
+        Some("farm") => {
+            no_positionals("farm")?;
+            if only.is_some() || metrics.is_some() || throughput || traced {
+                return Err(reject("--only/--metrics/--throughput/--traced", "farm"));
+            }
+            let follow = match (check, bless) {
+                (false, false) => FarmFollow::Suite,
+                (true, false) => FarmFollow::Check,
+                (false, true) => FarmFollow::Bless,
+                (true, true) => return Err("`farm` takes --check or --bless, not both".into()),
+            };
+            Command::Farm {
+                shards: shards.unwrap_or(4),
+                follow,
+            }
+        }
+        Some(other) => {
+            return Err(format!("unknown command {other:?}"));
+        }
+        // Legacy flag-style grammar: map to the equivalent command.
+        None => {
+            if shards.is_some() {
+                return Err("--shards only applies to the `farm` command".into());
+            }
+            no_positionals("run_experiments")?;
+            if (check || bless) && only.is_some() {
+                return Err(
+                    "--only cannot be combined with --check (the gate covers the full registry)"
+                        .into(),
+                );
+            }
+            if metrics.is_some() && (check || bless || only.is_some()) {
+                return Err(
+                    "--metrics is its own mode; it cannot be combined with --check or --only"
+                        .into(),
+                );
+            }
+            if throughput && (check || bless || metrics.is_some() || only.is_some()) {
+                return Err(
+                    "--throughput is its own mode; it cannot be combined with --check, --metrics, or --only"
+                        .into(),
+                );
+            }
+            let legacy = if bless {
+                Command::Bless
+            } else if check {
+                Command::Check { traced }
+            } else if let Some(glob) = metrics {
+                Command::Metrics { glob }
+            } else if throughput {
+                Command::Throughput
+            } else {
+                if let Some(filter) = &only {
+                    if !EXPERIMENTS.iter().any(|(id, _)| id == filter) {
+                        return Err(format!(
+                            "unknown experiment {filter:?}; expected one of e1..e{}",
+                            EXPERIMENTS.len()
+                        ));
+                    }
+                }
+                Command::Run { only }
+            };
+            if traced && !matches!(legacy, Command::Check { .. }) {
+                return Err("--traced only applies to --check (the traced registry gate)".into());
+            }
+            if let Command::Check { .. }
+            | Command::Bless
+            | Command::Metrics { .. }
+            | Command::Throughput = &legacy
+            {
+                let name = match &legacy {
+                    Command::Bless => "bless",
+                    Command::Check { .. } => "check",
+                    Command::Metrics { .. } => "metrics",
+                    _ => "throughput",
+                };
+                eprintln!(
+                    "note: flag-style modes are deprecated; this invocation is \
+                     `run_experiments {name} ...` in the command grammar"
+                );
+            }
+            legacy
+        }
+    };
+
+    // Which modes engage the process-global cache shim. `shard` opens its
+    // own scoped store instead, `merge` only touches stores directly, and
+    // `farm` installs the merged store itself after the shards land.
+    let use_cache = match &command {
+        Command::Run { .. } | Command::Metrics { .. } | Command::Check { .. } | Command::Bless => {
+            cache_flag.unwrap_or(true)
+        }
+        // Timing a cache hit would measure file I/O, not the engine.
+        Command::Throughput
+        | Command::Shard { .. }
+        | Command::Merge { .. }
+        | Command::Farm { .. } => false,
+    };
+    Ok((command, quick, use_cache))
 }
 
 fn run_suite(scale: Scale, only: Option<&str>) -> i32 {
@@ -225,7 +505,7 @@ fn run_suite(scale: Scale, only: Option<&str>) -> i32 {
 }
 
 /// Minimal glob matching (`*` = any run, `?` = any one character) for
-/// `--metrics` selection.
+/// `metrics` selection.
 fn glob_match(pattern: &str, text: &str) -> bool {
     fn inner(p: &[u8], t: &[u8]) -> bool {
         match (p.first(), t.first()) {
@@ -239,7 +519,7 @@ fn glob_match(pattern: &str, text: &str) -> bool {
     inner(pattern.as_bytes(), text.as_bytes())
 }
 
-/// `--metrics <glob>`: one row per (registry spec, selected metric), with
+/// `metrics <glob>`: one row per (registry spec, selected metric), with
 /// exact summary statistics from the results frame. Pure function of the
 /// frame, so cold (executed) and warm (cache-served) runs are
 /// byte-identical on stdout.
@@ -250,7 +530,7 @@ fn run_metrics(scale: Scale, glob: &str) -> i32 {
         .collect();
     if selected.is_empty() {
         eprintln!(
-            "--metrics {glob:?} matches no metric; known metrics: {}",
+            "metrics: {glob:?} matches no metric; known metrics: {}",
             MetricId::ALL.map(|id| id.name()).join(", ")
         );
         return 2;
@@ -291,7 +571,7 @@ fn run_metrics(scale: Scale, glob: &str) -> i32 {
     0
 }
 
-/// `--throughput`: wall-clock every registry spec through a fresh
+/// `throughput`: wall-clock every registry spec through a fresh
 /// work-stealing sweep and report simulated rounds/sec (from the
 /// `rounds_executed` column every manifest emits) and messages/sec (from
 /// `broadcasts_total`, where the manifest records it). Everything goes to
@@ -367,7 +647,7 @@ fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
     // loudly and must never be blessed into a golden file.
     if !violations.is_empty() {
         eprintln!(
-            "--check: {} cell(s) violated consensus safety (agreement/validity):",
+            "check: {} cell(s) violated consensus safety (agreement/validity):",
             violations.len()
         );
         for violation in &violations {
@@ -389,7 +669,7 @@ fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
         .and_then(|()| std::fs::write(&observed_path, observed.to_json()));
     if let Err(err) = record {
         eprintln!(
-            "--check: could not record observed summary at {}: {err}",
+            "check: could not record observed summary at {}: {err}",
             observed_path.display()
         );
     }
@@ -398,7 +678,7 @@ fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
         if let Err(err) = std::fs::create_dir_all(&golden_dir)
             .and_then(|()| std::fs::write(&golden_path, observed.to_json()))
         {
-            eprintln!("--bless: writing {} failed: {err}", golden_path.display());
+            eprintln!("bless: writing {} failed: {err}", golden_path.display());
             return 1;
         }
         println!(
@@ -413,8 +693,8 @@ fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
         Ok(text) => text,
         Err(err) => {
             eprintln!(
-                "--check: cannot read golden summary {}: {err}\n\
-                 (generate it with `run_experiments --check --bless{}`)",
+                "check: cannot read golden summary {}: {err}\n\
+                 (generate it with `run_experiments bless{}`)",
                 golden_path.display(),
                 if scale == Scale::Quick {
                     " --quick"
@@ -428,7 +708,7 @@ fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
     let expected = match SweepSummary::parse(&text) {
         Ok(expected) => expected,
         Err(err) => {
-            eprintln!("--check: {}: {err}", golden_path.display());
+            eprintln!("check: {}: {err}", golden_path.display());
             return 1;
         }
     };
@@ -442,13 +722,152 @@ fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
         return 0;
     }
     eprintln!(
-        "--check: {} drift(s) against {}:",
+        "check: {} drift(s) against {}:",
         drift.len(),
         golden_path.display()
     );
     for line in &drift {
         eprintln!("  {line}");
     }
-    eprintln!("(if this change is intentional, regenerate with --bless)");
+    eprintln!("(if this change is intentional, regenerate with `bless`)");
     1
+}
+
+/// `shard <i/m>`: run exactly the registry cells this shard owns into the
+/// store at `CCWAN_SWEEP_CACHE_DIR` (each worker gets its own directory;
+/// the farm orchestrator arranges that). Progress and the final report go
+/// to stderr; stdout stays silent so the farm's stdout belongs entirely
+/// to the follow-on mode.
+fn run_shard(scale: Scale, shard: ShardSpec) -> i32 {
+    let registry = Registry::standard(scale);
+    let store = SweepCache::open_scoped(cache_dir());
+    eprintln!("shard {shard}: store {}", store.path().display());
+    let report =
+        store.with(|store| SweepRunner::parallel().run_shard(registry.specs(), shard, store));
+    if let Err(err) = store.flush() {
+        eprintln!(
+            "shard {shard}: flush to {} failed: {err}",
+            store.path().display()
+        );
+        return 1;
+    }
+    eprintln!("shard {shard}: {report}");
+    0
+}
+
+/// `merge <dest> <src>...`: fold shard stores into one, canonical form.
+fn run_merge(dest: &Path, sources: &[PathBuf]) -> i32 {
+    match merge_stores(dest, sources) {
+        Ok(stats) => {
+            println!("merge: {stats}");
+            0
+        }
+        Err(err) => {
+            eprintln!("merge: {err}");
+            1
+        }
+    }
+}
+
+/// `farm`: the whole sharded pipeline in one command. Fans `shards`
+/// subprocesses (`shard i/m`, each with its own store under the cache
+/// dir), relays their stderr line-by-line with a `farm[i/m]` prefix,
+/// merges the shard stores into the cache dir, then runs the follow-on
+/// mode entirely from the merged store — every cell a hit, stdout
+/// byte-identical to the serial unsharded invocation.
+fn run_farm(scale: Scale, shards: u32, follow: FarmFollow) -> i32 {
+    let base = PathBuf::from(cache_dir());
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(err) => {
+            eprintln!("farm: cannot locate own executable: {err}");
+            return 1;
+        }
+    };
+    let shard_dir = |i: u32| base.join(format!("shard-{i}"));
+    eprintln!(
+        "farm: {shards} shard subprocess(es), stores under {}",
+        base.display()
+    );
+    let mut children: Vec<(u32, std::process::Child)> = Vec::new();
+    for i in 0..shards {
+        let mut command = std::process::Command::new(&exe);
+        command.arg("shard").arg(format!("{i}/{shards}"));
+        if scale == Scale::Quick {
+            command.arg("--quick");
+        }
+        command.env("CCWAN_SWEEP_CACHE_DIR", shard_dir(i));
+        command.stdout(std::process::Stdio::null());
+        command.stderr(std::process::Stdio::piped());
+        match command.spawn() {
+            Ok(child) => children.push((i, child)),
+            Err(err) => {
+                eprintln!("farm: spawning shard {i}/{shards} failed: {err}");
+                for (_, mut child) in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return 1;
+            }
+        }
+    }
+    // Per-shard progress: relay each child's stderr, prefixed, as it
+    // arrives (one reader thread per child; lines interleave whole).
+    let relays: Vec<_> = children
+        .iter_mut()
+        .map(|(i, child)| {
+            let stderr = child.stderr.take().expect("stderr was piped above");
+            let shard = ShardSpec::new(*i, shards).expect("loop bounds");
+            std::thread::spawn(move || {
+                use std::io::BufRead;
+                for line in std::io::BufReader::new(stderr).lines() {
+                    match line {
+                        Ok(line) => eprintln!("farm[{shard}]: {line}"),
+                        Err(_) => break,
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut ok = true;
+    for (i, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("farm: shard {i}/{shards} exited with {status}");
+                ok = false;
+            }
+            Err(err) => {
+                eprintln!("farm: waiting on shard {i}/{shards} failed: {err}");
+                ok = false;
+            }
+        }
+    }
+    for relay in relays {
+        let _ = relay.join();
+    }
+    if !ok {
+        return 1;
+    }
+    let sources: Vec<PathBuf> = (0..shards).map(shard_dir).collect();
+    match merge_stores(&base, &sources) {
+        Ok(stats) => eprintln!("farm: merged — {stats}"),
+        Err(err) => {
+            eprintln!("farm: {err}");
+            return 1;
+        }
+    }
+    // Follow-on over the merged store: the compat shim installs it
+    // process-globally, the replay answers every cell from it, and stdout
+    // is byte-identical to the serial unsharded run.
+    cache::install_global(&base);
+    let code = match follow {
+        FarmFollow::Suite => run_suite(scale, None),
+        FarmFollow::Check => run_check(scale, false, false),
+        FarmFollow::Bless => run_check(scale, true, false),
+    };
+    if let Some(stats) = cache::uninstall_global() {
+        eprintln!("sweep-cache: {stats}");
+    }
+    code
 }

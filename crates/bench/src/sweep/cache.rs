@@ -63,7 +63,7 @@ use std::fmt;
 use std::fs;
 use std::io::{self, Write as IoWrite};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 use wan_sim::fingerprint::StableHasher;
 
 /// Bumped whenever the key derivation or line schema changes; a mismatch
@@ -123,6 +123,30 @@ impl CellKey {
             hi: u64::from_str_radix(&s[..16], 16).ok()?,
             lo: u64::from_str_radix(&s[16..], 16).ok()?,
         })
+    }
+
+    /// Which of `shards` partitions this cell belongs to. A pure function
+    /// of the key — and the key is a pure function of the cell's *content*
+    /// — so the partition of a sweep is independent of enumeration order,
+    /// process count, and everything else about how the work is driven:
+    /// every shard worker derives the same assignment independently, and
+    /// each cell is owned by exactly one shard. Both key lanes feed the
+    /// fold so the partition inherits their uniformity.
+    pub fn shard(self, shards: u32) -> u32 {
+        assert!(shards > 0, "a shard partition needs at least one shard");
+        // The FNV lanes are affine in their low bits (the low bit of each
+        // lane is the same parity function of the hashed words, salt
+        // aside), so a bare `(hi ^ lo) % m` collapses every key into the
+        // same residue class for even `m`. Fold both lanes through a
+        // splitmix64-style finalizer first so the modulus sees avalanche
+        // over all 128 bits.
+        let mut x = self.hi ^ self.lo.rotate_left(32);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x % u64::from(shards)) as u32
     }
 }
 
@@ -292,6 +316,60 @@ impl SweepCache {
         self.entries.insert(key, cell);
     }
 
+    /// The stored cell under `key`, if any — the raw lookup
+    /// ([`SweepCache::lookup`] adds the case/seed cross-check and row
+    /// re-anchoring the runner wants).
+    pub fn get(&self, key: CellKey) -> Option<&CachedCell> {
+        self.entries.get(&key)
+    }
+
+    /// Every stored cell, keyed — the raw material of a shard merge.
+    /// Iteration order is the index's (unspecified); callers that need
+    /// determinism sort by key ([`SweepCache::canonical_text`] does).
+    pub fn entries(&self) -> impl Iterator<Item = (CellKey, &CachedCell)> {
+        self.entries.iter().map(|(&k, c)| (k, c))
+    }
+
+    /// Indexes an already-encoded cell (e.g. one read out of a shard
+    /// store) and queues it for the next flush, exactly as
+    /// [`SweepCache::record`] does for a freshly-executed row.
+    pub fn record_cached(&mut self, key: CellKey, cell: CachedCell) {
+        self.pending.push(encode_line(key, &cell));
+        self.entries.insert(key, cell);
+    }
+
+    /// The canonical on-disk rendering of the whole store: the format
+    /// header, then every cell line in ascending key order. Two stores
+    /// holding the same cells render byte-identically no matter what
+    /// order the cells arrived in — the byte-level form of "merging shard
+    /// stores is a set union", which the shard-merge tests compare.
+    pub fn canonical_text(&self) -> String {
+        let mut keyed: Vec<(String, &CachedCell)> =
+            self.entries.iter().map(|(k, c)| (k.to_hex(), c)).collect();
+        keyed.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        let mut out = format!("{{\"{HEADER_TAG}\":{FORMAT_VERSION}}}\n");
+        for (hex, cell) in keyed {
+            let key = CellKey::from_hex(&hex).expect("own hex parses");
+            out.push_str(&encode_line(key, cell));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Rewrites the store on disk as [`SweepCache::canonical_text`] —
+    /// header plus every entry in ascending key order — regardless of
+    /// what the file held before. The shard merge uses this so a merged
+    /// store's bytes depend only on the cell *set*, never on merge order.
+    pub fn write_canonical(&mut self) -> io::Result<()> {
+        if let Some(dir) = self.path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(&self.path, self.canonical_text())?;
+        self.pending.clear();
+        self.disk_header_ok = true;
+        Ok(())
+    }
+
     /// The memoized canary fingerprint for a spec's parameter fingerprint.
     pub fn canary(&self, params_fp: u64) -> Option<u64> {
         self.canaries.get(&params_fp).copied()
@@ -376,51 +454,117 @@ fn decode_line(line: &str) -> Option<(CellKey, CachedCell)> {
     Some((key, cell))
 }
 
-/// The process-wide cache slot `run_experiments` installs into. Sweeps
-/// take the cache out while running (so no lock is held across cell
-/// execution) and put it back when done; concurrent sweeps in other
-/// threads simply run uncached for that window.
-static GLOBAL: Mutex<Option<SweepCache>> = Mutex::new(None);
+/// An owned, scoped cache handle: the primary way to hold a store.
+///
+/// `SweepCache::open_scoped(dir)` returns this RAII guard;
+/// [`super::SweepRunner::run_with`] accepts it explicitly, and dropping
+/// the guard flushes pending appends to disk. Because each handle owns
+/// its own store (the lock inside is only for cross-thread sharing of
+/// *one* handle, e.g. via `Arc`), independent sweeps — a shard worker
+/// per process, a test per scratch directory — cannot cross-talk the way
+/// they could through the old process-global slot. The process-global
+/// ([`install_global`]) survives as a thin compatibility shim over an
+/// `Arc<ScopedCache>`, used only by the `run_experiments` binary.
+#[derive(Debug)]
+pub struct ScopedCache {
+    inner: Mutex<SweepCache>,
+}
+
+impl ScopedCache {
+    fn lock(&self) -> MutexGuard<'_, SweepCache> {
+        // A panic mid-sweep leaves the store merely incomplete, never
+        // inconsistent (appends are whole lines): keep serving.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs `f` with exclusive access to the underlying store.
+    pub fn with<R>(&self, f: impl FnOnce(&mut SweepCache) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    /// The handle's lifetime counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// The file this handle persists to.
+    pub fn path(&self) -> PathBuf {
+        self.lock().path.clone()
+    }
+
+    /// Flushes pending appends now (also happens on drop).
+    pub fn flush(&self) -> io::Result<()> {
+        self.lock().flush()
+    }
+}
+
+impl Drop for ScopedCache {
+    fn drop(&mut self) {
+        let cache = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
+        if let Err(err) = cache.flush() {
+            eprintln!(
+                "sweep-cache: flush to {} failed on scope exit: {err}",
+                cache.path.display()
+            );
+        }
+    }
+}
+
+impl SweepCache {
+    /// Opens the cache in `dir` behind an RAII [`ScopedCache`] guard that
+    /// flushes on drop — the primary form. See [`SweepCache::open`] for
+    /// the (never-failing) open semantics.
+    pub fn open_scoped(dir: impl AsRef<Path>) -> ScopedCache {
+        ScopedCache {
+            inner: Mutex::new(SweepCache::open(dir)),
+        }
+    }
+}
+
+/// The process-wide compatibility shim: a slot holding a shared
+/// [`ScopedCache`] that [`super::SweepRunner::run`] consults
+/// transparently. Only the `run_experiments` binary installs into it;
+/// library callers should pass a [`ScopedCache`] (or a bare
+/// [`SweepCache`]) explicitly.
+static GLOBAL: Mutex<Option<Arc<ScopedCache>>> = Mutex::new(None);
+
+fn global_slot() -> MutexGuard<'static, Option<Arc<ScopedCache>>> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Installs a process-wide cache rooted at `dir`; subsequent
 /// [`super::SweepRunner::run`] calls consult it transparently. Returns the
 /// load-time stats.
 pub fn install_global(dir: impl AsRef<Path>) -> CacheStats {
-    let cache = SweepCache::open(dir);
-    let stats = cache.stats;
-    *GLOBAL.lock().expect("sweep cache lock") = Some(cache);
+    let cache = Arc::new(SweepCache::open_scoped(dir));
+    let stats = cache.stats();
+    *global_slot() = Some(cache);
     stats
 }
 
 /// Removes (and flushes) the process-wide cache, returning its final
-/// stats. `None` if none was installed.
+/// stats. `None` if none was installed. A sweep still running on another
+/// thread keeps its own `Arc` clone; the store flushes again when the
+/// last clone drops.
 pub fn uninstall_global() -> Option<CacheStats> {
-    let mut cache = GLOBAL.lock().expect("sweep cache lock").take()?;
+    let cache = global_slot().take()?;
     if let Err(err) = cache.flush() {
         eprintln!(
             "sweep-cache: flush to {} failed: {err}",
-            cache.path.display()
+            cache.path().display()
         );
     }
-    Some(cache.stats)
+    Some(cache.stats())
 }
 
-/// The installed cache's current stats, if one is installed (and not
-/// currently checked out by a running sweep).
+/// The installed cache's current stats, if one is installed.
 pub fn global_stats() -> Option<CacheStats> {
-    GLOBAL
-        .lock()
-        .expect("sweep cache lock")
-        .as_ref()
-        .map(|c| c.stats)
+    global_slot().as_ref().map(|c| c.stats())
 }
 
-pub(crate) fn take_global() -> Option<SweepCache> {
-    GLOBAL.lock().expect("sweep cache lock").take()
-}
-
-pub(crate) fn put_global(cache: SweepCache) {
-    *GLOBAL.lock().expect("sweep cache lock") = Some(cache);
+/// A shared handle to the installed cache, if any (the runner's hook).
+pub(crate) fn global() -> Option<Arc<ScopedCache>> {
+    global_slot().clone()
 }
 
 #[cfg(test)]
@@ -583,6 +727,67 @@ mod tests {
         cache.record(CellKey::derive(9, 0, 1, 2, 3), "s", &row(0));
         cache.flush().unwrap();
         assert_eq!(SweepCache::open(&dir).stats.loaded, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_partition_is_total_stable_and_content_only() {
+        let keys: Vec<CellKey> = (0..256)
+            .map(|i| CellKey::derive(i, i * 3, i ^ 0xAB, 7, 9))
+            .collect();
+        for shards in [1u32, 2, 3, 8, 13] {
+            let mut seen = vec![0u64; shards as usize];
+            for &key in &keys {
+                let shard = key.shard(shards);
+                assert!(shard < shards, "assignment must land in range");
+                assert_eq!(shard, key.shard(shards), "assignment must be stable");
+                seen[shard as usize] += 1;
+            }
+            // With 256 keys over ≤13 shards, every shard should own work —
+            // a smoke check that the fold uses the key's entropy.
+            assert!(
+                seen.iter().all(|&n| n > 0),
+                "degenerate partition for {shards} shards: {seen:?}"
+            );
+        }
+        // The partition is a function of the key alone: equal keys agree.
+        let again = CellKey::derive(5, 15, 5 ^ 0xAB, 7, 9);
+        assert_eq!(again.shard(4), keys[5].shard(4));
+    }
+
+    #[test]
+    fn canonical_text_depends_on_the_cell_set_not_arrival_order() {
+        let key_a = CellKey::derive(1, 0, 7, 9, 2);
+        let key_b = CellKey::derive(1, 1, 8, 9, 2);
+        let mut forward = SweepCache::open("/nonexistent-dir-for-test");
+        forward.record(key_a, "s", &row(0));
+        forward.record(key_b, "s", &row(1));
+        let mut backward = SweepCache::open("/nonexistent-dir-for-test");
+        backward.record(key_b, "s", &row(1));
+        backward.record(key_a, "s", &row(0));
+        assert_eq!(forward.canonical_text(), backward.canonical_text());
+        // The canonical rendering is itself a loadable store.
+        let mut reloaded = SweepCache::open("/nonexistent-dir-for-test");
+        reloaded.absorb(&forward.canonical_text());
+        assert_eq!(reloaded.stats.loaded, 2);
+        assert_eq!(reloaded.stats.skipped_lines, 0);
+        assert_eq!(reloaded.canonical_text(), forward.canonical_text());
+    }
+
+    #[test]
+    fn scoped_handle_flushes_on_drop() {
+        let dir = std::env::temp_dir().join(format!("ccwan-cache-scoped-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let key = CellKey::derive(4, 0, 1, 2, 3);
+        {
+            let scoped = SweepCache::open_scoped(&dir);
+            scoped.with(|cache| cache.record(key, "s", &row(0)));
+            assert_eq!(scoped.stats().loaded, 0);
+            // No explicit flush: the guard's drop must persist the entry.
+        }
+        let reloaded = SweepCache::open(&dir);
+        assert_eq!(reloaded.stats.loaded, 1);
+        assert!(reloaded.lookup(key, 0, 0, 0xABCD).is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -40,9 +40,18 @@
 //!   engine's reference execution (so code changes invalidate
 //!   correctly), and the probe-manifest fingerprint (so adding a probe
 //!   invalidates only the affected specs); [`SweepRunner::run`] consults
-//!   the store transparently when `run_experiments` installs one, making
-//!   repeat invocations incremental: a warm run executes zero cells and
-//!   prints byte-identical tables.
+//!   the store transparently when `run_experiments` installs one (library
+//!   callers pass a [`ScopedCache`] to [`SweepRunner::run_with`]
+//!   explicitly), making repeat invocations incremental: a warm run
+//!   executes zero cells and prints byte-identical tables.
+//! * [`shard`] — the multi-process farm layer on top of the cache:
+//!   [`CellKey::shard`] partitions a sweep's cells as a pure function of
+//!   their content, [`SweepRunner::run_shard`] executes one shard into
+//!   its own store, and [`merge_stores`] folds shard stores back together
+//!   as a checked set union (conflicts on divergent rows are refused).
+//!   The `run_experiments farm` subcommand fans shard subprocesses across
+//!   cores and assembles a final frame byte-identical to the serial
+//!   unsharded sweep.
 //! * [`golden`] — registry summaries as a CI regression gate:
 //!   `run_experiments --check` compares a (cache-assisted) run of the
 //!   standard registry against the committed `golden/sweeps/*.json` and
@@ -59,15 +68,17 @@ pub mod golden;
 mod json;
 pub mod probe;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 
-pub use cache::{CacheStats, CellKey, SweepCache};
+pub use cache::{CacheStats, CellKey, ScopedCache, SweepCache};
 pub use frame::{MetricColumn, ResultsFrame, SpecFrame};
 pub use golden::{scan_safety, SafetyViolation, SweepSummary};
 pub use probe::{
     CellEnd, MetricId, MetricRow, MetricValue, Probe, ProbeKind, ProbeManifest, ProbeSet,
 };
 pub use runner::SweepRunner;
+pub use shard::{merge_stores, MergeError, MergeStats, ShardReport, ShardSpec};
 pub use spec::{
     Algorithm, CellResult, CellRow, ChurnPlan, CrashPlan, EnvironmentPlan, Registry, ScenarioSpec,
 };

@@ -1,7 +1,8 @@
 //! The parallel sweep runner: fans independent cells across OS threads.
 
-use super::cache::{self, CellKey, SweepCache};
+use super::cache::{self, CellKey, ScopedCache, SweepCache};
 use super::frame::ResultsFrame;
+use super::shard::{ShardReport, ShardSpec};
 use super::spec::{CellRow, ScenarioSpec};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -59,25 +60,32 @@ impl SweepRunner {
     /// outcome-only manifests stay on the untraced fast path.
     ///
     /// When a process-wide cache is installed
-    /// ([`cache::install_global`] — `run_experiments` does this unless
-    /// `--no-cache`), cached cells are answered from the store and only
-    /// misses execute; results are identical either way. With no cache
-    /// installed every cell executes, exactly as before the cache existed.
+    /// ([`cache::install_global`] — the compatibility shim only the
+    /// `run_experiments` binary uses; library callers pass a
+    /// [`ScopedCache`] to [`SweepRunner::run_with`] explicitly), cached
+    /// cells are answered from the store and only misses execute; results
+    /// are identical either way. With no cache installed every cell
+    /// executes, exactly as before the cache existed.
     pub fn run(&self, specs: &[ScenarioSpec]) -> ResultsFrame {
-        match cache::take_global() {
-            Some(mut cache) => {
-                let results = self.run_with_cache(specs, &mut cache);
-                if let Err(err) = cache.flush() {
-                    eprintln!(
-                        "sweep-cache: flush to {} failed: {err} (results unaffected)",
-                        cache.path().display()
-                    );
-                }
-                cache::put_global(cache);
-                results
-            }
+        match cache::global() {
+            Some(cache) => self.run_with(specs, &cache),
             None => self.run_fresh(specs),
         }
+    }
+
+    /// Runs a sweep through a scoped cache handle — the primary cached
+    /// form. Equivalent to [`SweepRunner::run_with_cache`] on the handle's
+    /// store, plus a flush of the fresh misses; results are byte-identical
+    /// to [`SweepRunner::run_fresh`] either way.
+    pub fn run_with(&self, specs: &[ScenarioSpec], cache: &ScopedCache) -> ResultsFrame {
+        let results = cache.with(|cache| self.run_with_cache(specs, cache));
+        if let Err(err) = cache.flush() {
+            eprintln!(
+                "sweep-cache: flush to {} failed: {err} (results unaffected)",
+                cache.path().display()
+            );
+        }
+        results
     }
 
     /// Runs every cell unconditionally, consulting no cache — the
@@ -125,46 +133,19 @@ impl SweepRunner {
     pub fn run_with_cache(&self, specs: &[ScenarioSpec], cache: &mut SweepCache) -> ResultsFrame {
         // 1. Canary fingerprints: the code-sensitivity lane of every key.
         //    Computed once per distinct spec per process, in parallel.
-        let params: Vec<u64> = specs.iter().map(ScenarioSpec::params_fingerprint).collect();
-        let mut need: Vec<usize> = Vec::new();
-        for (i, fp) in params.iter().enumerate() {
-            if cache.canary(*fp).is_none() && !need.iter().any(|&j| params[j] == *fp) {
-                need.push(i);
-            }
-        }
-        let computed = self.map_described(
-            need.len(),
-            |k| specs[need[k]].canary_fingerprint(),
-            |k| format!("canary of spec `{}`", specs[need[k]].name),
-        );
-        for (&i, canary) in need.iter().zip(computed) {
-            cache.set_canary(params[i], canary);
-        }
-        cache.stats.canary_runs += need.len() as u64;
+        let params = self.memoize_canaries(specs, cache);
 
         // 2. Partition cells into hits (answered from the store) and
         //    misses (executed in parallel). The probe-manifest fingerprint
         //    is its own key lane: changing a spec's probes invalidates
         //    exactly that spec's cells.
         let cells: Vec<(usize, u64)> = expand(specs);
+        let keys = derive_keys(specs, &params, cache, &cells);
         let mut out: Vec<Option<CellRow>> = Vec::with_capacity(cells.len());
-        let mut keys: Vec<CellKey> = Vec::with_capacity(cells.len());
         let mut miss: Vec<usize> = Vec::new();
         for (idx, &(spec_index, case)) in cells.iter().enumerate() {
-            let spec = &specs[spec_index];
-            let seed = spec.cell_seed(case);
-            let canary = cache
-                .canary(params[spec_index])
-                .expect("canaries memoized above");
-            let key = CellKey::derive(
-                params[spec_index],
-                case,
-                seed,
-                canary,
-                spec.probes.fingerprint(),
-            );
-            keys.push(key);
-            let hit = cache.lookup(key, spec_index, case, seed);
+            let seed = specs[spec_index].cell_seed(case);
+            let hit = cache.lookup(keys[idx], spec_index, case, seed);
             if hit.is_none() {
                 miss.push(idx);
             }
@@ -196,6 +177,90 @@ impl SweepRunner {
             .collect::<Option<Vec<_>>>()
             .expect("every cell is a hit or an executed miss");
         ResultsFrame::from_rows(specs, rows)
+    }
+
+    /// Memoizes the canary fingerprint of every distinct spec (a traced
+    /// reference run per spec not yet seen this process, computed in
+    /// parallel) and returns each spec's params fingerprint. Shared by the
+    /// cached and sharded entry points so both derive identical
+    /// [`CellKey`]s.
+    fn memoize_canaries(&self, specs: &[ScenarioSpec], cache: &mut SweepCache) -> Vec<u64> {
+        let params: Vec<u64> = specs.iter().map(ScenarioSpec::params_fingerprint).collect();
+        let mut need: Vec<usize> = Vec::new();
+        for (i, fp) in params.iter().enumerate() {
+            if cache.canary(*fp).is_none() && !need.iter().any(|&j| params[j] == *fp) {
+                need.push(i);
+            }
+        }
+        let computed = self.map_described(
+            need.len(),
+            |k| specs[need[k]].canary_fingerprint(),
+            |k| format!("canary of spec `{}`", specs[need[k]].name),
+        );
+        for (&i, canary) in need.iter().zip(computed) {
+            cache.set_canary(params[i], canary);
+        }
+        cache.stats.canary_runs += need.len() as u64;
+        params
+    }
+
+    /// Runs exactly the cells shard `i/m` owns under the [`CellKey`]
+    /// partition, answering repeats from `cache` and recording executed
+    /// cells into it. No frame is assembled — a shard run exists to
+    /// *populate its store*; [`super::shard::merge_stores`] folds the
+    /// shard stores together and a cached full sweep (all hits) assembles
+    /// the byte-identical [`ResultsFrame`].
+    ///
+    /// The partition is a pure function of each cell's content-addressed
+    /// key, so every shard derives the same assignment independently —
+    /// no coordinator, no shared state, and the union over `i = 0..m` is
+    /// exactly the unsharded cell set (`tests/shard_merge.rs` pins the
+    /// algebra).
+    pub fn run_shard(
+        &self,
+        specs: &[ScenarioSpec],
+        shard: ShardSpec,
+        cache: &mut SweepCache,
+    ) -> ShardReport {
+        let params = self.memoize_canaries(specs, cache);
+        let cells: Vec<(usize, u64)> = expand(specs);
+        let keys = derive_keys(specs, &params, cache, &cells);
+        let owned: Vec<usize> = (0..cells.len()).filter(|&i| shard.owns(keys[i])).collect();
+        let mut miss: Vec<usize> = Vec::new();
+        for &idx in &owned {
+            let (spec_index, case) = cells[idx];
+            let seed = specs[spec_index].cell_seed(case);
+            if cache.lookup(keys[idx], spec_index, case, seed).is_none() {
+                miss.push(idx);
+            }
+        }
+        let hits = (owned.len() - miss.len()) as u64;
+        cache.stats.hits += hits;
+        cache.stats.misses += miss.len() as u64;
+        let ran = self.map_described(
+            miss.len(),
+            |j| {
+                let (spec_index, case) = cells[miss[j]];
+                specs[spec_index].run_cell(spec_index, case)
+            },
+            |j| {
+                format!(
+                    "{} cell-key {}",
+                    describe_cell(specs, cells[miss[j]]),
+                    keys[miss[j]].to_hex()
+                )
+            },
+        );
+        for (&idx, row) in miss.iter().zip(&ran) {
+            let (spec_index, _) = cells[idx];
+            cache.record(keys[idx], &specs[spec_index].name, row);
+        }
+        ShardReport {
+            total_cells: cells.len() as u64,
+            owned_cells: owned.len() as u64,
+            hits,
+            executed: miss.len() as u64,
+        }
     }
 
     /// Parallel deterministic map: applies `job` to `0..count` across the
@@ -307,6 +372,32 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// Derives every cell's content-addressed key. Canaries must already be
+/// memoized in `cache` ([`SweepRunner::memoize_canaries`]).
+fn derive_keys(
+    specs: &[ScenarioSpec],
+    params: &[u64],
+    cache: &SweepCache,
+    cells: &[(usize, u64)],
+) -> Vec<CellKey> {
+    cells
+        .iter()
+        .map(|&(spec_index, case)| {
+            let spec = &specs[spec_index];
+            let canary = cache
+                .canary(params[spec_index])
+                .expect("canaries memoized before key derivation");
+            CellKey::derive(
+                params[spec_index],
+                case,
+                spec.cell_seed(case),
+                canary,
+                spec.probes.fingerprint(),
+            )
+        })
+        .collect()
 }
 
 /// Expands specs into the canonical spec-major, then case cell order.

@@ -1,0 +1,272 @@
+//! Sharding a sweep across processes, and merging the shard stores back.
+//!
+//! The content-addressed cache ([`super::cache`]) was built as a
+//! coordination substrate, and this module calls in that bet: a sweep's
+//! cells are partitioned by [`CellKey::shard`] — a pure function of the
+//! cell's *content*, so every worker derives the same assignment
+//! independently, with no coordinator and no shared state — each shard
+//! executes only its own cells into its own `cells.jsonl` store, and
+//! [`merge_stores`] folds the shard stores back into one. Keys are
+//! content-addressed and metric rows travel whole, so the merge is a
+//! **checked set union**: duplicate keys with identical rows collapse
+//! (merging is idempotent and order-independent, down to the canonical
+//! byte rendering), while a duplicate key with a *divergent* row is a
+//! determinism violation — two workers disagreeing about the same cell —
+//! and fails the merge loudly rather than silently picking a winner.
+//!
+//! The `run_experiments farm` subcommand sits on top: it fans one `shard
+//! i/m` subprocess per shard across cores (or, with shared storage,
+//! machines), merges, and then assembles the final [`super::ResultsFrame`]
+//! entirely from the merged store — byte-identical to a serial unsharded
+//! sweep, extending the serial-vs-parallel determinism guarantee one
+//! process level up.
+
+use super::cache::{CellKey, SweepCache};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One shard's identity in an `m`-way partition: shard `index` of
+/// `count`. Parsed from the CLI as `i/m` (zero-based, `i < m`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based shard index.
+    pub index: u32,
+    /// Total number of shards in the partition.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// Builds a shard identity, validating `index < count` and
+    /// `count > 0`.
+    pub fn new(index: u32, count: u32) -> Result<ShardSpec, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s) (zero-based: 0..{count})"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses the CLI form `i/m` (e.g. `"2/4"`), zero-based.
+    pub fn parse(text: &str) -> Result<ShardSpec, String> {
+        let (index, count) = text
+            .split_once('/')
+            .ok_or_else(|| format!("expected `i/m` (e.g. `0/4`), got {text:?}"))?;
+        let index: u32 = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index {index:?} is not a number"))?;
+        let count: u32 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count {count:?} is not a number"))?;
+        ShardSpec::new(index, count)
+    }
+
+    /// Whether this shard owns `key` under the partition.
+    pub fn owns(&self, key: CellKey) -> bool {
+        key.shard(self.count) == self.index
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// What one shard run did: the accounting `run_experiments shard` prints
+/// to stderr and the farm orchestrator aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Cells in the whole sweep (all shards).
+    pub total_cells: u64,
+    /// Cells this shard owns under the partition.
+    pub owned_cells: u64,
+    /// Owned cells answered from the shard's store.
+    pub hits: u64,
+    /// Owned cells executed (and recorded into the store).
+    pub executed: u64,
+}
+
+impl fmt::Display for ShardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} cells owned, {} executed, {} served from the store",
+            self.owned_cells, self.total_cells, self.executed, self.hits
+        )
+    }
+}
+
+/// A merge refusal: the same content-addressed key mapped to two
+/// different rows across stores. Under the determinism contract this
+/// cannot happen for honestly-produced stores (a key pins the spec
+/// params, seed, canary, and probe manifest — the row is a pure function
+/// of all four), so a divergence means corrupted-but-checksum-valid data
+/// or stores produced by *different* code whose canary cells happened to
+/// agree. Either way, silently keeping one row would poison the merged
+/// store; the merge fails instead and names the evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeConflict {
+    /// The contested key, hex-rendered.
+    pub key: String,
+    /// Spec name and case carried by the row already in the union.
+    pub kept: (String, u64),
+    /// Spec name and case carried by the diverging row.
+    pub incoming: (String, u64),
+    /// The store the diverging row came from.
+    pub source: PathBuf,
+}
+
+impl fmt::Display for MergeConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell-key {} holds divergent rows: spec `{}` case {} vs spec `{}` case {} (from {})",
+            self.key,
+            self.kept.0,
+            self.kept.1,
+            self.incoming.0,
+            self.incoming.1,
+            self.source.display()
+        )
+    }
+}
+
+/// What a successful merge folded together.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Stores read (the destination's existing content counts as one when
+    /// non-empty).
+    pub sources: u64,
+    /// Cell lines loaded across all sources (pre-union).
+    pub loaded: u64,
+    /// Malformed/corrupted lines skipped across all sources (each such
+    /// cell simply re-runs on the next sweep — the same tolerance the
+    /// single-store loader has).
+    pub skipped_lines: u64,
+    /// Duplicate keys whose rows were byte-identical (collapsed by the
+    /// union — e.g. re-merging an already-merged store).
+    pub duplicates: u64,
+    /// Distinct cells in the merged store.
+    pub distinct: u64,
+}
+
+impl fmt::Display for MergeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} store(s) folded: {} lines loaded, {} corrupt skipped, {} duplicates collapsed, {} distinct cells",
+            self.sources, self.loaded, self.skipped_lines, self.duplicates, self.distinct
+        )
+    }
+}
+
+/// Why a merge did not complete.
+#[derive(Debug)]
+pub enum MergeError {
+    /// Two stores disagreed about a key (see [`MergeConflict`]).
+    Conflict(MergeConflict),
+    /// Writing the merged store failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Conflict(c) => write!(f, "merge conflict: {c}"),
+            MergeError::Io(e) => write!(f, "merge write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Folds the stores under `sources` (each a cache *directory*, as passed
+/// to [`SweepCache::open`]) plus whatever `dest` already holds into one
+/// store at `dest`, written in canonical (key-sorted) form.
+///
+/// The fold is a checked set union over content-addressed keys:
+///
+/// * loading each source is corruption-tolerant exactly like any cache
+///   open — a bad line is skipped and counted, never fatal;
+/// * a key present in several stores with byte-identical rows collapses
+///   to one line (so merging is **idempotent** — re-merging a merged
+///   store changes nothing — and **order-independent**, which the
+///   canonical output makes true down to the bytes);
+/// * a key present with *divergent* rows aborts with
+///   [`MergeError::Conflict`] before anything is written — `dest` is
+///   left untouched on any error.
+pub fn merge_stores(dest: impl AsRef<Path>, sources: &[PathBuf]) -> Result<MergeStats, MergeError> {
+    let mut stats = MergeStats::default();
+    let mut union = SweepCache::open(&dest);
+    stats.loaded += union.stats.loaded;
+    stats.skipped_lines += union.stats.skipped_lines;
+    if union.stats.loaded > 0 {
+        stats.sources += 1;
+    }
+    // Fold into the union index first; only a fully clean fold writes.
+    for source in sources {
+        let incoming = SweepCache::open(source);
+        stats.sources += 1;
+        stats.loaded += incoming.stats.loaded;
+        stats.skipped_lines += incoming.stats.skipped_lines;
+        for (key, cell) in incoming.entries() {
+            if let Some(kept) = union.get(key) {
+                if kept == cell {
+                    stats.duplicates += 1;
+                    continue;
+                }
+                return Err(MergeError::Conflict(MergeConflict {
+                    key: key.to_hex(),
+                    kept: (kept.spec_name.clone(), kept.case),
+                    incoming: (cell.spec_name.clone(), cell.case),
+                    source: source.clone(),
+                }));
+            }
+            union.record_cached(key, cell.clone());
+        }
+    }
+    stats.distinct = union.len() as u64;
+    union.write_canonical().map_err(MergeError::Io)?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parses_and_validates() {
+        assert_eq!(
+            ShardSpec::parse("0/1"),
+            Ok(ShardSpec { index: 0, count: 1 })
+        );
+        assert_eq!(
+            ShardSpec::parse("2/4"),
+            Ok(ShardSpec { index: 2, count: 4 })
+        );
+        assert_eq!(ShardSpec::parse("2/4").unwrap().to_string(), "2/4");
+        assert!(ShardSpec::parse("4/4").is_err(), "index must be < count");
+        assert!(ShardSpec::parse("0/0").is_err(), "count must be positive");
+        assert!(ShardSpec::parse("x/4").is_err());
+        assert!(ShardSpec::parse("3").is_err(), "the separator is required");
+    }
+
+    #[test]
+    fn ownership_partitions_keys_exactly_once() {
+        let keys: Vec<CellKey> = (0..64).map(|i| CellKey::derive(i, 1, 2, 3, 4)).collect();
+        for count in [1u32, 2, 5] {
+            for &key in &keys {
+                let owners = (0..count)
+                    .filter(|&i| ShardSpec::new(i, count).unwrap().owns(key))
+                    .count();
+                assert_eq!(owners, 1, "every key needs exactly one owner");
+            }
+        }
+    }
+}

@@ -719,6 +719,7 @@ impl Registry {
         specs.extend(phy_e2e_specs(scale));
         specs.extend(ablation_specs(scale));
         specs.extend(churn_specs(scale));
+        specs.extend(dense_specs(scale));
         let registry = Registry { specs };
         let mut names: Vec<&str> = registry.specs.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
@@ -1067,6 +1068,66 @@ pub fn churn_specs(scale: Scale) -> Vec<ScenarioSpec> {
     specs
 }
 
+/// E-dense: the confidence-interval grid the sharded sweep farm exists to
+/// make tractable — n × loss × crash × CD-class, with
+/// [`Scale::dense_seeds`] seeds per cell (hundreds at full scale, so
+/// per-cell rates carry real error bars instead of 25-sample noise).
+///
+/// The grid crosses the two workhorse algorithm/class pairings (Algorithm
+/// 1 in maj-⋄AC, Algorithm 2 in 0-⋄AC) with system size, pre-CST loss
+/// severity, and an early single-process crash (round 4, inside the chaos
+/// prefix — the regime where a crash interacts with loss and detector
+/// noise). At `Scale::Full` this family alone is 3200 cells — roughly the
+/// whole rest of the registry combined — which is exactly the sharded
+/// farm's job; serially it dominates the sweep, farmed it splits evenly
+/// because the `CellKey` partition is per-cell, not per-spec.
+pub fn dense_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    for n in [4usize, 8] {
+        for loss in [0.3f64, 0.6] {
+            for crash in [
+                None,
+                Some(CrashPlan {
+                    process: 0,
+                    round: 4,
+                }),
+            ] {
+                for (tag, algorithm, class) in [
+                    ("maj", Algorithm::Alg1, CdClass::MAJ_EV_AC),
+                    ("zero", Algorithm::Alg2, CdClass::ZERO_EV_AC),
+                ] {
+                    let c = u8::from(crash.is_some());
+                    let l = (loss * 100.0) as u32;
+                    specs.push(ScenarioSpec {
+                        name: format!("dense/n{n}-l{l}-c{c}-{tag}"),
+                        algorithm,
+                        class,
+                        env: EnvironmentPlan::Ecf(EnvPlan {
+                            r_cf: 8,
+                            r_acc: 8,
+                            r_wake: 8,
+                            loss,
+                            noise: 0.3,
+                        }),
+                        crash,
+                        timeline: ScenarioTimeline::new(),
+                        n,
+                        v_size: 16,
+                        fixed_values: None,
+                        seeds: scale.dense_seeds(),
+                        cap: 600,
+                        // Pure grid throughput: outcome metrics only, so the
+                        // dense family stays on the untraced fast path (its
+                        // cost is its cell count, not its per-cell work).
+                        probes: ProbeManifest::outcome_only(),
+                    });
+                }
+            }
+        }
+    }
+    specs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1142,6 +1203,27 @@ mod tests {
             row.metrics.get(MetricId::ObservedWakeupRound).is_some(),
             "the backoff manager's r_wake is measured, not declared"
         );
+    }
+
+    #[test]
+    fn dense_grid_covers_the_cross_and_stays_safe_under_crash() {
+        let specs = dense_specs(Scale::Quick);
+        assert_eq!(specs.len(), 16, "n × loss × crash × class = 2⁴ specs");
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "dense names must be unique");
+        // Every arm of the cross must decide safely — in particular the
+        // crash arms, where a round-4 crash lands inside the chaos prefix.
+        for name in ["dense/n4-l60-c1-maj", "dense/n8-l60-c1-zero"] {
+            let spec = specs
+                .iter()
+                .find(|s| s.name == name)
+                .expect("the crash arms register");
+            let result = spec.run_cell(0, 0).to_cell_result();
+            assert!(result.safe, "{name}: agreement/validity under crash");
+            assert!(result.terminated, "{name}: must decide within the cap");
+        }
     }
 
     #[test]

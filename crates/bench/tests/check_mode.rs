@@ -1,14 +1,19 @@
-//! End-to-end contract of the `run_experiments` binary's cache and
-//! `--check` modes, driven as a subprocess the way CI drives it:
+//! End-to-end contract of the `run_experiments` binary's cache, golden,
+//! and farm modes, driven as a subprocess the way CI drives it:
 //!
 //! * a warm second invocation executes zero scenario cells and prints
 //!   byte-identical tables,
-//! * `--check` passes against a freshly `--bless`ed golden summary and
+//! * `check` passes against a freshly `bless`ed golden summary and
 //!   exits nonzero once the golden file is perturbed,
-//! * `--metrics` prints the same bytes from three separate processes —
+//! * `metrics` prints the same bytes from three separate processes —
 //!   cold (executing), warm (cache-served), and `--no-cache` (fresh) —
 //!   which is the cross-process half of the probe-purity contract: a
-//!   probe's output is a function of `(spec, case)` alone.
+//!   probe's output is a function of `(spec, case)` alone,
+//! * the legacy flag-style spellings (`--check`, `--metrics <glob>`, …)
+//!   keep working as deprecated aliases of the subcommands,
+//! * `farm --shards 2 --check` — shard subprocesses, merge, golden gate
+//!   replayed from the merged store — prints check stdout byte-identical
+//!   to the serial unsharded gate.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -99,10 +104,10 @@ fn metrics_tables_are_byte_identical_across_processes() {
 fn check_gates_on_golden_drift() {
     let dir = scratch("check");
 
-    // No golden summary yet: --check must fail with a --bless hint.
+    // No golden summary yet: --check must fail with a bless hint.
     let missing = run_experiments(&dir, &["--quick", "--check"]);
     assert!(!missing.status.success(), "{missing:?}");
-    assert!(String::from_utf8_lossy(&missing.stderr).contains("--bless"));
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("run_experiments bless"));
 
     // Bless, then check: clean pass.
     let bless = run_experiments(&dir, &["--quick", "--check", "--bless"]);
@@ -133,4 +138,118 @@ fn check_gates_on_golden_drift() {
     std::fs::write(&golden, text).expect("restore golden");
     let fresh = run_experiments(&dir, &["--quick", "--check", "--no-cache"]);
     assert!(fresh.status.success(), "{fresh:?}");
+}
+
+#[test]
+fn subcommands_and_legacy_flags_print_the_same_bytes() {
+    let dir = scratch("grammar");
+
+    // The subcommand spelling is primary: silent on the deprecation front.
+    let bless = run_experiments(&dir, &["bless", "--quick"]);
+    assert!(bless.status.success(), "{bless:?}");
+    assert!(
+        !String::from_utf8_lossy(&bless.stderr).contains("deprecated"),
+        "subcommand spellings must not warn"
+    );
+
+    let check = run_experiments(&dir, &["check", "--quick"]);
+    assert!(check.status.success(), "{check:?}");
+
+    // The legacy flag spelling still works, prints identical stdout, and
+    // names its subcommand replacement on stderr.
+    let legacy = run_experiments(&dir, &["--quick", "--check"]);
+    assert!(legacy.status.success(), "{legacy:?}");
+    assert_eq!(
+        check.stdout, legacy.stdout,
+        "`check` and `--check` are the same mode"
+    );
+    let note = String::from_utf8_lossy(&legacy.stderr);
+    assert!(
+        note.contains("deprecated") && note.contains("run_experiments check"),
+        "legacy flags must point at the subcommand grammar: {note}"
+    );
+
+    // Same for metrics.
+    let sub = run_experiments(&dir, &["metrics", "decision_latency", "--quick"]);
+    assert!(sub.status.success(), "{sub:?}");
+    let flag = run_experiments(&dir, &["--quick", "--metrics", "decision_latency"]);
+    assert!(flag.status.success(), "{flag:?}");
+    assert_eq!(sub.stdout, flag.stdout);
+
+    // Mode-mixing stays a usage error under both grammars.
+    let mixed = run_experiments(&dir, &["--quick", "--check", "--only", "e1"]);
+    assert!(!mixed.status.success());
+    let mixed_sub = run_experiments(&dir, &["check", "--quick", "--only", "e1"]);
+    assert!(!mixed_sub.status.success());
+
+    // --help documents the command grammar.
+    let help = run_experiments(&dir, &["--help"]);
+    assert!(help.status.success());
+    let text = String::from_utf8_lossy(&help.stdout);
+    for word in [
+        "run",
+        "check",
+        "bless",
+        "metrics",
+        "throughput",
+        "shard",
+        "merge",
+        "farm",
+    ] {
+        assert!(text.contains(word), "--help must document `{word}`: {text}");
+    }
+}
+
+/// The acceptance criterion of the sharded farm, end to end at the binary
+/// level: `farm --shards 2 --check` (shard subprocesses → checked merge →
+/// golden gate replayed from the merged store) prints check stdout
+/// byte-identical to the serial unsharded gate, and the farm's gate pass
+/// is served entirely from the merged store.
+#[test]
+fn farm_check_is_byte_identical_to_the_serial_gate() {
+    let dir = scratch("farm");
+    let bless = run_experiments(&dir, &["bless", "--quick"]);
+    assert!(bless.status.success(), "{bless:?}");
+
+    let serial = run_experiments(&dir, &["check", "--quick", "--no-cache"]);
+    assert!(serial.status.success(), "{serial:?}");
+    let serial_summary = dir.join("target/sweep-summaries/registry_quick.json");
+    let serial_bytes = std::fs::read(&serial_summary).expect("serial observed summary");
+
+    let farm_dir = scratch("farm-stores");
+    let farm = Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .args(["farm", "--shards", "2", "--check", "--quick"])
+        .current_dir(&dir)
+        .env("CCWAN_SWEEP_CACHE_DIR", &farm_dir)
+        .env("CCWAN_GOLDEN_DIR", dir.join("golden"))
+        .output()
+        .expect("spawn farm");
+    assert!(farm.status.success(), "{farm:?}");
+    assert_eq!(
+        serial.stdout, farm.stdout,
+        "farmed check stdout must be byte-identical to the serial gate"
+    );
+    assert_eq!(
+        serial_bytes,
+        std::fs::read(&serial_summary).expect("farm observed summary"),
+        "farmed observed summary must be byte-identical to the serial gate"
+    );
+
+    let err = String::from_utf8_lossy(&farm.stderr);
+    assert!(
+        err.contains("farm: merged"),
+        "farm must report its merge: {err}"
+    );
+    assert!(
+        err.contains("0 misses (0 cells executed)"),
+        "the farmed gate must replay entirely from the merged store: {err}"
+    );
+    // Both shards reported progress through the relay.
+    assert!(
+        err.contains("farm[0/2]:") && err.contains("farm[1/2]:"),
+        "{err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&farm_dir);
 }

@@ -1,0 +1,260 @@
+//! The shard/merge algebra behind the multi-process sweep farm:
+//!
+//! * the `CellKey` partition is total — every cell lands in exactly one
+//!   shard, and the union of the m shard stores is byte-for-byte the
+//!   unsharded store (canonical key-sorted form, any thread count);
+//! * merging is idempotent and order-independent on the actual file
+//!   bytes;
+//! * a corrupted shard line is skipped with the same tolerance the
+//!   single-store loader has — the merge survives and the lost cells
+//!   simply re-execute on the next sweep;
+//! * divergent rows under one key (a determinism violation) abort the
+//!   merge before anything is written.
+
+use ccwan::bench::sweep::cache::{CellKey, SweepCache};
+use ccwan::bench::sweep::spec::lattice_specs;
+use ccwan::bench::sweep::{merge_stores, MergeError, ScenarioSpec, ShardSpec};
+use ccwan::bench::{Scale, SweepRunner};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// A unique, empty scratch directory per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccwan-shard-merge-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Runs each of the `m` shards into its own store under `base` (the way
+/// the farm's subprocesses do, minus the processes) and returns the
+/// store directories.
+fn run_sharded(
+    base: &Path,
+    m: u32,
+    threads: usize,
+    specs: &[ScenarioSpec],
+) -> (Vec<PathBuf>, u64, u64) {
+    let runner = SweepRunner::with_threads(threads);
+    let (mut owned, mut executed) = (0u64, 0u64);
+    let dirs: Vec<PathBuf> = (0..m)
+        .map(|i| {
+            let dir = base.join(format!("shard-{i}"));
+            let mut store = SweepCache::open(&dir);
+            let shard = ShardSpec::new(i, m).expect("i < m");
+            let report = runner.run_shard(specs, shard, &mut store);
+            store.flush().expect("flush shard store");
+            owned += report.owned_cells;
+            executed += report.executed;
+            dir
+        })
+        .collect();
+    (dirs, owned, executed)
+}
+
+/// The canonical bytes of an unsharded cached sweep over `specs`.
+fn unsharded_store_bytes(base: &Path, specs: &[ScenarioSpec]) -> Vec<u8> {
+    let dir = base.join("unsharded");
+    let mut store = SweepCache::open(&dir);
+    SweepRunner::with_threads(2).run_with_cache(specs, &mut store);
+    store.write_canonical().expect("write canonical store");
+    std::fs::read(dir.join("cells.jsonl")).expect("read unsharded store")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The farm's core identity: for any shard count and worker thread
+    /// count, every cell is owned exactly once, and merging the m shard
+    /// stores reproduces the unsharded store byte-for-byte.
+    #[test]
+    fn union_of_shard_stores_equals_the_unsharded_store(
+        m in 1u32..=5,
+        threads in 1usize..=4,
+    ) {
+        let base = scratch(&format!("union-{m}-{threads}"));
+        let specs = &lattice_specs(Scale::Quick)[..3];
+        let total: u64 = specs.iter().map(|s| s.seeds).sum();
+
+        let (dirs, owned, executed) = run_sharded(&base, m, threads, specs);
+        prop_assert_eq!(owned, total, "every cell must be owned exactly once");
+        prop_assert_eq!(executed, total, "cold shards execute everything they own");
+
+        let dest = base.join("merged");
+        let stats = merge_stores(&dest, &dirs).expect("clean merge");
+        prop_assert_eq!(stats.distinct, total);
+        prop_assert_eq!(stats.duplicates, 0, "shards are disjoint");
+        prop_assert_eq!(stats.skipped_lines, 0);
+
+        let merged = std::fs::read(dest.join("cells.jsonl")).expect("read merged store");
+        prop_assert_eq!(&merged, &unsharded_store_bytes(&base, specs));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}
+
+#[test]
+fn merge_is_idempotent_and_order_independent() {
+    let base = scratch("algebra");
+    let specs = &lattice_specs(Scale::Quick)[..3];
+    let (dirs, _, _) = run_sharded(&base, 3, 2, specs);
+
+    let forward = base.join("forward");
+    let stats = merge_stores(&forward, &dirs).expect("clean merge");
+    let forward_bytes = std::fs::read(forward.join("cells.jsonl")).expect("read");
+    assert_eq!(stats.duplicates, 0);
+
+    // Order independence: fold the same stores in reverse.
+    let reversed: Vec<PathBuf> = dirs.iter().rev().cloned().collect();
+    let backward = base.join("backward");
+    merge_stores(&backward, &reversed).expect("clean merge");
+    assert_eq!(
+        forward_bytes,
+        std::fs::read(backward.join("cells.jsonl")).expect("read"),
+        "merged bytes must depend only on the cell set"
+    );
+
+    // Idempotence: re-merging the sources into an already-merged store
+    // changes nothing and collapses every line as a duplicate.
+    let again = merge_stores(&forward, &dirs).expect("clean re-merge");
+    assert_eq!(again.duplicates, again.loaded - stats.distinct);
+    assert_eq!(again.distinct, stats.distinct);
+    assert_eq!(
+        forward_bytes,
+        std::fs::read(forward.join("cells.jsonl")).expect("read"),
+        "re-merging a merged store must be a no-op on the bytes"
+    );
+
+    // And merging a merged store *as a source* is the same set again.
+    let folded = base.join("folded");
+    merge_stores(&folded, std::slice::from_ref(&forward)).expect("clean merge");
+    assert_eq!(
+        forward_bytes,
+        std::fs::read(folded.join("cells.jsonl")).expect("read")
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn corrupted_shard_lines_are_skipped_and_reexecuted_not_fatal() {
+    let base = scratch("corrupt");
+    let specs = &lattice_specs(Scale::Quick)[..2];
+    let total: u64 = specs.iter().map(|s| s.seeds).sum();
+    let (dirs, _, _) = run_sharded(&base, 2, 2, specs);
+
+    // Flip a byte in the middle of shard 0's store: at most that one
+    // line is lost, never the merge.
+    let victim = dirs[0].join("cells.jsonl");
+    let mut bytes = std::fs::read(&victim).expect("read shard store");
+    let mid = bytes.len() * 2 / 3;
+    bytes[mid] = bytes[mid].wrapping_add(1);
+    std::fs::write(&victim, &bytes).expect("write corrupted store");
+
+    let dest = base.join("merged");
+    let stats = merge_stores(&dest, &dirs).expect("corruption must not abort the merge");
+    assert!(
+        stats.skipped_lines <= 2,
+        "a flipped byte costs at most the line it lands on (or the header): {stats}"
+    );
+    assert!(stats.distinct + stats.skipped_lines >= total);
+
+    // The merged store still serves a sweep; whatever the corruption ate
+    // re-executes, and the results equal fresh execution.
+    let runner = SweepRunner::serial();
+    let mut merged = SweepCache::open(&dest);
+    let results = runner.run_with_cache(specs, &mut merged);
+    assert_eq!(results, runner.run_fresh(specs));
+    assert_eq!(merged.stats.hits + merged.stats.misses, total);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn divergent_rows_under_one_key_abort_the_merge_untouched() {
+    let base = scratch("conflict");
+    let spec = &lattice_specs(Scale::Quick)[0];
+    let key = CellKey::derive(1, 2, 3, 4, 5);
+
+    // Two stores claiming the same key for *different* rows — the
+    // determinism violation merge_stores exists to refuse.
+    let row_a = spec.run_cell(0, 0);
+    let row_b = spec.run_cell(0, 1);
+    let dir_a = base.join("a");
+    let dir_b = base.join("b");
+    let mut store_a = SweepCache::open(&dir_a);
+    store_a.record(key, "s", &row_a);
+    store_a.flush().expect("flush");
+    let mut store_b = SweepCache::open(&dir_b);
+    store_b.record(key, "s", &row_b);
+    store_b.flush().expect("flush");
+
+    let dest = base.join("merged");
+    let err = merge_stores(&dest, &[dir_a.clone(), dir_b.clone()])
+        .expect_err("divergent rows must refuse to merge");
+    match err {
+        MergeError::Conflict(conflict) => {
+            assert_eq!(conflict.key, key.to_hex());
+            assert_eq!(conflict.source, dir_b, "the diverging store is named");
+        }
+        MergeError::Io(err) => panic!("expected a conflict, got io error: {err}"),
+    }
+    assert!(
+        !dest.join("cells.jsonl").exists(),
+        "a refused merge must leave the destination untouched"
+    );
+
+    // Identical rows under the same key are not a conflict — that is the
+    // idempotence case.
+    let dir_c = base.join("c");
+    let mut store_c = SweepCache::open(&dir_c);
+    store_c.record(key, "s", &row_a);
+    store_c.flush().expect("flush");
+    let stats = merge_stores(&dest, &[dir_a, dir_c]).expect("identical rows collapse");
+    assert_eq!(stats.duplicates, 1);
+    assert_eq!(stats.distinct, 1);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// The farm's final pass at the library level: a full sweep over the
+/// merged store executes zero cells and assembles a frame byte-identical
+/// to fresh (serial, unsharded) execution.
+#[test]
+fn sweep_over_a_merged_store_is_all_hits_and_matches_fresh() {
+    let base = scratch("warm-farm");
+    let specs = &lattice_specs(Scale::Quick)[..3];
+    let total: u64 = specs.iter().map(|s| s.seeds).sum();
+    let (dirs, _, _) = run_sharded(&base, 4, 2, specs);
+    let dest = base.join("merged");
+    merge_stores(&dest, &dirs).expect("clean merge");
+
+    let runner = SweepRunner::serial();
+    let mut merged = SweepCache::open(&dest);
+    let results = runner.run_with_cache(specs, &mut merged);
+    assert_eq!(merged.stats.hits, total, "every cell must be a hit");
+    assert_eq!(merged.stats.misses, 0);
+    let fresh = runner.run_fresh(specs);
+    assert_eq!(results, fresh);
+    assert_eq!(results.render(), fresh.render());
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Re-running a shard against its own store is incremental, exactly like
+/// an unsharded cached sweep: second run, zero executions.
+#[test]
+fn warm_shard_runs_execute_zero_cells() {
+    let base = scratch("warm-shard");
+    let specs = &lattice_specs(Scale::Quick)[..2];
+    let shard = ShardSpec::new(0, 2).expect("valid");
+    let runner = SweepRunner::with_threads(2);
+
+    let dir = base.join("shard-0");
+    let mut store = SweepCache::open(&dir);
+    let cold = runner.run_shard(specs, shard, &mut store);
+    store.flush().expect("flush");
+    assert_eq!(cold.executed, cold.owned_cells);
+
+    let mut reopened = SweepCache::open(&dir);
+    let warm = runner.run_shard(specs, shard, &mut reopened);
+    assert_eq!(warm.owned_cells, cold.owned_cells);
+    assert_eq!(warm.hits, cold.owned_cells, "everything owned is stored");
+    assert_eq!(warm.executed, 0, "a warm shard executes nothing");
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -209,6 +209,40 @@ fn adding_a_probe_invalidates_only_the_affected_spec() {
     assert_eq!(cache.stats.misses, 4 * per_spec);
 }
 
+/// The scoped RAII form of the cache — `SweepCache::open_scoped` +
+/// `SweepRunner::run_with` — serves the same results as the raw store,
+/// flushes without an explicit call when the handle drops, and two
+/// scoped handles over different directories never cross-talk (the
+/// property the per-shard farm workers rely on).
+#[test]
+fn scoped_handles_serve_sweeps_and_flush_on_drop() {
+    let dir_a = scratch("scoped-a");
+    let dir_b = scratch("scoped-b");
+    let specs = lattice_specs(Scale::Quick);
+    let runner = SweepRunner::with_threads(2);
+    let fresh = runner.run_fresh(&specs[..2]);
+    let cell_count: u64 = specs[..2].iter().map(|s| s.seeds).sum();
+
+    {
+        let scoped = SweepCache::open_scoped(&dir_a);
+        assert_eq!(runner.run_with(&specs[..2], &scoped), fresh);
+        assert_eq!(scoped.stats().misses, cell_count);
+        // A *different* scoped handle is a different store: running one
+        // spec through it must not see the other handle's cells.
+        let other = SweepCache::open_scoped(&dir_b);
+        runner.run_with(&specs[..1], &other);
+        assert_eq!(other.stats().hits, 0, "scoped stores must not cross-talk");
+    } // both handles drop here; run_with already flushed, drop is a no-op
+
+    let warm = SweepCache::open(&dir_a);
+    assert_eq!(
+        warm.stats.loaded, cell_count,
+        "the scoped handle must have persisted its store"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
 /// A v1 (pre-probe) store on disk is discarded wholesale — loaded
 /// entries 0, no error — and the sweep re-executes and rebuilds a v2
 /// store that a fresh open then serves warm.
