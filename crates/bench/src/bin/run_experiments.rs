@@ -9,6 +9,9 @@
 //! run_experiments shard <i/m>    [--quick]
 //! run_experiments merge <dest-dir> <shard-dir>...
 //! run_experiments farm           [--quick] [--shards M] [--check | --bless]
+//!                                [--keep-going] [--resume] [--max-retries N]
+//!                                [--hang-timeout-ms N]
+//! run_experiments fsck [<dir>]   [--quick] [--repair]
 //! run_experiments help
 //! ```
 //!
@@ -61,12 +64,35 @@
 //!   own store under the cache dir, relays their stderr progress
 //!   prefixed, merges the shard stores, then replays the suite (or, with
 //!   `--check`/`--bless`, the golden gate) entirely from the merged store
-//!   — stdout byte-identical to the serial unsharded run.
+//!   — stdout byte-identical to the serial unsharded run. Every shard
+//!   runs **supervised** ([`wan_bench::sweep::supervisor`]): nonzero
+//!   exits and spawn failures are retried with capped exponential
+//!   backoff (`--max-retries`, default 2), and a heartbeat-driven
+//!   watchdog kills and retries a shard whose store stops growing for
+//!   `--hang-timeout-ms` (default 30000). Shard stores are append-synced
+//!   per cell, so a retry is a *warm* run that executes only what the
+//!   killed attempt had left. `--resume` keeps the per-shard stores from
+//!   an interrupted farm (by default they are cleared), so a re-run
+//!   executes only the missing cells. `--keep-going` lets
+//!   permanently-failed shards not abort the others: the merge still
+//!   happens, and if cells are missing the farm lists each one on stderr
+//!   and exits **3** instead of replaying a partial sweep.
+//! * `fsck [<dir>]` scans a store (default: the cache dir) for corrupt
+//!   lines, duplicate and divergent keys, cells outside the current
+//!   registry (`--quick` selects which registry), and non-canonical
+//!   form. Exit codes are a contract: 0 clean, 1 repairable defects, 2
+//!   divergent keys. `--repair` atomically rewrites the canonical
+//!   deduplicated form (refused while any key is divergent).
+//!
+//! `WAN_FARM_FAULT=shard=I:kind=panic|hang|torn-store[:times=N]` is the
+//! test-only fault-injection hook the recovery tests and the CI chaos
+//! step drive; see [`wan_bench::sweep::supervisor::FaultPlan`].
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 use wan_bench::sweep::{
-    cache, golden, merge_stores, MetricId, Registry, ResultsFrame, ShardSpec, SweepCache,
-    SweepRunner, SweepSummary,
+    cache, fsck, golden, heartbeat_line, merge_stores, supervise, CellKey, FarmConfig, FaultPlan,
+    MetricId, Registry, ResultsFrame, ShardSpec, SweepCache, SweepRunner, SweepSummary,
 };
 use wan_bench::{experiments, Scale, Table};
 
@@ -113,7 +139,12 @@ commands:
   farm           fan `--shards M` shard subprocesses across cores, merge
                  their stores, then replay the suite (or the golden gate,
                  with --check / --bless) from the merged store — stdout
-                 byte-identical to the serial unsharded run
+                 byte-identical to the serial unsharded run; each shard
+                 is supervised: retried with backoff on failure, killed
+                 and retried when its store stops growing
+  fsck [<dir>]   scan a store (default: the cache dir) for corrupt lines,
+                 duplicate/divergent keys, stale cells, non-canonical
+                 form; exits 0 clean / 1 repairable / 2 divergent
   help           this text
 
 options:
@@ -124,6 +155,18 @@ options:
   --traced          (check) force every cell onto the traced path
   --shards M        (farm) subprocess count (default 4)
   --check / --bless (farm) follow the merge with the golden gate
+  --max-retries N   (farm) retries per shard before permanent failure
+                    (default 2; capped exponential backoff between tries)
+  --hang-timeout-ms N
+                    (farm) kill+retry a shard with no store growth for
+                    N ms (default 30000)
+  --keep-going      (farm) permanently-failed shards don't abort the
+                    others; merge what landed, list each missing cell on
+                    stderr, and exit 3 if any are missing
+  --resume          (farm) keep per-shard stores from a previous run, so
+                    shards execute only their missing cells
+  --repair          (fsck) atomically rewrite the canonical deduplicated
+                    store (refused while any key is divergent)
   --help            this text
 
 Legacy flag-style invocations (`--check`, `--bless`, `--metrics <glob>`,
@@ -153,6 +196,14 @@ enum Command {
     Farm {
         shards: u32,
         follow: FarmFollow,
+        keep_going: bool,
+        resume: bool,
+        max_retries: u32,
+        hang_timeout_ms: u64,
+    },
+    Fsck {
+        dir: Option<PathBuf>,
+        repair: bool,
     },
 }
 
@@ -193,7 +244,25 @@ fn main() {
         Command::Throughput => run_throughput(scale),
         Command::Shard { shard } => run_shard(scale, shard),
         Command::Merge { dest, sources } => run_merge(&dest, &sources),
-        Command::Farm { shards, follow } => run_farm(scale, shards, follow),
+        Command::Farm {
+            shards,
+            follow,
+            keep_going,
+            resume,
+            max_retries,
+            hang_timeout_ms,
+        } => run_farm(
+            scale,
+            follow,
+            FarmOptions {
+                shards,
+                keep_going,
+                resume,
+                max_retries,
+                hang_timeout_ms,
+            },
+        ),
+        Command::Fsck { dir, repair } => run_fsck(scale, dir, repair),
     };
 
     if use_cache {
@@ -235,6 +304,11 @@ fn parse(args: &[String]) -> Result<(Command, bool, bool), String> {
     let mut bless = false;
     let mut throughput = false;
     let mut shards: Option<u32> = None;
+    let mut repair = false;
+    let mut keep_going = false;
+    let mut resume = false;
+    let mut max_retries: Option<u32> = None;
+    let mut hang_timeout_ms: Option<u64> = None;
     let mut positional: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -274,6 +348,30 @@ fn parse(args: &[String]) -> Result<(Command, bool, bool), String> {
                     return Err("--shards requires at least 1".into());
                 }
                 shards = Some(count);
+            }
+            "--repair" => repair = true,
+            "--keep-going" => keep_going = true,
+            "--resume" => resume = true,
+            "--max-retries" => {
+                i += 1;
+                max_retries = Some(
+                    rest.get(i)
+                        .ok_or("--max-retries requires a count (e.g. 2)")?
+                        .parse::<u32>()
+                        .map_err(|_| "--max-retries requires a number".to_string())?,
+                );
+            }
+            "--hang-timeout-ms" => {
+                i += 1;
+                let timeout = rest
+                    .get(i)
+                    .ok_or("--hang-timeout-ms requires a duration in ms")?
+                    .parse::<u64>()
+                    .map_err(|_| "--hang-timeout-ms requires a number".to_string())?;
+                if timeout == 0 {
+                    return Err("--hang-timeout-ms requires a positive duration".into());
+                }
+                hang_timeout_ms = Some(timeout);
             }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -406,7 +504,28 @@ fn parse(args: &[String]) -> Result<(Command, bool, bool), String> {
             Command::Farm {
                 shards: shards.unwrap_or(4),
                 follow,
+                keep_going,
+                resume,
+                max_retries: max_retries.unwrap_or(2),
+                hang_timeout_ms: hang_timeout_ms.unwrap_or(30_000),
             }
+        }
+        Some("fsck") => {
+            if check || bless || traced || throughput || only.is_some() || metrics.is_some() {
+                return Err(reject(
+                    "--check/--bless/--traced/--throughput/--only/--metrics",
+                    "fsck",
+                ));
+            }
+            if shards.is_some() {
+                return Err(reject("--shards", "fsck"));
+            }
+            let dir = match positional.as_slice() {
+                [] => None,
+                [dir] => Some(PathBuf::from(dir)),
+                _ => return Err("`fsck` takes at most one store directory".into()),
+            };
+            Command::Fsck { dir, repair }
         }
         Some(other) => {
             return Err(format!("unknown command {other:?}"));
@@ -477,9 +596,23 @@ fn parse(args: &[String]) -> Result<(Command, bool, bool), String> {
         }
     };
 
+    if !matches!(command, Command::Farm { .. })
+        && (keep_going || resume || max_retries.is_some() || hang_timeout_ms.is_some())
+    {
+        return Err(
+            "--keep-going/--resume/--max-retries/--hang-timeout-ms only apply to the `farm` \
+             command"
+                .into(),
+        );
+    }
+    if repair && !matches!(command, Command::Fsck { .. }) {
+        return Err("--repair only applies to the `fsck` command".into());
+    }
+
     // Which modes engage the process-global cache shim. `shard` opens its
-    // own scoped store instead, `merge` only touches stores directly, and
-    // `farm` installs the merged store itself after the shards land.
+    // own scoped store instead, `merge` and `fsck` only touch stores
+    // directly, and `farm` installs the merged store itself after the
+    // shards land.
     let use_cache = match &command {
         Command::Run { .. } | Command::Metrics { .. } | Command::Check { .. } | Command::Bless => {
             cache_flag.unwrap_or(true)
@@ -488,7 +621,8 @@ fn parse(args: &[String]) -> Result<(Command, bool, bool), String> {
         Command::Throughput
         | Command::Shard { .. }
         | Command::Merge { .. }
-        | Command::Farm { .. } => false,
+        | Command::Farm { .. }
+        | Command::Fsck { .. } => false,
     };
     Ok((command, quick, use_cache))
 }
@@ -665,9 +799,9 @@ fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
 
     let observed_dir = PathBuf::from("target/sweep-summaries");
     let observed_path = observed_dir.join(golden::golden_file_name(scale));
-    let record = std::fs::create_dir_all(&observed_dir)
-        .and_then(|()| std::fs::write(&observed_path, observed.to_json()));
-    if let Err(err) = record {
+    // Atomic, like every canonical write: a kill mid-`check`/`bless`
+    // must never leave a torn summary or golden file behind.
+    if let Err(err) = cache::atomic_write(&observed_path, observed.to_json().as_bytes()) {
         eprintln!(
             "check: could not record observed summary at {}: {err}",
             observed_path.display()
@@ -675,9 +809,7 @@ fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
     }
 
     if bless {
-        if let Err(err) = std::fs::create_dir_all(&golden_dir)
-            .and_then(|()| std::fs::write(&golden_path, observed.to_json()))
-        {
+        if let Err(err) = cache::atomic_write(&golden_path, observed.to_json().as_bytes()) {
             eprintln!("bless: writing {} failed: {err}", golden_path.display());
             return 1;
         }
@@ -738,12 +870,45 @@ fn run_check(scale: Scale, bless: bool, traced: bool) -> i32 {
 /// the farm orchestrator arranges that). Progress and the final report go
 /// to stderr; stdout stays silent so the farm's stdout belongs entirely
 /// to the follow-on mode.
+///
+/// Every executed cell is recorded, fdatasynced, and heartbeat
+/// (`@ccwan-hb …` on stderr) as it lands, so the supervising farm can
+/// both watch for stalls and rely on a killed attempt's partial work:
+/// the retry re-opens the store and executes only what's still missing.
+/// `WAN_FARM_FAULT` (test-only) injects a deterministic failure halfway
+/// through this shard's owned misses.
 fn run_shard(scale: Scale, shard: ShardSpec) -> i32 {
+    let dir = PathBuf::from(cache_dir());
+    let fault = match FaultPlan::from_env(shard) {
+        Ok(plan) => plan,
+        Err(msg) => {
+            eprintln!("shard {shard}: {msg}");
+            return 2;
+        }
+    };
+    // One budget consumption per attempt, up front: whether this attempt
+    // fires is decided before any work runs, so a fault that exhausts its
+    // budget mid-retry can't half-fire.
+    let armed = fault.filter(|plan| plan.arm(&dir));
     let registry = Registry::standard(scale);
-    let store = SweepCache::open_scoped(cache_dir());
-    eprintln!("shard {shard}: store {}", store.path().display());
-    let report =
-        store.with(|store| SweepRunner::parallel().run_shard(registry.specs(), shard, store));
+    let store = SweepCache::open_scoped(&dir);
+    let store_path = store.path();
+    eprintln!("shard {shard}: store {}", store_path.display());
+    let report = store.with(|store| {
+        SweepRunner::parallel().run_shard_observed(
+            registry.specs(),
+            shard,
+            store,
+            &|done, owned| {
+                eprintln!("{}", heartbeat_line(shard, done, owned));
+                if let Some(plan) = armed {
+                    if done == (owned / 2).max(1) {
+                        plan.fire(&store_path);
+                    }
+                }
+            },
+        )
+    });
     if let Err(err) = store.flush() {
         eprintln!(
             "shard {shard}: flush to {} failed: {err}",
@@ -769,14 +934,34 @@ fn run_merge(dest: &Path, sources: &[PathBuf]) -> i32 {
     }
 }
 
+/// The supervision knobs `farm` forwards into [`FarmConfig`].
+struct FarmOptions {
+    shards: u32,
+    keep_going: bool,
+    resume: bool,
+    max_retries: u32,
+    hang_timeout_ms: u64,
+}
+
 /// `farm`: the whole sharded pipeline in one command. Fans `shards`
 /// subprocesses (`shard i/m`, each with its own store under the cache
-/// dir), relays their stderr line-by-line with a `farm[i/m]` prefix,
-/// merges the shard stores into the cache dir, then runs the follow-on
-/// mode entirely from the merged store — every cell a hit, stdout
-/// byte-identical to the serial unsharded invocation.
-fn run_farm(scale: Scale, shards: u32, follow: FarmFollow) -> i32 {
+/// dir) under the [`supervise`] state machine — stderr relayed
+/// line-by-line with a `farm[i/m]` prefix, heartbeats folded into the
+/// hang watchdog, failed attempts retried with capped backoff against
+/// the surviving store — merges the shard stores into the cache dir,
+/// then runs the follow-on mode entirely from the merged store — every
+/// cell a hit, stdout byte-identical to the serial unsharded invocation.
+///
+/// By default per-shard stores are cleared first so the gate is
+/// authoritative; `--resume` keeps them, so a farm interrupted wholesale
+/// (^C, OOM, power) re-executes only the missing cells. With
+/// `--keep-going`, permanently-failed shards don't abort the rest: the
+/// merge proceeds over whatever landed, and if the merged store is
+/// incomplete the farm lists every missing cell on stderr and exits 3
+/// rather than replaying a partial sweep.
+fn run_farm(scale: Scale, follow: FarmFollow, options: FarmOptions) -> i32 {
     let base = PathBuf::from(cache_dir());
+    let shards = options.shards;
     let exe = match std::env::current_exe() {
         Ok(exe) => exe,
         Err(err) => {
@@ -785,12 +970,24 @@ fn run_farm(scale: Scale, shards: u32, follow: FarmFollow) -> i32 {
         }
     };
     let shard_dir = |i: u32| base.join(format!("shard-{i}"));
+    if !options.resume {
+        // A fresh farm owns its per-shard stores outright (stale ones
+        // would change what "the shards executed" means — and would
+        // carry over a previous run's fault-injection budget).
+        for i in 0..shards {
+            let _ = std::fs::remove_dir_all(shard_dir(i));
+        }
+    }
     eprintln!(
-        "farm: {shards} shard subprocess(es), stores under {}",
-        base.display()
+        "farm: {shards} supervised shard subprocess(es), stores under {}{}",
+        base.display(),
+        if options.resume { " (resuming)" } else { "" }
     );
-    let mut children: Vec<(u32, std::process::Child)> = Vec::new();
-    for i in 0..shards {
+    let mut config = FarmConfig::new(shards);
+    config.max_attempts = options.max_retries.saturating_add(1).max(1);
+    config.hang_timeout = Duration::from_millis(options.hang_timeout_ms);
+    config.keep_going = options.keep_going;
+    let report = supervise(&config, |i| {
         let mut command = std::process::Command::new(&exe);
         command.arg("shard").arg(format!("{i}/{shards}"));
         if scale == Scale::Quick {
@@ -798,56 +995,23 @@ fn run_farm(scale: Scale, shards: u32, follow: FarmFollow) -> i32 {
         }
         command.env("CCWAN_SWEEP_CACHE_DIR", shard_dir(i));
         command.stdout(std::process::Stdio::null());
-        command.stderr(std::process::Stdio::piped());
-        match command.spawn() {
-            Ok(child) => children.push((i, child)),
-            Err(err) => {
-                eprintln!("farm: spawning shard {i}/{shards} failed: {err}");
-                for (_, mut child) in children {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                }
-                return 1;
-            }
+        command
+    });
+    let failed = report.failed_shards();
+    if !failed.is_empty() {
+        eprintln!(
+            "farm: {} of {shards} shard(s) failed permanently: {}",
+            failed.len(),
+            failed
+                .iter()
+                .map(|i| format!("{i}/{shards}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        if !options.keep_going {
+            return 1;
         }
-    }
-    // Per-shard progress: relay each child's stderr, prefixed, as it
-    // arrives (one reader thread per child; lines interleave whole).
-    let relays: Vec<_> = children
-        .iter_mut()
-        .map(|(i, child)| {
-            let stderr = child.stderr.take().expect("stderr was piped above");
-            let shard = ShardSpec::new(*i, shards).expect("loop bounds");
-            std::thread::spawn(move || {
-                use std::io::BufRead;
-                for line in std::io::BufReader::new(stderr).lines() {
-                    match line {
-                        Ok(line) => eprintln!("farm[{shard}]: {line}"),
-                        Err(_) => break,
-                    }
-                }
-            })
-        })
-        .collect();
-    let mut ok = true;
-    for (i, mut child) in children {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("farm: shard {i}/{shards} exited with {status}");
-                ok = false;
-            }
-            Err(err) => {
-                eprintln!("farm: waiting on shard {i}/{shards} failed: {err}");
-                ok = false;
-            }
-        }
-    }
-    for relay in relays {
-        let _ = relay.join();
-    }
-    if !ok {
-        return 1;
+        eprintln!("farm: --keep-going: merging the surviving stores");
     }
     let sources: Vec<PathBuf> = (0..shards).map(shard_dir).collect();
     match merge_stores(&base, &sources) {
@@ -856,6 +1020,25 @@ fn run_farm(scale: Scale, shards: u32, follow: FarmFollow) -> i32 {
             eprintln!("farm: {err}");
             return 1;
         }
+    }
+    if !failed.is_empty() {
+        // The replay would silently execute missing cells in-process,
+        // masking the failure. Report exactly what's missing instead.
+        let registry = Registry::standard(scale);
+        let mut merged = SweepCache::open(&base);
+        let missing = SweepRunner::parallel().missing_cells(registry.specs(), &mut merged);
+        if !missing.is_empty() {
+            eprintln!(
+                "farm: merged store is missing {} cell(s) from failed shard(s):",
+                missing.len()
+            );
+            for cell in &missing {
+                eprintln!("farm: missing {cell}");
+            }
+            eprintln!("farm: re-run with --resume to execute only these cells");
+            return 3;
+        }
+        eprintln!("farm: merged store is complete despite the failure(s); continuing");
     }
     // Follow-on over the merged store: the compat shim installs it
     // process-globally, the replay answers every cell from it, and stdout
@@ -870,4 +1053,58 @@ fn run_farm(scale: Scale, shards: u32, follow: FarmFollow) -> i32 {
         eprintln!("sweep-cache: {stats}");
     }
     code
+}
+
+/// `fsck [<dir>]`: scan a store for corrupt lines, duplicate/divergent
+/// keys, cells outside the current registry, and non-canonical form —
+/// optionally (`--repair`) rewriting the canonical deduplicated form
+/// atomically. Exit codes are the contract the tests pin: 0 clean, 1
+/// repairable defects, 2 divergent keys (repair refused — choosing a
+/// side would forge a result).
+fn run_fsck(scale: Scale, dir: Option<PathBuf>, repair: bool) -> i32 {
+    let dir = dir.unwrap_or_else(|| PathBuf::from(cache_dir()));
+    // The expected key set comes from the *current* registry, canaries
+    // executed fresh into a throwaway store (never flushed): staleness is
+    // judged against this binary, not against anything on disk. Quick
+    // keys are a subset of full keys (the parameter fingerprint excludes
+    // the seed count), so `--quick` never misflags full-scale cells as
+    // stale — but a full-scale store checked with `--quick` will.
+    let registry = Registry::standard(scale);
+    let mut throwaway = SweepCache::open(dir.join(".fsck-expected"));
+    let expected: std::collections::HashSet<CellKey> = SweepRunner::parallel()
+        .registry_cell_keys(registry.specs(), &mut throwaway)
+        .into_iter()
+        .map(|(_, key)| key)
+        .collect();
+    let verdict = if repair {
+        fsck::repair_store(&dir, Some(&expected))
+    } else {
+        fsck::fsck_store(&dir, Some(&expected))
+    };
+    let report = match verdict {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!(
+                "fsck: cannot read store {}: {err}",
+                dir.join(cache::FILE_NAME).display()
+            );
+            return 1;
+        }
+    };
+    eprintln!("fsck: {}: {report}", dir.join(cache::FILE_NAME).display());
+    for key in &report.divergent {
+        eprintln!(
+            "fsck: divergent key {} — two different rows claim it; repair refused \
+             (a determinism violation, not storage damage)",
+            key.to_hex()
+        );
+    }
+    if repair {
+        if report.divergent.is_empty() {
+            eprintln!("fsck: repaired — store rewritten in canonical form");
+            return 0;
+        }
+        return report.exit_code();
+    }
+    report.exit_code()
 }

@@ -61,7 +61,7 @@ use super::spec::CellRow;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
-use std::io::{self, Write as IoWrite};
+use std::io::{self, Read as IoRead, Seek, SeekFrom, Write as IoWrite};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 use wan_sim::fingerprint::StableHasher;
@@ -70,11 +70,47 @@ use wan_sim::fingerprint::StableHasher;
 /// ignores the whole file. v2: cells store full metric rows, and the
 /// probe-manifest fingerprint joined the key derivation.
 pub const FORMAT_VERSION: u32 = 2;
-const HEADER_TAG: &str = "ccwan-sweep-cache";
-const FILE_NAME: &str = "cells.jsonl";
+pub(crate) const HEADER_TAG: &str = "ccwan-sweep-cache";
+/// The store file inside a cache directory.
+pub const FILE_NAME: &str = "cells.jsonl";
 
 /// The default cache directory, relative to the working directory.
 pub const DEFAULT_DIR: &str = "target/sweep-cache";
+
+/// Writes `bytes` to `path` atomically: the content goes to a sibling
+/// temp file (suffixed with this process id, so concurrent writers never
+/// share one), is fsynced, and is renamed over `path`; on Unix the parent
+/// directory is fsynced afterwards so the rename itself is durable. A
+/// kill at any instant leaves either the old file or the new one — never
+/// a torn mix — which is what lets `bless` and `merge` be interrupted
+/// with impunity.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir)?;
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    let write = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    write?;
+    #[cfg(unix)]
+    if let Some(dir) = dir {
+        // Durability of the rename, not correctness, so best-effort.
+        if let Ok(handle) = fs::File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
+    Ok(())
+}
 
 /// A 128-bit content-addressed cell key (two salted FNV-1a lanes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -360,11 +396,10 @@ impl SweepCache {
     /// header plus every entry in ascending key order — regardless of
     /// what the file held before. The shard merge uses this so a merged
     /// store's bytes depend only on the cell *set*, never on merge order.
+    /// The rewrite is atomic ([`atomic_write`]): a kill mid-merge leaves
+    /// the previous store intact, never a torn one.
     pub fn write_canonical(&mut self) -> io::Result<()> {
-        if let Some(dir) = self.path.parent() {
-            fs::create_dir_all(dir)?;
-        }
-        fs::write(&self.path, self.canonical_text())?;
+        atomic_write(&self.path, self.canonical_text().as_bytes())?;
         self.pending.clear();
         self.disk_header_ok = true;
         Ok(())
@@ -382,44 +417,63 @@ impl SweepCache {
 
     /// Appends pending entries to disk (creating directory, file, and
     /// header as needed). Unless a valid header was confirmed on disk at
-    /// load time, the file is **rewritten**, not appended to — an empty,
-    /// unreadable, or alien-versioned store (including a v1 store) is
-    /// replaced rather than grown into something the next load would
-    /// reject.
+    /// load time, the file is **rewritten** (atomically, via
+    /// [`atomic_write`]), not appended to — an empty, unreadable, or
+    /// alien-versioned store (including a v1 store) is replaced rather
+    /// than grown into something the next load would reject.
+    ///
+    /// Appends are crash-safe for the incremental shard stores the farm
+    /// supervisor relies on: the batch is written in one `write_all` and
+    /// fdatasynced before this returns, so a kill leaves at worst one
+    /// torn final line (which the loader skips); and if the file already
+    /// ends in such a torn tail from an *earlier* kill, a newline
+    /// separator is inserted first so new lines are never grafted onto
+    /// the fragment.
     pub fn flush(&mut self) -> io::Result<()> {
         if self.pending.is_empty() {
+            return Ok(());
+        }
+        let mut out = String::new();
+        for line in &self.pending {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if !self.disk_header_ok {
+            let header = format!("{{\"{HEADER_TAG}\":{FORMAT_VERSION}}}\n");
+            atomic_write(&self.path, format!("{header}{out}").as_bytes())?;
+            self.pending.clear();
+            self.disk_header_ok = true;
             return Ok(());
         }
         if let Some(dir) = self.path.parent() {
             fs::create_dir_all(dir)?;
         }
-        let fresh = !self.disk_header_ok;
         let mut file = fs::OpenOptions::new()
             .create(true)
-            .append(!fresh)
-            .write(true)
-            .truncate(fresh)
+            .read(true)
+            .append(true)
             .open(&self.path)?;
-        let mut out = String::new();
-        if fresh {
-            out.push_str(&format!("{{\"{HEADER_TAG}\":{FORMAT_VERSION}}}\n"));
-        }
-        for line in &self.pending {
-            out.push_str(line);
-            out.push('\n');
+        let len = file.metadata()?.len();
+        if len > 0 {
+            let mut last = [0u8; 1];
+            file.seek(SeekFrom::End(-1))?;
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                out.insert(0, '\n');
+            }
         }
         file.write_all(out.as_bytes())?;
+        file.sync_data()?;
         self.pending.clear();
-        self.disk_header_ok = true;
         Ok(())
     }
 }
 
-fn header_version(line: &str) -> Option<u32> {
+pub(crate) fn header_version(line: &str) -> Option<u32> {
     u32::try_from(field_u64(line, HEADER_TAG)?).ok()
 }
 
-fn encode_line(key: CellKey, cell: &CachedCell) -> String {
+pub(crate) fn encode_line(key: CellKey, cell: &CachedCell) -> String {
     let mut line = format!(
         "{{\"key\":\"{}\",\"spec\":\"{}\",\"case\":{},\"seed\":{},\"metrics\":\"{}\"",
         key.to_hex(),
@@ -433,7 +487,7 @@ fn encode_line(key: CellKey, cell: &CachedCell) -> String {
     line
 }
 
-fn decode_line(line: &str) -> Option<(CellKey, CachedCell)> {
+pub(crate) fn decode_line(line: &str) -> Option<(CellKey, CachedCell)> {
     // Checksum first: the crc covers every byte of the payload prefix, so
     // any flip, drop, or truncation anywhere in the line is caught here.
     let crc_at = line.rfind(",\"crc\":\"")?;
@@ -788,6 +842,70 @@ mod tests {
         let reloaded = SweepCache::open(&dir);
         assert_eq!(reloaded.stats.loaded, 1);
         assert!(reloaded.lookup(key, 0, 0, 0xABCD).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A kill mid-append can leave the store's final line torn (no
+    /// trailing newline). The next flush must not graft its first new
+    /// line onto that fragment — both would be lost on the following
+    /// load. The guard inserts a newline separator first.
+    #[test]
+    fn appends_after_a_torn_tail_are_not_grafted() {
+        let dir = std::env::temp_dir().join(format!("ccwan-cache-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let key_a = CellKey::derive(1, 0, 7, 9, 2);
+        let key_b = CellKey::derive(1, 1, 8, 9, 2);
+        let mut cache = SweepCache::open(&dir);
+        cache.record(key_a, "s", &row(0));
+        cache.flush().unwrap();
+
+        // Simulate the torn tail of an interrupted append.
+        let path = dir.join(FILE_NAME);
+        let mut file = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"key\":\"00ff-torn-fragment").unwrap();
+        drop(file);
+
+        let mut reopened = SweepCache::open(&dir);
+        assert_eq!(reopened.stats.loaded, 1);
+        assert_eq!(reopened.stats.skipped_lines, 1, "the torn tail is skipped");
+        reopened.record(key_b, "s", &row(1));
+        reopened.flush().unwrap();
+
+        let healed = SweepCache::open(&dir);
+        assert_eq!(healed.stats.loaded, 2, "the appended line must survive");
+        assert_eq!(
+            healed.stats.skipped_lines, 1,
+            "only the old fragment is lost"
+        );
+        assert!(healed.lookup(key_a, 0, 0, 0xABCD).is_some());
+        assert!(healed.lookup(key_b, 0, 1, 0xABCE).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Canonical rewrites go through `atomic_write`: the temp file never
+    /// survives, and the destination always holds the full canonical
+    /// bytes.
+    #[test]
+    fn write_canonical_is_atomic_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("ccwan-cache-atomic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mut cache = SweepCache::open(&dir);
+        cache.record(CellKey::derive(1, 0, 7, 9, 2), "s", &row(0));
+        cache.record(CellKey::derive(1, 1, 8, 9, 2), "s", &row(1));
+        let expected = cache.canonical_text();
+        cache.write_canonical().unwrap();
+        assert_eq!(fs::read_to_string(dir.join(FILE_NAME)).unwrap(), expected);
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name != FILE_NAME)
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "no temp files may survive: {leftovers:?}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,401 @@
+//! Store integrity checking (`run_experiments fsck [--repair]`).
+//!
+//! The sweep store is crash-tolerant by construction — the loader skips
+//! corrupt lines, appends are fdatasynced, rewrites are atomic — but
+//! tolerance is not the same as visibility. After a chaotic farm run
+//! (killed shards, injected faults, interrupted merges) an operator
+//! wants to *know* what a store holds before trusting or blessing it.
+//! [`fsck_store`] scans a store line by line — deliberately not through
+//! [`super::cache::SweepCache::absorb`], whose last-write-wins index
+//! would silently hide duplicate and divergent keys — and reports:
+//!
+//! * **corrupt** lines (checksum or schema failures the loader would
+//!   skip, e.g. the torn tail a mid-append kill leaves),
+//! * **duplicate** keys (the same cell appended twice, byte-identical —
+//!   harmless, but a warm retry artifact worth compacting away),
+//! * **divergent** keys (two *different* rows under one key — the one
+//!   defect that must never be repaired automatically, because choosing
+//!   a side would forge a result; the same condition
+//!   [`super::shard::merge_stores`] refuses as a conflict),
+//! * **stale** cells (keys outside the current registry's key set —
+//!   parameter or probe drift relative to the binary doing the scan),
+//! * **non-canonical** form (out-of-key-order lines, missing or alien
+//!   header — anything that would make the bytes differ from
+//!   [`super::cache::SweepCache::canonical_text`]).
+//!
+//! [`repair_store`] rewrites the canonical deduplicated form atomically,
+//! dropping corrupt, duplicate, and stale lines — and refuses outright
+//! while any key is divergent. Exit codes are a contract
+//! ([`FsckReport::exit_code`]): 0 clean, 1 repairable defects, 2
+//! divergence.
+
+use super::cache::{self, CachedCell, CellKey};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// What the first line of the store file turned out to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderState {
+    /// A current-version format header.
+    Ok,
+    /// The file is empty — no header at all.
+    Missing,
+    /// The first line is not a current-version header (alien tag,
+    /// outdated version, or plain corruption).
+    Alien,
+}
+
+/// The result of scanning one store with [`fsck_store`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Data lines scanned (header excluded).
+    pub lines: u64,
+    /// First-line header state.
+    pub header: HeaderState,
+    /// Lines that decoded cleanly (checksum and schema).
+    pub valid: u64,
+    /// Lines the loader would skip: checksum or schema failures.
+    pub corrupt: u64,
+    /// Extra byte-identical appearances of an already-seen key.
+    pub duplicate: u64,
+    /// Keys holding two *different* rows — never auto-repairable.
+    pub divergent: Vec<CellKey>,
+    /// Distinct valid cells whose key is outside the expected registry
+    /// key set (only checked when [`fsck_store`] is given one).
+    pub stale: u64,
+    /// Distinct valid cells retained after dedup and stale filtering.
+    pub retained: u64,
+    /// Whether the file's bytes already equal the canonical rendering
+    /// of its retained cells.
+    pub canonical: bool,
+}
+
+impl FsckReport {
+    /// Whether the store has no defects at all.
+    pub fn clean(&self) -> bool {
+        self.header == HeaderState::Ok
+            && self.corrupt == 0
+            && self.duplicate == 0
+            && self.divergent.is_empty()
+            && self.stale == 0
+            && self.canonical
+    }
+
+    /// The process exit code contract: `0` clean, `1` repairable
+    /// defects, `2` divergent keys (repair refused).
+    pub fn exit_code(&self) -> i32 {
+        if !self.divergent.is_empty() {
+            2
+        } else if self.clean() {
+            0
+        } else {
+            1
+        }
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let header = match self.header {
+            HeaderState::Ok => "ok",
+            HeaderState::Missing => "missing",
+            HeaderState::Alien => "alien",
+        };
+        write!(
+            f,
+            "{} data line(s), header {header}: {} valid, {} corrupt, {} duplicate, \
+             {} divergent, {} stale; {} cell(s) retained; {}",
+            self.lines,
+            self.valid,
+            self.corrupt,
+            self.duplicate,
+            self.divergent.len(),
+            self.stale,
+            self.retained,
+            if self.canonical {
+                "canonical"
+            } else {
+                "non-canonical"
+            }
+        )
+    }
+}
+
+/// The cells a scan decided to keep, plus the report. Shared by check
+/// and repair so both agree on what "retained" means.
+struct Scan {
+    report: FsckReport,
+    retained: HashMap<CellKey, CachedCell>,
+}
+
+fn scan_store(dir: &Path, expected: Option<&HashSet<CellKey>>) -> io::Result<Scan> {
+    let path = dir.join(cache::FILE_NAME);
+    let text = fs::read_to_string(&path)?;
+    let mut lines = text.lines();
+    let header = match lines.next() {
+        None => HeaderState::Missing,
+        Some(first) if cache::header_version(first) == Some(cache::FORMAT_VERSION) => {
+            HeaderState::Ok
+        }
+        Some(_) => HeaderState::Alien,
+    };
+    let mut report = FsckReport {
+        lines: 0,
+        header,
+        valid: 0,
+        corrupt: 0,
+        duplicate: 0,
+        divergent: Vec::new(),
+        stale: 0,
+        retained: 0,
+        canonical: false,
+    };
+    // With an alien first line there was no header — the "first line" was
+    // data (or garbage) and must be scanned like the rest.
+    let body: Vec<&str> = match header {
+        HeaderState::Ok => lines.collect(),
+        _ => text.lines().collect(),
+    };
+    let mut cells: HashMap<CellKey, CachedCell> = HashMap::new();
+    for line in body {
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.lines += 1;
+        // Checksum-gated: a line that decodes is a genuine v2 cell no
+        // matter what the header claimed, so salvage is always safe.
+        match cache::decode_line(line) {
+            None => report.corrupt += 1,
+            Some((key, cell)) => {
+                report.valid += 1;
+                match cells.get(&key) {
+                    None => {
+                        cells.insert(key, cell);
+                    }
+                    Some(prior) if *prior == cell => report.duplicate += 1,
+                    Some(_) => {
+                        if !report.divergent.contains(&key) {
+                            report.divergent.push(key);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(expected) = expected {
+        cells.retain(|key, _| {
+            let keep = expected.contains(key);
+            if !keep {
+                report.stale += 1;
+            }
+            keep
+        });
+    }
+    report.retained = cells.len() as u64;
+    report.canonical = text == canonical_text(&cells);
+    Ok(Scan {
+        report,
+        retained: cells,
+    })
+}
+
+/// The canonical rendering of an arbitrary retained cell set — the same
+/// bytes [`super::cache::SweepCache::canonical_text`] would produce for
+/// a store holding exactly these cells.
+fn canonical_text(cells: &HashMap<CellKey, CachedCell>) -> String {
+    let mut keyed: Vec<(String, &CachedCell)> =
+        cells.iter().map(|(k, c)| (k.to_hex(), c)).collect();
+    keyed.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+    let mut out = format!("{{\"{}\":{}}}\n", cache::HEADER_TAG, cache::FORMAT_VERSION);
+    for (hex, cell) in keyed {
+        let key = CellKey::from_hex(&hex).expect("own hex parses");
+        out.push_str(&cache::encode_line(key, cell));
+        out.push('\n');
+    }
+    out
+}
+
+/// Scans the store in `dir` and reports its defects without touching it.
+/// When `expected` is given (the current registry's full key set), cells
+/// outside it are counted stale. Errors only on an unreadable file — a
+/// *defective* file is a report, not an error.
+pub fn fsck_store(dir: &Path, expected: Option<&HashSet<CellKey>>) -> io::Result<FsckReport> {
+    scan_store(dir, expected).map(|scan| scan.report)
+}
+
+/// Repairs the store in `dir`: rewrites it atomically as the canonical
+/// form of its retained cells (corrupt, duplicate, and stale lines
+/// dropped). Returns the *pre-repair* report. Divergent keys make
+/// repair refuse without writing anything — there is no safe side to
+/// choose, exactly as [`super::shard::merge_stores`] refuses conflicts.
+pub fn repair_store(dir: &Path, expected: Option<&HashSet<CellKey>>) -> io::Result<FsckReport> {
+    let scan = scan_store(dir, expected)?;
+    if !scan.report.divergent.is_empty() {
+        return Ok(scan.report);
+    }
+    cache::atomic_write(
+        &dir.join(cache::FILE_NAME),
+        canonical_text(&scan.retained).as_bytes(),
+    )?;
+    Ok(scan.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::cache::SweepCache;
+    use crate::sweep::probe::{MetricId, MetricRow, MetricValue};
+    use crate::sweep::spec::CellRow;
+    use std::io::Write as IoWrite;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ccwan-fsck-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn row(case: u64) -> CellRow {
+        let mut metrics = MetricRow::new();
+        metrics.set(MetricId::Reference, MetricValue::U64(6));
+        metrics.set(MetricId::Terminated, MetricValue::Bool(true));
+        CellRow {
+            spec_index: 0,
+            case,
+            cell_seed: 0x1000 + case,
+            metrics,
+        }
+    }
+
+    fn key(n: u64) -> CellKey {
+        CellKey::derive(n, n, n, n, n)
+    }
+
+    fn store_with(dir: &Path, cases: &[u64]) {
+        let mut cache = SweepCache::open(dir);
+        for &case in cases {
+            cache.record(key(case), "s", &row(case));
+        }
+        cache.flush().unwrap();
+    }
+
+    #[test]
+    fn clean_canonical_store_passes() {
+        let dir = scratch("clean");
+        store_with(&dir, &[3, 1, 2]);
+        // A flushed store appends in arrival order: valid but likely
+        // non-canonical. Write the canonical form first.
+        let mut cache = SweepCache::open(&dir);
+        cache.write_canonical().unwrap();
+        let report = fsck_store(&dir, None).unwrap();
+        assert!(report.clean(), "{report}");
+        assert_eq!(report.exit_code(), 0);
+        assert_eq!(report.retained, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_duplicates_and_order_are_repairable() {
+        let dir = scratch("repair");
+        store_with(&dir, &[3, 1, 2]);
+        let path = dir.join(cache::FILE_NAME);
+        // Torn tail + a duplicated valid line.
+        let text = fs::read_to_string(&path).unwrap();
+        let dup = text.lines().nth(1).unwrap().to_string();
+        let mut file = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(file, "{dup}").unwrap();
+        file.write_all(b"{\"key\":\"00torn").unwrap();
+        drop(file);
+
+        let report = fsck_store(&dir, None).unwrap();
+        assert_eq!(report.exit_code(), 1, "{report}");
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.duplicate, 1);
+        assert!(report.divergent.is_empty());
+        assert!(!report.canonical);
+
+        let repaired = repair_store(&dir, None).unwrap();
+        assert_eq!(repaired.retained, 3);
+        let after = fsck_store(&dir, None).unwrap();
+        assert!(after.clean(), "{after}");
+        // The repaired bytes are exactly the canonical rendering.
+        let cache = SweepCache::open(&dir);
+        assert_eq!(cache.stats.loaded, 3);
+        assert_eq!(cache.stats.skipped_lines, 0);
+        assert_eq!(fs::read_to_string(&path).unwrap(), cache.canonical_text());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn divergent_keys_refuse_repair() {
+        let dir = scratch("divergent");
+        store_with(&dir, &[1, 2]);
+        let path = dir.join(cache::FILE_NAME);
+        // A second, different row under key(1): build it in a scratch
+        // store and splice its line in.
+        let other = scratch("divergent-other");
+        let mut donor = SweepCache::open(&other);
+        donor.record(key(1), "s", &row(7));
+        donor.flush().unwrap();
+        let donor_text = fs::read_to_string(other.join(cache::FILE_NAME)).unwrap();
+        let conflicting = donor_text.lines().nth(1).unwrap();
+        let mut file = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(file, "{conflicting}").unwrap();
+        drop(file);
+
+        let report = fsck_store(&dir, None).unwrap();
+        assert_eq!(report.exit_code(), 2, "{report}");
+        assert_eq!(report.divergent, vec![key(1)]);
+
+        let before = fs::read_to_string(&path).unwrap();
+        let refused = repair_store(&dir, None).unwrap();
+        assert_eq!(refused.exit_code(), 2);
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            before,
+            "refused repair must not touch the file"
+        );
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&other);
+    }
+
+    #[test]
+    fn stale_cells_are_counted_and_dropped_by_repair() {
+        let dir = scratch("stale");
+        store_with(&dir, &[1, 2, 9]);
+        let expected: HashSet<CellKey> = [key(1), key(2)].into_iter().collect();
+        let report = fsck_store(&dir, Some(&expected)).unwrap();
+        assert_eq!(report.stale, 1, "{report}");
+        assert_eq!(report.retained, 2);
+        assert_eq!(report.exit_code(), 1);
+
+        repair_store(&dir, Some(&expected)).unwrap();
+        let after = fsck_store(&dir, Some(&expected)).unwrap();
+        assert!(after.clean(), "{after}");
+        assert_eq!(after.retained, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_header_is_reported_but_valid_lines_salvage() {
+        let dir = scratch("header");
+        store_with(&dir, &[1]);
+        let path = dir.join(cache::FILE_NAME);
+        let text = fs::read_to_string(&path).unwrap();
+        // Drop the header line entirely.
+        let body: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        fs::write(&path, body).unwrap();
+        let report = fsck_store(&dir, None).unwrap();
+        assert_eq!(report.header, HeaderState::Alien);
+        assert_eq!(report.valid, 1);
+        assert_eq!(report.exit_code(), 1);
+        repair_store(&dir, None).unwrap();
+        let after = fsck_store(&dir, None).unwrap();
+        assert!(after.clean(), "{after}");
+        assert_eq!(after.retained, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

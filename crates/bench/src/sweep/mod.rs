@@ -52,6 +52,17 @@
 //!   The `run_experiments farm` subcommand fans shard subprocesses across
 //!   cores and assembles a final frame byte-identical to the serial
 //!   unsharded sweep.
+//! * [`supervisor`] — fault tolerance for that farm: every shard runs
+//!   under a retry/backoff state machine with a heartbeat-driven
+//!   no-progress watchdog ([`supervise`]); because shard stores are
+//!   append-synced incrementally, a killed attempt's retry is a warm run
+//!   and `farm --resume` recovers a whole-farm interruption. The
+//!   [`FaultPlan`] hook (`WAN_FARM_FAULT`) injects deterministic shard
+//!   faults so CI exercises every recovery path.
+//! * [`fsck`] — store integrity checking ([`fsck_store`] /
+//!   [`repair_store`], the `fsck [--repair]` subcommand): corrupt lines,
+//!   duplicate and divergent keys, stale cells, non-canonical form —
+//!   with a 0/1/2 exit-code contract (clean / repairable / divergent).
 //! * [`golden`] — registry summaries as a CI regression gate:
 //!   `run_experiments --check` compares a (cache-assisted) run of the
 //!   standard registry against the committed `golden/sweeps/*.json` and
@@ -64,21 +75,28 @@
 
 pub mod cache;
 pub mod frame;
+pub mod fsck;
 pub mod golden;
 mod json;
 pub mod probe;
 pub mod runner;
 pub mod shard;
 pub mod spec;
+pub mod supervisor;
 
 pub use cache::{CacheStats, CellKey, ScopedCache, SweepCache};
 pub use frame::{MetricColumn, ResultsFrame, SpecFrame};
+pub use fsck::{fsck_store, repair_store, FsckReport, HeaderState};
 pub use golden::{scan_safety, SafetyViolation, SweepSummary};
 pub use probe::{
     CellEnd, MetricId, MetricRow, MetricValue, Probe, ProbeKind, ProbeManifest, ProbeSet,
 };
-pub use runner::SweepRunner;
+pub use runner::{MissingCell, SweepRunner};
 pub use shard::{merge_stores, MergeError, MergeStats, ShardReport, ShardSpec};
 pub use spec::{
     Algorithm, CellResult, CellRow, ChurnPlan, CrashPlan, EnvironmentPlan, Registry, ScenarioSpec,
+};
+pub use supervisor::{
+    heartbeat_line, parse_heartbeat, supervise, FarmConfig, FarmReport, FaultKind, FaultPlan,
+    ShardOutcome,
 };

@@ -4,8 +4,9 @@ use super::cache::{self, CellKey, ScopedCache, SweepCache};
 use super::frame::ResultsFrame;
 use super::shard::{ShardReport, ShardSpec};
 use super::spec::{CellRow, ScenarioSpec};
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Executes scenario sweeps, fanning `(spec, case)` cells across a fixed
@@ -222,6 +223,29 @@ impl SweepRunner {
         shard: ShardSpec,
         cache: &mut SweepCache,
     ) -> ShardReport {
+        self.run_shard_observed(specs, shard, cache, &|_, _| {})
+    }
+
+    /// [`SweepRunner::run_shard`] with **crash-safe incremental
+    /// persistence** and a progress observer — the form the supervised
+    /// farm runs. Every executed cell is recorded *and flushed* (an
+    /// fdatasynced append) the moment it completes, so a shard process
+    /// killed mid-sweep loses at most the cells still in flight: its
+    /// retry reopens the store warm and executes only what is missing.
+    ///
+    /// `observer(done, owned_misses)` is called once per persisted cell,
+    /// under the store lock — the `shard` subcommand emits its heartbeat
+    /// line from here (and the fault-injection hook fires from here, which
+    /// is also why the lock is held: a hung observer stops the store from
+    /// growing, exactly the failure mode the supervisor's watchdog
+    /// detects).
+    pub fn run_shard_observed(
+        &self,
+        specs: &[ScenarioSpec],
+        shard: ShardSpec,
+        cache: &mut SweepCache,
+        observer: &(dyn Fn(u64, u64) + Sync),
+    ) -> ShardReport {
         let params = self.memoize_canaries(specs, cache);
         let cells: Vec<(usize, u64)> = expand(specs);
         let keys = derive_keys(specs, &params, cache, &cells);
@@ -237,30 +261,84 @@ impl SweepRunner {
         let hits = (owned.len() - miss.len()) as u64;
         cache.stats.hits += hits;
         cache.stats.misses += miss.len() as u64;
-        let ran = self.map_described(
-            miss.len(),
-            |j| {
-                let (spec_index, case) = cells[miss[j]];
-                specs[spec_index].run_cell(spec_index, case)
-            },
-            |j| {
-                format!(
-                    "{} cell-key {}",
-                    describe_cell(specs, cells[miss[j]]),
-                    keys[miss[j]].to_hex()
-                )
-            },
-        );
-        for (&idx, row) in miss.iter().zip(&ran) {
-            let (spec_index, _) = cells[idx];
-            cache.record(keys[idx], &specs[spec_index].name, row);
+        let total = miss.len() as u64;
+        let done = AtomicU64::new(0);
+        {
+            let store = Mutex::new(&mut *cache);
+            self.map_described(
+                miss.len(),
+                |j| {
+                    let idx = miss[j];
+                    let (spec_index, case) = cells[idx];
+                    let row = specs[spec_index].run_cell(spec_index, case);
+                    let mut store = store.lock().unwrap_or_else(|e| e.into_inner());
+                    store.record(keys[idx], &specs[spec_index].name, &row);
+                    if let Err(err) = store.flush() {
+                        // The row stays pending (and indexed in memory):
+                        // a later flush retries it, and the shard's
+                        // results are unaffected either way.
+                        eprintln!(
+                            "sweep-cache: incremental flush to {} failed: {err}",
+                            store.path().display()
+                        );
+                    }
+                    observer(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+                },
+                |j| {
+                    format!(
+                        "{} cell-key {}",
+                        describe_cell(specs, cells[miss[j]]),
+                        keys[miss[j]].to_hex()
+                    )
+                },
+            );
         }
         ShardReport {
             total_cells: cells.len() as u64,
             owned_cells: owned.len() as u64,
             hits,
-            executed: miss.len() as u64,
+            executed: total,
         }
+    }
+
+    /// Derives the content-addressed key of every cell in `specs`
+    /// (memoizing canaries in `cache`, running them if needed), in
+    /// canonical cell order. The farm's missing-work accounting and the
+    /// `fsck` staleness scan both start here.
+    pub fn registry_cell_keys(
+        &self,
+        specs: &[ScenarioSpec],
+        cache: &mut SweepCache,
+    ) -> Vec<((usize, u64), CellKey)> {
+        let params = self.memoize_canaries(specs, cache);
+        let cells: Vec<(usize, u64)> = expand(specs);
+        let keys = derive_keys(specs, &params, cache, &cells);
+        cells.into_iter().zip(keys).collect()
+    }
+
+    /// Every cell of `specs` *not* answerable from `cache` — the exact
+    /// work a permanently-failed shard left behind, which `farm
+    /// --keep-going` reports on stderr before exiting nonzero.
+    pub fn missing_cells(
+        &self,
+        specs: &[ScenarioSpec],
+        cache: &mut SweepCache,
+    ) -> Vec<MissingCell> {
+        self.registry_cell_keys(specs, cache)
+            .into_iter()
+            .filter_map(|((spec_index, case), key)| {
+                let seed = specs[spec_index].cell_seed(case);
+                cache
+                    .lookup(key, spec_index, case, seed)
+                    .is_none()
+                    .then(|| MissingCell {
+                        spec: specs[spec_index].name.clone(),
+                        case,
+                        seed,
+                        key,
+                    })
+            })
+            .collect()
     }
 
     /// Parallel deterministic map: applies `job` to `0..count` across the
@@ -350,6 +428,33 @@ impl SweepRunner {
         indexed.sort_by_key(|&(idx, _)| idx);
         debug_assert_eq!(indexed.len(), count);
         indexed.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+/// One registry cell absent from a store: the unit of the farm's
+/// missing-work report under `--keep-going`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingCell {
+    /// The owning spec's name.
+    pub spec: String,
+    /// Case index within the spec.
+    pub case: u64,
+    /// The derived RNG seed the cell would run with.
+    pub seed: u64,
+    /// The cell's content-addressed key.
+    pub key: CellKey,
+}
+
+impl fmt::Display for MissingCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "spec `{}` case {} seed {:#018x} cell-key {}",
+            self.spec,
+            self.case,
+            self.seed,
+            self.key.to_hex()
+        )
     }
 }
 

@@ -1,0 +1,678 @@
+//! Supervised execution of the sharded sweep farm.
+//!
+//! PR 8's `farm` fanned shard subprocesses and hoped: one shard dying,
+//! hanging, or corrupting its store failed the whole sweep with no
+//! retry and no recovery path. This module is the supervision layer the
+//! paper's own subject matter demands — the harness that simulates
+//! crashes, loss, and collisions must itself tolerate them:
+//!
+//! * every shard runs under a per-attempt state machine
+//!   (`Waiting → Running → Done | Failed`) with **capped exponential
+//!   retry/backoff** on nonzero exit, kill, or spawn failure
+//!   ([`FarmConfig::backoff`]);
+//! * shards emit machine-parseable **heartbeat** lines on stderr
+//!   ([`heartbeat_line`], one per persisted cell); the supervisor's
+//!   relay thread folds them into a per-attempt progress clock, and a
+//!   **no-progress watchdog** kills and retries a shard whose store
+//!   stops growing past [`FarmConfig::hang_timeout`];
+//! * because the shard stores are append-synced incrementally
+//!   ([`super::SweepRunner::run_shard_observed`]), a killed attempt's
+//!   partial work survives on disk and the retry is a *warm* run that
+//!   executes only the missing cells — results are content-addressed, so
+//!   retried work is byte-identical by construction;
+//! * with [`FarmConfig::keep_going`], a shard that exhausts its attempts
+//!   does not abort the others: the merge proceeds over every store
+//!   (partial ones included) and the farm reports the exact missing
+//!   cells ([`super::runner::MissingCell`]) with a distinct exit code.
+//!
+//! [`FaultPlan`] is the deterministic fault-injection hook for the
+//! orchestrator itself (`WAN_FARM_FAULT`, consumed by the `shard`
+//! subcommand): every recovery path above is exercised in CI rather than
+//! trusted.
+
+use super::shard::ShardSpec;
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, Write as IoWrite};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The marker opening every shard heartbeat line on stderr.
+pub const HEARTBEAT_PREFIX: &str = "@ccwan-hb";
+
+/// Renders the machine-parseable heartbeat a shard emits after every
+/// persisted cell: `@ccwan-hb shard=i/m done=D owned=W` (`done` cells
+/// executed and flushed this attempt, of `owned` misses total). The
+/// supervisor swallows these lines into its progress clock; they never
+/// reach the human-facing relay.
+pub fn heartbeat_line(shard: ShardSpec, done: u64, owned: u64) -> String {
+    format!("{HEARTBEAT_PREFIX} shard={shard} done={done} owned={owned}")
+}
+
+/// Parses [`heartbeat_line`]'s rendering into `(done, owned)`.
+pub fn parse_heartbeat(line: &str) -> Option<(u64, u64)> {
+    let rest = line.strip_prefix(HEARTBEAT_PREFIX)?;
+    let (mut done, mut owned) = (None, None);
+    for token in rest.split_ascii_whitespace() {
+        if let Some(value) = token.strip_prefix("done=") {
+            done = value.parse().ok();
+        } else if let Some(value) = token.strip_prefix("owned=") {
+            owned = value.parse().ok();
+        }
+    }
+    Some((done?, owned?))
+}
+
+/// The supervision policy one farm run executes under.
+#[derive(Debug, Clone, Copy)]
+pub struct FarmConfig {
+    /// Shard count `m`.
+    pub shards: u32,
+    /// Attempts per shard before it is declared permanently failed
+    /// (`1 + max retries`, at least 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub backoff_base: Duration,
+    /// Ceiling on any single backoff.
+    pub backoff_cap: Duration,
+    /// A running attempt whose progress clock (spawn, then every stderr
+    /// line — heartbeats and relay output alike) is older than this is
+    /// declared hung, killed, and retried.
+    pub hang_timeout: Duration,
+    /// Permanently-failed shards do not abort the others.
+    pub keep_going: bool,
+}
+
+impl FarmConfig {
+    /// The default policy for `shards` subprocesses: 3 attempts, 100 ms
+    /// base backoff capped at 5 s, 30 s hang timeout, fail-fast.
+    pub fn new(shards: u32) -> FarmConfig {
+        FarmConfig {
+            shards,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            hang_timeout: Duration::from_secs(30),
+            keep_going: false,
+        }
+    }
+
+    /// The capped exponential delay before attempt `attempt` (1-based;
+    /// the first attempt starts immediately).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let doublings = (attempt - 2).min(16);
+        self.backoff_base
+            .saturating_mul(1u32 << doublings)
+            .min(self.backoff_cap)
+    }
+}
+
+/// How one shard's supervision ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// Zero-based shard index.
+    pub shard: u32,
+    /// Attempts started (0 if the farm aborted before its first spawn).
+    pub attempts: u32,
+    /// Whether some attempt exited successfully.
+    pub completed: bool,
+    /// Why each failed attempt ended, in order (spawn failure, exit
+    /// status, or hang), plus an `aborted` note if the farm stopped
+    /// before this shard resolved.
+    pub failures: Vec<String>,
+}
+
+/// Every shard's [`ShardOutcome`] from one supervised farm run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FarmReport {
+    /// One outcome per shard, in shard order.
+    pub outcomes: Vec<ShardOutcome>,
+}
+
+impl FarmReport {
+    /// Whether every shard completed (possibly after retries).
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.completed)
+    }
+
+    /// The shard indices that failed permanently (or were aborted).
+    pub fn failed_shards(&self) -> Vec<u32> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.completed)
+            .map(|o| o.shard)
+            .collect()
+    }
+
+    /// Total attempts started across all shards.
+    pub fn total_attempts(&self) -> u32 {
+        self.outcomes.iter().map(|o| o.attempts).sum()
+    }
+}
+
+/// Per-attempt progress shared between the relay thread (writer) and the
+/// supervision loop (watchdog reader). Times are milliseconds since the
+/// supervisor's epoch.
+struct Progress {
+    done: AtomicU64,
+    advanced_at: AtomicU64,
+}
+
+/// One live shard subprocess: the child, its stderr relay, and the
+/// progress clock the watchdog reads.
+struct RunningAttempt {
+    child: Child,
+    relay: JoinHandle<()>,
+    progress: Arc<Progress>,
+}
+
+/// The per-shard supervision state machine.
+enum ShardState {
+    /// Next attempt due at the instant (backoff included).
+    Waiting {
+        at: Instant,
+    },
+    Running(RunningAttempt),
+    Done,
+    Failed,
+}
+
+/// One shard's slot in the supervisor: identity, attempt accounting, and
+/// current [`ShardState`].
+struct ShardAttempt {
+    shard: ShardSpec,
+    attempts: u32,
+    state: ShardState,
+    failures: Vec<String>,
+}
+
+impl ShardAttempt {
+    fn resolved(&self) -> bool {
+        matches!(self.state, ShardState::Done | ShardState::Failed)
+    }
+
+    fn outcome(&self) -> ShardOutcome {
+        ShardOutcome {
+            shard: self.shard.index,
+            attempts: self.attempts,
+            completed: matches!(self.state, ShardState::Done),
+            failures: self.failures.clone(),
+        }
+    }
+}
+
+/// Runs every shard of an `m`-way farm under supervision: `spawn(i)`
+/// builds the subprocess command for shard `i` (stdout is the caller's
+/// choice; stderr is overridden to a pipe so the supervisor can relay it
+/// with a `farm[i/m]:` prefix and fold heartbeats into the watchdog).
+///
+/// Returns when every shard is resolved — completed, or permanently
+/// failed after [`FarmConfig::max_attempts`]. Without
+/// [`FarmConfig::keep_going`], the first permanent failure kills the
+/// remaining children; either way every child is reaped and every relay
+/// thread joined before this returns, so no pipe or thread outlives the
+/// report.
+pub fn supervise(config: &FarmConfig, spawn: impl Fn(u32) -> Command) -> FarmReport {
+    let epoch = Instant::now();
+    let mut slots: Vec<ShardAttempt> = (0..config.shards)
+        .map(|i| ShardAttempt {
+            shard: ShardSpec::new(i, config.shards).expect("i < shards"),
+            attempts: 0,
+            state: ShardState::Waiting { at: epoch },
+            failures: Vec::new(),
+        })
+        .collect();
+
+    loop {
+        for slot in &mut slots {
+            step(slot, config, &spawn, epoch);
+        }
+        if !config.keep_going && slots.iter().any(|s| matches!(s.state, ShardState::Failed)) {
+            // Fail fast: reap every still-running sibling (kill, wait,
+            // join its relay) and mark unresolved shards aborted.
+            for slot in &mut slots {
+                match std::mem::replace(&mut slot.state, ShardState::Failed) {
+                    ShardState::Running(run) => {
+                        reap(run);
+                        slot.failures.push("aborted: another shard failed".into());
+                    }
+                    ShardState::Waiting { .. } => {
+                        slot.failures.push("aborted: another shard failed".into());
+                    }
+                    ShardState::Done => slot.state = ShardState::Done,
+                    ShardState::Failed => {}
+                }
+            }
+            break;
+        }
+        if slots.iter().all(ShardAttempt::resolved) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    FarmReport {
+        outcomes: slots.iter().map(ShardAttempt::outcome).collect(),
+    }
+}
+
+/// Advances one shard's state machine by one poll.
+fn step(
+    slot: &mut ShardAttempt,
+    config: &FarmConfig,
+    spawn: &impl Fn(u32) -> Command,
+    epoch: Instant,
+) {
+    match &mut slot.state {
+        ShardState::Waiting { at } if Instant::now() >= *at => {
+            slot.attempts += 1;
+            if slot.attempts > 1 {
+                eprintln!(
+                    "farm: shard {} attempt {} of {} (warm: the store keeps completed cells)",
+                    slot.shard, slot.attempts, config.max_attempts
+                );
+            }
+            match launch(slot.shard, spawn, epoch) {
+                Ok(run) => slot.state = ShardState::Running(run),
+                Err(err) => fail_attempt(slot, config, format!("spawn failed: {err}")),
+            }
+        }
+        ShardState::Running(run) => match run.child.try_wait() {
+            Ok(Some(status)) => {
+                let ShardState::Running(run) = std::mem::replace(&mut slot.state, ShardState::Done)
+                else {
+                    unreachable!("matched Running above");
+                };
+                let _ = run.relay.join();
+                drop(run.child);
+                if status.success() {
+                    slot.state = ShardState::Done;
+                } else {
+                    fail_attempt(slot, config, format!("exited with {status}"));
+                }
+            }
+            Ok(None) => {
+                let last = run.progress.advanced_at.load(Ordering::Relaxed);
+                let now = millis_since(epoch);
+                if now.saturating_sub(last) > config.hang_timeout.as_millis() as u64 {
+                    let done = run.progress.done.load(Ordering::Relaxed);
+                    let ShardState::Running(run) =
+                        std::mem::replace(&mut slot.state, ShardState::Done)
+                    else {
+                        unreachable!("matched Running above");
+                    };
+                    reap(run);
+                    fail_attempt(
+                        slot,
+                        config,
+                        format!(
+                            "hung: no store growth or output for {}ms (stalled at {done} \
+                             cell(s)); killed",
+                            config.hang_timeout.as_millis()
+                        ),
+                    );
+                }
+            }
+            Err(err) => {
+                let ShardState::Running(run) = std::mem::replace(&mut slot.state, ShardState::Done)
+                else {
+                    unreachable!("matched Running above");
+                };
+                reap(run);
+                fail_attempt(slot, config, format!("wait failed: {err}"));
+            }
+        },
+        _ => {}
+    }
+}
+
+/// Records a failed attempt and decides retry (with backoff) vs
+/// permanent failure.
+fn fail_attempt(slot: &mut ShardAttempt, config: &FarmConfig, why: String) {
+    eprintln!("farm: shard {} attempt {} {why}", slot.shard, slot.attempts);
+    slot.failures.push(why);
+    if slot.attempts >= config.max_attempts {
+        eprintln!(
+            "farm: shard {} failed permanently after {} attempt(s)",
+            slot.shard, slot.attempts
+        );
+        slot.state = ShardState::Failed;
+    } else {
+        let delay = config.backoff(slot.attempts + 1);
+        eprintln!(
+            "farm: shard {} retrying in {}ms",
+            slot.shard,
+            delay.as_millis()
+        );
+        slot.state = ShardState::Waiting {
+            at: Instant::now() + delay,
+        };
+    }
+}
+
+/// Spawns one attempt: the child with piped stderr, the relay thread
+/// (heartbeats feed the progress clock, everything else is reprinted
+/// with the `farm[i/m]:` prefix), and a progress clock starting now.
+fn launch(
+    shard: ShardSpec,
+    spawn: &impl Fn(u32) -> Command,
+    epoch: Instant,
+) -> io::Result<RunningAttempt> {
+    let mut command = spawn(shard.index);
+    command.stderr(Stdio::piped());
+    let mut child = command.spawn()?;
+    let stderr = child.stderr.take().expect("stderr was piped above");
+    let progress = Arc::new(Progress {
+        done: AtomicU64::new(0),
+        advanced_at: AtomicU64::new(millis_since(epoch)),
+    });
+    let clock = Arc::clone(&progress);
+    let relay = std::thread::spawn(move || {
+        for line in io::BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            // Any stderr line is a sign of life — the canary phase and
+            // store open happen before the first per-cell heartbeat, and
+            // a genuinely hung shard (the condition the watchdog exists
+            // for) emits nothing at all. Heartbeats additionally carry
+            // the per-cell progress count and are swallowed; everything
+            // else is relayed for humans.
+            clock
+                .advanced_at
+                .store(millis_since(epoch), Ordering::Relaxed);
+            if let Some((done, _owned)) = parse_heartbeat(&line) {
+                if done > clock.done.load(Ordering::Relaxed) {
+                    clock.done.store(done, Ordering::Relaxed);
+                }
+                continue;
+            }
+            eprintln!("farm[{shard}]: {line}");
+        }
+    });
+    Ok(RunningAttempt {
+        child,
+        relay,
+        progress,
+    })
+}
+
+/// Kills and reaps one running attempt: child killed and waited, relay
+/// joined (the kill closes the pipe, so the relay sees EOF).
+fn reap(mut run: RunningAttempt) {
+    let _ = run.child.kill();
+    let _ = run.child.wait();
+    let _ = run.relay.join();
+}
+
+fn millis_since(epoch: Instant) -> u64 {
+    epoch.elapsed().as_millis() as u64
+}
+
+/// Which failure a [`FaultPlan`] injects into a shard subprocess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The shard panics mid-sweep (process exits nonzero).
+    Panic,
+    /// The shard stops making progress forever (the watchdog's case).
+    Hang,
+    /// The shard appends a torn line to its store, then exits nonzero
+    /// (the corruption-tolerant loader's case).
+    TornStore,
+}
+
+/// The deterministic fault-injection hook for the farm orchestrator
+/// itself — **test-only**, parsed from
+/// `WAN_FARM_FAULT=shard=I:kind=panic|hang|torn-store[:times=N]` and
+/// consumed by the `shard` subcommand: when shard `I` has persisted half
+/// of its owned misses, the fault fires, on the first `N` attempts
+/// (default 1). The per-attempt budget lives in a marker file inside the
+/// shard's store directory, so retries of the same shard see how often
+/// the fault already fired and eventually succeed — which is exactly the
+/// recovery path CI exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Zero-based index of the shard the fault targets.
+    pub shard: u32,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+    /// On how many attempts the fault fires before going quiet.
+    pub times: u32,
+}
+
+impl FaultPlan {
+    /// The environment variable the `shard` subcommand consults.
+    pub const ENV: &'static str = "WAN_FARM_FAULT";
+
+    /// The marker file tracking how many attempts already fired.
+    const MARKER: &'static str = "fault-fired";
+
+    /// Parses `shard=I:kind=K[:times=N]`.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let (mut shard, mut kind, mut times) = (None, None, 1u32);
+        for part in text.split(':') {
+            let (name, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected name=value, got {part:?}"))?;
+            match name {
+                "shard" => {
+                    shard = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("shard index {value:?} is not a number"))?,
+                    );
+                }
+                "kind" => {
+                    kind = Some(match value {
+                        "panic" => FaultKind::Panic,
+                        "hang" => FaultKind::Hang,
+                        "torn-store" => FaultKind::TornStore,
+                        other => {
+                            return Err(format!(
+                                "unknown fault kind {other:?} (panic|hang|torn-store)"
+                            ))
+                        }
+                    });
+                }
+                "times" => {
+                    times = value
+                        .parse()
+                        .map_err(|_| format!("times {value:?} is not a number"))?;
+                }
+                other => return Err(format!("unknown fault field {other:?}")),
+            }
+        }
+        Ok(FaultPlan {
+            shard: shard.ok_or("fault plan needs shard=I")?,
+            kind: kind.ok_or("fault plan needs kind=panic|hang|torn-store")?,
+            times,
+        })
+    }
+
+    /// The plan [`FaultPlan::ENV`] describes, if it targets `shard`.
+    /// `Err` on a malformed value (the shard should refuse loudly rather
+    /// than silently skip an intended fault).
+    pub fn from_env(shard: ShardSpec) -> Result<Option<FaultPlan>, String> {
+        match std::env::var(Self::ENV) {
+            Ok(text) => {
+                let plan =
+                    FaultPlan::parse(&text).map_err(|err| format!("{}: {err}", Self::ENV))?;
+                Ok((plan.shard == shard.index).then_some(plan))
+            }
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Consumes one firing from the budget tracked in `store_dir`:
+    /// `true` if the fault should fire on this attempt.
+    pub fn arm(&self, store_dir: &Path) -> bool {
+        let marker = store_dir.join(Self::MARKER);
+        let fired: u32 = fs::read_to_string(&marker)
+            .ok()
+            .and_then(|text| text.trim().parse().ok())
+            .unwrap_or(0);
+        if fired >= self.times {
+            return false;
+        }
+        let _ = fs::create_dir_all(store_dir);
+        let _ = fs::write(&marker, format!("{}\n", fired + 1));
+        true
+    }
+
+    /// Fires the fault. Never returns: panic unwinds out of the sweep,
+    /// hang spins forever (until the watchdog kills the process), and
+    /// torn-store appends an unterminated fragment to the store file and
+    /// exits nonzero.
+    pub fn fire(&self, store_path: &Path) -> ! {
+        match self.kind {
+            FaultKind::Panic => panic!("injected fault: shard panic ({})", Self::ENV),
+            FaultKind::Hang => loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            },
+            FaultKind::TornStore => {
+                if let Ok(mut file) = fs::OpenOptions::new().append(true).open(store_path) {
+                    // No trailing newline: a torn final line, as a kill
+                    // mid-append would leave.
+                    let _ = file.write_all(b"{\"key\":\"00torn");
+                    let _ = file.sync_data();
+                }
+                eprintln!("injected fault: torn store tail ({})", Self::ENV);
+                std::process::exit(70);
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            FaultKind::Panic => "panic",
+            FaultKind::Hang => "hang",
+            FaultKind::TornStore => "torn-store",
+        };
+        write!(f, "shard={}:kind={kind}:times={}", self.shard, self.times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_roundtrips_and_rejects_noise() {
+        let shard = ShardSpec::new(1, 4).unwrap();
+        let line = heartbeat_line(shard, 17, 40);
+        assert_eq!(parse_heartbeat(&line), Some((17, 40)));
+        assert_eq!(parse_heartbeat("shard 1/4: plain progress"), None);
+        assert_eq!(parse_heartbeat("@ccwan-hb done=oops owned=3"), None);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let mut config = FarmConfig::new(2);
+        config.backoff_base = Duration::from_millis(100);
+        config.backoff_cap = Duration::from_millis(450);
+        assert_eq!(config.backoff(1), Duration::ZERO);
+        assert_eq!(config.backoff(2), Duration::from_millis(100));
+        assert_eq!(config.backoff(3), Duration::from_millis(200));
+        assert_eq!(config.backoff(4), Duration::from_millis(400));
+        assert_eq!(config.backoff(5), Duration::from_millis(450), "capped");
+        assert_eq!(
+            config.backoff(40),
+            Duration::from_millis(450),
+            "no overflow"
+        );
+    }
+
+    #[test]
+    fn fault_plan_parses_and_budgets() {
+        let plan = FaultPlan::parse("shard=2:kind=panic:times=3").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan {
+                shard: 2,
+                kind: FaultKind::Panic,
+                times: 3
+            }
+        );
+        assert_eq!(plan.to_string(), "shard=2:kind=panic:times=3");
+        assert_eq!(
+            FaultPlan::parse("shard=0:kind=torn-store").unwrap().times,
+            1,
+            "times defaults to 1"
+        );
+        assert!(FaultPlan::parse("kind=hang").is_err(), "shard is required");
+        assert!(FaultPlan::parse("shard=1").is_err(), "kind is required");
+        assert!(FaultPlan::parse("shard=1:kind=explode").is_err());
+
+        // The marker-file budget: `times` firings, then quiet.
+        let dir = std::env::temp_dir().join(format!("ccwan-fault-arm-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let plan = FaultPlan::parse("shard=0:kind=hang:times=2").unwrap();
+        assert!(plan.arm(&dir));
+        assert!(plan.arm(&dir));
+        assert!(!plan.arm(&dir), "budget exhausted after `times` firings");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The state machine end to end against real subprocesses: a
+    /// crashing command is retried with backoff until its marker file
+    /// lets it succeed, a hung command is killed by the watchdog and
+    /// retried, and a permanently-failing command exhausts its attempts.
+    #[cfg(unix)]
+    #[test]
+    fn supervise_retries_crashes_and_kills_hangs() {
+        let dir = std::env::temp_dir().join(format!("ccwan-supervise-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut config = FarmConfig::new(2);
+        config.max_attempts = 3;
+        config.backoff_base = Duration::from_millis(10);
+        config.hang_timeout = Duration::from_millis(400);
+
+        // Shard 0 succeeds immediately; shard 1 crashes once (marker
+        // file), then hangs once, then succeeds.
+        let marker = dir.join("attempts");
+        let script = format!(
+            "n=$(cat {m} 2>/dev/null || echo 0); echo $((n+1)) > {m}; \
+             case $n in 0) exit 3;; 1) sleep 60;; *) exit 0;; esac",
+            m = marker.display()
+        );
+        let report = supervise(&config, |i| {
+            let mut command = Command::new("/bin/sh");
+            command.arg("-c");
+            if i == 0 {
+                command.arg("exit 0");
+            } else {
+                command.arg(&script);
+            }
+            command.stdout(Stdio::null());
+            command
+        });
+        assert!(report.all_completed(), "{report:?}");
+        assert_eq!(report.outcomes[0].attempts, 1);
+        assert_eq!(report.outcomes[1].attempts, 3, "{report:?}");
+        assert!(report.outcomes[1].failures[0].contains("exited with"));
+        assert!(report.outcomes[1].failures[1].contains("hung"));
+
+        // Permanent failure: attempts exhausted, reported not completed.
+        let mut strict = config;
+        strict.max_attempts = 2;
+        strict.keep_going = true;
+        let report = supervise(&strict, |_| {
+            let mut command = Command::new("/bin/sh");
+            command.args(["-c", "exit 9"]);
+            command.stdout(Stdio::null());
+            command
+        });
+        assert!(!report.all_completed());
+        assert_eq!(report.failed_shards(), vec![0, 1]);
+        assert!(report.outcomes.iter().all(|o| o.attempts == 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

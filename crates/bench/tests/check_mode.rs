@@ -253,3 +253,337 @@ fn farm_check_is_byte_identical_to_the_serial_gate() {
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&farm_dir);
 }
+
+/// Blesses a quick golden in `dir` and returns the serial (fresh,
+/// unsharded) `check` stdout the recovery tests compare against.
+fn bless_and_serial_check(dir: &Path) -> Vec<u8> {
+    let bless = run_experiments(dir, &["bless", "--quick"]);
+    assert!(bless.status.success(), "{bless:?}");
+    let serial = run_experiments(dir, &["check", "--quick", "--no-cache"]);
+    assert!(serial.status.success(), "{serial:?}");
+    serial.stdout
+}
+
+/// Runs `farm` with a `WAN_FARM_FAULT` plan and the supervision knobs
+/// the recovery tests want (tight backoff and hang timeout).
+fn run_faulty_farm(dir: &Path, farm_dir: &Path, fault: &str, extra: &[&str]) -> Output {
+    let mut args = vec!["farm", "--shards", "2", "--check", "--quick"];
+    args.extend_from_slice(extra);
+    Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .args(&args)
+        .current_dir(dir)
+        .env("CCWAN_SWEEP_CACHE_DIR", farm_dir)
+        .env("CCWAN_GOLDEN_DIR", dir.join("golden"))
+        .env("WAN_FARM_FAULT", fault)
+        .output()
+        .expect("spawn farm")
+}
+
+/// The retry stderr evidence every recovery test asserts: the supervisor
+/// announced a retry, and the retried attempt was *warm* (its relayed
+/// shard report shows cells served from the surviving store).
+fn assert_warm_retry(stderr: &str) {
+    assert!(
+        stderr.contains("farm: shard 1/2 retrying in"),
+        "the supervisor must announce the retry: {stderr}"
+    );
+    let last_report = stderr
+        .lines()
+        .rfind(|l| l.starts_with("farm[1/2]: shard 1/2:") && l.contains("executed"))
+        .unwrap_or_else(|| panic!("no relayed shard report: {stderr}"));
+    assert!(
+        !last_report.contains(" 0 served from the store"),
+        "the retry must be warm — the killed attempt's flushed cells are served: {last_report}"
+    );
+}
+
+/// Recovery matrix, case 1: a shard that **panics** halfway through its
+/// owned cells is retried (warm) and the farm's gate stdout stays
+/// byte-identical to the serial unsharded gate.
+#[test]
+fn farm_recovers_from_injected_shard_panic() {
+    let dir = scratch("chaos-panic");
+    let serial = bless_and_serial_check(&dir);
+    let farm_dir = scratch("chaos-panic-stores");
+    let farm = run_faulty_farm(&dir, &farm_dir, "shard=1:kind=panic:times=1", &[]);
+    assert!(farm.status.success(), "{farm:?}");
+    assert_eq!(
+        serial, farm.stdout,
+        "recovered farm stdout must be byte-identical to the serial gate"
+    );
+    let err = String::from_utf8_lossy(&farm.stderr);
+    assert!(err.contains("exited with"), "{err}");
+    assert_warm_retry(&err);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&farm_dir);
+}
+
+/// Recovery matrix, case 2: a shard that **hangs** (store stops growing)
+/// is killed by the no-progress watchdog, retried warm, and the gate
+/// stdout stays byte-identical to the serial gate.
+#[test]
+fn farm_recovers_from_injected_hang() {
+    let dir = scratch("chaos-hang");
+    let serial = bless_and_serial_check(&dir);
+    let farm_dir = scratch("chaos-hang-stores");
+    let farm = run_faulty_farm(
+        &dir,
+        &farm_dir,
+        "shard=1:kind=hang:times=1",
+        &["--hang-timeout-ms", "1500"],
+    );
+    assert!(farm.status.success(), "{farm:?}");
+    assert_eq!(
+        serial, farm.stdout,
+        "recovered farm stdout must be byte-identical to the serial gate"
+    );
+    let err = String::from_utf8_lossy(&farm.stderr);
+    assert!(
+        err.contains("hung: no store growth"),
+        "the watchdog must report the kill: {err}"
+    );
+    assert_warm_retry(&err);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&farm_dir);
+}
+
+/// Recovery matrix, case 3: a shard that dies leaving a **torn store
+/// tail** is retried; the corruption-tolerant loader skips the fragment,
+/// the append path never grafts onto it, and the gate stdout stays
+/// byte-identical to the serial gate.
+#[test]
+fn farm_recovers_from_torn_store() {
+    let dir = scratch("chaos-torn");
+    let serial = bless_and_serial_check(&dir);
+    let farm_dir = scratch("chaos-torn-stores");
+    let farm = run_faulty_farm(&dir, &farm_dir, "shard=1:kind=torn-store:times=1", &[]);
+    assert!(farm.status.success(), "{farm:?}");
+    assert_eq!(
+        serial, farm.stdout,
+        "recovered farm stdout must be byte-identical to the serial gate"
+    );
+    let err = String::from_utf8_lossy(&farm.stderr);
+    assert_warm_retry(&err);
+    assert!(
+        err.contains("1 corrupt skipped"),
+        "the merge must have skipped exactly the torn fragment: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&farm_dir);
+}
+
+/// Graceful degradation: with `--keep-going` a permanently-failed shard
+/// doesn't abort the others — the merge proceeds, the farm lists the
+/// exact missing cells with their content-addressed keys, and exits 3
+/// (distinct from failure=1 and usage=2). A `--resume` re-run without
+/// the fault then executes only those missing cells and recovers the
+/// byte-identical gate.
+#[test]
+fn farm_keep_going_reports_missing_cells_and_resume_recovers() {
+    let dir = scratch("keep-going");
+    let serial = bless_and_serial_check(&dir);
+    let farm_dir = scratch("keep-going-stores");
+    // The fault fires on every attempt and retries are off: shard 1
+    // fails permanently with only its pre-fault cells persisted.
+    let farm = run_faulty_farm(
+        &dir,
+        &farm_dir,
+        "shard=1:kind=panic:times=99",
+        &["--max-retries", "0", "--keep-going"],
+    );
+    assert_eq!(
+        farm.status.code(),
+        Some(3),
+        "incomplete keep-going farm must exit 3: {farm:?}"
+    );
+    let err = String::from_utf8_lossy(&farm.stderr);
+    assert!(err.contains("failed permanently"), "{err}");
+    assert!(
+        err.contains("farm: merged"),
+        "--keep-going must still merge the surviving stores: {err}"
+    );
+    assert!(
+        err.contains("merged store is missing") && err.contains("farm: missing"),
+        "the exact missing cells must be reported: {err}"
+    );
+    assert!(
+        err.contains("cell-key"),
+        "missing cells are named by content-addressed key: {err}"
+    );
+
+    // Resume without the fault: only the missing cells execute, and the
+    // gate lands byte-identical to the serial run.
+    let resumed = Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .args(["farm", "--shards", "2", "--check", "--quick", "--resume"])
+        .current_dir(&dir)
+        .env("CCWAN_SWEEP_CACHE_DIR", &farm_dir)
+        .env("CCWAN_GOLDEN_DIR", dir.join("golden"))
+        .output()
+        .expect("spawn resumed farm");
+    assert!(resumed.status.success(), "{resumed:?}");
+    assert_eq!(
+        serial, resumed.stdout,
+        "resumed farm stdout must be byte-identical to the serial gate"
+    );
+    let err = String::from_utf8_lossy(&resumed.stderr);
+    // Shard 0 completed in the first farm; resuming executes none of it.
+    let shard0 = err
+        .lines()
+        .rfind(|l| l.starts_with("farm[0/2]: shard 0/2:") && l.contains("executed"))
+        .unwrap_or_else(|| panic!("no shard 0 report: {err}"));
+    assert!(
+        shard0.contains(" 0 executed,"),
+        "a resumed completed shard must execute nothing: {shard0}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&farm_dir);
+}
+
+/// Whole-farm interruption recovery: after a standalone shard run (as an
+/// interrupted farm leaves behind), `farm --resume` keeps the per-shard
+/// stores and executes only the missing cells.
+#[test]
+fn farm_resume_executes_only_missing_cells() {
+    let dir = scratch("resume");
+    let serial = bless_and_serial_check(&dir);
+    let farm_dir = scratch("resume-stores");
+
+    // "Interrupted farm": shard 0 completed, shard 1 never ran.
+    let shard0 = Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .args(["shard", "0/2", "--quick"])
+        .current_dir(&dir)
+        .env("CCWAN_SWEEP_CACHE_DIR", farm_dir.join("shard-0"))
+        .output()
+        .expect("spawn shard");
+    assert!(shard0.status.success(), "{shard0:?}");
+
+    let resumed = Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .args(["farm", "--shards", "2", "--check", "--quick", "--resume"])
+        .current_dir(&dir)
+        .env("CCWAN_SWEEP_CACHE_DIR", &farm_dir)
+        .env("CCWAN_GOLDEN_DIR", dir.join("golden"))
+        .output()
+        .expect("spawn resumed farm");
+    assert!(resumed.status.success(), "{resumed:?}");
+    assert_eq!(serial, resumed.stdout);
+    let err = String::from_utf8_lossy(&resumed.stderr);
+    let report0 = err
+        .lines()
+        .rfind(|l| l.starts_with("farm[0/2]: shard 0/2:") && l.contains("executed"))
+        .unwrap_or_else(|| panic!("no shard 0 report: {err}"));
+    assert!(
+        report0.contains(" 0 executed,"),
+        "resume must serve shard 0 entirely from its kept store: {report0}"
+    );
+    let report1 = err
+        .lines()
+        .rfind(|l| l.starts_with("farm[1/2]: shard 1/2:") && l.contains("executed"))
+        .unwrap_or_else(|| panic!("no shard 1 report: {err}"));
+    assert!(
+        !report1.contains(" 0 executed,"),
+        "shard 1 had no store and must execute its cells: {report1}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&farm_dir);
+}
+
+/// The `fsck` exit-code contract, end to end as a subprocess: 0 clean,
+/// 1 repairable (duplicates, corruption, non-canonical form — and
+/// `--repair` restores 0 with canonical bytes), 2 divergent keys (repair
+/// refused, file untouched).
+#[test]
+fn fsck_exit_code_contract() {
+    use wan_bench::sweep::cache::FILE_NAME;
+    use wan_bench::sweep::{CellRow, MetricId, MetricRow, MetricValue, SweepCache};
+
+    let dir = scratch("fsck");
+    let store_dir = dir.join("store");
+    // Build a real store: one shard's worth of the quick registry.
+    let shard = Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .args(["shard", "0/4", "--quick"])
+        .current_dir(&dir)
+        .env("CCWAN_SWEEP_CACHE_DIR", &store_dir)
+        .output()
+        .expect("spawn shard");
+    assert!(shard.status.success(), "{shard:?}");
+
+    let fsck = |args: &[&str]| -> Output {
+        let mut all = vec!["fsck"];
+        all.push(store_dir.to_str().expect("utf-8 path"));
+        all.extend_from_slice(args);
+        all.push("--quick");
+        run_experiments(&dir, &all)
+    };
+
+    // Appended arrival order plus a duplicated line: repairable → 1.
+    let path = store_dir.join(FILE_NAME);
+    let text = std::fs::read_to_string(&path).expect("read store");
+    let dup = text.lines().nth(1).expect("a data line").to_string();
+    std::fs::write(&path, format!("{text}{dup}\n")).expect("append duplicate");
+    let dirty = fsck(&[]);
+    assert_eq!(dirty.status.code(), Some(1), "{dirty:?}");
+    assert!(String::from_utf8_lossy(&dirty.stderr).contains("1 duplicate"));
+
+    // --repair rewrites the canonical deduplicated bytes → 0, and a
+    // re-check is clean → 0.
+    let repair = fsck(&["--repair"]);
+    assert_eq!(repair.status.code(), Some(0), "{repair:?}");
+    let clean = fsck(&[]);
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+    let repaired = std::fs::read_to_string(&path).expect("read repaired store");
+    let reloaded = SweepCache::open(&store_dir);
+    assert_eq!(
+        repaired,
+        reloaded.canonical_text(),
+        "repair must leave exactly the canonical bytes"
+    );
+    assert_eq!(reloaded.stats.skipped_lines, 0);
+
+    // Corruption: flip a byte mid-file → 1; repair drops the line → 0.
+    let mut bytes = std::fs::read(&path).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] = bytes[mid].wrapping_add(1);
+    std::fs::write(&path, &bytes).expect("corrupt store");
+    let corrupt = fsck(&[]);
+    assert_eq!(corrupt.status.code(), Some(1), "{corrupt:?}");
+    assert!(String::from_utf8_lossy(&corrupt.stderr).contains("1 corrupt"));
+    assert_eq!(fsck(&["--repair"]).status.code(), Some(0));
+    assert_eq!(fsck(&[]).status.code(), Some(0));
+
+    // Divergence: a second, different row under a real key → 2, and
+    // --repair refuses without touching the file.
+    let store = SweepCache::open(&store_dir);
+    let (key, _) = store.entries().next().expect("a stored cell");
+    let donor_dir = dir.join("donor");
+    let mut donor = SweepCache::open(&donor_dir);
+    let mut metrics = MetricRow::new();
+    metrics.set(MetricId::Reference, MetricValue::U64(424242));
+    donor.record(
+        key,
+        "divergent",
+        &CellRow {
+            spec_index: 0,
+            case: 999,
+            cell_seed: 7,
+            metrics,
+        },
+    );
+    donor.flush().expect("flush donor");
+    let donor_text = std::fs::read_to_string(donor_dir.join(FILE_NAME)).expect("read donor store");
+    let conflict = donor_text.lines().nth(1).expect("donor data line");
+    let text = std::fs::read_to_string(&path).expect("read store");
+    std::fs::write(&path, format!("{text}{conflict}\n")).expect("splice conflict");
+
+    let divergent = fsck(&[]);
+    assert_eq!(divergent.status.code(), Some(2), "{divergent:?}");
+    assert!(String::from_utf8_lossy(&divergent.stderr).contains("divergent key"));
+    let before = std::fs::read(&path).expect("read");
+    let refused = fsck(&["--repair"]);
+    assert_eq!(refused.status.code(), Some(2), "{refused:?}");
+    assert_eq!(
+        before,
+        std::fs::read(&path).expect("read"),
+        "a refused repair must not touch the store"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

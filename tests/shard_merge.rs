@@ -236,6 +236,75 @@ fn sweep_over_a_merged_store_is_all_hits_and_matches_fresh() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// The crash-recovery contract the supervised farm is built on: a shard
+/// killed mid-execution keeps every cell it had flushed (the store is
+/// append-synced per cell), its retry is a *warm* run that executes only
+/// the remainder, and the recovered merge is byte-identical to the
+/// serial unsharded store. The "kill" here is a panic raised from the
+/// per-cell observer — the same interruption point a SIGKILL between
+/// flushes exercises, minus the subprocess.
+#[test]
+fn killed_shard_partial_work_survives_and_retry_is_warm() {
+    let base = scratch("killed-shard");
+    let specs = &lattice_specs(Scale::Quick)[..3];
+    let shard = ShardSpec::new(0, 2).expect("valid");
+    let runner = SweepRunner::with_threads(2);
+
+    // First attempt: die after the third persisted cell.
+    let dir = base.join("shard-0");
+    let mut store = SweepCache::open(&dir);
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        runner.run_shard_observed(specs, shard, &mut store, &|done, _owned| {
+            if done == 3 {
+                panic!("injected kill");
+            }
+        })
+    }));
+    assert!(attempt.is_err(), "the injected kill must surface");
+    drop(store);
+
+    // The killed attempt's flushed cells survived on disk.
+    let mut reopened = SweepCache::open(&dir);
+    let persisted = reopened.stats.loaded;
+    assert!(persisted >= 3, "at least the observed cells were flushed");
+    assert_eq!(
+        reopened.stats.skipped_lines, 0,
+        "no torn lines: each flush is synced whole"
+    );
+
+    // The retry is warm: it re-executes only what the kill lost.
+    let retry = runner.run_shard(specs, shard, &mut reopened);
+    reopened.flush().expect("flush");
+    assert!(
+        persisted < retry.owned_cells,
+        "the kill must have lost some work"
+    );
+    assert_eq!(
+        retry.hits, persisted,
+        "every persisted cell is served, not re-run"
+    );
+    assert_eq!(retry.executed, retry.owned_cells - persisted);
+
+    // Completing the other shard and merging recovers the exact serial
+    // unsharded bytes — the crash left no trace in the result.
+    let other = base.join("shard-1");
+    let mut other_store = SweepCache::open(&other);
+    runner.run_shard(
+        specs,
+        ShardSpec::new(1, 2).expect("valid"),
+        &mut other_store,
+    );
+    other_store.flush().expect("flush");
+    let dest = base.join("merged");
+    merge_stores(&dest, &[dir, other]).expect("clean merge after recovery");
+    assert_eq!(
+        std::fs::read(dest.join("cells.jsonl")).expect("read merged store"),
+        unsharded_store_bytes(&base, specs),
+        "recovered merge must be byte-identical to the serial unsharded store"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// Re-running a shard against its own store is incremental, exactly like
 /// an unsharded cached sweep: second run, zero executions.
 #[test]
