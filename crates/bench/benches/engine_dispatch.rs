@@ -51,8 +51,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use wan_bench::sweep::{CellEnd, MetricRow, ProbeManifest, ProbeSet};
-use wan_cd::{CdClass, ClassDetector, Degrading, FreedomPolicy};
+use wan_cd::{CdClass, CheckedDetector, ClassDetector, Degrading, FreedomPolicy};
 use wan_cm::FairWakeUp;
+use wan_mac::{mac_components, MacConfig, MacDelayPolicy};
 use wan_phy::{PhyConfig, PhyRound, RadioChannel};
 use wan_sim::crash::{NoCrashes, TimelineCrashes};
 use wan_sim::loss::{Ecf, NoLoss, RandomLoss, TimelineLoss};
@@ -516,6 +517,29 @@ fn main() {
             )
             .with_detail(TraceDetail::Counts)
             .with_schedule(timeline.compile());
+            Box::new(move |r| e.run_untraced(r))
+        }),
+        // The abstract MAC stack exactly as the `absmac/mac-…` sweep arms
+        // assemble it (acknowledged-broadcast channel resolving every
+        // round, its bookkeeping detector under the strict in-class wrap,
+        // no contention manager): the pending/attempt tracking and the
+        // per-round three-pass resolve must reuse their buffers — the
+        // untraced MAC round is gated at exactly zero allocations.
+        ("absmac", 50, "static", "untraced", {
+            let (channel, detector) = mac_components(MacConfig {
+                f_ack: 6,
+                f_prog: 2,
+                policy: MacDelayPolicy::Random { defer: 0.3 },
+                seed: 7,
+            });
+            let mut e = Engine::from_parts(
+                beacons(50),
+                CheckedDetector::new(detector, CdClass::ZERO_EV_AC),
+                AllActive,
+                channel,
+                TimelineCrashes::over(NoCrashes),
+            )
+            .with_detail(TraceDetail::Counts);
             Box::new(move |r| e.run_untraced(r))
         }),
         ("storm", 4, "static", "traced", {

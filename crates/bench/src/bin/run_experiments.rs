@@ -129,7 +129,8 @@ commands:
   run            print every experiment table (the default command)
   check          gate the standard registry against golden/sweeps/
   bless          regenerate the golden summary after an intended change
-  metrics <glob> per-spec summary of probe metrics matching the glob
+  metrics <glob> per-spec summary of probe metrics; the glob selects
+                 metric names or registry spec names (e.g. 'absmac/*')
   throughput     time a fresh execution of every registry spec (stderr)
   shard <i/m>    run the registry cells shard i of m owns into this
                  process's own store (set CCWAN_SWEEP_CACHE_DIR per shard)
@@ -589,7 +590,11 @@ fn parse(args: &[String]) -> Result<(Command, bool, bool), String> {
                 };
                 eprintln!(
                     "note: flag-style modes are deprecated; this invocation is \
-                     `run_experiments {name} ...` in the command grammar"
+                     `run_experiments {name} ...` in the command grammar \
+                     (run | check | bless | metrics <glob> | throughput | \
+                     shard <i/m> | merge <dest> <shards>... | farm | \
+                     fsck [--repair], exiting 0 clean / 1 repairable / 2 \
+                     divergent; see `run_experiments help`)"
                 );
             }
             legacy
@@ -657,19 +662,29 @@ fn glob_match(pattern: &str, text: &str) -> bool {
 /// exact summary statistics from the results frame. Pure function of the
 /// frame, so cold (executed) and warm (cache-served) runs are
 /// byte-identical on stdout.
+///
+/// The glob selects either way: matched against **metric names** it shows
+/// that metric across every spec; matched against **registry spec names**
+/// (e.g. `absmac/*`) it shows every metric those specs emit — the
+/// side-by-side view a scenario family (such as the cross-model
+/// `absmac/cd-…` / `absmac/mac-…` pairs) is read with.
 fn run_metrics(scale: Scale, glob: &str) -> i32 {
+    let registry = Registry::standard(scale);
+    let spec_selected = registry
+        .specs()
+        .iter()
+        .any(|spec| glob_match(glob, &spec.name));
     let selected: Vec<MetricId> = MetricId::ALL
         .into_iter()
-        .filter(|id| glob_match(glob, id.name()))
+        .filter(|id| spec_selected || glob_match(glob, id.name()))
         .collect();
     if selected.is_empty() {
         eprintln!(
-            "metrics: {glob:?} matches no metric; known metrics: {}",
+            "metrics: {glob:?} matches no metric and no registry spec; known metrics: {}",
             MetricId::ALL.map(|id| id.name()).join(", ")
         );
         return 2;
     }
-    let registry = Registry::standard(scale);
     let frame: ResultsFrame = SweepRunner::parallel().run(registry.specs());
     let mut table = Table::new(
         format!("Probe metrics matching {glob:?} over the standard registry ({scale:?})"),
@@ -679,6 +694,9 @@ fn run_metrics(scale: Scale, glob: &str) -> i32 {
     );
     let fmt_opt = |v: Option<i128>| v.map_or_else(|| "—".to_string(), |v| v.to_string());
     for (i, spec) in registry.specs().iter().enumerate() {
+        if spec_selected && !glob_match(glob, &spec.name) {
+            continue;
+        }
         let spec_frame = frame.spec(i);
         for &id in &selected {
             let Some(column) = spec_frame.column(id) else {

@@ -94,7 +94,8 @@ pub use probe::{
 pub use runner::{MissingCell, SweepRunner};
 pub use shard::{merge_stores, MergeError, MergeStats, ShardReport, ShardSpec};
 pub use spec::{
-    Algorithm, CellResult, CellRow, ChurnPlan, CrashPlan, EnvironmentPlan, Registry, ScenarioSpec,
+    AbsMacPlan, Algorithm, CellResult, CellRow, ChurnPlan, CrashPlan, EnvironmentPlan, Registry,
+    ScenarioSpec,
 };
 pub use supervisor::{
     heartbeat_line, parse_heartbeat, supervise, FarmConfig, FarmReport, FaultKind, FaultPlan,

@@ -33,7 +33,7 @@
 use std::fmt;
 use wan_sim::fingerprint::StableHasher;
 use wan_sim::trace::ExecutionTrace;
-use wan_sim::{Round, RoundView};
+use wan_sim::{ProcessId, Round, RoundView};
 
 /// Bumped whenever a built-in probe's *semantics* change (what a metric
 /// counts, not just which metrics exist). Folded into every
@@ -114,6 +114,20 @@ pub enum MetricId {
     /// process had already decided (absent if the run never fully decided,
     /// or only decided after the final event boundary).
     CheckpointDecidedFrom,
+    /// Largest number of consecutive attempts any acknowledged broadcast
+    /// took to clear (abstract MAC environments; the measured ack latency
+    /// the `f_ack` envelope bounds from above).
+    AckAttemptsMax,
+    /// Total deferred sender-rounds: alive broadcast attempts the MAC
+    /// layer held back instead of delivering.
+    AckDeferralsTotal,
+    /// Rounds in which at least one process broadcast but the MAC layer
+    /// delivered nothing at all.
+    MacBlockedRounds,
+    /// Longest run of consecutive such blocked rounds (silent rounds do
+    /// not reset it — an undelivered broadcast stays queued); the measured
+    /// progress latency the `f_prog` envelope bounds from above.
+    MacBlockedStreakMax,
     /// An ad-hoc metric minted by a custom [`Probe`] (see the README's
     /// worked example and `examples/quickstart.rs`). Sorts after every
     /// built-in id; not in [`MetricId::ALL`] and not reconstructible by
@@ -125,7 +139,7 @@ pub enum MetricId {
 
 impl MetricId {
     /// Every metric id, in canonical (`Ord`) order.
-    pub const ALL: [MetricId; 22] = [
+    pub const ALL: [MetricId; 26] = [
         MetricId::Reference,
         MetricId::LastDecision,
         MetricId::Terminated,
@@ -148,6 +162,10 @@ impl MetricId {
         MetricId::CheckpointAliveMin,
         MetricId::CheckpointCdViolations,
         MetricId::CheckpointDecidedFrom,
+        MetricId::AckAttemptsMax,
+        MetricId::AckDeferralsTotal,
+        MetricId::MacBlockedRounds,
+        MetricId::MacBlockedStreakMax,
     ];
 
     /// The stable snake_case name used on disk and in `--metrics` globs.
@@ -175,6 +193,10 @@ impl MetricId {
             MetricId::CheckpointAliveMin => "checkpoint_alive_min",
             MetricId::CheckpointCdViolations => "checkpoint_cd_violations",
             MetricId::CheckpointDecidedFrom => "checkpoint_decided_from",
+            MetricId::AckAttemptsMax => "ack_attempts_max",
+            MetricId::AckDeferralsTotal => "ack_deferrals_total",
+            MetricId::MacBlockedRounds => "mac_blocked_rounds",
+            MetricId::MacBlockedStreakMax => "mac_blocked_streak_max",
             MetricId::Custom(name) => name,
         }
     }
@@ -417,11 +439,23 @@ pub enum ProbeKind {
     /// [`ProbeSet::from_manifest_at`]); with no checkpoints it emits the
     /// absent-sample row.
     CheckpointStats,
+    /// Measured ack latency of an abstract MAC environment: the attempt
+    /// count of the slowest-clearing broadcast and the total deferred
+    /// sender-rounds, inferred from the received counts (a deferred
+    /// broadcast reaches only its own sender). Meaningful on
+    /// `EnvironmentPlan::AbsMac` specs; on collision environments the
+    /// all-or-none delivery premise does not hold and the numbers are
+    /// noise.
+    AckLatency,
+    /// Measured progress of an abstract MAC environment: rounds in which
+    /// someone broadcast but nothing was delivered, and the longest such
+    /// streak — the observed counterpart of the `f_prog` envelope.
+    ProgressBound,
 }
 
 impl ProbeKind {
     /// Every built-in kind, in canonical order.
-    pub const ALL: [ProbeKind; 7] = [
+    pub const ALL: [ProbeKind; 9] = [
         ProbeKind::Core,
         ProbeKind::DecisionLatency,
         ProbeKind::BroadcastCount,
@@ -429,6 +463,8 @@ impl ProbeKind {
         ProbeKind::CrashExposure,
         ProbeKind::WakeupStabilization,
         ProbeKind::CheckpointStats,
+        ProbeKind::AckLatency,
+        ProbeKind::ProgressBound,
     ];
 
     /// Stable name (participates in manifest fingerprints).
@@ -441,6 +477,8 @@ impl ProbeKind {
             ProbeKind::CrashExposure => "crash_exposure",
             ProbeKind::WakeupStabilization => "wakeup_stabilization",
             ProbeKind::CheckpointStats => "checkpoint_stats",
+            ProbeKind::AckLatency => "ack_latency",
+            ProbeKind::ProgressBound => "progress_bound",
         }
     }
 
@@ -463,6 +501,8 @@ impl ProbeKind {
             ProbeKind::CrashExposure => Box::new(CrashExposure::default()),
             ProbeKind::WakeupStabilization => Box::new(WakeupStabilization::default()),
             ProbeKind::CheckpointStats => Box::new(CheckpointStats::at(checkpoints)),
+            ProbeKind::AckLatency => Box::new(AckLatencyProbe::default()),
+            ProbeKind::ProgressBound => Box::new(ProgressBoundProbe::default()),
         }
     }
 }
@@ -478,10 +518,13 @@ pub struct ProbeManifest {
 impl ProbeManifest {
     /// The default traced-by-default selection. Deliberately the *original*
     /// six probes, not [`ProbeKind::ALL`]: [`ProbeKind::CheckpointStats`]
-    /// only says something on specs with a scenario timeline, and folding
-    /// it in here would move every standard manifest's fingerprint (and
-    /// therefore every cached cell key and golden) for no information.
-    /// Timeline specs opt in via [`ProbeManifest::of`].
+    /// only says something on specs with a scenario timeline — and the
+    /// MAC-envelope probes ([`ProbeKind::AckLatency`],
+    /// [`ProbeKind::ProgressBound`]) only on `AbsMac` environments — and
+    /// folding them in here would move every standard manifest's
+    /// fingerprint (and therefore every cached cell key and golden) for no
+    /// information. Timeline and abstract-MAC specs opt in via
+    /// [`ProbeManifest::of`].
     pub fn standard() -> ProbeManifest {
         ProbeManifest {
             kinds: vec![
@@ -913,6 +956,138 @@ impl<M: Ord> Probe<M> for CheckpointStats {
     }
 }
 
+/// Infers, from one round's received counts, how many broadcasts the MAC
+/// layer cleared (delivered to everyone). Returns `None` on silent rounds.
+///
+/// The abstract MAC's deliveries are all-or-none per sender, and the
+/// engine forces self-delivery, so with `|C|` cleared broadcasts an alive
+/// non-sender receives exactly `|C|` messages, a cleared sender receives
+/// `|C|`, and a deferred sender receives `|C| + 1` (only its own). When
+/// every alive process is a sender the base is recovered from the count
+/// sum instead: over `m` senders, `Σ counts = (m − 1)·|C| + m`. The
+/// remaining blind spot — a solo sender with no other process alive — is
+/// read as cleared. (The inference assumes an unpartitioned channel; the
+/// registry's abstract-MAC grids schedule no `Split` events on probed
+/// specs.)
+fn mac_cleared_count<M: Ord>(view: &RoundView<'_, M>) -> Option<usize> {
+    let m = view.sent_count();
+    if m == 0 {
+        return None;
+    }
+    let counts = view.received_counts();
+    let alive = view.alive();
+    for (i, &a) in alive.iter().enumerate() {
+        if a && !view.is_sender(ProcessId(i)) {
+            return Some(counts[i]);
+        }
+    }
+    if m > 1 {
+        let sum: usize = (0..counts.len())
+            .filter(|&i| view.is_sender(ProcessId(i)))
+            .map(|i| counts[i])
+            .sum();
+        Some((sum - m) / (m - 1))
+    } else {
+        let s = (0..counts.len())
+            .find(|&i| view.is_sender(ProcessId(i)))
+            .expect("a non-silent round has a sender");
+        Some(counts[s])
+    }
+}
+
+/// Whether alive sender `s` was deferred this round, given the cleared
+/// count from [`mac_cleared_count`].
+fn mac_deferred<M: Ord>(view: &RoundView<'_, M>, s: usize, cleared: usize) -> bool {
+    view.received_counts()[s] == cleared + 1
+}
+
+/// [`ProbeKind::AckLatency`]: per-sender deferral streaks folded into the
+/// measured ack latency. The per-process scratch is sized on the first
+/// observed round and survives [`Probe::reset`], so steady-state
+/// observation is allocation-free.
+#[derive(Default)]
+struct AckLatencyProbe {
+    streak: Vec<u64>,
+    attempts_max: u64,
+    deferrals_total: u64,
+}
+
+impl<M: Ord> Probe<M> for AckLatencyProbe {
+    fn reset(&mut self) {
+        self.streak.iter_mut().for_each(|s| *s = 0);
+        self.attempts_max = 0;
+        self.deferrals_total = 0;
+    }
+    fn observe(&mut self, view: &RoundView<'_, M>) {
+        let Some(cleared) = mac_cleared_count(view) else {
+            return; // silent round: queued attempts persist
+        };
+        if self.streak.len() < view.n() {
+            self.streak.resize(view.n(), 0);
+        }
+        for (i, &alive) in view.alive().iter().enumerate() {
+            if !alive || !view.is_sender(ProcessId(i)) {
+                continue;
+            }
+            if mac_deferred(view, i, cleared) {
+                self.streak[i] += 1;
+                self.deferrals_total += 1;
+            } else {
+                self.attempts_max = self.attempts_max.max(self.streak[i] + 1);
+                self.streak[i] = 0;
+            }
+        }
+    }
+    fn finish(&mut self, _end: &CellEnd, out: &mut MetricRow) {
+        out.set(
+            MetricId::AckAttemptsMax,
+            MetricValue::U64(self.attempts_max),
+        );
+        out.set(
+            MetricId::AckDeferralsTotal,
+            MetricValue::U64(self.deferrals_total),
+        );
+    }
+}
+
+/// [`ProbeKind::ProgressBound`]: blocked someone-broadcast rounds (nothing
+/// delivered) and the longest blocked streak. Mirrors the MAC layer's own
+/// `f_prog` bookkeeping: silent rounds neither extend nor reset a streak.
+#[derive(Default)]
+struct ProgressBoundProbe {
+    blocked_rounds: u64,
+    streak: u64,
+    streak_max: u64,
+}
+
+impl<M: Ord> Probe<M> for ProgressBoundProbe {
+    fn reset(&mut self) {
+        *self = ProgressBoundProbe::default();
+    }
+    fn observe(&mut self, view: &RoundView<'_, M>) {
+        let Some(cleared) = mac_cleared_count(view) else {
+            return;
+        };
+        if cleared == 0 {
+            self.blocked_rounds += 1;
+            self.streak += 1;
+            self.streak_max = self.streak_max.max(self.streak);
+        } else {
+            self.streak = 0;
+        }
+    }
+    fn finish(&mut self, _end: &CellEnd, out: &mut MetricRow) {
+        out.set(
+            MetricId::MacBlockedRounds,
+            MetricValue::U64(self.blocked_rounds),
+        );
+        out.set(
+            MetricId::MacBlockedStreakMax,
+            MetricValue::U64(self.streak_max),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1119,6 +1294,91 @@ mod tests {
         assert!(with.kinds().contains(&ProbeKind::CheckpointStats));
         assert!(with.needs_trace());
         assert_ne!(with.fingerprint(), ProbeManifest::standard().fingerprint());
+        // Same stability argument for the MAC-envelope probes: opt-in only.
+        for kind in [ProbeKind::AckLatency, ProbeKind::ProgressBound] {
+            assert!(!ProbeManifest::standard().kinds().contains(&kind));
+            assert!(kind.needs_trace(), "{kind:?} reads per-round counts");
+        }
+    }
+
+    #[test]
+    fn mac_probes_read_envelopes_from_counts() {
+        // Round 1: processes 0 and 1 broadcast, both deferred — each
+        // receives only its own message, the non-sender nothing.
+        let mut r1 = record(1, vec![Some(1), Some(2), None], 1);
+        r1.received_counts = vec![1, 1, 0];
+        // Round 2: 0 clears, 1 still deferred.
+        let mut r2 = record(2, vec![Some(1), Some(2), None], 1);
+        r2.received_counts = vec![1, 2, 1];
+        // Round 3: silent — the queued attempt persists.
+        let r3 = record(3, vec![None, None, None], 1);
+        // Round 4: 1 finally clears, on its third attempt.
+        let r4 = record(4, vec![None, Some(2), None], 1);
+        let mut trace: ExecutionTrace<u8> = ExecutionTrace::new(3);
+        for rec in [r1, r2, r3, r4] {
+            trace.push_record(rec);
+        }
+        let mut probes: ProbeSet<u8> = ProbeSet::from_manifest(&ProbeManifest::of(&[
+            ProbeKind::AckLatency,
+            ProbeKind::ProgressBound,
+        ]));
+        let mut row = MetricRow::new();
+        probes.reset();
+        probes.observe_trace(&trace);
+        probes.finish(&end(), &mut row);
+        assert_eq!(
+            row.get(MetricId::AckAttemptsMax),
+            Some(MetricValue::U64(3)),
+            "sender 1 cleared on its third consecutive attempt"
+        );
+        assert_eq!(
+            row.get(MetricId::AckDeferralsTotal),
+            Some(MetricValue::U64(3)),
+            "two deferrals in round 1, one in round 2"
+        );
+        assert_eq!(
+            row.get(MetricId::MacBlockedRounds),
+            Some(MetricValue::U64(1)),
+            "only round 1 delivered nothing while someone broadcast"
+        );
+        assert_eq!(
+            row.get(MetricId::MacBlockedStreakMax),
+            Some(MetricValue::U64(1))
+        );
+        // Reuse starts clean.
+        probes.reset();
+        probes.finish(&end(), &mut row);
+        assert_eq!(row.get(MetricId::AckAttemptsMax), Some(MetricValue::U64(0)));
+        assert_eq!(
+            row.get(MetricId::MacBlockedRounds),
+            Some(MetricValue::U64(0))
+        );
+    }
+
+    #[test]
+    fn mac_cleared_count_handles_the_all_senders_round() {
+        // Both alive processes broadcast and both are deferred: no alive
+        // non-sender exists, so the base is recovered from the count sum.
+        let mut rec = record(1, vec![Some(1), Some(2)], 1);
+        rec.received_counts = vec![1, 1];
+        let mut trace: ExecutionTrace<u8> = ExecutionTrace::new(2);
+        trace.push_record(rec);
+        let mut probes: ProbeSet<u8> = ProbeSet::from_manifest(&ProbeManifest::of(&[
+            ProbeKind::AckLatency,
+            ProbeKind::ProgressBound,
+        ]));
+        let mut row = MetricRow::new();
+        probes.reset();
+        probes.observe_trace(&trace);
+        probes.finish(&end(), &mut row);
+        assert_eq!(
+            row.get(MetricId::AckDeferralsTotal),
+            Some(MetricValue::U64(2))
+        );
+        assert_eq!(
+            row.get(MetricId::MacBlockedRounds),
+            Some(MetricValue::U64(1))
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use ccwan_core::{
 };
 use wan_cd::{CdClass, CheckedDetector, ClassDetector, Degrading, FreedomPolicy};
 use wan_cm::{BackoffCm, FairWakeUp, NoCm, PreStabilization};
+use wan_mac::{mac_components, MacConfig, MacDelayPolicy};
 use wan_phy::{phy_components, PhyConfig};
 use wan_sim::crash::{NoCrashes, ScheduledCrashes, TimelineCrashes};
 use wan_sim::fingerprint::{absorb_debug, StableHasher};
@@ -72,6 +73,17 @@ pub enum EnvironmentPlan {
     /// the spec's crash schedule. The declared CST is the measurement
     /// reference, exactly as under [`EnvironmentPlan::Ecf`].
     Churn(ChurnPlan),
+    /// The abstract MAC layer (Newport's *Consensus with an Abstract MAC
+    /// Layer*): acknowledged local broadcast with `f_ack`/`f_prog`
+    /// envelopes in place of slot-level collisions. The channel is the
+    /// loss adversary (all-or-none deliveries within the envelopes), the
+    /// MAC's own delivery bookkeeping is the collision detector (complete
+    /// and accurate from round 1), and **no contention manager runs** —
+    /// the acknowledged-broadcast abstraction subsumes contention
+    /// resolution, which is exactly the model difference the cross-model
+    /// grid measures. The measurement reference is `f_ack`: the round by
+    /// which any single broadcast is guaranteed through.
+    AbsMac(AbsMacPlan),
 }
 
 /// Parameters of the [`EnvironmentPlan::Churn`] environment. The static
@@ -97,6 +109,22 @@ pub struct ChurnPlan {
     /// (clamped to `n`); scheduled [`ScenarioEvent::WakeWave`]s admit the
     /// rest.
     pub join_admit: usize,
+}
+
+/// Parameters of the [`EnvironmentPlan::AbsMac`] environment: the two
+/// Newport envelopes plus the delay policy spending the slack between
+/// them. Scalar-only and `Copy`, like every environment plan, so it
+/// fingerprints stably into cell keys via its `Debug` rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsMacPlan {
+    /// Ack-latency envelope: a broadcast clears no later than its
+    /// `f_ack`-th consecutive attempt.
+    pub f_ack: u64,
+    /// Progress envelope: at most `f_prog − 1` consecutive
+    /// someone-is-broadcasting rounds may deliver nothing.
+    pub f_prog: u64,
+    /// How the MAC spends the slack within the envelopes.
+    pub policy: MacDelayPolicy,
 }
 
 /// A scheduled crash of one process (Definition 13 resolved).
@@ -343,6 +371,30 @@ impl ScenarioSpec {
                     .expect("a churn scenario's components declare a CST")
                     .0;
                 (components, reference)
+            }
+            EnvironmentPlan::AbsMac(plan) => {
+                let (channel, detector) = mac_components(MacConfig {
+                    f_ack: plan.f_ack,
+                    f_prog: plan.f_prog,
+                    policy: plan.policy,
+                    seed,
+                });
+                let components = Components {
+                    detector: Box::new(CheckedDetector::new(detector, self.class)),
+                    // The abstract MAC's selling point: acknowledged
+                    // broadcast subsumes contention resolution, so no
+                    // contention manager runs at all.
+                    manager: Box::new(NoCm),
+                    loss: Box::new(channel),
+                    // Timeline-aware crashes, so PR 7 churn events compose
+                    // with the MAC exactly as they do under Churn.
+                    crash: Box::new(TimelineCrashes::over(crash)),
+                };
+                // The channel declares no per-round collision freedom
+                // (even a solo broadcast may be deferred); the reference
+                // is the f_ack envelope — the round by which any single
+                // broadcast is guaranteed through.
+                (components, plan.f_ack)
             }
         }
     }
@@ -720,6 +772,7 @@ impl Registry {
         specs.extend(ablation_specs(scale));
         specs.extend(churn_specs(scale));
         specs.extend(dense_specs(scale));
+        specs.extend(absmac_specs(scale));
         let registry = Registry { specs };
         let mut names: Vec<&str> = registry.specs.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
@@ -1128,6 +1181,127 @@ pub fn dense_specs(scale: Scale) -> Vec<ScenarioSpec> {
     specs
 }
 
+/// E-absmac: the cross-model comparison grid. The same two workhorse
+/// algorithm/class pairings as the dense grid (Algorithm 1 in maj-⋄AC,
+/// Algorithm 2 in 0-⋄AC) run over matched n × severity × crash axes under
+/// **both** radio models:
+///
+/// * `absmac/cd-…` — the paper's collision-detector model: an
+///   [`EnvironmentPlan::Ecf`] environment with `r_cf = r_acc = r_wake = 6`
+///   (declared CST 6) and random loss at the severity knob;
+/// * `absmac/mac-…` — the abstract MAC layer: `f_ack = 6`, `f_prog = 2`,
+///   with [`MacDelayPolicy::Random`] deferring each attempt at the same
+///   severity knob.
+///
+/// The severity axis tops out at 0.3: per-sender deferral compounds
+/// across concurrent senders, and by defer 0.6 at `n = 8` a contended
+/// round where *every* broadcast clears simultaneously essentially never
+/// occurs — the CD-style algorithms then livelock stochastically, the
+/// same mechanism the adversarial pin below exhibits deterministically.
+///
+/// Both models get the same measurement reference (6), so
+/// `decision_latency` reads head to head, and the MAC arms carry the
+/// [`super::probe::ProbeKind::AckLatency`] /
+/// [`super::probe::ProbeKind::ProgressBound`] probes that measure the
+/// envelopes from the trace.
+///
+/// One extra spec (`absmac/mac-adversarial`) pins the worst case within
+/// bounds — every delivery deferred until an envelope forces it. Under
+/// that policy the CD-model algorithms genuinely **livelock on
+/// disagreeing inputs** (measured here, any envelope): they rely on
+/// eventual collision freedom, and the adversarial MAC never grants a
+/// clean contended round — the model separation Newport's MAC-native
+/// algorithms exist to close. What the adversary *cannot* block is the
+/// zero-completeness silence argument, so the pin runs Algorithm 2 on
+/// agreeing inputs and must decide at exactly round `⌈lg|V|⌉ + 2 = 6`
+/// while the probes record the forced deliveries.
+pub fn absmac_specs(scale: Scale) -> Vec<ScenarioSpec> {
+    let mac_probes = ProbeManifest::of(&[
+        super::probe::ProbeKind::DecisionLatency,
+        super::probe::ProbeKind::BroadcastCount,
+        super::probe::ProbeKind::CdAccuracy,
+        super::probe::ProbeKind::CrashExposure,
+        super::probe::ProbeKind::AckLatency,
+        super::probe::ProbeKind::ProgressBound,
+    ]);
+    let mut specs = Vec::new();
+    for n in [4usize, 8] {
+        for severity in [0.15f64, 0.3] {
+            for crash in [
+                None,
+                Some(CrashPlan {
+                    process: 0,
+                    round: 4,
+                }),
+            ] {
+                for (tag, algorithm, class) in [
+                    ("maj", Algorithm::Alg1, CdClass::MAJ_EV_AC),
+                    ("zero", Algorithm::Alg2, CdClass::ZERO_EV_AC),
+                ] {
+                    let c = u8::from(crash.is_some());
+                    let l = (severity * 100.0) as u32;
+                    let base = ScenarioSpec {
+                        name: String::new(),
+                        algorithm,
+                        class,
+                        env: EnvironmentPlan::Nocf, // overwritten below
+                        crash,
+                        timeline: ScenarioTimeline::new(),
+                        n,
+                        v_size: 16,
+                        fixed_values: None,
+                        seeds: scale.seeds(),
+                        cap: 600,
+                        probes: ProbeManifest::standard(),
+                    };
+                    specs.push(ScenarioSpec {
+                        name: format!("absmac/cd-n{n}-l{l}-c{c}-{tag}"),
+                        env: EnvironmentPlan::Ecf(EnvPlan {
+                            r_cf: 6,
+                            r_acc: 6,
+                            r_wake: 6,
+                            loss: severity,
+                            noise: 0.3,
+                        }),
+                        ..base.clone()
+                    });
+                    specs.push(ScenarioSpec {
+                        name: format!("absmac/mac-n{n}-l{l}-c{c}-{tag}"),
+                        env: EnvironmentPlan::AbsMac(AbsMacPlan {
+                            f_ack: 6,
+                            f_prog: 2,
+                            policy: MacDelayPolicy::Random { defer: severity },
+                        }),
+                        probes: mac_probes.clone(),
+                        ..base
+                    });
+                }
+            }
+        }
+    }
+    specs.push(ScenarioSpec {
+        name: "absmac/mac-adversarial".into(),
+        algorithm: Algorithm::Alg2,
+        class: CdClass::ZERO_EV_AC,
+        env: EnvironmentPlan::AbsMac(AbsMacPlan {
+            f_ack: 6,
+            f_prog: 2,
+            policy: MacDelayPolicy::Adversarial,
+        }),
+        crash: None,
+        timeline: ScenarioTimeline::new(),
+        n: 4,
+        v_size: 16,
+        // Agreeing inputs: with disagreement, CD-model algorithms livelock
+        // under the adversarial MAC (see the family docs above).
+        fixed_values: Some(vec![7, 7, 7, 7]),
+        seeds: scale.seeds(),
+        cap: 600,
+        probes: mac_probes,
+    });
+    specs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1283,6 +1457,85 @@ mod tests {
             Some(MetricValue::U64(0)),
             "no event boundaries to sample"
         );
+    }
+
+    #[test]
+    fn absmac_grid_pairs_both_models_at_matched_coordinates() {
+        let specs = absmac_specs(Scale::Quick);
+        assert_eq!(
+            specs.len(),
+            33,
+            "2 models × 2 algs × 2 n × 2 severity × 2 crash + the adversarial pin"
+        );
+        // Every cd spec has a mac partner at the same grid coordinates,
+        // and both declare the same measurement reference (6).
+        for spec in specs.iter().filter(|s| s.name.starts_with("absmac/cd-")) {
+            let partner = spec.name.replacen("absmac/cd-", "absmac/mac-", 1);
+            let mac = specs
+                .iter()
+                .find(|s| s.name == partner)
+                .unwrap_or_else(|| panic!("{} has no mac partner", spec.name));
+            assert_eq!(spec.algorithm, mac.algorithm);
+            assert_eq!(spec.n, mac.n);
+            assert_eq!(spec.crash, mac.crash);
+            assert!(matches!(spec.env, EnvironmentPlan::Ecf(_)));
+            assert!(matches!(mac.env, EnvironmentPlan::AbsMac(_)));
+        }
+    }
+
+    #[test]
+    fn absmac_cells_stay_safe_and_measure_the_envelopes() {
+        let specs = absmac_specs(Scale::Quick);
+        // The crashed MAC arm at the harsher severity, plus the
+        // worst-case-within-bounds pin: both must decide safely, and the
+        // envelope probes must see the deferrals the policy injects.
+        for name in ["absmac/mac-n4-l30-c1-maj", "absmac/mac-adversarial"] {
+            let spec = specs
+                .iter()
+                .find(|s| s.name == name)
+                .expect("the mac arms register");
+            let row = spec.run_cell(0, 0);
+            let result = row.to_cell_result();
+            assert!(result.safe, "{name}: agreement/validity under the MAC");
+            assert!(result.terminated, "{name}: must decide within the cap");
+            assert_eq!(result.reference, 6, "the reference is f_ack");
+            let Some(MetricValue::U64(attempts)) = row.metrics.get(MetricId::AckAttemptsMax) else {
+                panic!("{name}: mac arms carry the ack-latency probe");
+            };
+            assert!(
+                (1..=6).contains(&attempts),
+                "{name}: measured ack latency {attempts} must sit inside f_ack = 6"
+            );
+            let Some(MetricValue::U64(streak)) = row.metrics.get(MetricId::MacBlockedStreakMax)
+            else {
+                panic!("{name}: mac arms carry the progress-bound probe");
+            };
+            assert!(
+                streak <= 1,
+                "{name}: blocked streaks must respect f_prog = 2 (at most 1 blocked round)"
+            );
+        }
+        // The MAC's own bookkeeping is an exactly-truthful detector, so
+        // the in-class certification records no violations.
+        let adversarial = specs
+            .iter()
+            .find(|s| s.name == "absmac/mac-adversarial")
+            .expect("registered");
+        let row = adversarial.run_cell(0, 0);
+        assert_eq!(
+            row.metrics.get(MetricId::CdFalsePositives),
+            Some(MetricValue::U64(0)),
+            "the MAC detector never cries wolf"
+        );
+        assert_eq!(
+            row.metrics.get(MetricId::CdMissedDetections),
+            Some(MetricValue::U64(0)),
+            "the MAC detector never misses a deferred broadcast"
+        );
+        let Some(MetricValue::U64(deferrals)) = row.metrics.get(MetricId::AckDeferralsTotal) else {
+            panic!("mac arms carry the deferral count");
+        };
+        assert!(deferrals > 0, "the adversarial policy actually defers");
     }
 
     #[test]

@@ -17,6 +17,8 @@
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
+use wan_bench::sweep::cache::CachedCell;
+use wan_bench::sweep::{MetricId, MetricRow, MetricValue, SweepCache};
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("ccwan-check-mode-{tag}-{}", std::process::id()));
@@ -140,6 +142,63 @@ fn check_gates_on_golden_drift() {
     assert!(fresh.status.success(), "{fresh:?}");
 }
 
+/// The sweep-wide safety gate covers the abstract-MAC family: a scripted
+/// agreement violation in an `absmac/*` cell — its stored row's `safe`
+/// bit flipped, exactly what a buggy MAC component would have produced —
+/// fails `check` nonzero with the cell's full coordinates (spec, case,
+/// seed, cache key) on stderr, and is never blessed over.
+#[test]
+fn check_gates_on_absmac_safety_violation() {
+    let dir = scratch("absmac-safety");
+
+    // Bless a clean golden (populating the store) and confirm a clean pass.
+    let bless = run_experiments(&dir, &["bless", "--quick"]);
+    assert!(bless.status.success(), "{bless:?}");
+    let pass = run_experiments(&dir, &["check", "--quick"]);
+    assert!(pass.status.success(), "{pass:?}");
+
+    // Script the violation into one MAC cell's stored row.
+    let mut store = SweepCache::open(dir.join("sweep-cache"));
+    let (key, cell) = store
+        .entries()
+        .find(|(_, cell)| cell.spec_name.starts_with("absmac/mac-"))
+        .map(|(key, cell)| (key, cell.clone()))
+        .expect("the blessed store holds absmac cells");
+    let mut forged = MetricRow::new();
+    for (id, value) in cell.metrics.iter() {
+        forged.set(
+            id,
+            if id == MetricId::Safe {
+                MetricValue::Bool(false)
+            } else {
+                value
+            },
+        );
+    }
+    store.record_cached(
+        key,
+        CachedCell {
+            metrics: forged,
+            ..cell.clone()
+        },
+    );
+    store.write_canonical().expect("rewrite the poisoned store");
+    drop(store);
+
+    // The gate trips before any golden comparison and names the cell.
+    let gated = run_experiments(&dir, &["check", "--quick"]);
+    assert!(
+        !gated.status.success(),
+        "a safety violation must fail check: {gated:?}"
+    );
+    let err = String::from_utf8_lossy(&gated.stderr);
+    assert!(err.contains("violated consensus safety"), "{err}");
+    assert!(err.contains(&cell.spec_name), "{err}");
+    assert!(err.contains(&format!("case {}", cell.case)), "{err}");
+    assert!(err.contains(&format!("{:#018x}", cell.cell_seed)), "{err}");
+    assert!(err.contains(&key.to_hex()), "{err}");
+}
+
 #[test]
 fn subcommands_and_legacy_flags_print_the_same_bytes() {
     let dir = scratch("grammar");
@@ -195,6 +254,7 @@ fn subcommands_and_legacy_flags_print_the_same_bytes() {
         "shard",
         "merge",
         "farm",
+        "fsck",
     ] {
         assert!(text.contains(word), "--help must document `{word}`: {text}");
     }

@@ -1,0 +1,161 @@
+//! Determinism contracts of the cross-model `absmac/*` family, end to
+//! end:
+//!
+//! * **The MAC environment is a fingerprint lane.** An
+//!   [`EnvironmentPlan::AbsMac`] plan feeds
+//!   [`ScenarioSpec::params_fingerprint`] deterministically (pinned to a
+//!   literal so an accidental hash change cannot slip through as "all
+//!   cells re-ran and re-cached"), and every envelope/policy knob moves
+//!   it — two distinct plans never silently share cache keys. Specs that
+//!   do *not* use the MAC absorb nothing new: the lane rides the same
+//!   env absorption the other variants use, so no pre-existing golden
+//!   row or cache entry moves (the pinned churn-timeline literal in
+//!   `scenario_timeline.rs` cross-checks this from the other side).
+//! * **MAC sweeps are order-independent and cache-transparent.** Serial
+//!   and parallel runs of the `absmac/*` family produce byte-identical
+//!   [`ResultsFrame`]s, and a cold store-backed run plus a warm replay
+//!   from that store both reproduce the fresh frame bit for bit — the
+//!   acknowledged-broadcast channel's deferral state is a pure function
+//!   of `(spec, cell)` like every other component.
+
+use proptest::prelude::*;
+use wan_bench::sweep::spec::absmac_specs;
+use wan_bench::sweep::{
+    scan_safety, AbsMacPlan, EnvironmentPlan, ProbeManifest, ScenarioSpec, SweepCache,
+};
+use wan_bench::{Scale, SweepRunner};
+use wan_cd::CdClass;
+use wan_mac::MacDelayPolicy;
+use wan_sim::ScenarioTimeline;
+
+/// A fixed spec shape re-enveloped, so fingerprint differences come from
+/// the MAC plan alone.
+fn spec_with(plan: AbsMacPlan) -> ScenarioSpec {
+    ScenarioSpec {
+        name: "absmac/fingerprint-probe".into(),
+        algorithm: wan_bench::sweep::Algorithm::Alg2,
+        class: CdClass::ZERO_EV_AC,
+        env: EnvironmentPlan::AbsMac(plan),
+        crash: None,
+        timeline: ScenarioTimeline::new(),
+        n: 4,
+        v_size: 16,
+        fixed_values: None,
+        seeds: 2,
+        cap: 600,
+        probes: ProbeManifest::standard(),
+    }
+}
+
+fn arb_policy() -> impl Strategy<Value = MacDelayPolicy> {
+    (0u8..3, 0u32..=4).prop_map(|(kind, q)| match kind {
+        0 => MacDelayPolicy::Eager,
+        1 => MacDelayPolicy::Random {
+            defer: f64::from(q) / 4.0,
+        },
+        _ => MacDelayPolicy::Adversarial,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The MAC lane of the params fingerprint is a pure function of the
+    /// plan, and every knob — `f_ack`, `f_prog`, the delay policy — moves
+    /// it: no two distinct plans may share cache keys or golden digests.
+    #[test]
+    fn absmac_fingerprint_is_pure_and_knob_sensitive(
+        f_ack in 1u64..9,
+        f_prog in 1u64..5,
+        policy in arb_policy(),
+    ) {
+        let plan = AbsMacPlan { f_ack, f_prog, policy };
+        prop_assert_eq!(
+            spec_with(plan).params_fingerprint(),
+            spec_with(plan).params_fingerprint()
+        );
+        let wider_ack = AbsMacPlan { f_ack: f_ack + 1, ..plan };
+        prop_assert_ne!(
+            spec_with(plan).params_fingerprint(),
+            spec_with(wider_ack).params_fingerprint()
+        );
+        let wider_prog = AbsMacPlan { f_prog: f_prog + 1, ..plan };
+        prop_assert_ne!(
+            spec_with(plan).params_fingerprint(),
+            spec_with(wider_prog).params_fingerprint()
+        );
+        if policy != MacDelayPolicy::Adversarial {
+            let adversarial = AbsMacPlan { policy: MacDelayPolicy::Adversarial, ..plan };
+            prop_assert_ne!(
+                spec_with(plan).params_fingerprint(),
+                spec_with(adversarial).params_fingerprint()
+            );
+        }
+    }
+}
+
+/// The MAC env lane is pinned to a literal: if the absorption order or
+/// the plan's `Debug` form changes, every `absmac/*` cache key and golden
+/// row silently moves — this test makes that loud instead.
+#[test]
+fn absmac_fingerprint_is_pinned() {
+    let spec = spec_with(AbsMacPlan {
+        f_ack: 6,
+        f_prog: 2,
+        policy: MacDelayPolicy::Random { defer: 0.3 },
+    });
+    assert_eq!(
+        spec.params_fingerprint(),
+        0x3459_bf35_8c02_e525,
+        "the MAC fingerprint lane moved: absmac cache keys and golden rows \
+         all change — if intentional, re-pin this literal and re-bless"
+    );
+}
+
+/// Serial and parallel `absmac/*` sweeps produce byte-identical frames, a
+/// cold cache-backed run matches them, a warm replay answers every cell
+/// from the store without drifting a byte, and no cell in either radio
+/// model breaks agreement/validity.
+#[test]
+fn absmac_sweeps_are_order_independent_and_cache_transparent() {
+    let specs = absmac_specs(Scale::Quick);
+    let serial = SweepRunner::serial().run_fresh(&specs);
+    let parallel = SweepRunner::with_threads(4).run_fresh(&specs);
+    assert_eq!(
+        serial.fingerprint(),
+        parallel.fingerprint(),
+        "serial and parallel absmac sweeps must be byte-identical"
+    );
+    assert_eq!(serial.render(), parallel.render());
+    assert!(
+        scan_safety(&specs, &serial).is_empty(),
+        "no MAC delay policy within the envelopes may break agreement/validity"
+    );
+    assert!(serial.cell_results().iter().all(|cell| cell.terminated));
+
+    let dir = std::env::temp_dir().join(format!("absmac-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let store = SweepCache::open_scoped(&dir);
+        let cold = SweepRunner::with_threads(4).run_with(&specs, &store);
+        assert_eq!(
+            cold.fingerprint(),
+            serial.fingerprint(),
+            "a store-backed cold run must reproduce the fresh frame"
+        );
+        let executed = store.stats().misses;
+        let warm = SweepRunner::serial().run_with(&specs, &store);
+        assert_eq!(
+            warm.fingerprint(),
+            serial.fingerprint(),
+            "a warm replay from the store must reproduce the fresh frame"
+        );
+        assert_eq!(
+            store.stats().misses,
+            executed,
+            "the warm replay must execute zero cells"
+        );
+        assert!(store.stats().hits >= executed);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
